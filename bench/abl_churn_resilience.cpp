@@ -1,0 +1,119 @@
+// Ablation A3 — resilience under churn (protocol mode): fraction of the
+// group still reached by a multicast right after a batch of abrupt
+// failures, before and after repair rounds.
+//
+// Section 2's claim: "If node capacities are small, CAM-Koorde is not
+// resilient against frequent membership changes ... CAM-Chord is a
+// better choice in such an environment because of denser connectivity."
+// The table reports delivery ratios for both systems at small and large
+// capacities, failure fractions 5-30%.
+#include <iostream>
+
+#include "camchord/net.h"
+#include "camkoorde/net.h"
+#include "experiments/figures.h"
+#include "experiments/table.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace {
+
+using namespace cam;
+
+struct Result {
+  double before_repair = 0;   // delivery ratio immediately after failures
+  double after_repair = 0;    // after converge()
+  double lookup_ok = 0;       // correct-owner rate before repair
+};
+
+// Correct-owner rate of 200 lookups against ground truth.
+double lookup_success(RingOverlayNet& overlay, Rng& rng) {
+  NodeDirectory truth(overlay.ring());
+  for (Id id : overlay.members_sorted()) truth.add(id, overlay.info(id));
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    Id from = truth.random_node(rng);
+    Id k = rng.next_below(overlay.ring().size());
+    LookupResult r = overlay.lookup(from, k);
+    if (r.ok && r.owner == *truth.responsible(k)) ++ok;
+  }
+  return ok / 200.0;
+}
+
+template <typename Net>
+Result run(std::size_t n, std::uint32_t cap_lo, std::uint32_t cap_hi,
+           double fail_fraction, std::uint64_t seed) {
+  RingSpace ring(19);
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  Net overlay(ring, net);
+  Rng rng(seed);
+
+  auto info = [&] {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(cap_lo, cap_hi)),
+                    400 + rng.next_double() * 600};
+  };
+  overlay.bootstrap(rng.next_below(ring.size()), info());
+  while (overlay.size() < n) {
+    Id id = rng.next_below(ring.size());
+    if (overlay.contains(id)) continue;
+    auto members = overlay.members_sorted();
+    (void)overlay.join(id, info(), members[rng.next_below(members.size())]);
+  }
+  overlay.oracle_fill();  // converged starting point
+
+  workload::fail_random_fraction(overlay, fail_fraction, rng);
+
+  Result res;
+  {
+    auto members = overlay.members_sorted();
+    Id source = members[rng.next_below(members.size())];
+    MulticastTree tree = overlay.multicast(source);
+    res.before_repair = static_cast<double>(tree.size()) /
+                        static_cast<double>(overlay.size());
+    res.lookup_ok = lookup_success(overlay, rng);
+  }
+  overlay.converge();
+  {
+    auto members = overlay.members_sorted();
+    Id source = members[rng.next_below(members.size())];
+    MulticastTree tree = overlay.multicast(source);
+    res.after_repair = static_cast<double>(tree.size()) /
+                       static_cast<double>(overlay.size());
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv, FigureScale{.n = 600});
+
+  std::cout << "# Ablation A3: delivery ratio under abrupt failures "
+               "(protocol mode, n=" << scale.n << ")\n";
+  Table t({"system", "capacity", "fail_frac", "before_repair",
+           "after_repair", "lookup_ok"});
+  struct Cfg {
+    const char* name;
+    std::uint32_t lo, hi;
+  };
+  for (Cfg cap : {Cfg{"small[4..6]", 4, 6}, Cfg{"large[16..24]", 16, 24}}) {
+    for (double frac : {0.05, 0.15, 0.30}) {
+      Result chord = run<cam::camchord::CamChordNet>(scale.n, cap.lo, cap.hi,
+                                                     frac, scale.seed);
+      Result koorde = run<cam::camkoorde::CamKoordeNet>(scale.n, cap.lo,
+                                                        cap.hi, frac,
+                                                        scale.seed);
+      t.add_row({"CAM-Chord", cap.name, fmt(frac, 2),
+                 fmt(chord.before_repair, 3), fmt(chord.after_repair, 3),
+                 fmt(chord.lookup_ok, 3)});
+      t.add_row({"CAM-Koorde", cap.name, fmt(frac, 2),
+                 fmt(koorde.before_repair, 3), fmt(koorde.after_repair, 3),
+                 fmt(koorde.lookup_ok, 3)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A1 — lookup hop counts vs. group size and capacity, checking
+// Theorems 1-2 (CAM-Chord: O(log n / log c)) and the Koorde-style bound
+// for CAM-Koorde. Prints measured mean/p99 hops next to log(n)/log(c).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/figures.h"
+#include "experiments/table.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+int main(int argc, char** argv) {
+  using namespace cam;
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv);
+
+  std::cout << "# Ablation A1: lookup hops vs n and capacity "
+               "(500 lookups per cell)\n";
+  Table t({"system", "n", "capacity", "mean_hops", "p99_hops",
+           "ln(n)/ln(c)"});
+
+  for (std::size_t n : {std::size_t{1000}, std::size_t{10000}, scale.n}) {
+    for (std::uint32_t c : {4u, 8u, 16u, 32u}) {
+      workload::PopulationSpec spec;
+      spec.n = n;
+      spec.ring_bits = scale.ring_bits;
+      spec.seed = scale.seed;
+      FrozenDirectory dir =
+          workload::constant_capacity_population(spec, c).freeze();
+      for (System sys : {System::kCamChord, System::kCamKoorde}) {
+        Rng rng(scale.seed ^ 0xABCD);
+        std::vector<std::size_t> hops;
+        hops.reserve(500);
+        for (int i = 0; i < 500; ++i) {
+          Id from = dir.ids()[rng.next_below(dir.size())];
+          Id k = rng.next_below(dir.ring().size());
+          LookupResult r = run_lookup(sys, dir, from, k);
+          if (r.ok) hops.push_back(r.hops());
+        }
+        std::sort(hops.begin(), hops.end());
+        double mean = 0;
+        for (auto h : hops) mean += static_cast<double>(h);
+        mean /= static_cast<double>(hops.size());
+        std::size_t p99 = hops[hops.size() * 99 / 100];
+        t.add_row({system_name(sys), std::to_string(n), std::to_string(c),
+                   fmt(mean, 2), std::to_string(p99),
+                   fmt(std::log(static_cast<double>(n)) / std::log(c), 2)});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A8 — maintenance overhead: CAM-Chord vs CAM-Koorde.
+//
+// Section 2: "CAM-Chord maintains a larger number of neighbors than
+// CAM-Koorde (by a factor of O(log n / log c_x)), which means larger
+// maintenance overhead. On the other hand, CAM-Chord is more robust and
+// flexible because it offers backup paths."
+//
+// Measures, per capacity: the neighbor-table size per node and the
+// maintenance messages per node per full repair round (stabilize +
+// fix-neighbors) in protocol mode.
+#include <cmath>
+#include <iostream>
+
+#include "camchord/net.h"
+#include "camkoorde/net.h"
+#include "experiments/figures.h"
+#include "experiments/table.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cam;
+
+struct Cost {
+  double entries_per_node = 0;
+  double maint_msgs_per_node_round = 0;
+};
+
+template <typename Net>
+Cost measure(std::size_t n, std::uint32_t c, std::uint64_t seed) {
+  RingSpace ring(19);
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  Net overlay(ring, net);
+  Rng rng(seed);
+  overlay.bootstrap(rng.next_below(ring.size()),
+                    NodeInfo{c, 400 + rng.next_double() * 600});
+  while (overlay.size() < n) {
+    Id id = rng.next_below(ring.size());
+    if (overlay.contains(id)) continue;
+    auto members = overlay.members_sorted();
+    (void)overlay.join(id, NodeInfo{c, 400 + rng.next_double() * 600},
+                       members[rng.next_below(members.size())]);
+  }
+  overlay.oracle_fill();
+
+  Cost cost;
+  for (Id id : overlay.members_sorted()) {
+    cost.entries_per_node += static_cast<double>(overlay.entries(id).size());
+  }
+  cost.entries_per_node /= static_cast<double>(n);
+
+  net.reset_stats();
+  overlay.stabilize_all();
+  overlay.fix_neighbors_all();
+  cost.maint_msgs_per_node_round =
+      static_cast<double>(
+          net.stats().messages[static_cast<int>(MsgClass::kMaintenance)]) /
+      static_cast<double>(n);
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv, FigureScale{.n = 2000});
+
+  std::cout << "# Ablation A8: maintenance overhead per node "
+               "(protocol mode, n=" << scale.n << ")\n";
+  Table t({"capacity", "chord_entries", "koorde_entries", "entries_ratio",
+           "chord_msgs/round", "koorde_msgs/round", "ln(N)/ln(c)"});
+  for (std::uint32_t c : {4u, 8u, 16u, 32u, 64u}) {
+    Cost chord =
+        measure<cam::camchord::CamChordNet>(scale.n, c, scale.seed);
+    Cost koorde =
+        measure<cam::camkoorde::CamKoordeNet>(scale.n, c, scale.seed);
+    t.add_row({std::to_string(c), fmt(chord.entries_per_node, 1),
+               fmt(koorde.entries_per_node, 1),
+               fmt(chord.entries_per_node / koorde.entries_per_node, 2),
+               fmt(chord.maint_msgs_per_node_round, 1),
+               fmt(koorde.maint_msgs_per_node_round, 1),
+               fmt(std::log(524288.0) / std::log(static_cast<double>(c)), 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

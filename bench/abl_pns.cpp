@@ -1,0 +1,59 @@
+// Ablation A6 — Proximity Neighbor Selection (paper, Section 5.2):
+// least-delay-first neighbor choice within the flexible segment
+// [x + j*c^i, x + (j+1)*c^i). Compares wall-clock lookup latency and hop
+// counts with and without PNS on a geographically structured latency
+// model (hosts on a torus).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "camchord/pns.h"
+#include "experiments/figures.h"
+#include "experiments/table.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+int main(int argc, char** argv) {
+  using namespace cam;
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv, FigureScale{.n = 20000});
+
+  std::cout << "# Ablation A6: Proximity Neighbor Selection, CAM-Chord "
+               "lookups (n=" << scale.n << ", torus latency 5..105 ms)\n";
+  Table t({"capacity", "plain_ms", "pns_ms", "latency_saved",
+           "plain_hops", "pns_hops"});
+
+  TorusLatency latency(5.0, 100.0, 2026);
+  for (std::uint32_t c : {4u, 8u, 16u, 32u}) {
+    workload::PopulationSpec spec;
+    spec.n = scale.n;
+    spec.ring_bits = scale.ring_bits;
+    spec.seed = scale.seed;
+    FrozenDirectory dir =
+        workload::constant_capacity_population(spec, c).freeze();
+
+    Rng rng(scale.seed ^ 0x505);
+    double plain_ms = 0, pns_ms = 0, plain_hops = 0, pns_hops = 0;
+    const int kQueries = 300;
+    for (int q = 0; q < kQueries; ++q) {
+      Id from = dir.ids()[rng.next_below(dir.size())];
+      Id k = rng.next_below(dir.ring().size());
+      auto plain =
+          camchord::lookup_timed(dir.ring(), dir, latency, from, k);
+      auto pns = camchord::lookup_pns(dir.ring(), dir, latency, from, k);
+      plain_ms += plain.total_latency_ms;
+      pns_ms += pns.total_latency_ms;
+      plain_hops += static_cast<double>(plain.result.hops());
+      pns_hops += static_cast<double>(pns.result.hops());
+    }
+    plain_ms /= kQueries;
+    pns_ms /= kQueries;
+    plain_hops /= kQueries;
+    pns_hops /= kQueries;
+    t.add_row({std::to_string(c), fmt(plain_ms, 1), fmt(pns_ms, 1),
+               fmt(1.0 - pns_ms / plain_ms, 3), fmt(plain_hops, 2),
+               fmt(pns_hops, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

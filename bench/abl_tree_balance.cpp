@@ -1,0 +1,82 @@
+// Ablation A4 — tree balance: CAM-Chord's even region splitting vs. the
+// El-Ansary Chord broadcast (reference [10]), at equal uniform capacity.
+//
+// Section 3.4's claim: in [10] "the number of children per node ranges
+// from 1 to (M - h) ... the whole multicast tree is not balanced", while
+// CAM-Chord bounds children by capacity and spaces them evenly. The
+// table reports max children, children variance among non-leaves, tree
+// depth, and the realized throughput on a heterogeneous population.
+#include <cmath>
+#include <iostream>
+
+#include "camchord/oracle.h"
+#include "chord/el_ansary.h"
+#include "experiments/figures.h"
+#include "experiments/table.h"
+#include "multicast/metrics.h"
+#include "workload/population.h"
+
+namespace {
+
+using namespace cam;
+
+struct Row {
+  double max_children = 0, stddev_children = 0, depth = 0, avg_path = 0,
+         throughput = 0;
+};
+
+Row measure(const FrozenDirectory& dir, const MulticastTree& tree) {
+  Row row;
+  TreeMetrics m = compute_metrics(tree);
+  auto counts = tree.children_counts();
+  double mean = m.avg_children_nonleaf, var = 0;
+  for (const auto& [node, c] : counts) {
+    var += (c - mean) * (c - mean);
+  }
+  var /= static_cast<double>(counts.size());
+  row.max_children = m.max_children;
+  row.stddev_children = std::sqrt(var);
+  row.depth = m.max_depth;
+  row.avg_path = m.avg_path_length;
+  row.throughput = tree_throughput_kbps(
+      tree, [&dir](Id x) { return dir.info(x).bandwidth_kbps; });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv, FigureScale{.n = 50000});
+
+  std::cout << "# Ablation A4: balanced CAM-Chord trees vs El-Ansary Chord "
+               "broadcast (uniform capacity, n=" << scale.n << ")\n";
+  Table t({"algorithm", "base/cap", "max_children", "stddev_children",
+           "depth", "avg_path", "throughput_kbps"});
+
+  for (std::uint32_t c : {2u, 4u, 8u, 16u}) {
+    workload::PopulationSpec spec;
+    spec.n = scale.n;
+    spec.ring_bits = scale.ring_bits;
+    spec.seed = scale.seed;
+    FrozenDirectory dir =
+        workload::constant_capacity_population(spec, std::max(c, 2u)).freeze();
+    Id source = dir.ids()[42 % dir.size()];
+
+    MulticastTree cam = camchord::multicast(
+        dir.ring(), dir, [&dir](Id x) { return dir.info(x).capacity; },
+        source);
+    Row rc = measure(dir, cam);
+    t.add_row({"CAM-Chord", std::to_string(c), fmt(rc.max_children, 0),
+               fmt(rc.stddev_children, 2), fmt(rc.depth, 0),
+               fmt(rc.avg_path, 2), fmt(rc.throughput, 1)});
+
+    MulticastTree ea = chord::broadcast(dir.ring(), dir, c, source);
+    Row re = measure(dir, ea);
+    t.add_row({"El-Ansary", std::to_string(c), fmt(re.max_children, 0),
+               fmt(re.stddev_children, 2), fmt(re.depth, 0),
+               fmt(re.avg_path, 2), fmt(re.throughput, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

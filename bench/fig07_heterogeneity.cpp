@@ -1,0 +1,24 @@
+// Figure 7 — "Throughput improvement ratio with respect to upload
+// bandwidth range": CAM-Chord over Chord and CAM-Koorde over Koorde for
+// B in [400, b], b = 800..1600 kbps.
+//
+// Paper shape: both ratios grow with b, roughly as (a + b) / 2a.
+#include <iostream>
+
+#include "experiments/figures.h"
+#include "experiments/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv);
+  std::cout << "# Figure 7: throughput improvement ratio vs bandwidth range "
+               "[400, b] (n=" << scale.n << ")\n";
+  Table t({"bw_hi_kbps", "CAM-Chord/Chord", "CAM-Koorde/Koorde",
+           "(a+b)/2a"});
+  for (const Fig7Row& r : figure7(scale)) {
+    t.add_row({fmt(r.bw_hi, 0), fmt(r.ratio_chord, 3), fmt(r.ratio_koorde, 3),
+               fmt(r.predicted, 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 8 — "Throughput vs. average path length": the tradeoff curve
+// traced by sweeping the per-link parameter p for both CAMs.
+//
+// Paper shape: higher throughput costs longer paths; CAM-Koorde is
+// slightly better below the crossover (~46 kbps in the paper — large
+// capacities), CAM-Chord better above it (small capacities).
+#include <iostream>
+
+#include "experiments/figures.h"
+#include "experiments/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv);
+  std::cout << "# Figure 8: throughput vs average path length (n=" << scale.n
+            << ")\n";
+  Table t({"system", "p_kbps", "throughput_kbps", "avg_path_hops"});
+  for (const Fig8Row& r : figure8(scale)) {
+    t.add_row({system_name(r.system), fmt(r.per_link_kbps, 0),
+               fmt(r.throughput_kbps, 1), fmt(r.avg_path, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

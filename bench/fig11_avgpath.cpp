@@ -1,0 +1,24 @@
+// Figure 11 — "Average path length with respect to average node
+// capacity", with the paper's reference curve 1.5 * ln(n) / ln(c).
+//
+// Paper shape: both systems sit under the reference curve; CAM-Chord is
+// shorter for average capacities below ~10, CAM-Koorde for those above
+// ~12, with a crossover in between.
+#include <iostream>
+
+#include "experiments/figures.h"
+#include "experiments/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cam::exp;
+  FigureScale scale = parse_scale(argc, argv);
+  std::cout << "# Figure 11: average path length vs average node capacity "
+               "(n=" << scale.n << ")\n";
+  Table t({"avg_capacity", "CAM-Chord", "CAM-Koorde", "1.5*ln(n)/ln(c)"});
+  for (const Fig11Row& r : figure11(scale)) {
+    t.add_row({fmt(r.avg_capacity, 1), fmt(r.camchord_path, 2),
+               fmt(r.camkoorde_path, 2), fmt(r.bound, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) of the hot routines: neighbor
+// arithmetic, child selection, directory resolution, lookups, and a full
+// multicast tree build at moderate scale.
+#include <benchmark/benchmark.h>
+
+#include "camchord/neighbor_math.h"
+#include "camchord/oracle.h"
+#include "camkoorde/neighbor_math.h"
+#include "camkoorde/oracle.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+namespace {
+
+using namespace cam;
+
+const FrozenDirectory& test_dir() {
+  static FrozenDirectory dir = [] {
+    workload::PopulationSpec spec;
+    spec.n = 20000;
+    spec.ring_bits = 19;
+    spec.seed = 5;
+    return workload::uniform_capacity_population(spec, 4, 10).freeze();
+  }();
+  return dir;
+}
+
+void BM_LevelSeq(benchmark::State& state) {
+  RingSpace ring(19);
+  Rng rng(1);
+  std::uint64_t d = 1 + rng.next_below(ring.size() - 1);
+  for (auto _ : state) {
+    auto ls = camchord::level_seq(ring, 7, 0, d);
+    benchmark::DoNotOptimize(ls);
+    d = (d * 2862933555777941757ULL + 3037000493ULL) & (ring.size() - 1);
+    if (d == 0) d = 1;
+  }
+}
+BENCHMARK(BM_LevelSeq);
+
+void BM_SelectChildren(benchmark::State& state) {
+  RingSpace ring(19);
+  auto c = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto kids = camchord::select_children(ring, c, 12345, 12344);
+    benchmark::DoNotOptimize(kids);
+  }
+}
+BENCHMARK(BM_SelectChildren)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NeighborIdentifiers(benchmark::State& state) {
+  RingSpace ring(19);
+  auto c = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ids = camchord::neighbor_identifiers(ring, c, 777);
+    benchmark::DoNotOptimize(ids);
+  }
+}
+BENCHMARK(BM_NeighborIdentifiers)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KoordeShiftIdentifiers(benchmark::State& state) {
+  RingSpace ring(19);
+  auto c = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ids = camkoorde::shift_identifiers(ring, c, 777);
+    benchmark::DoNotOptimize(ids);
+  }
+}
+BENCHMARK(BM_KoordeShiftIdentifiers)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DirectoryResponsible(benchmark::State& state) {
+  const FrozenDirectory& dir = test_dir();
+  Rng rng(2);
+  for (auto _ : state) {
+    auto r = dir.responsible(rng.next_below(dir.ring().size()));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DirectoryResponsible);
+
+void BM_CamChordLookup(benchmark::State& state) {
+  const FrozenDirectory& dir = test_dir();
+  auto cap = [&](Id x) { return dir.info(x).capacity; };
+  Rng rng(3);
+  for (auto _ : state) {
+    Id from = dir.ids()[rng.next_below(dir.size())];
+    Id k = rng.next_below(dir.ring().size());
+    auto r = camchord::lookup(dir.ring(), dir, cap, from, k);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CamChordLookup);
+
+void BM_CamKoordeLookup(benchmark::State& state) {
+  const FrozenDirectory& dir = test_dir();
+  auto cap = [&](Id x) { return dir.info(x).capacity; };
+  Rng rng(4);
+  for (auto _ : state) {
+    Id from = dir.ids()[rng.next_below(dir.size())];
+    Id k = rng.next_below(dir.ring().size());
+    auto r = camkoorde::lookup(dir.ring(), dir, cap, from, k);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CamKoordeLookup);
+
+void BM_CamChordMulticastTree(benchmark::State& state) {
+  const FrozenDirectory& dir = test_dir();
+  auto cap = [&](Id x) { return dir.info(x).capacity; };
+  for (auto _ : state) {
+    auto tree = camchord::multicast(dir.ring(), dir, cap, dir.ids()[0]);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dir.size()));
+}
+BENCHMARK(BM_CamChordMulticastTree)->Unit(benchmark::kMillisecond);
+
+void BM_CamKoordeMulticastTree(benchmark::State& state) {
+  const FrozenDirectory& dir = test_dir();
+  auto cap = [&](Id x) { return dir.info(x).capacity; };
+  for (auto _ : state) {
+    auto tree = camkoorde::multicast(dir.ring(), dir, cap, dir.ids()[0]);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dir.size()));
+}
+BENCHMARK(BM_CamKoordeMulticastTree)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Live video streaming over CAM-Chord: pick the per-link bandwidth
+// parameter p to hit a target stream bitrate, then inspect the
+// throughput/latency tradeoff the paper's Figure 8 describes.
+//
+//   $ ./example_video_stream
+//
+// Scenario: 20,000 viewers with upload bandwidths in [400, 1000] kbps
+// want a 64 kbps live stream with the smallest possible relay depth. A
+// larger p gives each tree link more bandwidth (higher sustainable
+// bitrate) but smaller capacities mean deeper trees (more relay latency).
+#include <cstdio>
+
+#include "camchord/oracle.h"
+#include "experiments/runner.h"
+#include "multicast/metrics.h"
+#include "workload/population.h"
+
+int main() {
+  using namespace cam;
+
+  workload::PopulationSpec spec;
+  spec.n = 20'000;
+  spec.ring_bits = 19;
+  spec.seed = 7;
+
+  std::printf("viewers: %zu, upload bandwidth U[%g, %g] kbps\n", spec.n,
+              spec.bw_lo_kbps, spec.bw_hi_kbps);
+  std::printf("%8s %12s %14s %10s %10s\n", "p_kbps", "avg_capacity",
+              "stream_kbps", "depth", "avg_hops");
+
+  double chosen_p = 0;
+  for (double p : {25.0, 40.0, 64.0, 80.0, 100.0, 140.0}) {
+    FrozenDirectory pop =
+        workload::bandwidth_derived_population(spec, p, 4).freeze();
+    auto cap = [&pop](Id x) { return pop.info(x).capacity; };
+    MulticastTree tree =
+        camchord::multicast(pop.ring(), pop, cap, pop.ids()[0]);
+    TreeMetrics m = compute_metrics(tree);
+    double rate = tree_throughput_provisioned_kbps(
+        tree, [&pop](Id x) { return pop.info(x).bandwidth_kbps; }, cap);
+    double avg_cap = 0;
+    for (Id id : pop.ids()) avg_cap += pop.info(id).capacity;
+    avg_cap /= static_cast<double>(pop.size());
+    std::printf("%8.0f %12.2f %14.1f %10d %10.2f\n", p, avg_cap, rate,
+                m.max_depth, m.avg_path_length);
+    if (rate >= 64.0 && chosen_p == 0) chosen_p = p;
+  }
+
+  std::printf(
+      "\nsmallest p sustaining a 64 kbps stream: p = %.0f kbps\n"
+      "(every link in every implicit tree is provisioned at least that\n"
+      " much upload bandwidth, so any viewer can also be the broadcaster\n"
+      " — the any-source property of Section 2)\n",
+      chosen_p);
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "camchord/net.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cam::camchord {
+
+const CamChordNet::Table& CamChordNet::table_at(Id id) const {
+  auto it = tables_.find(id);
+  assert(it != tables_.end());
+  return it->second;
+}
+
+CamChordNet::Table& CamChordNet::table_at(Id id) {
+  auto it = tables_.find(id);
+  assert(it != tables_.end());
+  return it->second;
+}
+
+void CamChordNet::init_entries(Id id, Id initial_owner) {
+  Table t;
+  for (Id ident : neighbor_identifiers(ring_, info(id).capacity, id)) {
+    t.offsets.push_back(ring_.clockwise(id, ident));
+    t.entries.push_back(initial_owner);
+  }
+  tables_[id] = std::move(t);
+}
+
+void CamChordNet::fix_entries(Id id) {
+  Table& t = table_at(id);
+  for (std::size_t idx = 0; idx < t.offsets.size(); ++idx) {
+    Id ident = ring_.add(id, t.offsets[idx]);
+    LookupResult r = lookup(id, ident);
+    if (r.ok) t.entries[idx] = r.owner;
+    net_.send(id, r.ok ? r.owner : id, 64, [] {}, MsgClass::kMaintenance);
+  }
+}
+
+void CamChordNet::oracle_fill_entries(Id id, const NodeDirectory& dir) {
+  Table& t = table_at(id);
+  for (std::size_t idx = 0; idx < t.offsets.size(); ++idx) {
+    t.entries[idx] = *dir.responsible(ring_.add(id, t.offsets[idx]));
+  }
+}
+
+std::uint64_t CamChordNet::entries_digest(Id id) const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (Id e : table_at(id).entries) h = h * 1099511628211ULL + e;
+  return h;
+}
+
+std::optional<Id> CamChordNet::closest_live_entry_after(Id id) const {
+  const Table& t = table_at(id);
+  std::optional<Id> best;
+  std::uint64_t best_d = UINT64_MAX;
+  for (Id e : t.entries) {
+    if (e == id || !alive(e)) continue;
+    std::uint64_t d = ring_.clockwise(id, e);
+    if (d < best_d) {
+      best_d = d;
+      best = e;
+    }
+  }
+  return best;
+}
+
+std::optional<Id> CamChordNet::table_resolve(Id x, Id ident) const {
+  const Table& t = table_at(x);
+  std::uint64_t off = ring_.clockwise(x, ident);
+  auto it = std::lower_bound(t.offsets.begin(), t.offsets.end(), off);
+  if (it == t.offsets.end() || *it != off) return std::nullopt;
+  Id entry = t.entries[static_cast<std::size_t>(it - t.offsets.begin())];
+  if (!alive(entry)) return std::nullopt;
+  return entry;
+}
+
+std::optional<Id> CamChordNet::best_preceding_live(Id x, Id target) const {
+  const Table& t = table_at(x);
+  std::uint64_t dt = ring_.clockwise(x, target);
+  std::optional<Id> best;
+  std::uint64_t best_d = 0;
+  for (Id e : t.entries) {
+    if (!alive(e)) continue;
+    std::uint64_t de = ring_.clockwise(x, e);
+    if (de == 0 || de >= dt) continue;  // not strictly inside (x, target)
+    if (de > best_d) {
+      best_d = de;
+      best = e;
+    }
+  }
+  return best;
+}
+
+LookupResult CamChordNet::lookup(Id from, Id target) const {
+  LookupResult res;
+  if (!alive(from)) return res;
+  res.path.push_back(from);
+  Id x = from;
+  for (std::size_t hop = 0; hop <= cfg_.max_lookup_hops; ++hop) {
+    if (target == x) {
+      res.owner = x;
+      res.ok = true;
+      return res;
+    }
+    const BaseState& st = base(x);
+    Id succ = live_successor(st);
+    // Lines 1-2: k in (x, successor(x)].
+    if (succ == x || ring_.in_oc(target, x, succ)) {
+      res.owner = succ == x ? x : succ;
+      res.ok = true;
+      return res;
+    }
+    // Lines 4-5: level and sequence number of k.
+    auto [i, j] = level_seq(ring_, st.info.capacity, x, target);
+    Id ident = neighbor_identifier(ring_, st.info.capacity, x, i, j);
+    std::optional<Id> next = table_resolve(x, ident);
+    if (next && *next != x && ring_.in_oc(target, x, *next)) {
+      // Lines 6-7: the believed owner covers k. Verify with the entry's
+      // own predecessor pointer (one control round-trip) before
+      // answering, so a stale entry cannot yield a wrong owner.
+      const BaseState& es = base(*next);
+      if (es.pred && alive(*es.pred) &&
+          ring_.in_oc(target, *es.pred, *next)) {
+        res.owner = *next;
+        res.ok = true;
+        return res;
+      }
+      next.reset();  // stale: do not trust it as a forwarding hop either
+    }
+    if (!next || *next == x || !ring_.in_oo(*next, x, target)) {
+      // Entry dead or useless: fall back to the closest live preceding
+      // entry (a backup path — the robustness Section 2 credits
+      // CAM-Chord's denser connectivity for), then to the successor.
+      next = best_preceding_live(x, target);
+      if (!next) next = succ;
+    }
+    x = *next;
+    res.path.push_back(x);
+  }
+  res.ok = false;
+  return res;
+}
+
+MulticastTree CamChordNet::multicast(Id source) {
+  MulticastTree tree(source);
+  if (!alive(source)) return tree;
+
+  // Event-driven recursive execution of x.MULTICAST(msg, k).
+  auto run_at = [this, &tree](auto&& self, Id x, Id k, int depth) -> void {
+    if (!alive(x) || k == x) return;
+    const BaseState& st = base(x);
+    for (const ChildAssignment& a :
+         select_children(ring_, st.info.capacity, x, k)) {
+      std::optional<Id> child;
+      if (ring_.clockwise(x, a.identifier) == 1) {
+        // The successor child x_{0,1}: served from the stabilized
+        // successor list so ring coverage survives table staleness.
+        Id s = live_successor(st);
+        if (s != x) child = s;
+      } else {
+        child = table_resolve(x, a.identifier);
+      }
+      if (!child || !ring_.in_oc(*child, x, a.bound)) continue;
+      Id ch = *child;
+      Id bound = a.bound;
+      net_.send(
+          x, ch, cfg_.multicast_payload_bytes,
+          [this, &tree, &self, x, ch, bound, depth] {
+            if (!alive(ch)) return;  // failed while the message was in flight
+            if (!tree.record(x, ch, depth + 1, net_.sim().now())) return;
+            self(self, ch, bound, depth + 1);
+          },
+          MsgClass::kData);
+    }
+  };
+
+  net_.sim().after(0, [&] { run_at(run_at, source, ring_.sub(source, 1), 0); });
+  net_.sim().run();
+  return tree;
+}
+
+}  // namespace cam::camchord

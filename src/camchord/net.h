@@ -1,0 +1,64 @@
+// CAM-Chord protocol mode: per-node neighbor tables over the shared ring
+// machinery (overlay/ring_net.h), running the paper's Section 3 LOOKUP
+// and MULTICAST through possibly-stale local state.
+//
+// Node x's table holds one entry per neighbor identifier
+// x_{i,j} = (x + j * c_x^i) mod N — the node believed responsible for it.
+// Entries are seeded at join and repaired by fix_neighbors (LOOKUP per
+// entry), exactly the division of labor the paper describes in
+// Section 3.3 ("we use the same Chord protocols ... the only difference
+// is that our LOOKUP routine replaces the Chord LOOKUP routine").
+#pragma once
+
+#include <unordered_map>
+
+#include "camchord/neighbor_math.h"
+#include "overlay/ring_net.h"
+
+namespace cam::camchord {
+
+class CamChordNet final : public RingOverlayNet {
+ public:
+  CamChordNet(RingSpace ring, Network& net, RingNetConfig cfg = {})
+      : RingOverlayNet(ring, net, cfg) {}
+
+  /// LOOKUP(target) from member `from` through current routing tables.
+  LookupResult lookup(Id from, Id target) const override;
+
+  /// Any-source multicast, event-driven over the Network. Deliveries to
+  /// nodes that fail mid-flight are lost (the churn benches measure it).
+  MulticastTree multicast(Id source) override;
+
+  /// Believed responsible node per neighbor identifier of `id`, parallel
+  /// to neighbor_identifiers(ring, c_id, id). Introspection for tests.
+  const std::vector<Id>& entries(Id id) const { return table_at(id).entries; }
+
+ protected:
+  std::uint32_t min_capacity() const override { return kMinCapacity; }
+  void init_entries(Id id, Id initial_owner) override;
+  void drop_entries(Id id) override { tables_.erase(id); }
+  void fix_entries(Id id) override;
+  void oracle_fill_entries(Id id, const NodeDirectory& dir) override;
+  std::uint64_t entries_digest(Id id) const override;
+  std::optional<Id> closest_live_entry_after(Id id) const override;
+
+ private:
+  struct Table {
+    std::vector<std::uint64_t> offsets;  // clockwise offsets, ascending
+    std::vector<Id> entries;             // believed owner, parallel
+  };
+
+  const Table& table_at(Id id) const;
+  Table& table_at(Id id);
+
+  /// Live believed owner of neighbor identifier `ident` of node `x`.
+  std::optional<Id> table_resolve(Id x, Id ident) const;
+
+  /// Closest live table entry strictly inside (x, target) — fallback when
+  /// the designated entry is dead.
+  std::optional<Id> best_preceding_live(Id x, Id target) const;
+
+  std::unordered_map<Id, Table> tables_;
+};
+
+}  // namespace cam::camchord

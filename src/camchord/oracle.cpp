@@ -1,0 +1,102 @@
+#include "camchord/oracle.h"
+
+#include <cassert>
+#include <deque>
+
+#include "camchord/neighbor_math.h"
+
+namespace cam::camchord {
+
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    const CapacityOf& capacity, Id start, Id target,
+                    std::size_t max_hops) {
+  LookupResult res;
+  res.path.push_back(start);
+
+  Id x = start;
+  for (std::size_t hop = 0; hop <= max_hops; ++hop) {
+    if (target == x) {  // x itself is responsible for its own identifier
+      res.owner = x;
+      res.ok = true;
+      return res;
+    }
+    auto succ_opt = resolver.responsible(ring.add(x, 1));
+    if (!succ_opt) break;
+    Id succ = *succ_opt;
+    // Line 1-2: k in (x, successor(x)].
+    if (succ == x || ring.in_oc(target, x, succ)) {
+      res.owner = succ == x ? x : succ;
+      res.ok = true;
+      return res;
+    }
+    // Lines 4-5: level and sequence number of k with respect to x.
+    std::uint32_t c = capacity(x);
+    auto [i, j] = level_seq(ring, c, x, target);
+    Id ident = neighbor_identifier(ring, c, x, i, j);
+    auto nb_opt = resolver.responsible(ident);
+    if (!nb_opt) break;
+    Id nb = *nb_opt;
+    if (nb == x) {
+      // responsible(x_{i,j}) wrapped all the way back to x: there is no
+      // node in [x_{i,j}, x), hence none in [x_{i,j}, k] either, and x is
+      // responsible for k itself.
+      res.owner = x;
+      res.ok = true;
+      return res;
+    }
+    // Lines 6-7: x_{i,j}-hat is responsible for k.
+    if (ring.in_oc(target, x, nb)) {
+      res.owner = nb;
+      res.ok = true;
+      return res;
+    }
+    // Line 9: greedy forward — nb precedes k, strictly closer than x.
+    assert(ring.clockwise(nb, target) < ring.clockwise(x, target));
+    x = nb;
+    res.path.push_back(x);
+  }
+  res.ok = false;
+  return res;
+}
+
+MulticastTree multicast_region(const RingSpace& ring, const Resolver& resolver,
+                               const CapacityOf& capacity, Id source,
+                               Id bound) {
+  MulticastTree tree(source);
+
+  struct Pending {
+    Id node;
+    Id bound;
+    int depth;
+  };
+  std::deque<Pending> queue;
+  queue.push_back(Pending{source, bound, 0});
+
+  while (!queue.empty()) {
+    auto [x, k, depth] = queue.front();
+    queue.pop_front();
+    if (k == x) continue;  // line 1-2: empty region, nothing to forward
+
+    std::uint32_t c = capacity(x);
+    for (const ChildAssignment& a : select_children(ring, c, x, k)) {
+      auto child_opt = resolver.responsible(a.identifier);
+      if (!child_opt) continue;
+      Id child = *child_opt;
+      // The responsible node must actually lie inside the assigned
+      // sub-region; otherwise the sub-region holds no members.
+      if (!ring.in_oc(child, x, a.bound)) continue;
+      bool first = tree.record(x, child, depth + 1);
+      assert(first && "CAM-Chord regions are disjoint: no duplicates");
+      if (first) queue.push_back(Pending{child, a.bound, depth + 1});
+    }
+  }
+  return tree;
+}
+
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source) {
+  return multicast_region(ring, resolver, capacity, source,
+                          ring.sub(source, 1));
+}
+
+}  // namespace cam::camchord

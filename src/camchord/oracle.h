@@ -1,0 +1,43 @@
+// CAM-Chord routines over a converged view (oracle mode).
+//
+// These drivers execute the paper's LOOKUP (Section 3.2) and MULTICAST
+// (Section 3.4) hop-for-hop, resolving each neighbor identifier through a
+// Resolver instead of per-node routing tables. On a converged overlay the
+// two are equivalent: a correct table entry for x_{i,j} *is*
+// responsible(x_{i,j}). The n = 100,000 figure benches use this mode; the
+// protocol mode in camchord/net.h runs the same select_children /
+// level_seq math through locally maintained tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "overlay/resolver.h"
+#include "overlay/types.h"
+
+namespace cam::camchord {
+
+/// Capacity c_x of a live node.
+using CapacityOf = std::function<std::uint32_t(Id)>;
+
+/// Executes x.LOOKUP(k) starting at `start`. Returns the responsible node
+/// and the hop path. `max_hops` is a safety valve only — Theorem 2 bounds
+/// the expected path by O(log n / log c).
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    const CapacityOf& capacity, Id start, Id target,
+                    std::size_t max_hops = 1024);
+
+/// Executes source.MULTICAST(msg, source - 1): full dissemination to every
+/// member, following the implicit capacity-aware tree. Every delivery is
+/// recorded with its overlay hop depth.
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source);
+
+/// Dissemination restricted to the region (source, bound] — the general
+/// form source.MULTICAST(msg, k) of the paper.
+MulticastTree multicast_region(const RingSpace& ring, const Resolver& resolver,
+                               const CapacityOf& capacity, Id source, Id bound);
+
+}  // namespace cam::camchord

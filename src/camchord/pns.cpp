@@ -1,0 +1,103 @@
+#include "camchord/pns.h"
+
+#include <cassert>
+
+#include "camchord/neighbor_math.h"
+#include "util/intmath.h"
+
+namespace cam::camchord {
+
+namespace {
+
+std::uint32_t cap_of(const FrozenDirectory& dir, Id x) {
+  return dir.info(x).capacity;
+}
+
+}  // namespace
+
+TimedLookup lookup_timed(const RingSpace& ring, const FrozenDirectory& dir,
+                         const LatencyModel& latency, Id start, Id target,
+                         std::size_t max_hops) {
+  TimedLookup out;
+  out.result = lookup(
+      ring, dir, [&dir](Id x) { return dir.info(x).capacity; }, start, target,
+      max_hops);
+  const auto& path = out.result.path;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    out.total_latency_ms += latency.latency(path[i - 1], path[i]);
+  }
+  return out;
+}
+
+TimedLookup lookup_pns(const RingSpace& ring, const FrozenDirectory& dir,
+                       const LatencyModel& latency, Id start, Id target,
+                       std::size_t max_hops) {
+  TimedLookup out;
+  LookupResult& res = out.result;
+  res.path.push_back(start);
+
+  Id x = start;
+  for (std::size_t hop = 0; hop <= max_hops; ++hop) {
+    if (target == x) {
+      res.owner = x;
+      res.ok = true;
+      return out;
+    }
+    auto succ_opt = dir.responsible(ring.add(x, 1));
+    if (!succ_opt) break;
+    Id succ = *succ_opt;
+    if (succ == x || ring.in_oc(target, x, succ)) {
+      res.owner = succ == x ? x : succ;
+      res.ok = true;
+      if (succ != x) out.total_latency_ms += latency.latency(x, succ);
+      if (succ != x) res.path.push_back(succ);
+      return out;
+    }
+
+    std::uint32_t c = cap_of(dir, x);
+    auto [i, j] = level_seq(ring, c, x, target);
+    // Flexible segment [x_{i,j}, x_{i,j+1}) — all members inside it are
+    // admissible stand-ins for the neighbor x_{i,j}.
+    Id seg_lo = neighbor_identifier(ring, c, x, i, j);
+    std::uint64_t ci = ipow_sat(c, static_cast<unsigned>(i));
+    Id seg_hi_excl = ring.add(seg_lo, ci);  // x + (j+1) * c^i
+
+    Id designated = *dir.responsible(seg_lo);
+    if (designated == x) {
+      // No node at or after the segment start until x itself: x already
+      // owns the target (see oracle.cpp).
+      res.owner = x;
+      res.ok = true;
+      return out;
+    }
+    if (ring.in_oc(target, x, designated)) {
+      res.owner = designated;
+      res.ok = true;
+      out.total_latency_ms += latency.latency(x, designated);
+      res.path.push_back(designated);
+      return out;
+    }
+
+    // Least-delay member of the segment that still precedes the target.
+    Id best = designated;
+    SimTime best_lat = latency.latency(x, designated);
+    std::size_t idx = dir.responsible_index(seg_lo);
+    for (std::size_t scanned = 0; scanned < dir.size(); ++scanned) {
+      Id cand = dir.ids()[(idx + scanned) % dir.size()];
+      if (!ring.in_co(cand, seg_lo, seg_hi_excl)) break;  // left the segment
+      if (!ring.in_oo(cand, x, target)) break;            // reached target
+      SimTime l = latency.latency(x, cand);
+      if (l < best_lat) {
+        best_lat = l;
+        best = cand;
+      }
+    }
+    out.total_latency_ms += best_lat;
+    x = best;
+    res.path.push_back(x);
+  }
+  res.ok = false;
+  return out;
+}
+
+}  // namespace cam::camchord

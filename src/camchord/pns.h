@@ -1,0 +1,47 @@
+// Proximity Neighbor Selection for CAM-Chord (paper, Section 5.2).
+//
+// "Although the set of neighbors is fixed in our description, nodes
+//  actually can have some freedom in choosing their neighbors. A node x
+//  can choose any node whose identifier belongs to the segment
+//  [x + j*c_x^i, x + (j+1)*c_x^i) as the neighbor x_{i,j}. Given this
+//  freedom, some heuristics (e.g., least delay first) may be used to
+//  choose neighbors to promote geographic clustering."
+//
+// This module implements the least-delay-first heuristic for the LOOKUP
+// path: at every hop the router considers all member nodes inside the
+// flexible segment of the designated neighbor and forwards to the one
+// with the smallest link latency that still makes clockwise progress.
+// Hop counts stay within the Theorem-2 bound (any node in the segment is
+// at least as far clockwise as x_{i,j}); wall-clock latency drops because
+// hops prefer nearby hosts. The abl_pns bench quantifies the trade.
+#pragma once
+
+#include <cstdint>
+
+#include "camchord/oracle.h"
+#include "overlay/directory.h"
+#include "sim/latency.h"
+
+namespace cam::camchord {
+
+/// Result of a latency-aware lookup: the usual LookupResult plus the
+/// summed one-way latency along the forwarding path.
+struct TimedLookup {
+  LookupResult result;
+  SimTime total_latency_ms = 0;
+};
+
+/// Plain CAM-Chord lookup with per-hop latencies accumulated (the
+/// baseline the PNS variant is compared against).
+TimedLookup lookup_timed(const RingSpace& ring, const FrozenDirectory& dir,
+                         const LatencyModel& latency, Id start, Id target,
+                         std::size_t max_hops = 1024);
+
+/// CAM-Chord lookup with Proximity Neighbor Selection: each hop picks
+/// the least-delay member inside the flexible neighbor segment
+/// [x + j*c^i, x + (j+1)*c^i) intersected with (x, target].
+TimedLookup lookup_pns(const RingSpace& ring, const FrozenDirectory& dir,
+                       const LatencyModel& latency, Id start, Id target,
+                       std::size_t max_hops = 1024);
+
+}  // namespace cam::camchord

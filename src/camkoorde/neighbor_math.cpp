@@ -1,0 +1,78 @@
+#include "camkoorde/neighbor_math.h"
+
+#include <cassert>
+
+#include "util/intmath.h"
+
+namespace cam::camkoorde {
+
+int shift_s(std::uint32_t c) {
+  assert(c >= kMinCapacity);
+  if (c == 4) return 0;
+  return ilog2(c - 4);
+}
+
+std::uint32_t second_group_size(std::uint32_t c) {
+  int s = shift_s(c);
+  return s > 1 ? (std::uint32_t{1} << s) : 0;
+}
+
+Derivation choose_derivation(const RingSpace& ring, std::uint32_t c, Id ident,
+                             Id k) {
+  const int b = ring.bits();
+  const int l = ps_common_bits(ring, ident, k);
+  assert(l < b && "cursor already equals the target");
+  auto needed = [&](int shift) {
+    // The `shift` bits of k immediately above the matched suffix; bits
+    // past the top of k are zero (they wrap into identifiers >= N only
+    // for l + shift > b, which the callers below exclude).
+    return (k >> l) & ((std::uint64_t{1} << shift) - 1);
+  };
+  if (c > 4) {
+    const int s = shift_s(c);
+    const std::uint32_t t = second_group_size(c);
+    const std::uint32_t t_prime = c - 4 - t;
+    const int s_prime = s + 1;
+    // Third group first: it consumes the most bits per hop.
+    if (t_prime > 0 && s_prime >= 1 && l + s_prime <= b &&
+        needed(s_prime) < t_prime) {
+      return Derivation{s_prime, needed(s_prime)};
+    }
+    if (t > 0 && l + s <= b && needed(s) < t) {
+      return Derivation{s, needed(s)};
+    }
+  }
+  // Basic group: x/2 (high bit 0) or 2^{b-1} + x/2 (high bit 1).
+  return Derivation{1, needed(1)};
+}
+
+Id apply_derivation(const RingSpace& ring, Id ident, const Derivation& d) {
+  return ring.shift_in_high(ident, d.shift, d.high);
+}
+
+std::vector<Id> shift_identifiers(const RingSpace& ring, std::uint32_t c,
+                                  Id x) {
+  assert(c >= kMinCapacity);
+  std::vector<Id> out;
+  out.reserve(c - 2);
+
+  // Basic group, identifier-derived part: x/2 and 2^{b-1} + x/2.
+  out.push_back(ring.shift_in_high(x, 1, 0));
+  out.push_back(ring.shift_in_high(x, 1, 1));
+
+  if (c == 4) return out;
+
+  const int s = shift_s(c);
+  const std::uint32_t t = second_group_size(c);
+  for (std::uint32_t i = 0; i < t; ++i) {
+    out.push_back(ring.shift_in_high(x, s, i));
+  }
+  const std::uint32_t t_prime = c - 4 - t;
+  const int s_prime = s + 1;
+  for (std::uint32_t i = 0; i < t_prime; ++i) {
+    out.push_back(ring.shift_in_high(x, s_prime, i));
+  }
+  return out;
+}
+
+}  // namespace cam::camkoorde

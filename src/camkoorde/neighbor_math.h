@@ -1,0 +1,67 @@
+// CAM-Koorde neighbor derivation (paper, Section 4.1).
+//
+// Node x with capacity c_x >= 4 keeps exactly c_x neighbors in three
+// groups (all arithmetic modulo N = 2^b):
+//
+//   * basic (4, mandatory): predecessor, successor, and the nodes
+//     responsible for x/2 and 2^{b-1} + x/2;
+//   * second (t = 2^s if s > 1, else 0 — where s = floor(log2(c_x - 4))):
+//     the nodes responsible for i * 2^{b-s} + (x >> s), i in [0 .. t-1];
+//   * third (t' = c_x - 4 - t, with s' = s + 1): the nodes responsible
+//     for i * 2^{b-s'} + (x >> s'), i in [0 .. t'-1].
+//
+// Unlike Koorde's left-shift (which clusters neighbor identifiers in the
+// low-order bits), these right-shift identifiers differ in their
+// *high-order* bits and therefore spread evenly around the ring — the
+// property the flooding multicast relies on for balanced trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ids/ring.h"
+
+namespace cam::camkoorde {
+
+/// CAM-Koorde requires c_x >= 4 (the basic group is mandatory).
+inline constexpr std::uint32_t kMinCapacity = 4;
+
+/// De Bruijn-style neighbor identifiers of x — everything except the
+/// predecessor/successor, which are relational, not identifier-derived.
+/// Order: x/2, 2^{b-1}+x/2, second group (i ascending), third group
+/// (i ascending). May contain repeats for small capacities (e.g. c = 5
+/// re-derives x/2); the resolver layer deduplicates.
+std::vector<Id> shift_identifiers(const RingSpace& ring, std::uint32_t c,
+                                  Id x);
+
+/// The shift amount s = floor(log2(c - 4)), or 0 when c == 4.
+int shift_s(std::uint32_t c);
+
+/// Second-group size t (2^s when s > 1, else 0).
+std::uint32_t second_group_size(std::uint32_t c);
+
+/// One step of the identifier transform behind LOOKUP (Section 4.2).
+///
+/// Routing "essentially transforms identifier x to identifier k in a
+/// series of steps, each step adding one or more bits from k": with l
+/// ps-common bits already matched, the next step shifts the `shift` bits
+/// of k just above the overlap in from the left:
+///     ident' = (high << (b - shift)) | (ident >> shift).
+/// The widest available group is preferred — third (s+1 bits), then
+/// second (s bits), then the basic group's x/2 and 2^{b-1}+x/2 (1 bit,
+/// always available) — subject to the required high bits being
+/// representable in that group at capacity c.
+struct Derivation {
+  int shift = 0;            // bits consumed from k
+  std::uint64_t high = 0;   // the consumed bits, shifted in at the top
+};
+
+/// Chooses the derivation at a node of capacity c for cursor `ident`
+/// toward target k. Precondition: ps_common_bits(ident, k) < b.
+Derivation choose_derivation(const RingSpace& ring, std::uint32_t c, Id ident,
+                             Id k);
+
+/// Applies a derivation: (high << (b - shift)) | (ident >> shift).
+Id apply_derivation(const RingSpace& ring, Id ident, const Derivation& d);
+
+}  // namespace cam::camkoorde

@@ -1,0 +1,53 @@
+// CAM-Koorde protocol mode over the shared ring machinery: per-node
+// de Bruijn entries (Section 4.1's three neighbor groups), the
+// ps-common-bit LOOKUP (4.2), and event-driven flooding MULTICAST (4.3)
+// with the "has received or is receiving" duplicate check.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "camkoorde/neighbor_math.h"
+#include "overlay/ring_net.h"
+
+namespace cam::camkoorde {
+
+class CamKoordeNet final : public RingOverlayNet {
+ public:
+  CamKoordeNet(RingSpace ring, Network& net, RingNetConfig cfg = {})
+      : RingOverlayNet(ring, net, cfg) {}
+
+  LookupResult lookup(Id from, Id target) const override;
+
+  MulticastTree multicast(Id source) override;
+
+  /// Believed responsible node per shift identifier of `id`, parallel to
+  /// shift_identifiers(ring, c_id, id). Introspection for tests.
+  const std::vector<Id>& entries(Id id) const { return table_at(id).entries; }
+
+  /// The node's current resolved out-neighbor set (pred + succ + live
+  /// de Bruijn entries, deduplicated, self excluded). At most c_x nodes.
+  std::vector<Id> neighbors_of(Id id) const;
+
+ protected:
+  std::uint32_t min_capacity() const override { return kMinCapacity; }
+  void init_entries(Id id, Id initial_owner) override;
+  void drop_entries(Id id) override { tables_.erase(id); }
+  void fix_entries(Id id) override;
+  void oracle_fill_entries(Id id, const NodeDirectory& dir) override;
+  std::uint64_t entries_digest(Id id) const override;
+  std::optional<Id> closest_live_entry_after(Id id) const override;
+
+ private:
+  struct Table {
+    std::vector<Id> idents;   // shift identifiers (absolute)
+    std::vector<Id> entries;  // believed owner, parallel
+  };
+
+  const Table& table_at(Id id) const;
+  Table& table_at(Id id);
+
+  std::unordered_map<Id, Table> tables_;
+};
+
+}  // namespace cam::camkoorde

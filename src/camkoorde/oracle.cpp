@@ -1,0 +1,96 @@
+#include "camkoorde/oracle.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "camkoorde/neighbor_math.h"
+#include "multicast/flood.h"
+
+namespace cam::camkoorde {
+
+std::vector<Id> resolved_neighbors(const RingSpace& ring,
+                                   const Resolver& resolver,
+                                   std::uint32_t c, Id x) {
+  std::vector<Id> out;
+  out.reserve(c);
+  auto push = [&](std::optional<Id> n) {
+    if (!n || *n == x) return;
+    if (std::find(out.begin(), out.end(), *n) == out.end()) out.push_back(*n);
+  };
+  push(resolver.predecessor_of(x));
+  push(resolver.responsible(ring.add(x, 1)));  // successor
+  for (Id ident : shift_identifiers(ring, c, x)) {
+    push(resolver.responsible(ident));
+  }
+  return out;
+}
+
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    const CapacityOf& capacity, Id start, Id target,
+                    std::size_t max_hops) {
+  LookupResult res;
+  res.path.push_back(start);
+
+  // The routing state is an *imaginary identifier cursor* that the hops
+  // transform into the target, one group-derivation at a time ("we still
+  // calculate the chain of neighbor identifiers in the above way, which
+  // essentially transforms identifier x to identifier k in a series of
+  // steps" — Section 4.2). The request itself sits at the node
+  // responsible for the cursor; consecutive cursors that resolve to the
+  // same node cost no hop.
+  Id x = start;
+  Id cursor = start;
+  for (std::size_t hop = 0; hop <= max_hops; ++hop) {
+    auto pred_opt = resolver.predecessor_of(x);
+    auto succ_opt = resolver.responsible(ring.add(x, 1));
+    if (!pred_opt || !succ_opt) break;
+    Id pred = *pred_opt, succ = *succ_opt;
+    // Lines 1-2: k in (predecessor(x), x] — x is responsible.
+    if (pred == x || ring.in_oc(target, pred, x)) {
+      res.owner = x;
+      res.ok = true;
+      return res;
+    }
+    // Lines 3-4: k in (x, successor(x)].
+    if (ring.in_oc(target, x, succ)) {
+      res.owner = succ;
+      res.ok = true;
+      return res;
+    }
+    // Grow the ps-common overlap; the widest-available group at the
+    // current node's capacity decides how many bits this hop consumes.
+    // Each derivation adds >= 1 bit, so after at most b derivations the
+    // cursor equals k and the region checks above terminate the walk.
+    Derivation d = choose_derivation(ring, capacity(x), cursor, target);
+    cursor = apply_derivation(ring, cursor, d);
+    auto next_opt = resolver.responsible(cursor);
+    if (!next_opt) break;
+    if (*next_opt != x) {
+      x = *next_opt;
+      res.path.push_back(x);
+    }
+  }
+  res.ok = false;
+  return res;
+}
+
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source,
+                        const LatencyModel& latency) {
+  // x forwards msg to every neighbor that "has not received or is not
+  // receiving" it (Section 4.3 pseudocode) — the generic flood with
+  // CAM-Koorde's neighbor structure.
+  return flood(
+      [&](Id x) {
+        return resolved_neighbors(ring, resolver, capacity(x), x);
+      },
+      source, latency);
+}
+
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source) {
+  ConstantLatency unit(1.0);
+  return multicast(ring, resolver, capacity, source, unit);
+}
+
+}  // namespace cam::camkoorde

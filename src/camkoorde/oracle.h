@@ -1,0 +1,51 @@
+// CAM-Koorde routines over a converged view (oracle mode): the ps-common-
+// bit LOOKUP of Section 4.2 and the flooding MULTICAST of Section 4.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "overlay/resolver.h"
+#include "overlay/types.h"
+#include "sim/latency.h"
+
+namespace cam::camkoorde {
+
+using CapacityOf = std::function<std::uint32_t(Id)>;
+
+/// Resolved out-neighbor set of node x: predecessor, successor, and the
+/// de Bruijn shift identifiers, deduplicated, excluding x itself. Its
+/// size is at most c_x.
+std::vector<Id> resolved_neighbors(const RingSpace& ring,
+                                   const Resolver& resolver,
+                                   std::uint32_t c, Id x);
+
+/// x.LOOKUP(k) per Section 4.2: grow the number of ps-common bits via the
+/// neighbor with the longest prefix-matches-suffix overlap, falling back
+/// to a predecessor/successor step when no neighbor improves. Sparse
+/// rings can make the greedy rule cycle; after a revisit the walk drops
+/// to pure successor steps, which always terminate. LookupResult::path
+/// records every node visited.
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    const CapacityOf& capacity, Id start, Id target,
+                    std::size_t max_hops = 4096);
+
+/// Flooding multicast from `source` (Section 4.3): every node forwards to
+/// each of its neighbors "except those that have received or are
+/// receiving" the message. The duplicate check is modelled exactly that
+/// way: a forward to a node with a delivery already completed *or in
+/// flight* is suppressed (counted via MulticastTree::suppressed_forwards).
+/// Delivery order — and hence tree shape — follows per-link latencies
+/// from `latency` (pass ConstantLatency for pure hop counting).
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source,
+                        const LatencyModel& latency);
+
+/// Convenience overload: unit latency per hop, i.e. breadth-first order.
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        const CapacityOf& capacity, Id source);
+
+}  // namespace cam::camkoorde

@@ -1,0 +1,52 @@
+#include "chord/el_ansary.h"
+
+#include <deque>
+
+#include "camchord/neighbor_math.h"
+
+namespace cam::chord {
+
+MulticastTree broadcast_region(const RingSpace& ring, const Resolver& resolver,
+                               std::uint32_t base, Id source, Id bound) {
+  MulticastTree tree(source);
+
+  struct Pending {
+    Id node;
+    Id bound;
+    int depth;
+  };
+  std::deque<Pending> queue;
+  queue.push_back(Pending{source, bound, 0});
+
+  while (!queue.empty()) {
+    auto [x, k, depth] = queue.front();
+    queue.pop_front();
+    if (k == x) continue;
+
+    // All finger identifiers of x inside (x, k], from the top down; each
+    // child's segment runs up to the previous child's identifier.
+    Id limit = k;
+    const auto idents = camchord::neighbor_identifiers(ring, base, x);
+    for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+      Id ident = *it;
+      if (!ring.in_oc(ident, x, limit)) continue;  // beyond current segment
+      auto child_opt = resolver.responsible(ident);
+      if (!child_opt) continue;
+      Id child = *child_opt;
+      if (ring.in_oc(child, x, limit)) {
+        if (tree.record(x, child, depth + 1)) {
+          queue.push_back(Pending{child, limit, depth + 1});
+        }
+      }
+      limit = ring.sub(ident, 1);
+    }
+  }
+  return tree;
+}
+
+MulticastTree broadcast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t base, Id source) {
+  return broadcast_region(ring, resolver, base, source, ring.sub(source, 1));
+}
+
+}  // namespace cam::chord

@@ -1,0 +1,36 @@
+// Baseline Chord broadcast, after El-Ansary et al., "Efficient Broadcast
+// in Structured P2P Networks" (IPTPS'03) — reference [10] of the paper.
+//
+// A Chord node with finger identifiers x + B^i (classic Chord is B = 2;
+// the generalized base-B variant has fingers x + j * B^i, j in [1..B-1])
+// broadcasts by sending to *every* finger inside its assigned segment,
+// each finger receiving the sub-segment up to the next finger. Children
+// counts therefore vary from 1 to (M - h) with tree level h, independent
+// of node capacity — exactly the imbalance Section 3.4 of the paper
+// contrasts CAM-Chord against.
+//
+// Lookup on generalized base-B Chord coincides with CAM-Chord's LOOKUP
+// at uniform capacity B (the finger sets are identical), so this module
+// only provides the broadcast; use camchord::lookup with a constant
+// capacity function for baseline lookups.
+#pragma once
+
+#include <cstdint>
+
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "overlay/resolver.h"
+
+namespace cam::chord {
+
+/// Full El-Ansary broadcast from `source` over a converged base-B Chord
+/// ring. Every member is reached exactly once; a node's children are all
+/// of its fingers that fall inside its assigned segment.
+MulticastTree broadcast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t base, Id source);
+
+/// Broadcast restricted to the segment (source, bound].
+MulticastTree broadcast_region(const RingSpace& ring, const Resolver& resolver,
+                               std::uint32_t base, Id source, Id bound);
+
+}  // namespace cam::chord

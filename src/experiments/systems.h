@@ -1,0 +1,41 @@
+// Uniform driver over the four multicast systems the paper evaluates
+// (Section 6: "We simulate multicast algorithms on top of CAM-Chord,
+// Chord, CAM-Koorde, and Koorde").
+//
+//   * CAM-Chord / CAM-Koorde read each node's capacity c_x from the
+//     population (bandwidth-derived or range-drawn).
+//   * The Chord baseline is the generalized base-B Chord with El-Ansary
+//     broadcast; the Koorde baseline is uniform-degree left-shift Koorde
+//     with flooding. Both use one structural parameter for every node
+//     regardless of its bandwidth — the capacity-unawareness the CAMs
+//     are measured against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "multicast/tree.h"
+#include "overlay/directory.h"
+#include "overlay/types.h"
+
+namespace cam::exp {
+
+enum class System {
+  kCamChord,
+  kCamKoorde,
+  kChord,   // baseline: base-B Chord + El-Ansary broadcast
+  kKoorde,  // baseline: uniform-degree left-shift Koorde + flooding
+};
+
+std::string system_name(System s);
+
+/// One full multicast from `source` over the converged (frozen) overlay.
+/// `uniform_param` is the Chord base / Koorde degree; ignored by the CAMs.
+MulticastTree run_multicast(System system, const FrozenDirectory& dir,
+                            Id source, std::uint32_t uniform_param = 0);
+
+/// One lookup from `from` for identifier `target`.
+LookupResult run_lookup(System system, const FrozenDirectory& dir, Id from,
+                        Id target, std::uint32_t uniform_param = 0);
+
+}  // namespace cam::exp

@@ -1,0 +1,30 @@
+// Minimal fixed-width table printer for the bench binaries: the figure
+// harnesses print the same rows/series the paper plots, as aligned text
+// that is also trivially machine-parseable (single-space-collapsible).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cam::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the point.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace cam::exp

@@ -1,0 +1,16 @@
+#include "ids/ring.h"
+
+namespace cam {
+
+int ps_common_bits(const RingSpace& ring, Id x, Id k) {
+  // Largest l in [0, bits] with top_bits(x, l) == bottom_bits(k, l).
+  // l is not monotone (a match at l does not imply a match at l-1 is the
+  // same bits), so scan from the top; b <= 63 keeps this cheap, and the
+  // routing code calls it O(c) times per hop at most.
+  for (int l = ring.bits(); l >= 1; --l) {
+    if (ring.top_bits(x, l) == ring.bottom_bits(k, l)) return l;
+  }
+  return 0;
+}
+
+}  // namespace cam

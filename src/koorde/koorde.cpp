@@ -1,0 +1,138 @@
+#include "koorde/koorde.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "multicast/flood.h"
+#include "util/intmath.h"
+
+namespace cam::koorde {
+
+int sp_common_bits(const RingSpace& ring, Id x, Id k) {
+  // suffix of x == prefix of k  <=>  prefix of k == suffix of x, which is
+  // ps_common with the arguments swapped.
+  return ps_common_bits(ring, k, x);
+}
+
+std::vector<Id> shift_identifiers(const RingSpace& ring, std::uint32_t deg,
+                                  Id x) {
+  assert(deg >= kMinDegree);
+  std::vector<Id> out;
+  out.reserve(deg - 2);
+  // Base de Bruijn pointers: 2x and 2x + 1.
+  out.push_back(ring.shift_in_low(x, 1, 0));
+  out.push_back(ring.shift_in_low(x, 1, 1));
+  if (deg == 4) return out;
+
+  const int s = ilog2(deg - 4 >= 1 ? deg - 4 : 1);
+  const std::uint32_t t = s > 1 ? (std::uint32_t{1} << s) : 0;
+  for (std::uint32_t i = 0; i < t; ++i) {
+    out.push_back(ring.shift_in_low(x, s, i));
+  }
+  const std::uint32_t t_prime = deg - 4 - t;
+  for (std::uint32_t i = 0; i < t_prime; ++i) {
+    out.push_back(ring.shift_in_low(x, s + 1, i));
+  }
+  return out;
+}
+
+std::vector<Id> resolved_neighbors(const RingSpace& ring,
+                                   const Resolver& resolver, std::uint32_t deg,
+                                   Id x) {
+  std::vector<Id> out;
+  out.reserve(deg);
+  auto push = [&](std::optional<Id> n) {
+    if (!n || *n == x) return;
+    if (std::find(out.begin(), out.end(), *n) == out.end()) out.push_back(*n);
+  };
+  push(resolver.predecessor_of(x));
+  push(resolver.responsible(ring.add(x, 1)));
+  for (Id ident : shift_identifiers(ring, deg, x)) {
+    push(resolver.responsible(ident));
+  }
+  return out;
+}
+
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    std::uint32_t deg, Id start, Id target,
+                    std::size_t max_hops) {
+  LookupResult res;
+  res.path.push_back(start);
+
+  // Koorde's imaginary-node routing, mirrored from CAM-Koorde: the
+  // cursor is left-shifted, consuming the target's bits MSB-first, and
+  // the request sits at the node responsible for the cursor.
+  const int b = ring.bits();
+  Id x = start;
+  Id cursor = start;
+  for (std::size_t hop = 0; hop <= max_hops; ++hop) {
+    auto pred_opt = resolver.predecessor_of(x);
+    auto succ_opt = resolver.responsible(ring.add(x, 1));
+    if (!pred_opt || !succ_opt) break;
+    Id pred = *pred_opt, succ = *succ_opt;
+    if (pred == x || ring.in_oc(target, pred, x)) {
+      res.owner = x;
+      res.ok = true;
+      return res;
+    }
+    if (ring.in_oc(target, x, succ)) {
+      res.owner = succ;
+      res.ok = true;
+      return res;
+    }
+
+    const int l = sp_common_bits(ring, cursor, target);
+    if (l >= b) {  // cursor == target but stale ring state: walk
+      x = succ;
+      res.path.push_back(x);
+      continue;
+    }
+    // Choose the widest available left-shift: third group (s+1 bits),
+    // second group (s bits), base de Bruijn pointers (1 bit).
+    auto needed = [&](int shift) {
+      return (target >> (b - l - shift)) &
+             ((std::uint64_t{1} << shift) - 1);
+    };
+    int shift = 1;
+    std::uint64_t low = needed(1);
+    if (deg > 4) {
+      const int s = ilog2(deg - 4);
+      const std::uint32_t t = s > 1 ? (std::uint32_t{1} << s) : 0;
+      const std::uint32_t t_prime = deg - 4 - t;
+      const int s_prime = s + 1;
+      if (t_prime > 0 && l + s_prime <= b && needed(s_prime) < t_prime) {
+        shift = s_prime;
+        low = needed(s_prime);
+      } else if (t > 0 && l + s <= b && needed(s) < t) {
+        shift = s;
+        low = needed(s);
+      }
+    }
+    cursor = ring.shift_in_low(cursor, shift, low);
+    auto next_opt = resolver.responsible(cursor);
+    if (!next_opt) break;
+    if (*next_opt != x) {
+      x = *next_opt;
+      res.path.push_back(x);
+    }
+  }
+  res.ok = false;
+  return res;
+}
+
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t deg, Id source,
+                        const LatencyModel& latency) {
+  return flood(
+      [&](Id x) { return resolved_neighbors(ring, resolver, deg, x); },
+      source, latency);
+}
+
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t deg, Id source) {
+  ConstantLatency unit(1.0);
+  return multicast(ring, resolver, deg, source, unit);
+}
+
+}  // namespace cam::koorde

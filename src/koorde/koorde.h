@@ -1,0 +1,62 @@
+// Baseline Koorde (Kaashoek & Karger, IPTPS'03) with uniform degree.
+//
+// Koorde embeds a de Bruijn graph in the ring by *left* shifts: a node
+// x's de Bruijn identifiers are (x << s) | i — they share x's low-order
+// bits shifted up and differ only in the lowest digits, so on a sparse
+// ring they cluster together and frequently resolve to the same physical
+// node (Section 4 of the paper: "the neighbor identifiers differ only at
+// the last digit. Consequently they are clustered"). This module mirrors
+// CAM-Koorde's group structure with the shift direction reversed, which
+// isolates the paper's design change (right vs. left shift, capacity-
+// aware vs. uniform degree) for the ablation benches.
+//
+// Routing grows sp-common bits (suffix of x = prefix of k), the mirror
+// image of CAM-Koorde's ps-common bits. Multicast is the same flooding
+// with duplicate suppression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "overlay/resolver.h"
+#include "overlay/types.h"
+#include "sim/latency.h"
+
+namespace cam::koorde {
+
+/// Minimum degree (pred + succ + the two base de Bruijn identifiers).
+inline constexpr std::uint32_t kMinDegree = 4;
+
+/// sp-common bits: largest l with the l-bit *suffix* of x equal to the
+/// l-bit *prefix* of k (the mirror of Definition 1).
+int sp_common_bits(const RingSpace& ring, Id x, Id k);
+
+/// De Bruijn identifiers of x for uniform degree `deg` (left shifts):
+/// 2x, 2x+1, then the second group (x << s) | i and third group
+/// (x << (s+1)) | i, sized like CAM-Koorde's groups.
+std::vector<Id> shift_identifiers(const RingSpace& ring, std::uint32_t deg,
+                                  Id x);
+
+/// Resolved out-neighbors: predecessor, successor, and the de Bruijn
+/// identifiers' owners; deduplicated, self excluded. At most `deg` nodes —
+/// typically noticeably fewer, because clustered identifiers collapse.
+std::vector<Id> resolved_neighbors(const RingSpace& ring,
+                                   const Resolver& resolver, std::uint32_t deg,
+                                   Id x);
+
+/// Koorde lookup: grow sp-common bits greedily, ring-walk fallback.
+LookupResult lookup(const RingSpace& ring, const Resolver& resolver,
+                    std::uint32_t deg, Id start, Id target,
+                    std::size_t max_hops = 4096);
+
+/// Flooding broadcast over the Koorde digraph.
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t deg, Id source,
+                        const LatencyModel& latency);
+MulticastTree multicast(const RingSpace& ring, const Resolver& resolver,
+                        std::uint32_t deg, Id source);
+
+}  // namespace cam::koorde

@@ -1,0 +1,62 @@
+#include "multicast/flood.h"
+
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace cam {
+
+namespace {
+
+struct Arrival {
+  SimTime time;
+  std::uint64_t seq;
+  Id from;
+  Id to;
+  int depth;
+};
+struct LaterArrival {
+  bool operator()(const Arrival& a, const Arrival& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+MulticastTree flood(const NeighborsFn& neighbors, Id source,
+                    const LatencyModel& latency) {
+  MulticastTree tree(source);
+
+  std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> queue;
+  std::unordered_set<Id> in_flight;
+  std::uint64_t seq = 0;
+
+  auto forward_from = [&](Id x, int depth, SimTime now) {
+    for (Id y : neighbors(x)) {
+      if (tree.delivered(y) || in_flight.contains(y)) {
+        tree.note_suppressed();
+        continue;
+      }
+      in_flight.insert(y);
+      queue.push(Arrival{now + latency.latency(x, y), seq++, x, y, depth + 1});
+    }
+  };
+
+  forward_from(source, 0, 0);
+  while (!queue.empty()) {
+    Arrival a = queue.top();
+    queue.pop();
+    in_flight.erase(a.to);
+    if (!tree.record(a.from, a.to, a.depth, a.time)) continue;
+    forward_from(a.to, a.depth, a.time);
+  }
+  return tree;
+}
+
+MulticastTree flood(const NeighborsFn& neighbors, Id source) {
+  ConstantLatency unit(1.0);
+  return flood(neighbors, source, unit);
+}
+
+}  // namespace cam

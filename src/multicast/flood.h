@@ -1,0 +1,29 @@
+// Generic flooding dissemination with the paper's duplicate check
+// ("forwards the message to all neighbors except those that have received
+// or are receiving" — Section 4.3). Used by CAM-Koorde and the baseline
+// Koorde, which differ only in their neighbor sets.
+#pragma once
+
+#include <functional>
+
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "sim/latency.h"
+
+namespace cam {
+
+/// Out-neighbor set of a node (resolved, deduplicated, self excluded).
+using NeighborsFn = std::function<std::vector<Id>(Id)>;
+
+/// Floods from `source` over the digraph given by `neighbors`. Delivery
+/// order follows per-link latencies; a forward to a node whose delivery
+/// is complete or in flight is suppressed (MulticastTree::suppressed_
+/// forwards counts those checks). Each node is reached at most once, so
+/// children(x) <= |neighbors(x)| <= c_x.
+MulticastTree flood(const NeighborsFn& neighbors, Id source,
+                    const LatencyModel& latency);
+
+/// Unit-latency overload: breadth-first delivery order.
+MulticastTree flood(const NeighborsFn& neighbors, Id source);
+
+}  // namespace cam

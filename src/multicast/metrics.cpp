@@ -1,0 +1,74 @@
+#include "multicast/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cam {
+
+TreeMetrics compute_metrics(const MulticastTree& tree) {
+  TreeMetrics m;
+  m.nodes = tree.size();
+  m.duplicates = tree.duplicate_deliveries();
+  m.suppressed = tree.suppressed_forwards();
+
+  std::uint64_t depth_sum = 0;
+  for (const auto& [node, rec] : tree.entries()) {
+    m.max_depth = std::max(m.max_depth, rec.depth);
+    if (static_cast<std::size_t>(rec.depth) >= m.depth_histogram.size()) {
+      m.depth_histogram.resize(static_cast<std::size_t>(rec.depth) + 1, 0);
+    }
+    ++m.depth_histogram[static_cast<std::size_t>(rec.depth)];
+    if (node != tree.source()) depth_sum += static_cast<std::uint64_t>(rec.depth);
+  }
+
+  auto counts = tree.children_counts();
+  m.internal_nodes = counts.size();
+  m.leaf_nodes = m.nodes - m.internal_nodes;
+  std::uint64_t child_sum = 0;
+  for (const auto& [node, c] : counts) {
+    child_sum += c;
+    m.max_children = std::max(m.max_children, c);
+  }
+  if (m.internal_nodes > 0) {
+    m.avg_children_nonleaf =
+        static_cast<double>(child_sum) / static_cast<double>(m.internal_nodes);
+  }
+  if (m.nodes > 1) {
+    m.avg_path_length =
+        static_cast<double>(depth_sum) / static_cast<double>(m.nodes - 1);
+  }
+  return m;
+}
+
+double tree_throughput_kbps(const MulticastTree& tree, const BandwidthFn& bw) {
+  double tp = std::numeric_limits<double>::infinity();
+  for (const auto& [node, c] : tree.children_counts()) {
+    tp = std::min(tp, bw(node) / static_cast<double>(c));
+  }
+  // A single-node tree forwards nothing; report zero rather than infinity.
+  if (tp == std::numeric_limits<double>::infinity()) return 0.0;
+  return tp;
+}
+
+double tree_throughput_provisioned_kbps(const MulticastTree& tree,
+                                        const BandwidthFn& bw,
+                                        const LinksFn& links) {
+  double tp = std::numeric_limits<double>::infinity();
+  for (const auto& [node, c] : tree.children_counts()) {
+    (void)c;  // forwarding role matters; the allocation is per provisioned link
+    tp = std::min(tp, bw(node) / static_cast<double>(links(node)));
+  }
+  if (tp == std::numeric_limits<double>::infinity()) return 0.0;
+  return tp;
+}
+
+std::size_t capacity_violations(const MulticastTree& tree,
+                                const CapacityFn& cap) {
+  std::size_t violations = 0;
+  for (const auto& [node, c] : tree.children_counts()) {
+    if (c > cap(node)) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace cam

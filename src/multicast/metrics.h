@@ -1,0 +1,69 @@
+// Measurements over a recorded multicast tree — exactly the quantities
+// the paper's Section 6 plots:
+//   * path-length distribution  (Figures 9, 10: nodes reached per hop count)
+//   * average path length       (Figures 8, 11)
+//   * average children per non-leaf node (Figure 6 x-axis)
+//   * sustainable throughput    (Figures 6, 7, 8): "decided by the link
+//     with the least allocated bandwidth in the multicast tree", i.e.
+//     min over internal nodes x of B_x / children(x).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "multicast/tree.h"
+
+namespace cam {
+
+/// Summary statistics of one multicast tree.
+struct TreeMetrics {
+  std::size_t nodes = 0;          // delivered nodes, including the source
+  std::size_t internal_nodes = 0; // nodes with >= 1 child
+  std::size_t leaf_nodes = 0;
+  int max_depth = 0;
+  double avg_path_length = 0.0;   // mean hops over all non-source receivers
+  double avg_children_nonleaf = 0.0;
+  std::uint32_t max_children = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t suppressed = 0;
+  /// depth_histogram[h] = number of nodes first reached in exactly h hops
+  /// (index 0 counts the source).
+  std::vector<std::uint64_t> depth_histogram;
+};
+
+TreeMetrics compute_metrics(const MulticastTree& tree);
+
+/// Upload bandwidth of a node, in kbps.
+using BandwidthFn = std::function<double(Id)>;
+
+/// Capacity (max children) of a node.
+using CapacityFn = std::function<std::uint32_t(Id)>;
+
+/// Sustainable multicast throughput of the tree (kbps): each internal
+/// node divides its upload bandwidth equally among its children; the
+/// session rate is capped by the slowest link.
+double tree_throughput_kbps(const MulticastTree& tree, const BandwidthFn& bw);
+
+/// Number of forwarding links a node provisions (independent of how many
+/// are used by one particular tree): c_x for the CAMs, the uniform
+/// degree/base for the capacity-unaware baselines.
+using LinksFn = std::function<std::uint32_t(Id)>;
+
+/// Throughput under the paper's per-link provisioning model (Section 6:
+/// p is "the desired bandwidth per link in the multicast tree" and
+/// c_x = floor(B_x / p)): every forwarding node allocates B_x / links_x
+/// per link — capacity held in reserve for the other implicit trees of
+/// an any-source group — and the session rate is the minimum allocation
+/// over the tree's internal nodes.
+double tree_throughput_provisioned_kbps(const MulticastTree& tree,
+                                        const BandwidthFn& bw,
+                                        const LinksFn& links);
+
+/// Number of nodes whose children count exceeds their capacity — must be
+/// zero for every capacity-aware system (Section 2: "meets the capacity
+/// constraints of all nodes").
+std::size_t capacity_violations(const MulticastTree& tree,
+                                const CapacityFn& cap);
+
+}  // namespace cam

@@ -1,0 +1,36 @@
+#include "multicast/tree.h"
+
+namespace cam {
+
+MulticastTree::MulticastTree(Id source) : source_(source) {
+  entries_.emplace(source, DeliveryRecord{source, 0, 0});
+}
+
+bool MulticastTree::record(Id parent, Id child, int depth, SimTime time) {
+  auto [it, inserted] =
+      entries_.try_emplace(child, DeliveryRecord{parent, depth, time});
+  (void)it;
+  if (!inserted) {
+    ++duplicate_deliveries_;
+    return false;
+  }
+  return true;
+}
+
+std::optional<DeliveryRecord> MulticastTree::record_of(Id node) const {
+  auto it = entries_.find(node);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::unordered_map<Id, std::uint32_t> MulticastTree::children_counts() const {
+  std::unordered_map<Id, std::uint32_t> counts;
+  counts.reserve(entries_.size() / 2);
+  for (const auto& [node, rec] : entries_) {
+    if (node == source_) continue;  // the source has no parent edge
+    ++counts[rec.parent];
+  }
+  return counts;
+}
+
+}  // namespace cam

@@ -1,0 +1,70 @@
+// Capture of one multicast dissemination.
+//
+// The paper embeds *implicit* multicast trees: no tree data structure
+// exists in the protocol; the tree is the union of (forwarder, receiver)
+// deliveries produced by the distributed MULTICAST routines. This class
+// records those deliveries so the evaluation layer can reconstruct the
+// tree and measure it (path lengths, children counts, throughput).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/ring.h"
+#include "sim/simulator.h"
+
+namespace cam {
+
+/// One node's delivery record within a multicast tree.
+struct DeliveryRecord {
+  Id parent = 0;      // forwarder (== node id for the source itself)
+  int depth = 0;      // overlay hops from the source
+  SimTime time = 0;   // virtual arrival time
+};
+
+/// The implicit multicast tree reconstructed from deliveries.
+class MulticastTree {
+ public:
+  explicit MulticastTree(Id source);
+
+  Id source() const { return source_; }
+
+  /// Records delivery of the message to `child` from `parent` at hop
+  /// `depth`. Returns true if this is the first delivery to `child`;
+  /// a repeat delivery only bumps the duplicate counter (the paper's
+  /// exactly-once property for CAM-Chord means duplicates signal a bug
+  /// there, while CAM-Koorde tolerates races between checking and
+  /// forwarding).
+  bool record(Id parent, Id child, int depth, SimTime time = 0);
+
+  /// Counts a forwarding suppressed by CAM-Koorde's "has received or is
+  /// receiving" check (a short control packet in the paper).
+  void note_suppressed() { ++suppressed_forwards_; }
+
+  bool delivered(Id node) const { return entries_.contains(node); }
+  std::optional<DeliveryRecord> record_of(Id node) const;
+
+  /// Number of nodes that received the message, including the source.
+  std::size_t size() const { return entries_.size(); }
+
+  std::uint64_t duplicate_deliveries() const { return duplicate_deliveries_; }
+  std::uint64_t suppressed_forwards() const { return suppressed_forwards_; }
+
+  /// Children count per forwarding node (nodes with zero children — the
+  /// leaves — are absent from the map).
+  std::unordered_map<Id, std::uint32_t> children_counts() const;
+
+  const std::unordered_map<Id, DeliveryRecord>& entries() const {
+    return entries_;
+  }
+
+ private:
+  Id source_;
+  std::unordered_map<Id, DeliveryRecord> entries_;
+  std::uint64_t duplicate_deliveries_ = 0;
+  std::uint64_t suppressed_forwards_ = 0;
+};
+
+}  // namespace cam

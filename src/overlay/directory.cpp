@@ -1,0 +1,103 @@
+#include "overlay/directory.h"
+
+#include <algorithm>
+
+namespace cam {
+
+bool NodeDirectory::add(Id id, NodeInfo info) {
+  assert(ring_.contains(id));
+  auto [it, inserted] = info_.try_emplace(id, info);
+  if (!inserted) return false;
+  live_.insert(id);
+  return true;
+}
+
+bool NodeDirectory::remove(Id id) {
+  if (info_.erase(id) == 0) return false;
+  live_.erase(id);
+  return true;
+}
+
+std::optional<Id> NodeDirectory::responsible(Id k) const {
+  if (live_.empty()) return std::nullopt;
+  auto it = live_.lower_bound(k);  // first id >= k
+  if (it == live_.end()) it = live_.begin();
+  return *it;
+}
+
+std::optional<Id> NodeDirectory::successor_of(Id x) const {
+  if (live_.empty()) return std::nullopt;
+  auto it = live_.upper_bound(x);  // first id > x
+  if (it == live_.end()) it = live_.begin();
+  return *it;
+}
+
+std::optional<Id> NodeDirectory::predecessor_of(Id k) const {
+  if (live_.empty()) return std::nullopt;
+  auto it = live_.lower_bound(k);  // first id >= k; predecessor is before it
+  if (it == live_.begin()) it = live_.end();
+  return *std::prev(it);
+}
+
+Id NodeDirectory::random_node(Rng& rng) const {
+  assert(!live_.empty());
+  // std::set iteration is O(k); keep a uniform pick cheap by walking from
+  // begin. Acceptable for tests; bulk experiments use FrozenDirectory.
+  auto idx = rng.next_below(live_.size());
+  auto it = live_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(idx));
+  return *it;
+}
+
+FrozenDirectory NodeDirectory::freeze() const {
+  std::vector<Id> ids(live_.begin(), live_.end());
+  std::vector<NodeInfo> info;
+  info.reserve(ids.size());
+  for (Id id : ids) info.push_back(info_.at(id));
+  return FrozenDirectory(ring_, std::move(ids), std::move(info));
+}
+
+FrozenDirectory::FrozenDirectory(RingSpace ring, std::vector<Id> sorted_ids,
+                                 std::vector<NodeInfo> info_by_index)
+    : ring_(ring), ids_(std::move(sorted_ids)), info_(std::move(info_by_index)) {
+  assert(std::is_sorted(ids_.begin(), ids_.end()));
+  assert(ids_.size() == info_.size());
+}
+
+std::size_t FrozenDirectory::responsible_index(Id k) const {
+  assert(!ids_.empty());
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), k);
+  if (it == ids_.end()) it = ids_.begin();
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+std::optional<Id> FrozenDirectory::responsible(Id k) const {
+  if (ids_.empty()) return std::nullopt;
+  return ids_[responsible_index(k)];
+}
+
+std::optional<Id> FrozenDirectory::successor_of(Id x) const {
+  if (ids_.empty()) return std::nullopt;
+  auto it = std::upper_bound(ids_.begin(), ids_.end(), x);
+  if (it == ids_.end()) it = ids_.begin();
+  return *it;
+}
+
+std::optional<Id> FrozenDirectory::predecessor_of(Id k) const {
+  if (ids_.empty()) return std::nullopt;
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), k);
+  if (it == ids_.begin()) it = ids_.end();
+  return *std::prev(it);
+}
+
+std::size_t FrozenDirectory::index_of(Id id) const {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  assert(it != ids_.end() && *it == id);
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+bool FrozenDirectory::contains(Id id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+}  // namespace cam

@@ -1,0 +1,104 @@
+// Global membership directory — the "oracle" view of a converged overlay.
+//
+// NodeDirectory supports dynamic membership (set-based, O(log n)
+// join/leave) and is the ground truth the protocol-mode overlays are
+// checked against in tests. FrozenDirectory is an immutable snapshot with
+// a sorted array and branch-free binary search, used by the n = 100,000
+// figure benches where the member set is fixed per data point.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/ring.h"
+#include "overlay/resolver.h"
+#include "overlay/types.h"
+#include "util/rng.h"
+
+namespace cam {
+
+class FrozenDirectory;
+
+/// Mutable membership directory keyed by ring identifier.
+class NodeDirectory final : public Resolver {
+ public:
+  explicit NodeDirectory(RingSpace ring) : ring_(ring) {}
+
+  const RingSpace& ring() const { return ring_; }
+
+  /// Adds a node. Returns false (and changes nothing) if the identifier
+  /// is already taken — callers re-hash on collision, as with SHA-1 ids.
+  bool add(Id id, NodeInfo info);
+
+  /// Removes a node. Returns false if absent.
+  bool remove(Id id);
+
+  bool contains(Id id) const { return info_.contains(id); }
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  const NodeInfo& info(Id id) const {
+    auto it = info_.find(id);
+    assert(it != info_.end());
+    return it->second;
+  }
+
+  // Resolver interface.
+  std::optional<Id> responsible(Id k) const override;
+  std::optional<Id> predecessor_of(Id k) const override;
+
+  /// successor(x): first node strictly clockwise after x.
+  std::optional<Id> successor_of(Id x) const;
+
+  /// Uniformly random live node id.
+  Id random_node(Rng& rng) const;
+
+  /// All live node ids in ascending order.
+  std::vector<Id> sorted_ids() const { return {live_.begin(), live_.end()}; }
+
+  /// Immutable snapshot for bulk experiments.
+  FrozenDirectory freeze() const;
+
+ private:
+  RingSpace ring_;
+  std::set<Id> live_;
+  std::unordered_map<Id, NodeInfo> info_;
+};
+
+/// Immutable sorted-array snapshot of a NodeDirectory.
+class FrozenDirectory final : public Resolver {
+ public:
+  FrozenDirectory(RingSpace ring, std::vector<Id> sorted_ids,
+                  std::vector<NodeInfo> info_by_index);
+
+  const RingSpace& ring() const { return ring_; }
+  std::size_t size() const { return ids_.size(); }
+
+  /// Index (into ids()) of the node responsible for k.
+  std::size_t responsible_index(Id k) const;
+
+  std::optional<Id> responsible(Id k) const override;
+  std::optional<Id> predecessor_of(Id k) const override;
+  std::optional<Id> successor_of(Id x) const;
+
+  const std::vector<Id>& ids() const { return ids_; }
+
+  const NodeInfo& info(Id id) const { return info_[index_of(id)]; }
+  const NodeInfo& info_at(std::size_t idx) const { return info_[idx]; }
+
+  /// Index of a live node id. Precondition: id is a member.
+  std::size_t index_of(Id id) const;
+
+  bool contains(Id id) const;
+
+ private:
+  RingSpace ring_;
+  std::vector<Id> ids_;       // ascending
+  std::vector<NodeInfo> info_;  // parallel to ids_
+};
+
+}  // namespace cam

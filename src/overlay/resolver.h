@@ -1,0 +1,34 @@
+// Resolver: the single abstraction every routing/multicast algorithm in
+// this repository is written against.
+//
+// Paper notation (Section 2): x̂ is the node whose identifier is x, or
+// successor(x) if no such node exists; x̂ is "responsible for" x. A
+// Resolver answers exactly that query. Two implementations exist:
+//
+//   * FrozenDirectory / NodeDirectory (overlay/directory.h) — the oracle
+//     view of a converged overlay, used by the large-n benches;
+//   * per-node routing tables in protocol mode, where the same algorithm
+//     code resolves neighbor identifiers through locally maintained
+//     state.
+#pragma once
+
+#include <optional>
+
+#include "ids/ring.h"
+
+namespace cam {
+
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+
+  /// The paper's k̂: the live node responsible for identifier k, i.e. the
+  /// first node clockwise from k (k itself counts). nullopt iff no nodes.
+  virtual std::optional<Id> responsible(Id k) const = 0;
+
+  /// The node strictly counter-clockwise before identifier k.
+  /// nullopt iff no nodes.
+  virtual std::optional<Id> predecessor_of(Id k) const = 0;
+};
+
+}  // namespace cam

@@ -1,0 +1,30 @@
+// Common value types shared by every overlay implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ids/ring.h"
+
+namespace cam {
+
+/// Static per-node attributes. The paper models capacity c_x as "the
+/// maximum number of direct children that a node is willing to forward
+/// multicast messages" and derives it from upload bandwidth:
+/// c_x = floor(B_x / p) (Section 6).
+struct NodeInfo {
+  std::uint32_t capacity = 0;      // c_x, max direct multicast children
+  double bandwidth_kbps = 0.0;     // B_x, upload bandwidth
+};
+
+/// Result of a lookup: the responsible node plus the forwarding path.
+struct LookupResult {
+  Id owner = 0;                 // node responsible for the queried id
+  std::vector<Id> path;         // nodes visited, starting at the querier
+  bool ok = false;              // false if routing failed (e.g. partition)
+
+  /// Number of overlay hops (path transitions).
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+}  // namespace cam

@@ -1,0 +1,35 @@
+// Asynchronous CAM-Chord on the shared stack (proto/async_node.h): the
+// deployable shape of the paper's Section 3 system. The node supplies
+// the neighbor-identifier layout (x + j * c^i), the per-hop LOOKUP
+// decision, and the region-splitting MULTICAST forwarding; RPC,
+// timeouts, suspicion, and ring maintenance come from the base.
+#pragma once
+
+#include "proto/async_node.h"
+
+namespace cam::proto {
+
+class AsyncCamChordNode final : public AsyncNodeBase {
+ public:
+  using AsyncNodeBase::AsyncNodeBase;
+
+ protected:
+  std::vector<Id> neighbor_idents() const override;
+  ClosestStepRep closest_step(const ClosestStepReq& req) const override;
+  void forward_multicast(const MulticastData& msg) override;
+};
+
+/// Harness preconfigured with CAM-Chord nodes.
+class AsyncCamChordNet final : public AsyncOverlayNet {
+ public:
+  AsyncCamChordNet(RingSpace ring, HostBus& bus, AsyncConfig cfg = {})
+      : AsyncOverlayNet(
+            ring, bus,
+            [](AsyncOverlayNet& net, Id id, NodeInfo info) {
+              return std::make_unique<AsyncCamChordNode>(
+                  static_cast<AsyncOverlayNet&>(net), id, info);
+            },
+            cfg) {}
+};
+
+}  // namespace cam::proto

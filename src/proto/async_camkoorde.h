@@ -1,0 +1,41 @@
+// Asynchronous CAM-Koorde on the shared stack: Section 4's de Bruijn
+// system in deployable form. The node supplies the three-group neighbor
+// identifiers, the cursor-based LOOKUP step (the imaginary-identifier
+// transform of Section 4.2), and flooding MULTICAST with the duplicate
+// check done as a real control-packet RPC ("it is easy for a node to
+// perform the checking through a short control packet" — Section 4.3).
+#pragma once
+
+#include "proto/async_node.h"
+
+namespace cam::proto {
+
+class AsyncCamKoordeNode final : public AsyncNodeBase {
+ public:
+  using AsyncNodeBase::AsyncNodeBase;
+
+ protected:
+  std::vector<Id> neighbor_idents() const override;
+  ClosestStepRep closest_step(const ClosestStepReq& req) const override;
+  void forward_multicast(const MulticastData& msg) override;
+
+ private:
+  /// The current out-neighbor set: predecessor, successor, and the live
+  /// de Bruijn entries; deduplicated, self and suspects excluded.
+  std::vector<Id> flood_neighbors() const;
+};
+
+/// Harness preconfigured with CAM-Koorde nodes.
+class AsyncCamKoordeNet final : public AsyncOverlayNet {
+ public:
+  AsyncCamKoordeNet(RingSpace ring, HostBus& bus, AsyncConfig cfg = {})
+      : AsyncOverlayNet(
+            ring, bus,
+            [](AsyncOverlayNet& net, Id id, NodeInfo info) {
+              return std::make_unique<AsyncCamKoordeNode>(
+                  static_cast<AsyncOverlayNet&>(net), id, info);
+            },
+            cfg) {}
+};
+
+}  // namespace cam::proto

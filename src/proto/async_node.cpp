@@ -1,0 +1,550 @@
+#include "proto/async_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace cam::proto {
+
+namespace {
+
+// Deterministic per-node, per-tick jitter.
+SimTime jitter(Id self, std::uint64_t tick, SimTime max_ms) {
+  std::uint64_t s = self * 0x9E3779B97F4A7C15ULL + tick;
+  return static_cast<double>(splitmix64(s) >> 40) /
+         static_cast<double>(1 << 24) * max_ms;
+}
+
+constexpr std::size_t kRpcBytes = 64;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// AsyncNodeBase
+// ---------------------------------------------------------------------
+
+AsyncNodeBase::AsyncNodeBase(AsyncOverlayNet& net, Id self, NodeInfo info)
+    : net_(net), self_(self), info_(info) {}
+
+std::optional<Id> AsyncNodeBase::successor() const {
+  if (succ_list_.empty()) return std::nullopt;
+  return succ_list_.front();
+}
+
+void AsyncNodeBase::boot_as_first() {
+  joined_ = true;
+  pred_ = self_;
+  succ_list_ = {self_};
+  idents_ = neighbor_idents();
+  entries_.assign(idents_.size(), self_);
+  start_timers();
+}
+
+void AsyncNodeBase::boot_via(Id contact) {
+  join_contact_ = contact;
+  if (idents_.empty()) {
+    idents_ = neighbor_idents();
+    entries_.assign(idents_.size(), contact);
+  }
+  start_lookup(contact, self_, [this](LookupResult r) {
+    if (!alive_) return;
+    // A node not yet in the ring cannot be its own successor: that
+    // answer means the lookup fell back to our empty local state.
+    if (r.ok && r.owner == self_) r.ok = false;
+    if (!r.ok) {
+      // Contact unreachable or routing failed: retry after a beat.
+      net_.sim().after(net_.config().rpc_timeout_ms * 2, [this] {
+        if (alive_ && !joined_) boot_via(join_contact_);
+      });
+      return;
+    }
+    joined_ = true;
+    succ_list_ = {r.owner};
+    for (auto& e : entries_) e = r.owner;  // seeded; fix ticks refine
+  });
+  start_timers();
+}
+
+void AsyncNodeBase::start_timers() {
+  const AsyncConfig& cfg = net_.config();
+  auto schedule = [this](SimTime period, std::uint64_t salt, auto&& fn) {
+    // Self-rescheduling tick. The function object holds only a weak
+    // reference to itself (a strong capture would be a shared_ptr cycle
+    // and leak); each *scheduled event* holds the strong reference, so
+    // the chain stays alive exactly while a tick is pending and frees
+    // itself once alive_ turns false.
+    auto tick = std::make_shared<std::function<void(std::uint64_t)>>();
+    std::weak_ptr<std::function<void(std::uint64_t)>> weak = tick;
+    *tick = [this, period, salt, fn, weak](std::uint64_t n) {
+      if (!alive_) return;
+      fn();
+      auto strong = weak.lock();
+      if (!strong) return;
+      net_.sim().after(
+          period + jitter(self_, n * 2654435761ULL + salt,
+                          net_.config().timer_jitter_ms),
+          [strong, n] { (*strong)(n + 1); });
+    };
+    net_.sim().after(jitter(self_, salt, period), [tick] { (*tick)(0); });
+  };
+  schedule(cfg.stabilize_period_ms, 1, [this] { stabilize_tick(); });
+  const auto table = static_cast<double>(std::max<std::size_t>(
+      idents_.empty() ? neighbor_idents().size() : idents_.size(), 1));
+  schedule(std::max(cfg.entry_refresh_target_ms / table,
+                    cfg.fix_period_min_ms),
+           2, [this] { fix_tick(); });
+  schedule(cfg.ping_period_ms, 3, [this] { ping_tick(); });
+}
+
+void AsyncNodeBase::handle(Id from, Message msg) {
+  if (!alive_) return;
+  if (auto* req = std::get_if<RpcRequest>(&msg)) {
+    RpcReply reply{req->id, answer(from, req->payload)};
+    net_.bus().post(self_, from, std::move(reply), kRpcBytes,
+                    MsgClass::kControl);
+    return;
+  }
+  if (auto* rep = std::get_if<RpcReply>(&msg)) {
+    auto it = pending_.find(rep->id);
+    if (it == pending_.end()) return;  // late reply after timeout
+    auto on_reply = std::move(it->second.on_reply);
+    pending_.erase(it);
+    on_reply(rep->payload);
+    return;
+  }
+  if (std::get_if<NotifyMsg>(&msg)) {
+    on_notify(from);
+    return;
+  }
+  if (auto* data = std::get_if<MulticastData>(&msg)) {
+    on_multicast(from, *data);
+    return;
+  }
+}
+
+bool AsyncNodeBase::suspected(Id peer) const {
+  auto it = suspects_.find(peer);
+  return it != suspects_.end() && net_.sim().now() < it->second;
+}
+
+void AsyncNodeBase::strike(Id peer) {
+  if (++strikes_[peer] >= net_.config().suspect_after_strikes) {
+    suspects_[peer] = net_.sim().now() + net_.config().suspect_ttl_ms;
+  }
+}
+
+void AsyncNodeBase::call(Id to, RequestPayload req,
+                         std::function<void(const ReplyPayload&)> on_reply,
+                         std::function<void()> on_timeout, std::size_t bytes,
+                         MsgClass cls) {
+  RpcId id = next_rpc_++;
+  auto wrapped_reply = [this, to,
+                        fn = std::move(on_reply)](const ReplyPayload& p) {
+    absolve(to);  // the peer answered — drop any stale suspicion
+    fn(p);
+  };
+  pending_.emplace(id,
+                   Pending{std::move(wrapped_reply), std::move(on_timeout)});
+  net_.bus().post(self_, to, RpcRequest{id, std::move(req)}, bytes, cls);
+  net_.sim().after(net_.config().rpc_timeout_ms, [this, id, to] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // answered in time
+    auto on_to = std::move(it->second.on_timeout);
+    pending_.erase(it);
+    if (!alive_) return;
+    strike(to);
+    if (on_to) on_to();
+  });
+}
+
+ReplyPayload AsyncNodeBase::answer(Id from, const RequestPayload& req) {
+  (void)from;
+  if (auto* step = std::get_if<ClosestStepReq>(&req)) {
+    return closest_step(*step);
+  }
+  if (std::get_if<GetPredReq>(&req)) {
+    GetPredRep rep;
+    rep.has = pred_.has_value();
+    rep.pred = pred_.value_or(0);
+    return rep;
+  }
+  if (std::get_if<GetSuccListReq>(&req)) {
+    return GetSuccListRep{succ_list_};
+  }
+  if (auto* dup = std::get_if<DupCheckReq>(&req)) {
+    return DupCheckRep{seen_stream(dup->stream_id)};
+  }
+  if (auto* data = std::get_if<MulticastDataReq>(&req)) {
+    // Reliable path: deliver + forward, then the reply acknowledges the
+    // link transfer. Duplicate retransmissions are absorbed by the
+    // stream dedupe in on_multicast.
+    on_multicast(from, MulticastData{data->stream_id, data->bound,
+                                     data->depth, data->payload_bytes});
+    return MulticastAckRep{};
+  }
+  return PingRep{};
+}
+
+void AsyncNodeBase::send_multicast(Id to, const MulticastData& data) {
+  const int retries = net_.config().multicast_retries;
+  if (retries <= 0) {
+    net_.bus().post(self_, to, data, data.payload_bytes, MsgClass::kData);
+    return;
+  }
+  // Acknowledged transfer with bounded retransmission. As with the
+  // timers, the function object must hold itself only weakly; the
+  // pending timeout closure carries the strong reference.
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  std::weak_ptr<std::function<void(int)>> weak = attempt;
+  MulticastDataReq req{data.stream_id, data.bound, data.depth,
+                       data.payload_bytes};
+  *attempt = [this, to, req, weak](int left) {
+    auto strong = weak.lock();
+    call(
+        to, req, [](const ReplyPayload&) {},
+        [this, strong, left] {
+          if (alive_ && left > 0 && strong) (*strong)(left - 1);
+        },
+        req.payload_bytes, MsgClass::kData);
+  };
+  (*attempt)(retries);
+}
+
+void AsyncNodeBase::adopt_successor(Id candidate) {
+  if (candidate == self_) return;
+  if (!succ_list_.empty() && succ_list_.front() == candidate) return;
+  std::erase(succ_list_, candidate);
+  succ_list_.insert(succ_list_.begin(), candidate);
+  if (succ_list_.size() > net_.config().successor_list_len) {
+    succ_list_.resize(net_.config().successor_list_len);
+  }
+}
+
+void AsyncNodeBase::drop_successor(Id dead) { std::erase(succ_list_, dead); }
+
+void AsyncNodeBase::stabilize_tick() {
+  if (!joined_) return;
+  const RingSpace& ring = net_.ring();
+  // Ring-merge repair: an entry strictly inside (self, succ) is a closer
+  // successor candidate; adopt it provisionally — if it is dead, the
+  // GetPred timeouts below prune it again.
+  std::optional<Id> succ = successor();
+  for (Id e : entries_) {
+    if (e == self_ || suspected(e)) continue;
+    if (!succ ||
+        (*succ != e && (*succ == self_ || ring.in_oo(e, self_, *succ)))) {
+      adopt_successor(e);
+      succ = e;
+    }
+  }
+  if (!succ || *succ == self_) {
+    if (pred_ && *pred_ != self_) adopt_successor(*pred_);
+    succ = successor();
+    if (!succ || *succ == self_) return;  // genuinely alone
+  }
+  Id s = *succ;
+  call(
+      s, GetPredReq{},
+      [this, s](const ReplyPayload& payload) {
+        if (!alive_) return;
+        const auto& rep = std::get<GetPredRep>(payload);
+        Id next = s;
+        if (rep.has && rep.pred != self_ && rep.pred != s &&
+            net_.ring().in_oo(rep.pred, self_, s)) {
+          adopt_successor(rep.pred);
+          next = rep.pred;
+        }
+        net_.bus().post(self_, next, NotifyMsg{}, kRpcBytes,
+                        MsgClass::kMaintenance);
+        call(
+            next, GetSuccListReq{},
+            [this, next](const ReplyPayload& pl) {
+              if (!alive_) return;
+              const auto& lst = std::get<GetSuccListRep>(pl);
+              std::vector<Id> fresh{next};
+              for (Id e : lst.succs) {
+                if (fresh.size() >= net_.config().successor_list_len) break;
+                if (e == self_) break;  // lapped the ring
+                if (std::find(fresh.begin(), fresh.end(), e) == fresh.end()) {
+                  fresh.push_back(e);
+                }
+              }
+              succ_list_ = std::move(fresh);
+            },
+            [this, next] {
+              if (suspected(next)) drop_successor(next);
+            });
+      },
+      [this, s] {
+        // Drop only once the strike threshold confirms the suspicion —
+        // a single lost datagram must not evict a live successor.
+        if (suspected(s)) drop_successor(s);
+      });
+}
+
+void AsyncNodeBase::fix_tick() {
+  if (!joined_ || idents_.empty()) return;
+  fix_idx_ = (fix_idx_ + 1) % idents_.size();
+  const std::size_t idx = fix_idx_;
+  start_lookup(self_, idents_[idx], [this, idx](LookupResult r) {
+    if (!alive_ || !r.ok) return;
+    entries_[idx] = r.owner;
+  });
+}
+
+void AsyncNodeBase::ping_tick() {
+  if (!pred_ || *pred_ == self_) return;
+  Id p = *pred_;
+  call(
+      p, PingReq{}, [](const ReplyPayload&) {},
+      [this, p] {
+        if (suspected(p) && pred_ && *pred_ == p) pred_.reset();
+      });
+}
+
+void AsyncNodeBase::on_notify(Id candidate) {
+  if (candidate == self_) return;
+  if (!pred_ || *pred_ == self_ ||
+      net_.ring().in_oo(candidate, *pred_, self_)) {
+    pred_ = candidate;
+  }
+  // Otherwise the current predecessor may be dead; the ping timer clears
+  // it and the next notify lands.
+}
+
+void AsyncNodeBase::start_lookup(Id first_hop, Id target,
+                                 std::function<void(LookupResult)> done) {
+  auto op = std::make_shared<LookupOp>();
+  op->target = target;
+  op->cursor = first_hop;
+  op->anchor = first_hop;
+  op->path.push_back(first_hop);
+  op->done = std::move(done);
+  if (first_hop == self_) {
+    // Answer the first step locally — no RPC to ourselves.
+    ClosestStepRep rep =
+        closest_step(ClosestStepReq{target, op->cursor, {}});
+    if (rep.final) {
+      LookupResult res;
+      res.ok = true;
+      res.owner = rep.node;
+      res.path = op->path;
+      op->done(res);
+      return;
+    }
+    op->cursor = rep.next_cursor;
+    op->path.push_back(rep.node);
+    lookup_step(op, rep.node);
+    return;
+  }
+  lookup_step(op, first_hop);
+}
+
+void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
+  if (op->path.size() > net_.config().max_lookup_hops) {
+    op->done(LookupResult{});
+    return;
+  }
+  call(
+      hop, ClosestStepReq{op->target, op->cursor, op->excluded},
+      [this, op, hop](const ReplyPayload& payload) {
+        if (!alive_) return;
+        const auto& rep = std::get<ClosestStepRep>(payload);
+        if (rep.final) {
+          LookupResult res;
+          res.ok = true;
+          res.owner = rep.node;
+          res.path = op->path;
+          op->done(res);
+          return;
+        }
+        op->anchor = hop;
+        op->cursor = rep.next_cursor;
+        op->path.push_back(rep.node);
+        lookup_step(op, rep.node);
+      },
+      [this, op, hop] {
+        if (!alive_) return;
+        op->excluded.push_back(hop);
+        if (++op->restarts > net_.config().lookup_restarts) {
+          op->done(LookupResult{});
+          return;
+        }
+        // Fall back to the last responsive hop (or ourselves).
+        Id retry = op->anchor == hop ? self_ : op->anchor;
+        if (retry == self_) {
+          op->cursor = self_;  // restart the identifier transform at home
+          ClosestStepRep rep =
+              closest_step(ClosestStepReq{op->target, op->cursor,
+                                          op->excluded});
+          if (rep.final) {
+            LookupResult res;
+            res.ok = true;
+            res.owner = rep.node;
+            res.path = op->path;
+            op->done(res);
+            return;
+          }
+          op->cursor = rep.next_cursor;
+          op->path.push_back(rep.node);
+          lookup_step(op, rep.node);
+          return;
+        }
+        lookup_step(op, retry);
+      });
+}
+
+void AsyncNodeBase::on_multicast(Id from, const MulticastData& msg) {
+  net_.deliver_record(from, self_, msg.depth);
+  // Exactly-once forwarding: only the first copy is propagated.
+  if (!seen_streams_.insert(msg.stream_id).second) return;
+  forward_multicast(msg);
+}
+
+// ---------------------------------------------------------------------
+// AsyncOverlayNet
+// ---------------------------------------------------------------------
+
+AsyncOverlayNet::AsyncOverlayNet(RingSpace ring, HostBus& bus,
+                                 NodeFactory factory, AsyncConfig cfg)
+    : ring_(ring), bus_(bus), factory_(std::move(factory)), cfg_(cfg) {}
+
+AsyncOverlayNet::~AsyncOverlayNet() {
+  for (auto& [id, node] : nodes_) {
+    node->crash();
+    bus_.detach(id);
+  }
+}
+
+void AsyncOverlayNet::bootstrap(Id id, NodeInfo info) {
+  assert(!nodes_.contains(id));
+  auto node = factory_(*this, id, info);
+  AsyncNodeBase* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  ++live_count_;
+  bus_.attach(
+      id, [raw](Id from, Message msg) { raw->handle(from, std::move(msg)); });
+  raw->boot_as_first();
+}
+
+void AsyncOverlayNet::spawn(Id id, NodeInfo info, Id via) {
+  assert(!nodes_.contains(id));
+  auto node = factory_(*this, id, info);
+  AsyncNodeBase* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  ++live_count_;
+  bus_.attach(
+      id, [raw](Id from, Message msg) { raw->handle(from, std::move(msg)); });
+  raw->boot_via(via);
+}
+
+void AsyncOverlayNet::crash(Id id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second->alive()) return;
+  it->second->crash();
+  bus_.detach(id);
+  --live_count_;
+}
+
+bool AsyncOverlayNet::running(Id id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second->alive();
+}
+
+std::vector<Id> AsyncOverlayNet::members_sorted() const {
+  std::vector<Id> ids;
+  ids.reserve(live_count_);
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const AsyncNodeBase& AsyncOverlayNet::node(Id id) const {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end());
+  return *it->second;
+}
+
+void AsyncOverlayNet::run_for(SimTime ms) {
+  bus_.sim().run_until(bus_.sim().now() + ms);
+}
+
+void AsyncOverlayNet::lookup(Id from, Id target,
+                             std::function<void(LookupResult)> done) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end() || !it->second->alive()) {
+    done(LookupResult{});
+    return;
+  }
+  it->second->start_lookup(from, target, std::move(done));
+}
+
+LookupResult AsyncOverlayNet::lookup_blocking(Id from, Id target) {
+  LookupResult out;
+  bool finished = false;
+  lookup(from, target, [&](LookupResult r) {
+    out = std::move(r);
+    finished = true;
+  });
+  while (!finished) {
+    std::uint64_t ran = bus_.sim().run(10'000);
+    if (ran == 0) break;  // queue drained without completion
+  }
+  return out;
+}
+
+MulticastTree AsyncOverlayNet::multicast(Id source) {
+  MulticastTree tree(source);
+  auto it = nodes_.find(source);
+  if (it == nodes_.end() || !it->second->alive()) return tree;
+
+  active_tree_ = &tree;
+  deliveries_ = 0;
+  it->second->on_multicast(
+      source, MulticastData{next_stream(), ring_.sub(source, 1), 0,
+                            cfg_.multicast_payload_bytes});
+  // Run until deliveries go quiet (poll slices sized above one hop +
+  // dup-check round trip).
+  std::uint64_t last = deliveries_;
+  int quiet = 0;
+  while (quiet < 3) {
+    run_for(cfg_.rpc_timeout_ms * 2);
+    if (deliveries_ == last) {
+      ++quiet;
+    } else {
+      quiet = 0;
+      last = deliveries_;
+    }
+  }
+  active_tree_ = nullptr;
+  return tree;
+}
+
+void AsyncOverlayNet::deliver_record(Id parent, Id child, int depth) {
+  if (active_tree_ == nullptr) return;
+  if (child == active_tree_->source()) return;
+  if (active_tree_->record(parent, child, depth, bus_.sim().now())) {
+    ++deliveries_;
+  }
+}
+
+double AsyncOverlayNet::ring_consistency() const {
+  if (live_count_ == 0) return 1.0;
+  std::vector<Id> ids = members_sorted();
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Id want = ids[(i + 1) % ids.size()];
+    auto got = nodes_.at(ids[i])->successor();
+    if (ids.size() == 1) {
+      ok += !got || *got == ids[i];
+    } else {
+      ok += got && *got == want;
+    }
+  }
+  return static_cast<double>(ok) / static_cast<double>(ids.size());
+}
+
+}  // namespace cam::proto

@@ -1,0 +1,230 @@
+// Shared machinery of the asynchronous protocol stack: RPC with timeouts,
+// failure suspicion (strike-based), per-node maintenance timers
+// (stabilize / fix-neighbors / ping), iterative lookups with dead-hop
+// exclusion, join-with-retry, and multicast plumbing.
+//
+// Protocol subclasses (async_camchord.h, async_camkoorde.h) provide the
+// routing table layout, the per-hop lookup decision, and the multicast
+// forwarding rule; everything else — exactly the part the paper inherits
+// from Chord — lives here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "multicast/tree.h"
+#include "overlay/types.h"
+#include "proto/host_bus.h"
+
+namespace cam::proto {
+
+struct AsyncConfig {
+  SimTime stabilize_period_ms = 500;
+  /// Target full-table refresh interval: each fix tick refreshes one
+  /// entry, so the tick period is entry_refresh_target_ms / table size —
+  /// bigger tables (CAM-Chord's O(c log n / log c) vs CAM-Koorde's c)
+  /// really do cost proportionally more maintenance traffic.
+  SimTime entry_refresh_target_ms = 8'000;
+  SimTime fix_period_min_ms = 50;  // tick-rate floor for huge tables
+  SimTime ping_period_ms = 700;    // predecessor liveness probe
+  SimTime rpc_timeout_ms = 250;
+  int lookup_restarts = 6;        // dead-hop retries before failing
+  std::size_t max_lookup_hops = 128;
+  std::size_t successor_list_len = 8;
+  std::uint32_t multicast_payload_bytes = 1200;
+  /// Link-level retransmissions for multicast payloads. 0 = fire and
+  /// forget (unreliable datagrams); k > 0 = each payload is acknowledged
+  /// and retransmitted up to k times on timeout.
+  int multicast_retries = 2;
+  SimTime timer_jitter_ms = 50;   // desynchronizes maintenance ticks
+  /// How long a peer stays suspected after repeated RPC timeouts.
+  /// Suspects are skipped by successor repair and lookup forwarding,
+  /// which prevents stale table entries from re-adopting dead nodes
+  /// every tick.
+  SimTime suspect_ttl_ms = 10'000;
+  /// Consecutive timeouts before a peer is suspected / a successor is
+  /// dropped — one lost datagram must not evict a live neighbor.
+  int suspect_after_strikes = 3;
+};
+
+class AsyncOverlayNet;
+
+/// One asynchronous protocol participant.
+class AsyncNodeBase {
+ public:
+  AsyncNodeBase(AsyncOverlayNet& net, Id self, NodeInfo info);
+  virtual ~AsyncNodeBase() = default;
+
+  Id self() const { return self_; }
+  const NodeInfo& info() const { return info_; }
+  bool alive() const { return alive_; }
+  bool joined() const { return joined_; }
+
+  // Local-state introspection (reading *this* node is not a protocol
+  // violation; tests use it).
+  std::optional<Id> successor() const;
+  std::optional<Id> predecessor() const { return pred_; }
+  const std::vector<Id>& successor_list() const { return succ_list_; }
+  const std::vector<Id>& idents() const { return idents_; }
+  const std::vector<Id>& entries() const { return entries_; }
+
+ protected:
+  friend class AsyncOverlayNet;
+
+  struct LookupOp {
+    Id target = 0;
+    Id cursor = 0;
+    std::vector<Id> excluded;
+    std::vector<Id> path;
+    int restarts = 0;
+    Id anchor = 0;  // last responsive hop to fall back to
+    std::function<void(LookupResult)> done;
+  };
+
+  // --- subclass hooks --------------------------------------------------
+  /// The node's neighbor identifiers (absolute ring positions); entries_
+  /// holds the believed owner per identifier, refreshed by fix ticks.
+  virtual std::vector<Id> neighbor_idents() const = 0;
+  /// One LOOKUP step answered from local state.
+  virtual ClosestStepRep closest_step(const ClosestStepReq& req) const = 0;
+  /// Forward a (deduplicated) multicast payload onward.
+  virtual void forward_multicast(const MulticastData& msg) = 0;
+
+  // --- lifecycle (driven by the harness) -------------------------------
+  void boot_as_first();
+  void boot_via(Id contact);
+  void start_timers();
+  void crash() { alive_ = false; }
+
+  // --- message plumbing ------------------------------------------------
+  void handle(Id from, Message msg);
+  virtual ReplyPayload answer(Id from, const RequestPayload& req);
+  void call(Id to, RequestPayload req,
+            std::function<void(const ReplyPayload&)> on_reply,
+            std::function<void()> on_timeout, std::size_t bytes = 64,
+            MsgClass cls = MsgClass::kControl);
+
+  // --- shared protocol steps -------------------------------------------
+  void stabilize_tick();
+  void fix_tick();
+  void ping_tick();
+  void on_notify(Id candidate);
+  void adopt_successor(Id candidate);
+  void drop_successor(Id dead);
+  void start_lookup(Id first_hop, Id target,
+                    std::function<void(LookupResult)> done);
+  void lookup_step(const std::shared_ptr<LookupOp>& op, Id hop);
+  void on_multicast(Id from, const MulticastData& msg);
+
+  /// Ships a multicast payload to `to`: acknowledged + retransmitted
+  /// when config().multicast_retries > 0, plain datagram otherwise.
+  void send_multicast(Id to, const MulticastData& data);
+
+  bool suspected(Id peer) const;
+  void strike(Id peer);
+  void absolve(Id peer) {
+    suspects_.erase(peer);
+    strikes_.erase(peer);
+  }
+  bool seen_stream(std::uint64_t stream_id) const {
+    return seen_streams_.contains(stream_id);
+  }
+
+  AsyncOverlayNet& net_;
+  Id self_;
+  NodeInfo info_;
+  bool alive_ = true;
+  bool joined_ = false;
+  Id join_contact_ = 0;
+
+  std::optional<Id> pred_;
+  std::vector<Id> succ_list_;
+  std::vector<Id> idents_;   // neighbor identifiers (absolute)
+  std::vector<Id> entries_;  // believed owner, parallel to idents_
+  std::size_t fix_idx_ = 0;
+
+  RpcId next_rpc_ = 1;
+  struct Pending {
+    std::function<void(const ReplyPayload&)> on_reply;
+    std::function<void()> on_timeout;
+  };
+  std::unordered_map<RpcId, Pending> pending_;
+  std::unordered_set<std::uint64_t> seen_streams_;  // multicast dedupe
+  std::unordered_map<Id, SimTime> suspects_;  // id -> suspected until
+  std::unordered_map<Id, int> strikes_;       // consecutive timeouts
+};
+
+/// Harness owning the nodes, the bus wiring, and test conveniences.
+class AsyncOverlayNet {
+ public:
+  using NodeFactory = std::function<std::unique_ptr<AsyncNodeBase>(
+      AsyncOverlayNet&, Id, NodeInfo)>;
+
+  AsyncOverlayNet(RingSpace ring, HostBus& bus, NodeFactory factory,
+                  AsyncConfig cfg = {});
+  virtual ~AsyncOverlayNet();
+
+  AsyncOverlayNet(const AsyncOverlayNet&) = delete;
+  AsyncOverlayNet& operator=(const AsyncOverlayNet&) = delete;
+
+  const RingSpace& ring() const { return ring_; }
+  const AsyncConfig& config() const { return cfg_; }
+  HostBus& bus() { return bus_; }
+  Simulator& sim() { return bus_.sim(); }
+
+  /// Creates the first member and starts its timers.
+  void bootstrap(Id id, NodeInfo info);
+
+  /// Starts a node that joins through `via` (asynchronously).
+  void spawn(Id id, NodeInfo info, Id via);
+
+  /// Crashes a node: it stops answering; peers find out via timeouts.
+  /// (The object stays allocated — simulator closures point into it —
+  /// but leaves every membership view.)
+  void crash(Id id);
+
+  bool running(Id id) const;
+  std::size_t size() const { return live_count_; }
+  std::vector<Id> members_sorted() const;
+  const AsyncNodeBase& node(Id id) const;
+
+  /// Advances virtual time by `ms` (maintenance keeps ticking).
+  void run_for(SimTime ms);
+
+  /// Asynchronous lookup from a member.
+  void lookup(Id from, Id target, std::function<void(LookupResult)> done);
+
+  /// Runs the simulator until the lookup completes (test convenience).
+  LookupResult lookup_blocking(Id from, Id target);
+
+  /// Starts a multicast at `source`, runs until deliveries go quiet, and
+  /// returns the recorded implicit tree.
+  MulticastTree multicast(Id source);
+
+  /// Fraction of members whose successor pointer matches ground truth —
+  /// the harness's omniscient convergence probe for tests.
+  double ring_consistency() const;
+
+ private:
+  friend class AsyncNodeBase;
+
+  void deliver_record(Id parent, Id child, int depth);
+  std::uint64_t next_stream() { return stream_seq_++; }
+
+  RingSpace ring_;
+  HostBus& bus_;
+  NodeFactory factory_;
+  AsyncConfig cfg_;
+  std::unordered_map<Id, std::unique_ptr<AsyncNodeBase>> nodes_;
+  std::size_t live_count_ = 0;
+  MulticastTree* active_tree_ = nullptr;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t stream_seq_ = 1;
+};
+
+}  // namespace cam::proto

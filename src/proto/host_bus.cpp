@@ -1,0 +1,34 @@
+#include "proto/host_bus.h"
+
+#include <utility>
+
+namespace cam::proto {
+
+void HostBus::attach(Id host, Handler handler) {
+  handlers_[host] = std::move(handler);
+}
+
+void HostBus::detach(Id host) { handlers_.erase(host); }
+
+void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
+                   MsgClass cls) {
+  if (loss_ > 0 && loss_rng_.chance(loss_)) {
+    ++dropped_;
+    return;
+  }
+  net_.send(
+      from, to, bytes,
+      [this, from, to, m = std::move(msg)]() mutable {
+        auto it = handlers_.find(to);
+        if (it == handlers_.end()) return;  // crashed before delivery
+        it->second(from, std::move(m));
+      },
+      cls);
+}
+
+void HostBus::set_loss(double p, std::uint64_t seed) {
+  loss_ = p;
+  loss_rng_.reseed(seed);
+}
+
+}  // namespace cam::proto

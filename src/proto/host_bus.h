@@ -1,0 +1,56 @@
+// HostBus: the unicast datagram layer of the asynchronous stack.
+//
+// Maps host ids to message handlers and delivers Messages through the
+// simulated Network (latency + traffic accounting). Messages to detached
+// (crashed) hosts are dropped silently — the sender learns nothing, which
+// is what forces the protocol layer to use timeouts. Optional uniform
+// message loss supports fault-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/messages.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace cam::proto {
+
+class HostBus {
+ public:
+  using Handler = std::function<void(Id from, Message msg)>;
+
+  explicit HostBus(Network& net) : net_(net) {}
+
+  Simulator& sim() { return net_.sim(); }
+  Network& network() { return net_; }
+
+  /// Registers a host. Replaces any previous handler for the id.
+  void attach(Id host, Handler handler);
+
+  /// Crashes a host: its handler is removed and all in-flight and future
+  /// messages to it vanish.
+  void detach(Id host);
+
+  bool attached(Id host) const { return handlers_.contains(host); }
+
+  /// Sends a message; delivery happens after the network latency, unless
+  /// the destination is detached by then or the message is lost.
+  void post(Id from, Id to, Message msg, std::size_t bytes,
+            MsgClass cls = MsgClass::kControl);
+
+  /// Drops each message independently with probability `p`.
+  void set_loss(double p, std::uint64_t seed);
+
+  std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  Network& net_;
+  std::unordered_map<Id, Handler> handlers_;
+  double loss_ = 0;
+  Rng loss_rng_{0};
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cam::proto

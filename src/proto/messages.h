@@ -1,0 +1,118 @@
+// Wire messages of the asynchronous protocol stack.
+//
+// Unlike the synchronous protocol mode (overlay/ring_net.h), nodes here
+// interact exclusively through these messages: no peer state is ever
+// read directly, failures manifest as silence (timeouts), and every
+// protocol step pays latency on the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "ids/ring.h"
+
+namespace cam::proto {
+
+/// Correlates a reply with its pending request at the caller.
+using RpcId = std::uint64_t;
+
+// --- request payloads ---------------------------------------------------
+
+/// One iterative-lookup step: "which node should I ask next for
+/// `target`, or who owns it?" `excluded` carries hops the querier has
+/// observed to be dead so the responder can route around them. `cursor`
+/// is the imaginary-identifier state of de Bruijn routing (CAM-Koorde,
+/// Section 4.2); Chord-style responders ignore it.
+struct ClosestStepReq {
+  Id target = 0;
+  Id cursor = 0;
+  std::vector<Id> excluded;
+};
+
+/// Stabilization: ask a successor for its current predecessor.
+struct GetPredReq {};
+
+/// Stabilization: ask a successor for its successor list.
+struct GetSuccListReq {};
+
+/// Liveness probe.
+struct PingReq {};
+
+/// CAM-Koorde's duplicate check (Section 4.3): before forwarding a large
+/// payload, ask the neighbor whether it "has received or is receiving"
+/// the stream — "a short control packet".
+struct DupCheckReq {
+  std::uint64_t stream_id = 0;
+};
+
+/// Multicast payload sent as a request so the receiver's reply acts as a
+/// link-level acknowledgement — the reliable-delivery path (the paper's
+/// Section 1 motivates reliable multicast; throughput there "is decided
+/// by the node of the smallest throughput, particularly in the case of
+/// reliable delivery").
+struct MulticastDataReq {
+  std::uint64_t stream_id = 0;
+  Id bound = 0;
+  int depth = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+// --- reply payloads ------------------------------------------------------
+
+struct ClosestStepRep {
+  bool final = false;  // true: `node` is believed responsible for target
+  Id node = 0;         // next hop, or the owner when final
+  Id next_cursor = 0;  // advanced imaginary identifier (de Bruijn routing)
+};
+
+struct DupCheckRep {
+  bool seen = false;
+};
+
+/// Link-level acknowledgement of a MulticastDataReq.
+struct MulticastAckRep {};
+
+struct GetPredRep {
+  bool has = false;
+  Id pred = 0;
+};
+
+struct GetSuccListRep {
+  std::vector<Id> succs;
+};
+
+struct PingRep {};
+
+using RequestPayload =
+    std::variant<ClosestStepReq, GetPredReq, GetSuccListReq, PingReq,
+                 DupCheckReq, MulticastDataReq>;
+using ReplyPayload = std::variant<ClosestStepRep, GetPredRep, GetSuccListRep,
+                                  PingRep, DupCheckRep, MulticastAckRep>;
+
+struct RpcRequest {
+  RpcId id = 0;
+  RequestPayload payload;
+};
+
+struct RpcReply {
+  RpcId id = 0;
+  ReplyPayload payload;
+};
+
+// --- one-way messages ----------------------------------------------------
+
+/// Chord's notify: "I believe I am your predecessor" (sender in `from`).
+struct NotifyMsg {};
+
+/// Multicast data: the receiver is responsible for region (self, bound].
+struct MulticastData {
+  std::uint64_t stream_id = 0;
+  Id bound = 0;
+  int depth = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+using Message = std::variant<RpcRequest, RpcReply, NotifyMsg, MulticastData>;
+
+}  // namespace cam::proto

@@ -1,0 +1,57 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cam {
+
+namespace {
+
+// Deterministic 64-bit mix of an unordered id pair and a seed.
+std::uint64_t pair_mix(Id a, Id b, std::uint64_t seed) {
+  Id lo = std::min(a, b), hi = std::max(a, b);
+  std::uint64_t s = seed ^ (lo * 0x9E3779B97F4A7C15ULL);
+  splitmix64(s);
+  s ^= hi * 0xC2B2AE3D27D4EB4FULL;
+  return splitmix64(s);
+}
+
+// Uniform double in [0,1) from a 64-bit value.
+double unit(std::uint64_t v) {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+// Host position on the unit torus, from its id.
+std::pair<double, double> torus_pos(Id x, std::uint64_t seed) {
+  std::uint64_t s = seed ^ (x * 0xD1B54A32D192ED03ULL);
+  double u = unit(splitmix64(s));
+  double v = unit(splitmix64(s));
+  return {u, v};
+}
+
+double torus_axis_dist(double a, double b) {
+  double d = std::fabs(a - b);
+  return std::min(d, 1.0 - d);
+}
+
+}  // namespace
+
+SimTime UniformLatency::latency(Id a, Id b) const {
+  if (a == b) return 0;
+  return lo_ + unit(pair_mix(a, b, seed_)) * (hi_ - lo_);
+}
+
+SimTime TorusLatency::latency(Id a, Id b) const {
+  if (a == b) return 0;
+  auto [ax, ay] = torus_pos(a, seed_);
+  auto [bx, by] = torus_pos(b, seed_);
+  double dx = torus_axis_dist(ax, bx);
+  double dy = torus_axis_dist(ay, by);
+  double dist = std::sqrt(dx * dx + dy * dy);
+  double jitter = unit(pair_mix(a, b, seed_)) * 0.1;
+  return base_ + scale_ * dist * (1.0 + jitter);
+}
+
+}  // namespace cam

@@ -1,0 +1,66 @@
+// Per-link latency models.
+//
+// The overlay sits on top of the Internet; each overlay hop crosses a
+// unicast path whose latency we model. Latencies are a deterministic
+// function of the unordered endpoint pair and a seed, so the same link
+// always has the same delay within a run (required for meaningful
+// path-latency measurements) while different links vary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ids/ring.h"
+#include "sim/simulator.h"
+
+namespace cam {
+
+/// Strategy interface for one-way link latency between two hosts.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way latency (ms) from `a` to `b`. Must be symmetric and
+  /// deterministic for a given model instance.
+  virtual SimTime latency(Id a, Id b) const = 0;
+};
+
+/// Every link has the same fixed latency (default 1 ms). Hop counts and
+/// virtual time then coincide up to a constant, which is how the paper
+/// measures latency ("the average length of multicast paths").
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime ms = 1.0) : ms_(ms) {}
+  SimTime latency(Id, Id) const override { return ms_; }
+
+ private:
+  SimTime ms_;
+};
+
+/// Latency drawn uniformly from [lo, hi] ms, per unordered pair.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi, std::uint64_t seed)
+      : lo_(lo), hi_(hi), seed_(seed) {}
+  SimTime latency(Id a, Id b) const override;
+
+ private:
+  SimTime lo_, hi_;
+  std::uint64_t seed_;
+};
+
+/// Hosts are placed (by id hash) on a unit 2D torus; latency is
+/// base + scale * torus distance + small jitter. A cheap stand-in for
+/// geographic structure (Section 5.2 of the paper discusses geography).
+class TorusLatency final : public LatencyModel {
+ public:
+  TorusLatency(SimTime base_ms, SimTime scale_ms, std::uint64_t seed)
+      : base_(base_ms), scale_(scale_ms), seed_(seed) {}
+  SimTime latency(Id a, Id b) const override;
+
+ private:
+  SimTime base_, scale_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cam

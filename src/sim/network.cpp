@@ -1,0 +1,15 @@
+#include "sim/network.h"
+
+namespace cam {
+
+SimTime Network::send(Id from, Id to, std::size_t bytes,
+                      Simulator::Action on_arrival, MsgClass cls) {
+  auto idx = static_cast<int>(cls);
+  stats_.messages[idx] += 1;
+  stats_.bytes[idx] += bytes;
+  SimTime arrive = sim_.now() + latency_.latency(from, to);
+  sim_.at(arrive, std::move(on_arrival));
+  return arrive;
+}
+
+}  // namespace cam

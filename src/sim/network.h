@@ -1,0 +1,65 @@
+// Message-passing facade over the simulator: delivery with per-link
+// latency plus traffic accounting, split by message class so experiments
+// can report control/maintenance overhead separately from data.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "ids/ring.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+
+namespace cam {
+
+/// Coarse traffic classification for accounting.
+enum class MsgClass : int {
+  kData = 0,         // multicast payload
+  kControl = 1,      // lookup / dup-check / membership RPCs
+  kMaintenance = 2,  // stabilization, fix-neighbors
+};
+inline constexpr int kNumMsgClasses = 3;
+
+/// Per-class message counters.
+struct NetStats {
+  std::array<std::uint64_t, kNumMsgClasses> messages{};
+  std::array<std::uint64_t, kNumMsgClasses> bytes{};
+
+  std::uint64_t total_messages() const {
+    std::uint64_t s = 0;
+    for (auto m : messages) s += m;
+    return s;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t s = 0;
+    for (auto b : bytes) s += b;
+    return s;
+  }
+};
+
+/// Simulated network: schedules deliveries on the Simulator after the
+/// LatencyModel's one-way delay and tallies traffic.
+class Network {
+ public:
+  Network(Simulator& sim, const LatencyModel& latency)
+      : sim_(sim), latency_(latency) {}
+
+  /// Sends `bytes` from `from` to `to`; runs `on_arrival` at delivery
+  /// time. Returns the scheduled arrival time.
+  SimTime send(Id from, Id to, std::size_t bytes, Simulator::Action on_arrival,
+               MsgClass cls = MsgClass::kData);
+
+  const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  Simulator& sim() { return sim_; }
+  const LatencyModel& latency_model() const { return latency_; }
+
+ private:
+  Simulator& sim_;
+  const LatencyModel& latency_;
+  NetStats stats_;
+};
+
+}  // namespace cam

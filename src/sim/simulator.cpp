@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace cam {
+
+void Simulator::at(SimTime t, Action fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the closure must be moved out
+  // before pop, so copy the POD parts and const_cast the action. This is
+  // the standard idiom for move-out-of-priority-queue.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace cam

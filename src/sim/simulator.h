@@ -1,0 +1,67 @@
+// Discrete-event simulator core.
+//
+// The paper's evaluation is simulation-only; this is the event engine the
+// protocol-mode overlays run on. Events are (time, sequence, closure)
+// tuples; ties on time break by insertion order so runs are fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cam {
+
+/// Virtual time in milliseconds.
+using SimTime = double;
+
+/// Deterministic event-queue simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Action fn);
+
+  /// Schedules `fn` at now() + dt (dt >= 0).
+  void after(SimTime dt, Action fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Runs one event; returns false if the queue was empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= t_end (events scheduled during execution
+  /// included). Afterwards now() == t_end if the queue outlived it.
+  std::uint64_t run_until(SimTime t_end);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace cam

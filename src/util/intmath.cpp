@@ -1,0 +1,44 @@
+#include "util/intmath.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cam {
+
+int ilog2(std::uint64_t v) {
+  assert(v >= 1);
+  return 63 - std::countl_zero(v);
+}
+
+int ilog(std::uint64_t v, std::uint64_t base) {
+  assert(v >= 1);
+  assert(base >= 2);
+  if (base == 2) return ilog2(v);
+  int e = 0;
+  std::uint64_t p = 1;
+  // Invariant: p == base^e and p <= v. (p <= v/base ⟺ p*base <= v for
+  // integer division, so the loop exits with base^e <= v < base^{e+1}.)
+  while (p <= v / base) {
+    p *= base;
+    ++e;
+  }
+  return e;
+}
+
+std::uint64_t ipow_sat(std::uint64_t base, unsigned e) {
+  std::uint64_t r = 1;
+  while (e-- > 0) {
+    if (base != 0 && r > UINT64_MAX / base) return UINT64_MAX;
+    r *= base;
+  }
+  return r;
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  assert(b > 0);
+  return a / b + (a % b != 0);
+}
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace cam

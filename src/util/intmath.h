@@ -1,0 +1,29 @@
+// Small integer-math helpers used throughout the overlay code.
+//
+// The CAM-Chord neighbor formula x_{i,j} = (x + j * c^i) mod N needs exact
+// integer powers and integer logarithms; floating point would misplace
+// neighbors near power boundaries (e.g. log(8)/log(2) evaluating to
+// 2.9999...). Everything here is exact 64-bit arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace cam {
+
+/// floor(log2(v)) for v >= 1.
+int ilog2(std::uint64_t v);
+
+/// floor(log_base(v)) for v >= 1, base >= 2.
+/// Computed by repeated multiplication — exact, no FP.
+int ilog(std::uint64_t v, std::uint64_t base);
+
+/// base^e, saturating at UINT64_MAX on overflow.
+std::uint64_t ipow_sat(std::uint64_t base, unsigned e);
+
+/// ceil(a / b) for b > 0.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// True if v is a power of two (v >= 1).
+bool is_pow2(std::uint64_t v);
+
+}  // namespace cam

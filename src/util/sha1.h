@@ -1,0 +1,50 @@
+// Self-contained SHA-1 implementation (FIPS 180-1).
+//
+// The paper maps member hosts onto the identifier ring with "a hash
+// function (such as SHA-1)". We implement SHA-1 from scratch so node
+// placement can be derived from host names without external crypto
+// dependencies. SHA-1 is used here for *placement*, not security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cam {
+
+/// 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  Sha1Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Sha1Digest sha1(std::string_view data);
+
+/// Lowercase hex string of a digest (40 chars).
+std::string to_hex(const Sha1Digest& d);
+
+/// First 64 bits of the digest, big-endian — handy for deriving ring ids.
+std::uint64_t sha1_prefix64(std::string_view data);
+
+}  // namespace cam

@@ -1,0 +1,66 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+namespace cam::workload {
+
+namespace {
+
+// Uniform sample of `count` distinct members.
+std::vector<Id> sample_members(const RingOverlayNet& net, std::size_t count,
+                               Rng& rng) {
+  std::vector<Id> members = net.members_sorted();
+  count = std::min(count, members.size());
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j = i + rng.next_below(members.size() - i);
+    std::swap(members[i], members[j]);
+  }
+  members.resize(count);
+  return members;
+}
+
+}  // namespace
+
+std::vector<Id> fail_random_fraction(RingOverlayNet& net, double fraction,
+                                     Rng& rng) {
+  auto victims = sample_members(
+      net, static_cast<std::size_t>(fraction * static_cast<double>(net.size())),
+      rng);
+  for (Id v : victims) net.fail(v);
+  return victims;
+}
+
+std::vector<Id> leave_random_fraction(RingOverlayNet& net, double fraction,
+                                      Rng& rng) {
+  auto leavers = sample_members(
+      net, static_cast<std::size_t>(fraction * static_cast<double>(net.size())),
+      rng);
+  for (Id v : leavers) net.leave(v);
+  return leavers;
+}
+
+std::vector<Id> join_random(RingOverlayNet& net, std::size_t count,
+                            std::uint32_t cap_lo, std::uint32_t cap_hi,
+                            double bw_lo, double bw_hi, Rng& rng,
+                            std::size_t stabilize_every) {
+  std::vector<Id> joined;
+  joined.reserve(count);
+  const RingSpace& ring = net.ring();
+  for (std::size_t i = 0; i < count && net.size() > 0; ++i) {
+    std::vector<Id> members = net.members_sorted();
+    Id via = members[rng.next_below(members.size())];
+    Id id = rng.next_below(ring.size());
+    if (net.contains(id)) continue;
+    NodeInfo info;
+    info.capacity = static_cast<std::uint32_t>(rng.uniform(cap_lo, cap_hi));
+    info.bandwidth_kbps = bw_lo + rng.next_double() * (bw_hi - bw_lo);
+    if (net.join(id, info, via)) joined.push_back(id);
+    if (stabilize_every != SIZE_MAX && joined.size() % stabilize_every == 0) {
+      net.stabilize_all();
+    }
+  }
+  return joined;
+}
+
+}  // namespace cam::workload

@@ -1,0 +1,35 @@
+// Membership-churn helpers for protocol-mode overlays: random abrupt
+// failures, graceful leaves, and joins of fresh nodes. Used by the
+// resilience experiments (the paper's Section 2 claim that CAM-Chord's
+// denser connectivity tolerates churn better at small capacities).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/ring_net.h"
+#include "util/rng.h"
+
+namespace cam::workload {
+
+/// Abruptly fails floor(fraction * size) random members. Returns the
+/// failed ids.
+std::vector<Id> fail_random_fraction(RingOverlayNet& net, double fraction,
+                                     Rng& rng);
+
+/// Gracefully removes floor(fraction * size) random members.
+std::vector<Id> leave_random_fraction(RingOverlayNet& net, double fraction,
+                                      Rng& rng);
+
+/// Joins `count` new nodes with capacities uniform in [cap_lo..cap_hi]
+/// and bandwidths uniform in [bw_lo..bw_hi], each via a random existing
+/// member. A stabilization round runs every `stabilize_every` joins —
+/// joins are paced against maintenance, as in a deployed Chord system;
+/// pass SIZE_MAX to suppress (pure flash crowd). Returns the ids that
+/// actually joined.
+std::vector<Id> join_random(RingOverlayNet& net, std::size_t count,
+                            std::uint32_t cap_lo, std::uint32_t cap_hi,
+                            double bw_lo, double bw_hi, Rng& rng,
+                            std::size_t stabilize_every = 8);
+
+}  // namespace cam::workload

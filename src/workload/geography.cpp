@@ -1,0 +1,64 @@
+#include "workload/geography.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cam::workload {
+
+std::uint32_t region_of_geo_id(const RingSpace& ring, Id id,
+                               int region_bits) {
+  return static_cast<std::uint32_t>(ring.top_bits(id, region_bits));
+}
+
+std::uint32_t region_of_random_id(Id id, int region_bits,
+                                  std::uint64_t seed) {
+  std::uint64_t s = seed ^ (id * 0x9E3779B97F4A7C15ULL);
+  return static_cast<std::uint32_t>(splitmix64(s) &
+                                    ((std::uint64_t{1} << region_bits) - 1));
+}
+
+NodeDirectory geographic_population(const GeoSpec& spec, std::uint32_t cap_lo,
+                                    std::uint32_t cap_hi) {
+  if (cap_lo == 0 || cap_lo > cap_hi) {
+    throw std::invalid_argument("invalid capacity range");
+  }
+  if (spec.region_bits < 1 || spec.region_bits >= spec.base.ring_bits) {
+    throw std::invalid_argument("invalid region bits");
+  }
+  RingSpace ring(spec.base.ring_bits);
+  if (spec.base.n > ring.size() / 2) {
+    throw std::invalid_argument("population too dense");
+  }
+  NodeDirectory dir(ring);
+  Rng rng(spec.base.seed);
+  const int low_bits = spec.base.ring_bits - spec.region_bits;
+  while (dir.size() < spec.base.n) {
+    auto region = rng.next_below(std::uint64_t{1} << spec.region_bits);
+    Id id = (region << low_bits) | rng.next_below(std::uint64_t{1} << low_bits);
+    NodeInfo info;
+    info.capacity = static_cast<std::uint32_t>(rng.uniform(cap_lo, cap_hi));
+    info.bandwidth_kbps =
+        spec.base.bw_lo_kbps +
+        rng.next_double() * (spec.base.bw_hi_kbps - spec.base.bw_lo_kbps);
+    dir.add(id, info);
+  }
+  return dir;
+}
+
+std::uint32_t RegionLatency::region(Id x) const {
+  return geographic_ids_ ? region_of_geo_id(ring_, x, region_bits_)
+                         : region_of_random_id(x, region_bits_, seed_);
+}
+
+SimTime RegionLatency::latency(Id a, Id b) const {
+  if (a == b) return 0;
+  SimTime base = region(a) == region(b) ? intra_ : inter_;
+  // Deterministic per-pair jitter up to 20%.
+  Id lo = std::min(a, b), hi = std::max(a, b);
+  std::uint64_t s = seed_ ^ (lo * 0xC2B2AE3D27D4EB4FULL) ^ hi;
+  double u = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  return base * (1.0 + 0.2 * u);
+}
+
+}  // namespace cam::workload

@@ -1,0 +1,67 @@
+// Geographic Layout (paper, Section 5.2): "node identifiers are chosen
+// in a geographically informed manner. The main idea is to make
+// geographically closeby nodes form clusters in the overlay."
+//
+// Hosts live in one of 2^region_bits regions. With the geographic
+// layout, a node's identifier carries its region in the top bits, so
+// ring-adjacent nodes are usually co-located; with the random layout the
+// same hosts get uniform identifiers. RegionLatency prices links by
+// whether the *hosts* (not the identifiers) share a region.
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/directory.h"
+#include "sim/latency.h"
+#include "workload/population.h"
+
+namespace cam::workload {
+
+struct GeoSpec {
+  PopulationSpec base;
+  int region_bits = 3;  // 8 regions
+};
+
+/// Region of a host under the *geographic* layout: the identifier's top
+/// bits are the region by construction.
+std::uint32_t region_of_geo_id(const RingSpace& ring, Id id, int region_bits);
+
+/// Region of a host under the *random* layout: a deterministic hash of
+/// the identifier (the host's location does not influence placement).
+std::uint32_t region_of_random_id(Id id, int region_bits,
+                                  std::uint64_t seed);
+
+/// Population whose identifiers are geographically informed: each host
+/// draws a region, and its identifier's top region_bits encode it (the
+/// rest is random). Capacities U[cap_lo..cap_hi].
+NodeDirectory geographic_population(const GeoSpec& spec, std::uint32_t cap_lo,
+                                    std::uint32_t cap_hi);
+
+/// Two-tier link latency: intra-region links cost `intra_ms`, inter-
+/// region links `inter_ms` (plus deterministic per-pair jitter of up to
+/// 20%). The region of an endpoint comes from `geographic_ids` — true
+/// region prefixes, or the random-layout hash.
+class RegionLatency final : public LatencyModel {
+ public:
+  RegionLatency(RingSpace ring, int region_bits, bool geographic_ids,
+                SimTime intra_ms, SimTime inter_ms, std::uint64_t seed)
+      : ring_(ring),
+        region_bits_(region_bits),
+        geographic_ids_(geographic_ids),
+        intra_(intra_ms),
+        inter_(inter_ms),
+        seed_(seed) {}
+
+  SimTime latency(Id a, Id b) const override;
+
+ private:
+  std::uint32_t region(Id x) const;
+
+  RingSpace ring_;
+  int region_bits_;
+  bool geographic_ids_;
+  SimTime intra_, inter_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cam::workload

@@ -1,0 +1,123 @@
+#include "workload/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cam::workload {
+
+namespace {
+
+// Draws n distinct identifiers and per-node info from `make_info`.
+NodeDirectory build(const PopulationSpec& spec,
+                    const std::function<NodeInfo(Rng&)>& make_info) {
+  RingSpace ring(spec.ring_bits);
+  if (spec.n > ring.size() / 2) {
+    throw std::invalid_argument(
+        "population too dense for the identifier space");
+  }
+  NodeDirectory dir(ring);
+  Rng rng(spec.seed);
+  while (dir.size() < spec.n) {
+    Id id = rng.next_below(ring.size());
+    NodeInfo info = make_info(rng);
+    dir.add(id, info);  // collision: draw again (info stream stays aligned
+                        // per accepted node, which is all determinism needs)
+  }
+  return dir;
+}
+
+double uniform_bw(const PopulationSpec& spec, Rng& rng) {
+  return spec.bw_lo_kbps +
+         rng.next_double() * (spec.bw_hi_kbps - spec.bw_lo_kbps);
+}
+
+}  // namespace
+
+NodeDirectory uniform_capacity_population(const PopulationSpec& spec,
+                                          std::uint32_t cap_lo,
+                                          std::uint32_t cap_hi) {
+  if (cap_lo > cap_hi || cap_lo == 0) {
+    throw std::invalid_argument("invalid capacity range");
+  }
+  return build(spec, [&](Rng& rng) {
+    NodeInfo info;
+    info.capacity = static_cast<std::uint32_t>(rng.uniform(cap_lo, cap_hi));
+    info.bandwidth_kbps = uniform_bw(spec, rng);
+    return info;
+  });
+}
+
+NodeDirectory bandwidth_derived_population(const PopulationSpec& spec,
+                                           double per_link_kbps,
+                                           std::uint32_t min_cap) {
+  if (per_link_kbps <= 0) {
+    throw std::invalid_argument("per-link bandwidth must be positive");
+  }
+  return build(spec, [&](Rng& rng) {
+    NodeInfo info;
+    info.bandwidth_kbps = uniform_bw(spec, rng);
+    auto c = static_cast<std::uint32_t>(
+        std::floor(info.bandwidth_kbps / per_link_kbps));
+    info.capacity = std::max(c, min_cap);
+    return info;
+  });
+}
+
+NodeDirectory constant_capacity_population(const PopulationSpec& spec,
+                                           std::uint32_t c) {
+  if (c == 0) throw std::invalid_argument("capacity must be positive");
+  return build(spec, [&](Rng& rng) {
+    NodeInfo info;
+    info.capacity = c;
+    info.bandwidth_kbps = uniform_bw(spec, rng);
+    return info;
+  });
+}
+
+NodeDirectory bimodal_capacity_population(const PopulationSpec& spec,
+                                          std::uint32_t cap_lo,
+                                          std::uint32_t cap_hi,
+                                          double fraction_high) {
+  if (cap_lo == 0 || cap_lo > cap_hi || fraction_high < 0 ||
+      fraction_high > 1) {
+    throw std::invalid_argument("invalid bimodal parameters");
+  }
+  return build(spec, [&](Rng& rng) {
+    NodeInfo info;
+    info.capacity = rng.chance(fraction_high) ? cap_hi : cap_lo;
+    info.bandwidth_kbps = uniform_bw(spec, rng);
+    return info;
+  });
+}
+
+NodeDirectory zipf_capacity_population(const PopulationSpec& spec,
+                                       std::uint32_t cap_lo,
+                                       std::uint32_t cap_hi, double alpha) {
+  if (cap_lo == 0 || cap_lo > cap_hi || alpha < 0) {
+    throw std::invalid_argument("invalid zipf parameters");
+  }
+  // Precompute the CDF over the support.
+  std::vector<double> cdf;
+  cdf.reserve(cap_hi - cap_lo + 1);
+  double acc = 0;
+  for (std::uint32_t c = cap_lo; c <= cap_hi; ++c) {
+    acc += 1.0 / std::pow(static_cast<double>(c - cap_lo + 1), alpha);
+    cdf.push_back(acc);
+  }
+  return build(spec, [&, cdf = std::move(cdf), acc](Rng& rng) {
+    double u = rng.next_double() * acc;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    auto idx = static_cast<std::uint32_t>(it - cdf.begin());
+    NodeInfo info;
+    info.capacity = cap_lo + idx;
+    info.bandwidth_kbps = uniform_bw(spec, rng);
+    return info;
+  });
+}
+
+}  // namespace cam::workload

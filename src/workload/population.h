@@ -1,0 +1,66 @@
+// Population generators matching the paper's Section 6 setup:
+//
+//   "The identifier space is [0, 2^19). ... the default size of a
+//    multicast group is 100,000, and the node capacities are taken from
+//    [4..10] with uniform probability. The upload bandwidth of nodes are
+//    randomly distributed in a default range of [400,1000] kbps. In our
+//    simulation, c_x = floor(B_x / p), where B_x is the node's upload
+//    bandwidth and p is a system parameter."
+//
+// Three capacity models:
+//   * uniform_capacity   — c_x ~ U[lo..hi]            (Figures 9, 10, 11)
+//   * bandwidth_derived  — c_x = floor(B_x / p)       (Figures 6, 7, 8)
+//   * constant_capacity  — c_x = c for every node     (capacity-unaware
+//                          baselines: same structure regardless of B_x)
+//
+// Identifiers are drawn uniformly at random without collision; all
+// generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/directory.h"
+
+namespace cam::workload {
+
+struct PopulationSpec {
+  std::size_t n = 100'000;
+  int ring_bits = 19;        // identifier space [0, 2^19)
+  double bw_lo_kbps = 400;   // upload bandwidth range
+  double bw_hi_kbps = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// c_x ~ U[cap_lo .. cap_hi].
+NodeDirectory uniform_capacity_population(const PopulationSpec& spec,
+                                          std::uint32_t cap_lo,
+                                          std::uint32_t cap_hi);
+
+/// c_x = floor(B_x / per_link_kbps), clamped to at least `min_cap`
+/// (CAM-Koorde requires c_x >= 4; the paper's default ranges start at 4).
+NodeDirectory bandwidth_derived_population(const PopulationSpec& spec,
+                                           double per_link_kbps,
+                                           std::uint32_t min_cap = 4);
+
+/// c_x = c for every node — the capacity-unaware baseline populations.
+NodeDirectory constant_capacity_population(const PopulationSpec& spec,
+                                           std::uint32_t c);
+
+/// Bimodal capacities: a `fraction_high` share of "supernodes" with
+/// capacity `cap_hi`, the rest at `cap_lo` — cable-modem vs. campus
+/// hosts. Theorems 1 and 3 cover arbitrary capacity distributions; the
+/// abl_capacity_dist bench compares tree shapes across distributions
+/// with equal mean.
+NodeDirectory bimodal_capacity_population(const PopulationSpec& spec,
+                                          std::uint32_t cap_lo,
+                                          std::uint32_t cap_hi,
+                                          double fraction_high);
+
+/// Zipf-like capacities over [cap_lo .. cap_hi]: P(c) proportional to
+/// 1 / (c - cap_lo + 1)^alpha — many weak nodes, a heavy-ish tail of
+/// strong ones.
+NodeDirectory zipf_capacity_population(const PopulationSpec& spec,
+                                       std::uint32_t cap_lo,
+                                       std::uint32_t cap_hi, double alpha);
+
+}  // namespace cam::workload

@@ -1,0 +1,138 @@
+#include "proto/async_camkoorde.h"
+
+#include <gtest/gtest.h>
+
+#include "multicast/metrics.h"
+#include "overlay/directory.h"
+#include "util/rng.h"
+
+namespace cam::proto {
+namespace {
+
+struct Fixture {
+  RingSpace ring{16};
+  Simulator sim;
+  UniformLatency lat{5, 25, 8};
+  Network net{sim, lat};
+  HostBus bus{net};
+  AsyncCamKoordeNet overlay{ring, bus};
+  Rng rng{777};
+
+  NodeInfo info(std::uint32_t lo = 4, std::uint32_t hi = 10) {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(lo, hi)),
+                    400 + rng.next_double() * 600};
+  }
+
+  void grow(std::size_t n) {
+    Id first = rng.next_below(ring.size());
+    overlay.bootstrap(first, info());
+    overlay.run_for(500);
+    while (overlay.size() < n) {
+      Id id = rng.next_below(ring.size());
+      if (overlay.running(id)) continue;
+      auto members = overlay.members_sorted();
+      overlay.spawn(id, info(), members[rng.next_below(members.size())]);
+      overlay.run_for(300);
+    }
+    settle();
+  }
+
+  void settle(SimTime budget_ms = 180'000) {
+    SimTime deadline = sim.now() + budget_ms;
+    while (sim.now() < deadline) {
+      overlay.run_for(2'000);
+      if (overlay.ring_consistency() == 1.0) return;
+    }
+  }
+};
+
+TEST(AsyncCamKoorde, PacedJoinsConvergeToOneRing) {
+  Fixture fx;
+  fx.grow(50);
+  EXPECT_DOUBLE_EQ(fx.overlay.ring_consistency(), 1.0);
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_TRUE(fx.overlay.node(id).joined());
+  }
+}
+
+TEST(AsyncCamKoorde, LookupsResolveCorrectlyAfterConvergence) {
+  Fixture fx;
+  fx.grow(50);
+  fx.overlay.run_for(60'000);  // fix timers refresh the de Bruijn links
+  NodeDirectory truth(fx.ring);
+  for (Id id : fx.overlay.members_sorted()) {
+    truth.add(id, fx.overlay.node(id).info());
+  }
+  int correct = 0;
+  const int kQueries = 100;
+  for (int q = 0; q < kQueries; ++q) {
+    Id from = truth.random_node(fx.rng);
+    Id k = fx.rng.next_below(fx.ring.size());
+    LookupResult r = fx.overlay.lookup_blocking(from, k);
+    if (r.ok && r.owner == *truth.responsible(k)) ++correct;
+  }
+  EXPECT_EQ(correct, kQueries);
+}
+
+TEST(AsyncCamKoorde, FloodingMulticastReachesEveryoneWhenConverged) {
+  Fixture fx;
+  fx.grow(50);
+  fx.overlay.run_for(60'000);
+  Id source = fx.overlay.members_sorted()[9];
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+  // Flood children are bounded by the out-neighbor set, hence by c_x.
+  EXPECT_EQ(capacity_violations(tree, [&](Id x) {
+              return fx.overlay.node(x).info().capacity;
+            }),
+            0u);
+}
+
+TEST(AsyncCamKoorde, DupCheckControlTrafficPrecedesPayloads) {
+  Fixture fx;
+  fx.grow(40);
+  fx.overlay.run_for(60'000);
+  auto before_ctrl =
+      fx.net.stats().messages[static_cast<int>(MsgClass::kControl)];
+  auto before_data =
+      fx.net.stats().messages[static_cast<int>(MsgClass::kData)];
+  MulticastTree tree = fx.overlay.multicast(fx.overlay.members_sorted()[0]);
+  auto ctrl = fx.net.stats().messages[static_cast<int>(MsgClass::kControl)] -
+              before_ctrl;
+  auto data = fx.net.stats().messages[static_cast<int>(MsgClass::kData)] -
+              before_data;
+  // Every flood edge pays a dup-check round trip; only fresh targets get
+  // the payload (Section 4.3's "short control packet" economy).
+  EXPECT_GE(ctrl, 2 * data);
+  EXPECT_GE(data, tree.size() - 1);
+}
+
+TEST(AsyncCamKoorde, FloodingSurvivesCrashesBetterThanRegionTrees) {
+  Fixture fx;
+  fx.grow(50);
+  fx.overlay.run_for(60'000);
+  auto members = fx.overlay.members_sorted();
+  for (std::size_t i = 0; i < members.size(); i += 10) {
+    fx.overlay.crash(members[i]);
+  }
+  // Flooding routes around losses: delivery right after the crashes is
+  // still (near-)complete, unlike CAM-Chord's delegated regions.
+  Id source = fx.overlay.members_sorted().front();
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_GE(tree.size(), fx.overlay.size() * 9 / 10);
+}
+
+TEST(AsyncCamKoorde, CrashesRepairedByTimeouts) {
+  Fixture fx;
+  fx.grow(40);
+  fx.overlay.run_for(30'000);
+  auto members = fx.overlay.members_sorted();
+  for (std::size_t i = 0; i < members.size(); i += 5) {
+    fx.overlay.crash(members[i]);
+  }
+  fx.settle(400'000);
+  EXPECT_DOUBLE_EQ(fx.overlay.ring_consistency(), 1.0);
+}
+
+}  // namespace
+}  // namespace cam::proto

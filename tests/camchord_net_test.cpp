@@ -1,0 +1,220 @@
+#include "camchord/net.h"
+
+#include <gtest/gtest.h>
+
+#include "camchord/oracle.h"
+#include "multicast/metrics.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace cam::camchord {
+namespace {
+
+struct Fixture {
+  RingSpace ring{16};
+  Simulator sim;
+  ConstantLatency lat{1.0};
+  Network net{sim, lat};
+  CamChordNet overlay{ring, net};
+  Rng rng{99};
+
+  // Builds an overlay of n members via the join protocol.
+  void grow(std::size_t n, std::uint32_t cap_lo = 4, std::uint32_t cap_hi = 10) {
+    Id first = rng.next_below(ring.size());
+    overlay.bootstrap(first, info(cap_lo, cap_hi));
+    while (overlay.size() < n) {
+      Id id = rng.next_below(ring.size());
+      if (overlay.contains(id)) continue;
+      auto members = overlay.members_sorted();
+      Id via = members[rng.next_below(members.size())];
+      ASSERT_TRUE(overlay.join(id, info(cap_lo, cap_hi), via));
+      // A couple of stabilization rounds between arrivals, as the Chord
+      // protocol would run periodically.
+      overlay.stabilize_all();
+    }
+    overlay.converge();
+  }
+
+  NodeInfo info(std::uint32_t lo, std::uint32_t hi) {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(lo, hi)),
+                    400 + rng.next_double() * 600};
+  }
+
+  // Ground truth directory of the current membership.
+  NodeDirectory truth() {
+    NodeDirectory dir(ring);
+    for (Id id : overlay.members_sorted()) dir.add(id, overlay.info(id));
+    return dir;
+  }
+};
+
+TEST(CamChordNet, BootstrapSingleton) {
+  Fixture fx;
+  fx.overlay.bootstrap(42, {.capacity = 4, .bandwidth_kbps = 500});
+  EXPECT_EQ(fx.overlay.size(), 1u);
+  EXPECT_EQ(fx.overlay.successor(42), 42u);
+  auto r = fx.overlay.lookup(42, 7);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.owner, 42u);
+}
+
+TEST(CamChordNet, JoinsConvergeToCorrectRing) {
+  Fixture fx;
+  fx.grow(60);
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_EQ(fx.overlay.successor(id), *truth.successor_of(id)) << id;
+    ASSERT_TRUE(fx.overlay.predecessor(id).has_value());
+    EXPECT_EQ(*fx.overlay.predecessor(id), *truth.predecessor_of(id)) << id;
+  }
+}
+
+TEST(CamChordNet, ConvergedLookupMatchesDirectory) {
+  Fixture fx;
+  fx.grow(80);
+  NodeDirectory truth = fx.truth();
+  for (int t = 0; t < 200; ++t) {
+    Id from = truth.random_node(fx.rng);
+    Id k = fx.rng.next_below(fx.ring.size());
+    auto r = fx.overlay.lookup(from, k);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, *truth.responsible(k));
+  }
+}
+
+TEST(CamChordNet, ConvergedEntriesMatchOracle) {
+  Fixture fx;
+  fx.grow(50);
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    auto idents = neighbor_identifiers(fx.ring, fx.overlay.info(id).capacity, id);
+    const auto& entries = fx.overlay.entries(id);
+    ASSERT_EQ(entries.size(), idents.size());
+    for (std::size_t i = 0; i < idents.size(); ++i) {
+      EXPECT_EQ(entries[i], *truth.responsible(idents[i]))
+          << "node " << id << " ident " << idents[i];
+    }
+  }
+}
+
+TEST(CamChordNet, MulticastCoversEveryoneOnConvergedOverlay) {
+  Fixture fx;
+  fx.grow(120);
+  NodeDirectory truth = fx.truth();
+  Id source = truth.random_node(fx.rng);
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+  EXPECT_EQ(tree.duplicate_deliveries(), 0u);
+  EXPECT_EQ(capacity_violations(
+                tree, [&](Id x) { return fx.overlay.info(x).capacity; }),
+            0u);
+}
+
+TEST(CamChordNet, MulticastMatchesOracleTreeWhenConverged) {
+  Fixture fx;
+  fx.grow(60);
+  FrozenDirectory f = fx.truth().freeze();
+  Id source = f.ids()[5];
+  MulticastTree protocol_tree = fx.overlay.multicast(source);
+  MulticastTree oracle_tree =
+      multicast(fx.ring, f, test::capacity_fn(f), source);
+  ASSERT_EQ(protocol_tree.size(), oracle_tree.size());
+  for (Id id : f.ids()) {
+    ASSERT_TRUE(protocol_tree.delivered(id));
+    EXPECT_EQ(protocol_tree.record_of(id)->parent,
+              oracle_tree.record_of(id)->parent)
+        << id;
+  }
+}
+
+TEST(CamChordNet, GracefulLeaveKeepsRingCorrect) {
+  Fixture fx;
+  fx.grow(50);
+  auto members = fx.overlay.members_sorted();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.overlay.leave(members[static_cast<std::size_t>(i) * 3]));
+  }
+  fx.overlay.converge();
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_EQ(fx.overlay.successor(id), *truth.successor_of(id));
+  }
+  Id from = truth.random_node(fx.rng);
+  for (int t = 0; t < 50; ++t) {
+    Id k = fx.rng.next_below(fx.ring.size());
+    auto r = fx.overlay.lookup(from, k);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, *truth.responsible(k));
+  }
+}
+
+TEST(CamChordNet, AbruptFailuresRepairedByStabilization) {
+  Fixture fx;
+  fx.grow(100);
+  workload::fail_random_fraction(fx.overlay, 0.2, fx.rng);
+  fx.overlay.converge();
+  NodeDirectory truth = fx.truth();
+  for (int t = 0; t < 100; ++t) {
+    Id from = truth.random_node(fx.rng);
+    Id k = fx.rng.next_below(fx.ring.size());
+    auto r = fx.overlay.lookup(from, k);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, *truth.responsible(k));
+  }
+  Id source = truth.random_node(fx.rng);
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+}
+
+TEST(CamChordNet, MulticastDegradesGracefullyBeforeRepair) {
+  Fixture fx;
+  fx.grow(150);
+  std::size_t before = fx.overlay.size();
+  workload::fail_random_fraction(fx.overlay, 0.1, fx.rng);
+  // No repair rounds: stale tables lose some deliveries but most of the
+  // group is still reached through backup paths.
+  Id source = fx.overlay.members_sorted().front();
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_GT(tree.size(), fx.overlay.size() / 2);
+  EXPECT_LE(tree.size(), before);
+}
+
+TEST(CamChordNet, OracleFillMatchesConvergedState) {
+  Fixture fx;
+  fx.grow(40);
+  // Snapshot converged entries, then oracle_fill and compare.
+  std::vector<std::vector<Id>> converged;
+  auto members = fx.overlay.members_sorted();
+  converged.reserve(members.size());
+  for (Id id : members) converged.push_back(fx.overlay.entries(id));
+  fx.overlay.oracle_fill();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(fx.overlay.entries(members[i]), converged[i]) << members[i];
+  }
+}
+
+TEST(CamChordNet, JoinRejectsDuplicateAndLowCapacity) {
+  Fixture fx;
+  fx.overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  EXPECT_FALSE(fx.overlay.join(10, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  EXPECT_FALSE(fx.overlay.join(11, {.capacity = 1, .bandwidth_kbps = 1}, 10));
+  EXPECT_FALSE(fx.overlay.join(12, {.capacity = 4, .bandwidth_kbps = 1}, 99));
+}
+
+TEST(CamChordNet, MaintenanceTrafficIsAccounted) {
+  Fixture fx;
+  fx.grow(30);
+  auto before = fx.net.stats();
+  EXPECT_GT(before.messages[static_cast<int>(MsgClass::kMaintenance)], 0u);
+  EXPECT_GT(before.messages[static_cast<int>(MsgClass::kControl)], 0u);
+  Id source = fx.overlay.members_sorted().front();
+  (void)fx.overlay.multicast(source);
+  auto after = fx.net.stats();
+  EXPECT_EQ(after.messages[static_cast<int>(MsgClass::kData)] -
+                before.messages[static_cast<int>(MsgClass::kData)],
+            fx.overlay.size() - 1);
+}
+
+}  // namespace
+}  // namespace cam::camchord

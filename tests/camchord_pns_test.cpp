@@ -1,0 +1,102 @@
+#include "camchord/pns.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cam::camchord {
+namespace {
+
+using test::make_population;
+
+TEST(CamChordPns, TimedLookupMatchesPlainLookup) {
+  NodeDirectory dir = make_population(400, 16, 4, 10);
+  FrozenDirectory f = dir.freeze();
+  UniformLatency lat(5, 80, 3);
+  Rng rng(9);
+  for (int t = 0; t < 100; ++t) {
+    Id from = f.ids()[rng.next_below(f.size())];
+    Id k = rng.next_below(f.ring().size());
+    TimedLookup timed = lookup_timed(f.ring(), f, lat, from, k);
+    ASSERT_TRUE(timed.result.ok);
+    EXPECT_EQ(timed.result.owner, *f.responsible(k));
+    // Latency equals the sum over the path edges.
+    SimTime sum = 0;
+    for (std::size_t i = 1; i < timed.result.path.size(); ++i) {
+      sum += lat.latency(timed.result.path[i - 1], timed.result.path[i]);
+    }
+    EXPECT_DOUBLE_EQ(timed.total_latency_ms, sum);
+  }
+}
+
+TEST(CamChordPns, PnsLookupResolvesCorrectly) {
+  NodeDirectory dir = make_population(600, 16, 4, 10);
+  FrozenDirectory f = dir.freeze();
+  TorusLatency lat(5, 100, 11);
+  Rng rng(13);
+  for (int t = 0; t < 300; ++t) {
+    Id from = f.ids()[rng.next_below(f.size())];
+    Id k = rng.next_below(f.ring().size());
+    TimedLookup pns = lookup_pns(f.ring(), f, lat, from, k);
+    ASSERT_TRUE(pns.result.ok) << "from=" << from << " k=" << k;
+    EXPECT_EQ(pns.result.owner, *f.responsible(k))
+        << "from=" << from << " k=" << k;
+  }
+}
+
+TEST(CamChordPns, PnsReducesLatencyOnGeographicModel) {
+  NodeDirectory dir = make_population(800, 16, 8, 8);
+  FrozenDirectory f = dir.freeze();
+  TorusLatency lat(5, 100, 17);
+  Rng rng(19);
+  double plain_ms = 0, pns_ms = 0;
+  for (int t = 0; t < 200; ++t) {
+    Id from = f.ids()[rng.next_below(f.size())];
+    Id k = rng.next_below(f.ring().size());
+    plain_ms += lookup_timed(f.ring(), f, lat, from, k).total_latency_ms;
+    pns_ms += lookup_pns(f.ring(), f, lat, from, k).total_latency_ms;
+  }
+  EXPECT_LT(pns_ms, plain_ms);
+}
+
+TEST(CamChordPns, PnsHopsStayWithinPlainLookupScale) {
+  // PNS trades identifier progress for latency, but any segment member
+  // still clears the designated neighbor, so hop counts stay in the same
+  // O(log n / log c) regime.
+  NodeDirectory dir = make_population(800, 16, 8, 8);
+  FrozenDirectory f = dir.freeze();
+  TorusLatency lat(5, 100, 23);
+  Rng rng(29);
+  double plain_hops = 0, pns_hops = 0;
+  for (int t = 0; t < 200; ++t) {
+    Id from = f.ids()[rng.next_below(f.size())];
+    Id k = rng.next_below(f.ring().size());
+    plain_hops += static_cast<double>(
+        lookup_timed(f.ring(), f, lat, from, k).result.hops());
+    pns_hops += static_cast<double>(
+        lookup_pns(f.ring(), f, lat, from, k).result.hops());
+  }
+  EXPECT_LE(pns_hops, 2.0 * plain_hops + 200);
+}
+
+TEST(CamChordPns, SingletonAndTinyRings) {
+  NodeDirectory dir{RingSpace(8)};
+  dir.add(7, {.capacity = 4, .bandwidth_kbps = 1});
+  FrozenDirectory f1 = dir.freeze();
+  ConstantLatency lat(1.0);
+  auto r = lookup_pns(f1.ring(), f1, lat, 7, 200);
+  ASSERT_TRUE(r.result.ok);
+  EXPECT_EQ(r.result.owner, 7u);
+
+  dir.add(100, {.capacity = 4, .bandwidth_kbps = 1});
+  FrozenDirectory f2 = dir.freeze();
+  for (Id k = 0; k < f2.ring().size(); k += 3) {
+    auto r2 = lookup_pns(f2.ring(), f2, lat, 7, k);
+    ASSERT_TRUE(r2.result.ok);
+    EXPECT_EQ(r2.result.owner, *f2.responsible(k)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cam::camchord

@@ -1,0 +1,86 @@
+// Unit tests of the imaginary-identifier derivation behind CAM-Koorde's
+// LOOKUP (Section 4.2): availability rules per capacity, bit accounting,
+// and the ps-common growth invariant the routing relies on.
+#include <gtest/gtest.h>
+
+#include "camkoorde/neighbor_math.h"
+#include "util/rng.h"
+
+namespace cam::camkoorde {
+namespace {
+
+TEST(Derivation, BasicGroupAlwaysConsumesOneBit) {
+  RingSpace r(10);
+  // c = 4: only the basic group exists; every step shifts exactly 1 bit.
+  for (Id cursor : {0u, 1u, 513u, 1023u}) {
+    for (Id k : {7u, 256u, 1022u}) {
+      if (ps_common_bits(r, cursor, k) >= r.bits()) continue;
+      Derivation d = choose_derivation(r, 4, cursor, k);
+      EXPECT_EQ(d.shift, 1);
+      EXPECT_LE(d.high, 1u);
+    }
+  }
+}
+
+TEST(Derivation, WidestAvailableGroupWins) {
+  RingSpace r(12);
+  // c = 12: s = 3, second group t = 8 (3 bits), third t' = 0.
+  // Needed bits 0..7 fit the second group -> 3-bit steps.
+  Id cursor = 0;  // ps-common with k=... l = trailing matches of 0-prefix
+  Id k = 0b101101;  // l = ps_common(0, k): top bits of 0 are 0s; bottom l
+                    // bits of k must be 0 -> l = 0 here (k odd).
+  ASSERT_EQ(ps_common_bits(r, cursor, k), 0);
+  Derivation d = choose_derivation(r, 12, cursor, k);
+  // Second group (s=3): needed = k & 0b111 = 0b101 = 5 < t=8.
+  EXPECT_EQ(d.shift, 3);
+  EXPECT_EQ(d.high, 5u);
+}
+
+TEST(Derivation, ThirdGroupPreferredWhenItsBitsFit) {
+  RingSpace r(12);
+  // c = 10: s = 2, t = 4 (2 bits), t' = 2, s' = 3 (3 bits, high < 2).
+  Id cursor = 0;
+  // Next 3 bits of k are 0b001 = 1 < t' = 2: third group applies.
+  Id k = 0b001;
+  ASSERT_EQ(ps_common_bits(r, cursor, k), 0);
+  Derivation d = choose_derivation(r, 10, cursor, k);
+  EXPECT_EQ(d.shift, 3);
+  EXPECT_EQ(d.high, 1u);
+  // Next 3 bits 0b111 = 7 >= t' = 2, but 2 bits 0b11 = 3 < t = 4: second.
+  Id k2 = 0b111;
+  Derivation d2 = choose_derivation(r, 10, cursor, k2);
+  EXPECT_EQ(d2.shift, 2);
+  EXPECT_EQ(d2.high, 3u);
+}
+
+TEST(Derivation, PsCommonGrowsByShiftEveryStep) {
+  // The termination argument of the lookup: each derivation adds at
+  // least `shift` matched bits. Property-checked over random walks.
+  RingSpace r(14);
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto c = static_cast<std::uint32_t>(rng.uniform(4, 40));
+    Id cursor = rng.next_below(r.size());
+    Id k = rng.next_below(r.size());
+    int guard = 0;
+    while (ps_common_bits(r, cursor, k) < r.bits()) {
+      int l = ps_common_bits(r, cursor, k);
+      Derivation d = choose_derivation(r, c, cursor, k);
+      ASSERT_GE(d.shift, 1);
+      cursor = apply_derivation(r, cursor, d);
+      ASSERT_GE(ps_common_bits(r, cursor, k), l + d.shift);
+      ASSERT_LT(++guard, r.bits() + 1) << "did not terminate";
+    }
+    EXPECT_EQ(cursor, k);  // full match means the cursor IS the target
+  }
+}
+
+TEST(Derivation, AppliedDerivationMatchesShiftInHigh) {
+  RingSpace r(10);
+  Derivation d{3, 5};
+  EXPECT_EQ(apply_derivation(r, 0b1111111111, d),
+            r.shift_in_high(0b1111111111, 3, 5));
+}
+
+}  // namespace
+}  // namespace cam::camkoorde

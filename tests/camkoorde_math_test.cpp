@@ -1,0 +1,123 @@
+#include "camkoorde/neighbor_math.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "camkoorde/oracle.h"
+#include "overlay/directory.h"
+#include "util/rng.h"
+
+namespace cam::camkoorde {
+namespace {
+
+TEST(CamKoordeMath, ShiftSAndGroupSizes) {
+  EXPECT_EQ(shift_s(4), 0);
+  EXPECT_EQ(shift_s(5), 0);   // log2(1)
+  EXPECT_EQ(shift_s(6), 1);   // log2(2)
+  EXPECT_EQ(shift_s(7), 1);   // log2(3)
+  EXPECT_EQ(shift_s(8), 2);   // log2(4)
+  EXPECT_EQ(shift_s(10), 2);  // log2(6)
+  EXPECT_EQ(shift_s(12), 3);  // log2(8)
+  EXPECT_EQ(shift_s(20), 4);  // log2(16)
+
+  EXPECT_EQ(second_group_size(4), 0u);
+  EXPECT_EQ(second_group_size(5), 0u);   // s = 0, not > 1
+  EXPECT_EQ(second_group_size(6), 0u);   // s = 1, not > 1
+  EXPECT_EQ(second_group_size(8), 4u);   // s = 2 -> t = 4
+  EXPECT_EQ(second_group_size(10), 4u);
+  EXPECT_EQ(second_group_size(12), 8u);
+}
+
+TEST(CamKoordeMath, Figure4Example) {
+  // Node 36 (100100), b = 6, capacity 10:
+  //   basic (identifier part): 18 (010010), 50 (110010)
+  //   second group: 9, 25, 41, 57
+  //   third group: 4, 12
+  RingSpace r(6);
+  auto ids = shift_identifiers(r, 10, 36);
+  EXPECT_EQ(ids, (std::vector<Id>{18, 50, 9, 25, 41, 57, 4, 12}));
+}
+
+TEST(CamKoordeMath, CapacityFourHasOnlyBasicGroup) {
+  RingSpace r(6);
+  auto ids = shift_identifiers(r, 4, 36);
+  EXPECT_EQ(ids, (std::vector<Id>{18, 50}));
+}
+
+TEST(CamKoordeMath, IdentifierCountIsCapacityMinusTwo) {
+  // pred + succ + (c - 2) derived identifiers = exactly c neighbors.
+  RingSpace r(19);
+  for (std::uint32_t c = 4; c <= 64; ++c) {
+    auto ids = shift_identifiers(r, c, 123456 % r.size());
+    EXPECT_EQ(ids.size(), c - 2) << "c=" << c;
+  }
+}
+
+TEST(CamKoordeMath, NeighborsSpreadAcrossTheRing) {
+  // The paper's motivation for right shifts: neighbor identifiers differ
+  // in the *high-order* bits and therefore spread evenly on the ring.
+  // Check: for c = 2^s + 4 with s > 1, the second group hits every
+  // 2^{b-s}-sized sector of the ring exactly once.
+  RingSpace r(12);
+  std::uint32_t c = 20;  // s = 4, t = 16
+  Id x = 1234;
+  auto ids = shift_identifiers(r, c, x);
+  std::set<std::uint64_t> sectors;
+  // ids[2..2+16): the second group.
+  for (int i = 2; i < 18; ++i) sectors.insert(ids[static_cast<std::size_t>(i)] >> (12 - 4));
+  EXPECT_EQ(sectors.size(), 16u);
+}
+
+TEST(CamKoordeMath, AllIdentifiersInRing) {
+  RingSpace r(10);
+  Rng rng(4);
+  for (int t = 0; t < 2000; ++t) {
+    std::uint32_t c = static_cast<std::uint32_t>(rng.uniform(4, 40));
+    Id x = rng.next_below(r.size());
+    for (Id ident : shift_identifiers(r, c, x)) {
+      EXPECT_LT(ident, r.size());
+    }
+  }
+}
+
+TEST(CamKoordeMath, ResolvedNeighborsRespectCapacity) {
+  RingSpace ring(12);
+  NodeDirectory dir(ring);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    dir.add(rng.next_below(ring.size()),
+            {.capacity = static_cast<std::uint32_t>(rng.uniform(4, 20)),
+             .bandwidth_kbps = 1});
+  }
+  FrozenDirectory f = dir.freeze();
+  for (Id x : f.ids()) {
+    std::uint32_t c = f.info(x).capacity;
+    auto nbrs = resolved_neighbors(ring, f, c, x);
+    EXPECT_LE(nbrs.size(), c);
+    std::set<Id> uniq(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(uniq.size(), nbrs.size()) << "duplicates for " << x;
+    EXPECT_EQ(uniq.count(x), 0u) << "self-loop for " << x;
+  }
+}
+
+TEST(CamKoordeMath, ResolvedNeighborsIncludeRingLinks) {
+  RingSpace ring(12);
+  NodeDirectory dir(ring);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    dir.add(rng.next_below(ring.size()), {.capacity = 4, .bandwidth_kbps = 1});
+  }
+  FrozenDirectory f = dir.freeze();
+  for (Id x : f.ids()) {
+    auto nbrs = resolved_neighbors(ring, f, 4, x);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), *f.predecessor_of(x)),
+              nbrs.end());
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), *f.successor_of(x)),
+              nbrs.end());
+  }
+}
+
+}  // namespace
+}  // namespace cam::camkoorde

@@ -1,0 +1,159 @@
+#include "camkoorde/net.h"
+
+#include <gtest/gtest.h>
+
+#include "camkoorde/oracle.h"
+#include "multicast/metrics.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace cam::camkoorde {
+namespace {
+
+struct Fixture {
+  RingSpace ring{16};
+  Simulator sim;
+  ConstantLatency lat{1.0};
+  Network net{sim, lat};
+  CamKoordeNet overlay{ring, net};
+  Rng rng{111};
+
+  void grow(std::size_t n, std::uint32_t cap_lo = 4, std::uint32_t cap_hi = 10) {
+    Id first = rng.next_below(ring.size());
+    overlay.bootstrap(first, info(cap_lo, cap_hi));
+    while (overlay.size() < n) {
+      Id id = rng.next_below(ring.size());
+      if (overlay.contains(id)) continue;
+      auto members = overlay.members_sorted();
+      Id via = members[rng.next_below(members.size())];
+      ASSERT_TRUE(overlay.join(id, info(cap_lo, cap_hi), via));
+      overlay.stabilize_all();
+    }
+    overlay.converge();
+  }
+
+  NodeInfo info(std::uint32_t lo, std::uint32_t hi) {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(lo, hi)),
+                    400 + rng.next_double() * 600};
+  }
+
+  NodeDirectory truth() {
+    NodeDirectory dir(ring);
+    for (Id id : overlay.members_sorted()) dir.add(id, overlay.info(id));
+    return dir;
+  }
+};
+
+TEST(CamKoordeNet, JoinsConvergeToCorrectRing) {
+  Fixture fx;
+  fx.grow(60);
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_EQ(fx.overlay.successor(id), *truth.successor_of(id)) << id;
+    ASSERT_TRUE(fx.overlay.predecessor(id).has_value());
+    EXPECT_EQ(*fx.overlay.predecessor(id), *truth.predecessor_of(id)) << id;
+  }
+}
+
+TEST(CamKoordeNet, ConvergedLookupMatchesDirectory) {
+  Fixture fx;
+  fx.grow(80);
+  NodeDirectory truth = fx.truth();
+  for (int t = 0; t < 200; ++t) {
+    Id from = truth.random_node(fx.rng);
+    Id k = fx.rng.next_below(fx.ring.size());
+    auto r = fx.overlay.lookup(from, k);
+    ASSERT_TRUE(r.ok) << "from=" << from << " k=" << k;
+    EXPECT_EQ(r.owner, *truth.responsible(k)) << "from=" << from << " k=" << k;
+  }
+}
+
+TEST(CamKoordeNet, ConvergedEntriesMatchOracle) {
+  Fixture fx;
+  fx.grow(50);
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    auto idents = shift_identifiers(fx.ring, fx.overlay.info(id).capacity, id);
+    const auto& entries = fx.overlay.entries(id);
+    ASSERT_EQ(entries.size(), idents.size());
+    for (std::size_t i = 0; i < idents.size(); ++i) {
+      EXPECT_EQ(entries[i], *truth.responsible(idents[i]))
+          << "node " << id << " ident " << idents[i];
+    }
+  }
+}
+
+TEST(CamKoordeNet, NeighborSetRespectsCapacity) {
+  Fixture fx;
+  fx.grow(70);
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_LE(fx.overlay.neighbors_of(id).size(),
+              fx.overlay.info(id).capacity);
+  }
+}
+
+TEST(CamKoordeNet, MulticastCoversEveryoneOnConvergedOverlay) {
+  Fixture fx;
+  fx.grow(120);
+  Id source = fx.overlay.members_sorted()[7];
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+  EXPECT_EQ(capacity_violations(
+                tree, [&](Id x) { return fx.overlay.info(x).capacity; }),
+            0u);
+}
+
+TEST(CamKoordeNet, MulticastMatchesOracleCoverage) {
+  Fixture fx;
+  fx.grow(60);
+  FrozenDirectory f = fx.truth().freeze();
+  Id source = f.ids()[3];
+  MulticastTree protocol_tree = fx.overlay.multicast(source);
+  MulticastTree oracle_tree =
+      multicast(fx.ring, f, test::capacity_fn(f), source);
+  EXPECT_EQ(protocol_tree.size(), oracle_tree.size());
+}
+
+TEST(CamKoordeNet, AbruptFailuresRepairedByStabilization) {
+  Fixture fx;
+  fx.grow(100);
+  workload::fail_random_fraction(fx.overlay, 0.15, fx.rng);
+  fx.overlay.converge();
+  NodeDirectory truth = fx.truth();
+  for (int t = 0; t < 100; ++t) {
+    Id from = truth.random_node(fx.rng);
+    Id k = fx.rng.next_below(fx.ring.size());
+    auto r = fx.overlay.lookup(from, k);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, *truth.responsible(k));
+  }
+  Id source = truth.random_node(fx.rng);
+  MulticastTree tree = fx.overlay.multicast(source);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+}
+
+TEST(CamKoordeNet, GracefulLeaveKeepsRingCorrect) {
+  Fixture fx;
+  fx.grow(50);
+  auto members = fx.overlay.members_sorted();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.overlay.leave(members[static_cast<std::size_t>(i) * 4]));
+  }
+  fx.overlay.converge();
+  NodeDirectory truth = fx.truth();
+  for (Id id : fx.overlay.members_sorted()) {
+    EXPECT_EQ(fx.overlay.successor(id), *truth.successor_of(id));
+  }
+}
+
+TEST(CamKoordeNet, RejectsCapacityBelowFour) {
+  Fixture fx;
+  fx.overlay.bootstrap(5, {.capacity = 4, .bandwidth_kbps = 1});
+  EXPECT_FALSE(fx.overlay.join(6, {.capacity = 3, .bandwidth_kbps = 1}, 5));
+  EXPECT_THROW(fx.overlay.bootstrap(7, {.capacity = 2, .bandwidth_kbps = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cam::camkoorde

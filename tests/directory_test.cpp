@@ -1,0 +1,124 @@
+#include "overlay/directory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace cam {
+namespace {
+
+TEST(NodeDirectory, AddRemoveContains) {
+  NodeDirectory dir{RingSpace(5)};
+  EXPECT_TRUE(dir.empty());
+  EXPECT_TRUE(dir.add(3, {.capacity = 4, .bandwidth_kbps = 500}));
+  EXPECT_FALSE(dir.add(3, {.capacity = 9, .bandwidth_kbps = 900}));
+  EXPECT_TRUE(dir.contains(3));
+  EXPECT_EQ(dir.info(3).capacity, 4u);  // first add wins
+  EXPECT_TRUE(dir.remove(3));
+  EXPECT_FALSE(dir.remove(3));
+  EXPECT_TRUE(dir.empty());
+}
+
+TEST(NodeDirectory, ResponsibleWrapsAroundRing) {
+  NodeDirectory dir{RingSpace(5)};
+  dir.add(5, {});
+  dir.add(20, {});
+  EXPECT_EQ(dir.responsible(5), 5u);
+  EXPECT_EQ(dir.responsible(6), 20u);
+  EXPECT_EQ(dir.responsible(20), 20u);
+  EXPECT_EQ(dir.responsible(21), 5u);  // wraps past N-1
+  EXPECT_EQ(dir.responsible(0), 5u);
+}
+
+TEST(NodeDirectory, SuccessorIsStrictlyAfter) {
+  NodeDirectory dir{RingSpace(5)};
+  dir.add(5, {});
+  dir.add(20, {});
+  EXPECT_EQ(dir.successor_of(5), 20u);
+  EXPECT_EQ(dir.successor_of(20), 5u);
+  EXPECT_EQ(dir.successor_of(6), 20u);
+}
+
+TEST(NodeDirectory, PredecessorIsStrictlyBefore) {
+  NodeDirectory dir{RingSpace(5)};
+  dir.add(5, {});
+  dir.add(20, {});
+  EXPECT_EQ(dir.predecessor_of(5), 20u);
+  EXPECT_EQ(dir.predecessor_of(20), 5u);
+  EXPECT_EQ(dir.predecessor_of(21), 20u);
+  EXPECT_EQ(dir.predecessor_of(0), 20u);
+}
+
+TEST(NodeDirectory, SingleNodeIsItsOwnNeighborhood) {
+  NodeDirectory dir{RingSpace(5)};
+  dir.add(7, {});
+  EXPECT_EQ(dir.responsible(7), 7u);
+  EXPECT_EQ(dir.responsible(8), 7u);
+  EXPECT_EQ(dir.successor_of(7), 7u);
+  EXPECT_EQ(dir.predecessor_of(7), 7u);
+}
+
+TEST(NodeDirectory, EmptyReturnsNullopt) {
+  NodeDirectory dir{RingSpace(5)};
+  EXPECT_FALSE(dir.responsible(3).has_value());
+  EXPECT_FALSE(dir.successor_of(3).has_value());
+  EXPECT_FALSE(dir.predecessor_of(3).has_value());
+}
+
+TEST(NodeDirectory, RandomNodeCoversMembership) {
+  NodeDirectory dir{RingSpace(8)};
+  for (Id id : {3u, 60u, 200u}) dir.add(id, {});
+  Rng rng(1);
+  std::set<Id> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(dir.random_node(rng));
+  EXPECT_EQ(seen, (std::set<Id>{3, 60, 200}));
+}
+
+TEST(FrozenDirectory, MatchesLiveDirectory) {
+  RingSpace ring(10);
+  NodeDirectory dir(ring);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    dir.add(rng.next_below(ring.size()),
+            {.capacity = static_cast<std::uint32_t>(rng.uniform(4, 10)),
+             .bandwidth_kbps = 400});
+  }
+  FrozenDirectory frozen = dir.freeze();
+  EXPECT_EQ(frozen.size(), dir.size());
+  for (Id k = 0; k < ring.size(); ++k) {
+    ASSERT_EQ(frozen.responsible(k), dir.responsible(k)) << k;
+    ASSERT_EQ(frozen.successor_of(k), dir.successor_of(k)) << k;
+    ASSERT_EQ(frozen.predecessor_of(k), dir.predecessor_of(k)) << k;
+  }
+  for (Id id : frozen.ids()) {
+    EXPECT_TRUE(frozen.contains(id));
+    EXPECT_EQ(frozen.info(id).capacity, dir.info(id).capacity);
+    EXPECT_EQ(frozen.ids()[frozen.index_of(id)], id);
+  }
+  EXPECT_FALSE(frozen.contains(ring.size() - 1) &&
+               !dir.contains(ring.size() - 1));
+}
+
+TEST(FrozenDirectory, ResponsibleIndexWraps) {
+  RingSpace ring(5);
+  NodeDirectory dir(ring);
+  dir.add(5, {});
+  dir.add(20, {});
+  FrozenDirectory f = dir.freeze();
+  EXPECT_EQ(f.responsible_index(21), 0u);  // wraps to the smallest id
+  EXPECT_EQ(f.ids()[f.responsible_index(21)], 5u);
+}
+
+TEST(NodeDirectory, RejectsOutOfSpaceIds) {
+  NodeDirectory dir{RingSpace(5)};
+#ifndef NDEBUG
+  EXPECT_DEATH((void)dir.add(32, {}), "");
+#else
+  GTEST_SKIP() << "assertions disabled";
+#endif
+}
+
+}  // namespace
+}  // namespace cam

@@ -1,0 +1,104 @@
+#include "workload/geography.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+
+#include "camchord/oracle.h"
+#include "test_util.h"
+
+namespace cam::workload {
+namespace {
+
+TEST(Geography, GeoIdsCarryTheirRegionInTopBits) {
+  GeoSpec spec;
+  spec.base.n = 500;
+  spec.base.ring_bits = 16;
+  spec.region_bits = 3;
+  NodeDirectory dir = geographic_population(spec, 4, 10);
+  EXPECT_EQ(dir.size(), 500u);
+  // Regions are populated roughly evenly.
+  std::array<int, 8> count{};
+  for (Id id : dir.sorted_ids()) {
+    auto r = region_of_geo_id(dir.ring(), id, 3);
+    ASSERT_LT(r, 8u);
+    ++count[r];
+  }
+  for (int c : count) EXPECT_GT(c, 30);
+}
+
+TEST(Geography, RandomRegionIsDeterministicAndBounded) {
+  for (Id id : {0u, 17u, 65535u}) {
+    auto r1 = region_of_random_id(id, 3, 9);
+    auto r2 = region_of_random_id(id, 3, 9);
+    EXPECT_EQ(r1, r2);
+    EXPECT_LT(r1, 8u);
+    EXPECT_NE(region_of_random_id(id, 3, 9),
+              region_of_random_id(id + 1, 3, 9) ^ 0xFF00u);  // in range
+  }
+}
+
+TEST(Geography, RegionLatencyTiersAndSymmetry) {
+  RingSpace ring(16);
+  RegionLatency lat(ring, 3, /*geographic=*/true, 10, 80, 5);
+  // Same top-3-bits region: intra tier.
+  Id a = 0x1000, b = 0x1F00;  // both region 0
+  EXPECT_LT(lat.latency(a, b), 10 * 1.2 + 1e-9);
+  EXPECT_GE(lat.latency(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(lat.latency(a, b), lat.latency(b, a));
+  // Different regions: inter tier.
+  Id c = 0xE000;  // region 7
+  EXPECT_GE(lat.latency(a, c), 80.0);
+}
+
+TEST(Geography, GeographicLayoutCutsMulticastLatency) {
+  const int kRegionBits = 3;
+  GeoSpec gspec;
+  gspec.base.n = 1500;
+  gspec.base.ring_bits = 16;
+  gspec.base.seed = 21;
+  gspec.region_bits = kRegionBits;
+
+  auto mean_delivery = [&](const FrozenDirectory& dir, bool geo) {
+    RegionLatency lat(dir.ring(), kRegionBits, geo, 10, 80, 21);
+    auto cap = [&dir](Id x) { return dir.info(x).capacity; };
+    MulticastTree tree =
+        camchord::multicast(dir.ring(), dir, cap, dir.ids()[0]);
+    // Arrival time = sum of edge latencies along the parent chain.
+    std::unordered_map<Id, double> arrive;
+    arrive[tree.source()] = 0;
+    std::function<double(Id)> time_of = [&](Id x) -> double {
+      auto it = arrive.find(x);
+      if (it != arrive.end()) return it->second;
+      Id p = tree.record_of(x)->parent;
+      return arrive[x] = time_of(p) + lat.latency(p, x);
+    };
+    double total = 0;
+    for (const auto& [node, rec] : tree.entries()) {
+      if (node != tree.source()) total += time_of(node);
+    }
+    return total / static_cast<double>(tree.size() - 1);
+  };
+
+  FrozenDirectory geo_dir = geographic_population(gspec, 4, 10).freeze();
+  FrozenDirectory rnd_dir =
+      uniform_capacity_population(gspec.base, 4, 10).freeze();
+  double geo_ms = mean_delivery(geo_dir, true);
+  double rnd_ms = mean_delivery(rnd_dir, false);
+  EXPECT_LT(geo_ms, rnd_ms);
+}
+
+TEST(Geography, RejectsBadParameters) {
+  GeoSpec spec;
+  spec.base.n = 10;
+  spec.base.ring_bits = 8;
+  spec.region_bits = 8;  // must be < ring bits
+  EXPECT_THROW(geographic_population(spec, 4, 10), std::invalid_argument);
+  spec.region_bits = 2;
+  EXPECT_THROW(geographic_population(spec, 10, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cam::workload

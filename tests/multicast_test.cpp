@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "multicast/flood.h"
+#include "multicast/metrics.h"
+#include "multicast/tree.h"
+
+namespace cam {
+namespace {
+
+TEST(MulticastTree, SourceIsDeliveredAtDepthZero) {
+  MulticastTree tree(5);
+  EXPECT_TRUE(tree.delivered(5));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.record_of(5)->depth, 0);
+}
+
+TEST(MulticastTree, RecordAndDuplicates) {
+  MulticastTree tree(1);
+  EXPECT_TRUE(tree.record(1, 2, 1));
+  EXPECT_TRUE(tree.record(1, 3, 1));
+  EXPECT_FALSE(tree.record(3, 2, 2));  // duplicate delivery
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.duplicate_deliveries(), 1u);
+  EXPECT_EQ(tree.record_of(2)->parent, 1u);  // first delivery wins
+}
+
+TEST(MulticastTree, ChildrenCounts) {
+  MulticastTree tree(1);
+  tree.record(1, 2, 1);
+  tree.record(1, 3, 1);
+  tree.record(3, 4, 2);
+  auto counts = tree.children_counts();
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.at(3), 1u);
+  EXPECT_EQ(counts.count(2), 0u);  // leaf absent
+  EXPECT_EQ(counts.count(4), 0u);
+}
+
+TEST(Metrics, ComputeOnHandBuiltTree) {
+  // Tree: 1 -> {2, 3}; 3 -> {4, 5}; 4 -> {6}.
+  MulticastTree tree(1);
+  tree.record(1, 2, 1, 1.0);
+  tree.record(1, 3, 1, 1.5);
+  tree.record(3, 4, 2, 3.0);
+  tree.record(3, 5, 2, 3.0);
+  tree.record(4, 6, 3, 4.0);
+  TreeMetrics m = compute_metrics(tree);
+  EXPECT_EQ(m.nodes, 6u);
+  EXPECT_EQ(m.internal_nodes, 3u);
+  EXPECT_EQ(m.leaf_nodes, 3u);
+  EXPECT_EQ(m.max_depth, 3);
+  EXPECT_EQ(m.max_children, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_path_length, (1 + 1 + 2 + 2 + 3) / 5.0);
+  EXPECT_DOUBLE_EQ(m.avg_children_nonleaf, (2 + 2 + 1) / 3.0);
+  ASSERT_EQ(m.depth_histogram.size(), 4u);
+  EXPECT_EQ(m.depth_histogram[0], 1u);
+  EXPECT_EQ(m.depth_histogram[1], 2u);
+  EXPECT_EQ(m.depth_histogram[2], 2u);
+  EXPECT_EQ(m.depth_histogram[3], 1u);
+}
+
+TEST(Metrics, ThroughputIsWeakestLink) {
+  MulticastTree tree(1);
+  tree.record(1, 2, 1);
+  tree.record(1, 3, 1);
+  tree.record(3, 4, 2);
+  tree.record(3, 5, 2);
+  // Node 1: 1000 kbps over 2 children = 500/link; node 3: 600 over 2 =
+  // 300/link -> throughput 300.
+  auto bw = [](Id x) { return x == 1 ? 1000.0 : 600.0; };
+  EXPECT_DOUBLE_EQ(tree_throughput_kbps(tree, bw), 300.0);
+}
+
+TEST(Metrics, ThroughputOfSingletonIsZero) {
+  MulticastTree tree(1);
+  EXPECT_DOUBLE_EQ(tree_throughput_kbps(tree, [](Id) { return 100.0; }), 0.0);
+}
+
+TEST(Metrics, CapacityViolations) {
+  MulticastTree tree(1);
+  tree.record(1, 2, 1);
+  tree.record(1, 3, 1);
+  tree.record(1, 4, 1);
+  EXPECT_EQ(capacity_violations(tree, [](Id) { return std::uint32_t{3}; }), 0u);
+  EXPECT_EQ(capacity_violations(tree, [](Id) { return std::uint32_t{2}; }), 1u);
+}
+
+TEST(Flood, CoversConnectedDigraph) {
+  // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}, 3 -> {0}: one suppressed check on
+  // the second edge into 3 (or a duplicate-free race), one into 0.
+  auto neighbors = [](Id x) -> std::vector<Id> {
+    switch (x) {
+      case 0: return {1, 2};
+      case 1: return {3};
+      case 2: return {3};
+      case 3: return {0};
+    }
+    return {};
+  };
+  MulticastTree tree = flood(neighbors, 0);
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_EQ(tree.duplicate_deliveries(), 0u);
+  EXPECT_EQ(tree.suppressed_forwards(), 2u);
+  EXPECT_EQ(tree.record_of(3)->depth, 2);
+}
+
+TEST(Flood, IsReceivingCheckSuppressesSlowRace) {
+  // 0 -> 1 is slow; 0 -> 2 -> 1 would be faster overall. Node 1 is
+  // already *receiving* from 0 when 2 tries to forward, so — per the
+  // paper's Section 4.3 check — 2's forward is suppressed and 1 keeps
+  // the slow transfer from 0.
+  auto neighbors = [](Id x) -> std::vector<Id> {
+    switch (x) {
+      case 0: return {1, 2};
+      case 2: return {1};
+    }
+    return {};
+  };
+  class EdgeLatency final : public LatencyModel {
+   public:
+    SimTime latency(Id a, Id b) const override {
+      if ((a == 0 && b == 1) || (a == 1 && b == 0)) return 10.0;
+      return 1.0;
+    }
+  };
+  EdgeLatency lat;
+  MulticastTree timed = flood(neighbors, 0, lat);
+  EXPECT_EQ(timed.record_of(1)->parent, 0u);
+  EXPECT_EQ(timed.record_of(1)->depth, 1);
+  EXPECT_DOUBLE_EQ(timed.record_of(1)->time, 10.0);
+  EXPECT_EQ(timed.suppressed_forwards(), 1u);
+  EXPECT_EQ(timed.duplicate_deliveries(), 0u);
+
+  MulticastTree unit = flood(neighbors, 0);
+  EXPECT_EQ(unit.record_of(1)->parent, 0u);
+  EXPECT_EQ(unit.record_of(1)->depth, 1);
+}
+
+TEST(Flood, InFlightSuppressionPreventsDuplicateSends) {
+  // Both 1 and 2 forward to 3 at the same instant; only the first send
+  // goes through, the second is suppressed while in flight.
+  auto neighbors = [](Id x) -> std::vector<Id> {
+    switch (x) {
+      case 0: return {1, 2};
+      case 1: return {3};
+      case 2: return {3};
+    }
+    return {};
+  };
+  MulticastTree tree = flood(neighbors, 0);
+  EXPECT_EQ(tree.duplicate_deliveries(), 0u);
+  EXPECT_EQ(tree.suppressed_forwards(), 1u);
+  EXPECT_EQ(tree.record_of(3)->parent, 1u);  // deterministic tie-break
+}
+
+TEST(Flood, UnreachableNodesAreNotDelivered) {
+  auto neighbors = [](Id x) -> std::vector<Id> {
+    if (x == 0) return {1};
+    return {};
+  };
+  MulticastTree tree = flood(neighbors, 0);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_FALSE(tree.delivered(9));
+}
+
+}  // namespace
+}  // namespace cam

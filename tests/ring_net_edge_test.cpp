@@ -1,0 +1,104 @@
+// Edge cases of the shared protocol-mode machinery (overlay/ring_net.h):
+// tiny rings, duplicate bootstraps, leave-to-empty, self-healing of the
+// two-node ring, and message accounting of graceful departures.
+#include <gtest/gtest.h>
+
+#include "camchord/net.h"
+#include "camkoorde/net.h"
+
+namespace cam {
+namespace {
+
+struct Env {
+  RingSpace ring{12};
+  Simulator sim;
+  ConstantLatency lat{1.0};
+  Network net{sim, lat};
+};
+
+TEST(RingNetEdge, DuplicateBootstrapThrows) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(5, {.capacity = 4, .bandwidth_kbps = 1});
+  EXPECT_THROW(overlay.bootstrap(5, {.capacity = 4, .bandwidth_kbps = 1}),
+               std::invalid_argument);
+}
+
+TEST(RingNetEdge, TwoNodeRingClosesViaStabilize) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(100, {.capacity = 4, .bandwidth_kbps = 1});
+  ASSERT_TRUE(overlay.join(200, {.capacity = 4, .bandwidth_kbps = 1}, 100));
+  overlay.converge();
+  EXPECT_EQ(overlay.successor(100), 200u);
+  EXPECT_EQ(overlay.successor(200), 100u);
+  EXPECT_EQ(*overlay.predecessor(100), 200u);
+  EXPECT_EQ(*overlay.predecessor(200), 100u);
+  MulticastTree t = overlay.multicast(100);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(RingNetEdge, LeaveDownToSingleton) {
+  Env env;
+  camkoorde::CamKoordeNet overlay(env.ring, env.net);
+  overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  ASSERT_TRUE(overlay.join(20, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  ASSERT_TRUE(overlay.join(30, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  overlay.converge();
+  EXPECT_TRUE(overlay.leave(20));
+  EXPECT_TRUE(overlay.leave(30));
+  overlay.converge();
+  EXPECT_EQ(overlay.size(), 1u);
+  EXPECT_EQ(overlay.successor(10), 10u);
+  auto r = overlay.lookup(10, 3000);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.owner, 10u);
+}
+
+TEST(RingNetEdge, FailLastOtherNodeLeavesConsistentSingleton) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  ASSERT_TRUE(overlay.join(99, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  overlay.converge();
+  ASSERT_TRUE(overlay.fail(99));
+  overlay.converge();
+  EXPECT_EQ(overlay.successor(10), 10u);
+  MulticastTree t = overlay.multicast(10);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RingNetEdge, LeaveNonMemberAndFailNonMemberAreNoops) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  EXPECT_FALSE(overlay.leave(11));
+  EXPECT_FALSE(overlay.fail(11));
+  EXPECT_EQ(overlay.size(), 1u);
+}
+
+TEST(RingNetEdge, GracefulLeaveNotifiesNeighbors) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  ASSERT_TRUE(overlay.join(20, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  ASSERT_TRUE(overlay.join(30, {.capacity = 4, .bandwidth_kbps = 1}, 10));
+  overlay.converge();
+  auto before = env.net.stats().messages[static_cast<int>(MsgClass::kControl)];
+  ASSERT_TRUE(overlay.leave(20));
+  auto after = env.net.stats().messages[static_cast<int>(MsgClass::kControl)];
+  EXPECT_GE(after - before, 2u);  // handover to pred and succ
+  // Ring is immediately intact (graceful departure links pred <-> succ).
+  EXPECT_EQ(overlay.successor(10), 30u);
+  EXPECT_EQ(*overlay.predecessor(30), 10u);
+}
+
+TEST(RingNetEdge, JoinViaDeadContactFails) {
+  Env env;
+  camchord::CamChordNet overlay(env.ring, env.net);
+  overlay.bootstrap(10, {.capacity = 4, .bandwidth_kbps = 1});
+  EXPECT_FALSE(overlay.join(20, {.capacity = 4, .bandwidth_kbps = 1}, 999));
+}
+
+}  // namespace
+}  // namespace cam

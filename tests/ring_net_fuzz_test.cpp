@@ -1,0 +1,149 @@
+// Randomized churn fuzzing of the protocol-mode overlays: interleaved
+// joins, graceful leaves, abrupt failures, and partial maintenance, with
+// invariants checked mid-flight (weak) and after convergence (strong).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "camchord/net.h"
+#include "camkoorde/net.h"
+#include "multicast/metrics.h"
+#include "util/rng.h"
+
+namespace cam {
+namespace {
+
+enum class Sys { kCamChord, kCamKoorde };
+
+struct FuzzParam {
+  Sys sys;
+  std::uint64_t seed;
+  std::uint32_t cap_lo, cap_hi;
+};
+
+class RingNetFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+std::unique_ptr<RingOverlayNet> make_net(Sys sys, RingSpace ring,
+                                         Network& net) {
+  if (sys == Sys::kCamChord) {
+    return std::make_unique<camchord::CamChordNet>(ring, net);
+  }
+  return std::make_unique<camkoorde::CamKoordeNet>(ring, net);
+}
+
+TEST_P(RingNetFuzz, InvariantsSurviveRandomChurn) {
+  const FuzzParam p = GetParam();
+  RingSpace ring(16);
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  auto overlay = make_net(p.sys, ring, net);
+  Rng rng(p.seed);
+
+  auto info = [&] {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(p.cap_lo, p.cap_hi)),
+                    400 + rng.next_double() * 600};
+  };
+
+  overlay->bootstrap(rng.next_below(ring.size()), info());
+  // Seed membership.
+  while (overlay->size() < 60) {
+    Id id = rng.next_below(ring.size());
+    if (overlay->contains(id)) continue;
+    auto members = overlay->members_sorted();
+    (void)overlay->join(id, info(), members[rng.next_below(members.size())]);
+    if (overlay->size() % 6 == 0) overlay->stabilize_all();
+  }
+  overlay->converge();
+
+  // 120 random operations with occasional maintenance.
+  for (int op = 0; op < 120; ++op) {
+    auto members = overlay->members_sorted();
+    double dice = rng.next_double();
+    if (dice < 0.40) {  // join
+      Id id = rng.next_below(ring.size());
+      if (!overlay->contains(id)) {
+        (void)overlay->join(id, info(),
+                            members[rng.next_below(members.size())]);
+      }
+    } else if (dice < 0.60 && overlay->size() > 20) {  // graceful leave
+      overlay->leave(members[rng.next_below(members.size())]);
+    } else if (dice < 0.75 && overlay->size() > 20) {  // abrupt failure
+      overlay->fail(members[rng.next_below(members.size())]);
+    } else if (dice < 0.95) {  // partial maintenance
+      overlay->stabilize_all();
+    } else {  // weak mid-flight invariants on a multicast
+      Id source = members[rng.next_below(members.size())];
+      if (overlay->contains(source)) {
+        MulticastTree tree = overlay->multicast(source);
+        EXPECT_LE(tree.size(), overlay->size());
+        EXPECT_EQ(capacity_violations(
+                      tree,
+                      [&](Id x) { return overlay->info(x).capacity; }),
+                  0u);
+      }
+    }
+  }
+
+  // Nodes cut off from the main ring (dead contacts, or joins served by
+  // a node that was itself cut off) need the out-of-band bootstrap
+  // path — periodic reconciliation against a trusted contact, like any
+  // deployed DHT.
+  auto partitions = overlay->ring_partitions();
+  ASSERT_FALSE(partitions.empty());
+  if (partitions.size() > 1) {
+    overlay->heal_partitions(partitions.front().front());
+  }
+
+  // Strong invariants after convergence.
+  int rounds = overlay->converge(128);
+  EXPECT_LE(rounds, 128) << "did not converge";
+  EXPECT_TRUE(overlay->isolated_members().empty());
+  EXPECT_EQ(overlay->ring_partitions().size(), 1u);
+
+  NodeDirectory truth(ring);
+  for (Id id : overlay->members_sorted()) truth.add(id, overlay->info(id));
+  for (Id id : overlay->members_sorted()) {
+    ASSERT_EQ(overlay->successor(id), *truth.successor_of(id)) << id;
+  }
+  for (int t = 0; t < 60; ++t) {
+    Id from = truth.random_node(rng);
+    Id k = rng.next_below(ring.size());
+    LookupResult r = overlay->lookup(from, k);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, *truth.responsible(k)) << "from=" << from << " k=" << k;
+  }
+  Id source = truth.random_node(rng);
+  MulticastTree tree = overlay->multicast(source);
+  EXPECT_EQ(tree.size(), overlay->size());
+  EXPECT_EQ(tree.duplicate_deliveries(), 0u);
+}
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> out;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    out.push_back({Sys::kCamChord, seed, 4, 10});
+    out.push_back({Sys::kCamKoorde, seed, 4, 10});
+  }
+  out.push_back({Sys::kCamChord, 6, 2, 3});   // minimum CAM-Chord capacity
+  out.push_back({Sys::kCamChord, 7, 20, 40});
+  out.push_back({Sys::kCamKoorde, 8, 4, 4});  // minimum CAM-Koorde capacity
+  out.push_back({Sys::kCamKoorde, 9, 20, 40});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, RingNetFuzz,
+                         ::testing::ValuesIn(fuzz_params()),
+                         [](const auto& info) {
+                           const FuzzParam& p = info.param;
+                           return std::string(p.sys == Sys::kCamChord
+                                                  ? "CamChord"
+                                                  : "CamKoorde") +
+                                  "seed" + std::to_string(p.seed) + "c" +
+                                  std::to_string(p.cap_lo) + "to" +
+                                  std::to_string(p.cap_hi);
+                         });
+
+}  // namespace
+}  // namespace cam

@@ -1,0 +1,109 @@
+// Directed tests of the partition diagnostics and healing APIs
+// (overlay/ring_net.h): ring_partitions, isolated_members,
+// rejoin_isolated, heal_partitions.
+#include <gtest/gtest.h>
+
+#include "camchord/net.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace cam {
+namespace {
+
+struct Fixture {
+  RingSpace ring{16};
+  Simulator sim;
+  ConstantLatency lat{1.0};
+  Network net{sim, lat};
+  camchord::CamChordNet overlay{ring, net};
+  Rng rng{5};
+
+  void grow(std::size_t n) {
+    overlay.bootstrap(rng.next_below(ring.size()),
+                      {.capacity = 4, .bandwidth_kbps = 500});
+    workload::join_random(overlay, n - 1, 4, 10, 400, 1000, rng);
+    overlay.converge();
+  }
+};
+
+TEST(RingPartitions, HealthyOverlayIsOneRing) {
+  Fixture fx;
+  fx.grow(40);
+  auto parts = fx.overlay.ring_partitions();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), fx.overlay.size());
+  EXPECT_TRUE(fx.overlay.isolated_members().empty());
+}
+
+TEST(RingPartitions, SingletonIsItsOwnRing) {
+  Fixture fx;
+  fx.overlay.bootstrap(7, {.capacity = 4, .bandwidth_kbps = 1});
+  auto parts = fx.overlay.ring_partitions();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], std::vector<Id>{7});
+  // A lone node is not "isolated" — there is nobody to be cut off from.
+  EXPECT_TRUE(fx.overlay.isolated_members().empty());
+}
+
+TEST(RingPartitions, SecondRingGrownFromSeparateBootstrapIsDetected) {
+  Fixture fx;
+  fx.grow(30);
+  // A second, disjoint universe: bootstrap + joins only via its members.
+  Id island0 = 0;
+  while (fx.overlay.contains(island0)) ++island0;
+  fx.overlay.bootstrap(island0, {.capacity = 4, .bandwidth_kbps = 500});
+  Id cursor = island0;
+  for (int i = 0; i < 5; ++i) {
+    Id id = fx.rng.next_below(fx.ring.size());
+    if (fx.overlay.contains(id)) continue;
+    ASSERT_TRUE(
+        fx.overlay.join(id, {.capacity = 4, .bandwidth_kbps = 500}, cursor));
+    cursor = id;
+  }
+  fx.overlay.stabilize_all();
+  fx.overlay.stabilize_all();
+
+  auto parts = fx.overlay.ring_partitions();
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_GT(parts[0].size(), parts[1].size());  // largest first
+
+  // Heal through a member of the big ring, then converge: one ring.
+  Id trusted = parts[0].front();
+  auto rejoined = fx.overlay.heal_partitions(trusted);
+  EXPECT_EQ(rejoined.size(), parts[1].size());
+  fx.overlay.converge();
+  EXPECT_EQ(fx.overlay.ring_partitions().size(), 1u);
+}
+
+TEST(RingPartitions, IsolatedMemberDetectedAndRejoined) {
+  Fixture fx;
+  fx.grow(30);
+  // Manufacture isolation: fail everything a victim points at is hard to
+  // arrange directly, so go the honest way — a fresh bootstrap node that
+  // never joined anyone is exactly an island.
+  Id island = 1;
+  while (fx.overlay.contains(island)) ++island;
+  fx.overlay.bootstrap(island, {.capacity = 4, .bandwidth_kbps = 500});
+  auto isolated = fx.overlay.isolated_members();
+  ASSERT_EQ(isolated.size(), 1u);
+  EXPECT_EQ(isolated[0], island);
+
+  auto members = fx.overlay.members_sorted();
+  Id via = members[0] == island ? members[1] : members[0];
+  auto rejoined = fx.overlay.rejoin_isolated(via);
+  ASSERT_EQ(rejoined.size(), 1u);
+  fx.overlay.converge();
+  EXPECT_TRUE(fx.overlay.isolated_members().empty());
+  EXPECT_EQ(fx.overlay.ring_partitions().size(), 1u);
+}
+
+TEST(RingPartitions, HealWithDeadTrustedContactIsANoop) {
+  Fixture fx;
+  fx.grow(20);
+  Id ghost = 0;
+  while (fx.overlay.contains(ghost)) ++ghost;
+  EXPECT_TRUE(fx.overlay.heal_partitions(ghost).empty());
+}
+
+}  // namespace
+}  // namespace cam

@@ -1,0 +1,179 @@
+#include "ids/ring.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cam {
+namespace {
+
+TEST(RingSpace, SizeAndWrap) {
+  RingSpace r(5);
+  EXPECT_EQ(r.bits(), 5);
+  EXPECT_EQ(r.size(), 32u);
+  EXPECT_EQ(r.wrap(32), 0u);
+  EXPECT_EQ(r.wrap(33), 1u);
+  EXPECT_EQ(r.wrap(31), 31u);
+}
+
+TEST(RingSpace, AddSubWrapAround) {
+  RingSpace r(5);
+  EXPECT_EQ(r.add(30, 5), 3u);
+  EXPECT_EQ(r.sub(3, 5), 30u);
+  EXPECT_EQ(r.add(0, 0), 0u);
+  EXPECT_EQ(r.sub(0, 1), 31u);
+}
+
+TEST(RingSpace, ClockwiseIsSegmentSize) {
+  RingSpace r(5);
+  // Paper: the size of (x, y] is (y - x) mod N.
+  EXPECT_EQ(r.clockwise(3, 10), 7u);
+  EXPECT_EQ(r.clockwise(10, 3), 25u);
+  EXPECT_EQ(r.clockwise(7, 7), 0u);
+  EXPECT_EQ(r.clockwise(31, 0), 1u);
+}
+
+TEST(RingSpace, DistanceIsMinOfBothWays) {
+  RingSpace r(5);
+  EXPECT_EQ(r.distance(3, 10), 7u);
+  EXPECT_EQ(r.distance(10, 3), 7u);
+  EXPECT_EQ(r.distance(0, 31), 1u);
+  EXPECT_EQ(r.distance(0, 16), 16u);
+  EXPECT_EQ(r.distance(5, 5), 0u);
+}
+
+TEST(RingSpace, SegmentOpenClosed) {
+  RingSpace r(5);
+  // (3, 10]: starts at 4, ends at 10.
+  EXPECT_FALSE(r.in_oc(3, 3, 10));
+  EXPECT_TRUE(r.in_oc(4, 3, 10));
+  EXPECT_TRUE(r.in_oc(10, 3, 10));
+  EXPECT_FALSE(r.in_oc(11, 3, 10));
+  // Wrapping segment (30, 2].
+  EXPECT_TRUE(r.in_oc(31, 30, 2));
+  EXPECT_TRUE(r.in_oc(0, 30, 2));
+  EXPECT_TRUE(r.in_oc(2, 30, 2));
+  EXPECT_FALSE(r.in_oc(3, 30, 2));
+  EXPECT_FALSE(r.in_oc(30, 30, 2));
+  // Empty segment (x, x].
+  EXPECT_FALSE(r.in_oc(5, 5, 5));
+  EXPECT_FALSE(r.in_oc(6, 5, 5));
+}
+
+TEST(RingSpace, SegmentClosedOpenAndOpenOpen) {
+  RingSpace r(5);
+  EXPECT_TRUE(r.in_co(3, 3, 10));
+  EXPECT_FALSE(r.in_co(10, 3, 10));
+  EXPECT_FALSE(r.in_oo(3, 3, 10));
+  EXPECT_TRUE(r.in_oo(9, 3, 10));
+  EXPECT_FALSE(r.in_oo(10, 3, 10));
+  EXPECT_FALSE(r.in_oo(4, 3, 4));  // (3,4) is empty
+}
+
+TEST(RingSpace, SegmentPartitionProperty) {
+  // Every identifier is in exactly one of (x, m], (m, y] when m in (x, y].
+  RingSpace r(6);
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Id x = rng.next_below(64), y = rng.next_below(64);
+    if (x == y) continue;
+    Id m = r.add(x, 1 + rng.next_below(r.clockwise(x, y)));
+    for (Id k = 0; k < 64; ++k) {
+      bool whole = r.in_oc(k, x, y);
+      bool left = r.in_oc(k, x, m);
+      bool right = r.in_oc(k, m, y);
+      EXPECT_FALSE(left && right);
+      EXPECT_EQ(whole, left || right)
+          << "x=" << x << " m=" << m << " y=" << y << " k=" << k;
+    }
+  }
+}
+
+TEST(RingSpace, TopAndBottomBits) {
+  RingSpace r(6);
+  // 36 = 100100b.
+  EXPECT_EQ(r.top_bits(36, 0), 0u);
+  EXPECT_EQ(r.top_bits(36, 1), 1u);
+  EXPECT_EQ(r.top_bits(36, 3), 4u);   // 100b
+  EXPECT_EQ(r.top_bits(36, 6), 36u);
+  EXPECT_EQ(r.bottom_bits(36, 0), 0u);
+  EXPECT_EQ(r.bottom_bits(36, 2), 0u);
+  EXPECT_EQ(r.bottom_bits(36, 3), 4u);  // 100b
+  EXPECT_EQ(r.bottom_bits(36, 6), 36u);
+}
+
+TEST(RingSpace, ShiftInHigh) {
+  RingSpace r(6);
+  // Paper Figure 4: node 36 (100100).
+  EXPECT_EQ(r.shift_in_high(36, 1, 0), 18u);  // x/2
+  EXPECT_EQ(r.shift_in_high(36, 1, 1), 50u);  // 2^{b-1} + x/2
+  EXPECT_EQ(r.shift_in_high(36, 2, 0), 9u);
+  EXPECT_EQ(r.shift_in_high(36, 2, 1), 25u);
+  EXPECT_EQ(r.shift_in_high(36, 2, 2), 41u);
+  EXPECT_EQ(r.shift_in_high(36, 2, 3), 57u);
+  EXPECT_EQ(r.shift_in_high(36, 3, 0), 4u);
+  EXPECT_EQ(r.shift_in_high(36, 3, 1), 12u);
+  EXPECT_EQ(r.shift_in_high(36, 0, 0), 36u);
+}
+
+TEST(RingSpace, ShiftInLow) {
+  RingSpace r(6);
+  EXPECT_EQ(r.shift_in_low(36, 1, 0), r.wrap(72));      // 2x
+  EXPECT_EQ(r.shift_in_low(36, 1, 1), r.wrap(73));      // 2x+1
+  EXPECT_EQ(r.shift_in_low(36, 2, 3), r.wrap(36 * 4 + 3));
+  EXPECT_EQ(r.shift_in_low(5, 0, 0), 5u);
+}
+
+TEST(RingSpace, ShiftRoundTrip) {
+  // shift_in_high then reading top bits recovers the injected bits.
+  RingSpace r(10);
+  Rng rng(2);
+  for (int t = 0; t < 1000; ++t) {
+    Id x = rng.next_below(r.size());
+    int s = static_cast<int>(1 + rng.next_below(5));
+    std::uint64_t hi = rng.next_below(std::uint64_t{1} << s);
+    Id y = r.shift_in_high(x, s, hi);
+    EXPECT_EQ(r.top_bits(y, s), hi);
+    EXPECT_EQ(r.bottom_bits(y, r.bits() - s), x >> s);
+  }
+}
+
+TEST(PsCommonBits, Definition1Examples) {
+  RingSpace r(6);
+  // prefix of x matches suffix of k.
+  EXPECT_EQ(ps_common_bits(r, 36, 36), 6);  // equal ids share all bits
+  // x = 100100; k ending in ...1 matches prefix "1" (l=1).
+  EXPECT_GE(ps_common_bits(r, 36, 1), 1);
+  // x = 010010 (18): prefix(3) = 010; k = 100010 ends in 010 -> l >= 3.
+  EXPECT_GE(ps_common_bits(r, 18, 34), 3);
+}
+
+TEST(PsCommonBits, ZeroWhenNoOverlap) {
+  RingSpace r(4);
+  // x = 1000b: prefixes are 1, 10, 100, 1000. k = 0111b: suffixes 1, 11,
+  // 111, 0111. l=1: prefix 1 == suffix 1 -> at least 1.
+  EXPECT_EQ(ps_common_bits(r, 8, 7), 1);
+  // x = 1000b, k = 0110b: suffix bits 0,10,110,0110 vs prefix 1,10,100 ->
+  // l=2 matches (10 == 10).
+  EXPECT_EQ(ps_common_bits(r, 8, 6), 2);
+  // x = 0100b, k = 1011b: suffixes 1,11,011,1011; prefixes 0,01,010,0100.
+  EXPECT_EQ(ps_common_bits(r, 4, 11), 0);
+}
+
+TEST(PsCommonBits, MatchesBruteForce) {
+  RingSpace r(8);
+  Rng rng(3);
+  auto brute = [&](Id x, Id k) {
+    for (int l = r.bits(); l >= 1; --l) {
+      if ((x >> (r.bits() - l)) == (k & ((1u << l) - 1))) return l;
+    }
+    return 0;
+  };
+  for (int t = 0; t < 5000; ++t) {
+    Id x = rng.next_below(256), k = rng.next_below(256);
+    EXPECT_EQ(ps_common_bits(r, x, k), brute(x, k)) << x << " " << k;
+  }
+}
+
+}  // namespace
+}  // namespace cam

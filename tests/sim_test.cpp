@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace cam {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.after(1.0, [&] {
+      ++fired;
+      sim.after(1.0, [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, MaxEventsCap) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.at(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Latency, ConstantModel) {
+  ConstantLatency lat(2.5);
+  EXPECT_DOUBLE_EQ(lat.latency(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(lat.latency(7, 7), 2.5);  // constant ignores endpoints
+}
+
+TEST(Latency, UniformIsSymmetricDeterministicBounded) {
+  UniformLatency lat(10, 50, 99);
+  for (Id a = 0; a < 30; ++a) {
+    for (Id b = 0; b < 30; ++b) {
+      if (a == b) {
+        EXPECT_DOUBLE_EQ(lat.latency(a, b), 0.0);
+        continue;
+      }
+      double l1 = lat.latency(a, b);
+      EXPECT_GE(l1, 10.0);
+      EXPECT_LE(l1, 50.0);
+      EXPECT_DOUBLE_EQ(l1, lat.latency(b, a));
+      EXPECT_DOUBLE_EQ(l1, lat.latency(a, b));  // stable across calls
+    }
+  }
+}
+
+TEST(Latency, UniformVariesAcrossLinks) {
+  UniformLatency lat(0, 100, 1);
+  double l1 = lat.latency(1, 2);
+  double l2 = lat.latency(1, 3);
+  double l3 = lat.latency(2, 3);
+  EXPECT_FALSE(l1 == l2 && l2 == l3);
+}
+
+TEST(Latency, UniformSeedChangesDraws) {
+  UniformLatency a(0, 100, 1), b(0, 100, 2);
+  int equal = 0;
+  for (Id i = 0; i < 50; ++i) equal += (a.latency(i, i + 1) == b.latency(i, i + 1));
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Latency, TorusSymmetricAndAboveBase) {
+  TorusLatency lat(5, 100, 7);
+  for (Id a = 0; a < 20; ++a) {
+    for (Id b = a + 1; b < 20; ++b) {
+      double l = lat.latency(a, b);
+      EXPECT_GE(l, 5.0);
+      // max torus distance sqrt(0.5) ~ .707, +10% jitter, +base.
+      EXPECT_LE(l, 5.0 + 100 * 0.708 * 1.1);
+      EXPECT_DOUBLE_EQ(l, lat.latency(b, a));
+    }
+  }
+}
+
+TEST(Network, DeliversAfterLatencyAndCounts) {
+  Simulator sim;
+  ConstantLatency lat(3.0);
+  Network net(sim, lat);
+  double delivered_at = -1;
+  net.send(1, 2, 1000, [&] { delivered_at = sim.now(); }, MsgClass::kData);
+  net.send(1, 3, 64, [] {}, MsgClass::kControl);
+  net.send(1, 3, 64, [] {}, MsgClass::kMaintenance);
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 3.0);
+  EXPECT_EQ(net.stats().messages[static_cast<int>(MsgClass::kData)], 1u);
+  EXPECT_EQ(net.stats().bytes[static_cast<int>(MsgClass::kData)], 1000u);
+  EXPECT_EQ(net.stats().messages[static_cast<int>(MsgClass::kControl)], 1u);
+  EXPECT_EQ(net.stats().messages[static_cast<int>(MsgClass::kMaintenance)], 1u);
+  EXPECT_EQ(net.stats().total_messages(), 3u);
+  EXPECT_EQ(net.stats().total_bytes(), 1128u);
+}
+
+TEST(Network, ResetStatsZeroes) {
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  net.send(1, 2, 10, [] {});
+  net.reset_stats();
+  EXPECT_EQ(net.stats().total_messages(), 0u);
+  EXPECT_EQ(net.stats().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cam

@@ -1,0 +1,30 @@
+// Shared helpers for the test suite: small deterministic populations and
+// capacity accessors.
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/directory.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+namespace cam::test {
+
+/// Uniform-capacity population of n nodes on a 2^bits ring.
+inline NodeDirectory make_population(std::size_t n, int bits,
+                                     std::uint32_t cap_lo,
+                                     std::uint32_t cap_hi,
+                                     std::uint64_t seed = 42) {
+  workload::PopulationSpec spec;
+  spec.n = n;
+  spec.ring_bits = bits;
+  spec.seed = seed;
+  return workload::uniform_capacity_population(spec, cap_lo, cap_hi);
+}
+
+/// Capacity accessor over a frozen directory.
+inline auto capacity_fn(const FrozenDirectory& dir) {
+  return [&dir](Id x) { return dir.info(x).capacity; };
+}
+
+}  // namespace cam::test

@@ -1,0 +1,87 @@
+#include "util/intmath.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cam {
+namespace {
+
+TEST(IntMath, Ilog2Basics) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(UINT64_MAX), 63);
+}
+
+TEST(IntMath, IlogMatchesDefinition) {
+  // floor(log_base v): base^e <= v < base^{e+1}, checked exhaustively for
+  // small values and at power boundaries for large ones.
+  for (std::uint64_t base : {2ULL, 3ULL, 5ULL, 7ULL, 10ULL}) {
+    for (std::uint64_t v = 1; v <= 2000; ++v) {
+      int e = ilog(v, base);
+      EXPECT_LE(ipow_sat(base, static_cast<unsigned>(e)), v);
+      EXPECT_GT(ipow_sat(base, static_cast<unsigned>(e + 1)), v);
+    }
+  }
+}
+
+TEST(IntMath, IlogAtExactPowers) {
+  for (std::uint64_t base : {2ULL, 3ULL, 6ULL, 17ULL}) {
+    std::uint64_t p = 1;
+    for (int e = 0; p <= UINT64_MAX / base; ++e, p *= base) {
+      EXPECT_EQ(ilog(p, base), e) << "base=" << base << " p=" << p;
+      if (p > 1) {
+        EXPECT_EQ(ilog(p - 1, base), e - 1);
+      }
+    }
+  }
+}
+
+TEST(IntMath, IlogBase2Consistent) {
+  for (std::uint64_t v : {1ULL, 2ULL, 7ULL, 4096ULL, (1ULL << 19) - 1}) {
+    EXPECT_EQ(ilog(v, 2), ilog2(v));
+  }
+}
+
+TEST(IntMath, IpowSatExact) {
+  EXPECT_EQ(ipow_sat(3, 0), 1u);
+  EXPECT_EQ(ipow_sat(3, 4), 81u);
+  EXPECT_EQ(ipow_sat(2, 63), 1ULL << 63);
+  EXPECT_EQ(ipow_sat(10, 19), 10000000000000000000ULL);
+}
+
+TEST(IntMath, IpowSatSaturates) {
+  EXPECT_EQ(ipow_sat(2, 64), UINT64_MAX);
+  EXPECT_EQ(ipow_sat(10, 20), UINT64_MAX);
+  EXPECT_EQ(ipow_sat(UINT64_MAX, 2), UINT64_MAX);
+}
+
+TEST(IntMath, IpowZeroBase) {
+  EXPECT_EQ(ipow_sat(0, 0), 1u);
+  EXPECT_EQ(ipow_sat(0, 5), 0u);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(UINT64_MAX, 1), UINT64_MAX);
+}
+
+TEST(IntMath, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ULL << 62));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_FALSE(is_pow2((1ULL << 62) + 1));
+}
+
+}  // namespace
+}  // namespace cam

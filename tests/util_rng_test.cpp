@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cam {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.reseed(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.uniform(4, 10);
+    EXPECT_GE(v, 4u);
+    EXPECT_LE(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values of [4..10] hit in 2000 draws
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  // Chi-square over 16 buckets; crude but catches gross bias.
+  Rng rng(11);
+  constexpr int kBuckets = 16, kDraws = 160000;
+  std::array<int, kBuckets> count{};
+  for (int i = 0; i < kDraws; ++i) ++count[rng.next_below(kBuckets)];
+  double expected = double{kDraws} / kBuckets;
+  double chi2 = 0;
+  for (int c : count) chi2 += (c - expected) * (c - expected) / expected;
+  // 15 dof: p=0.001 critical value ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.next() == child.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Splitmix64, KnownSequenceAdvancesState) {
+  std::uint64_t s = 0;
+  std::uint64_t v1 = splitmix64(s);
+  std::uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(s, 2 * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+}  // namespace cam

@@ -1,0 +1,72 @@
+#include "util/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cam {
+namespace {
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  std::string msg(64, 'x');
+  Sha1 h;
+  h.update(msg);
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha1(msg)));
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha1 h;
+  for (char ch : msg) h.update(&ch, 1);
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha1(msg)));
+  EXPECT_EQ(to_hex(sha1(msg)), "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, ResetReusesHasher) {
+  Sha1 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Prefix64MatchesDigestPrefix) {
+  Sha1Digest d = sha1("node-17");
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[i];
+  EXPECT_EQ(sha1_prefix64("node-17"), expect);
+}
+
+TEST(Sha1, Prefix64SpreadsInputs) {
+  // Different host names land far apart — basic placement sanity.
+  std::uint64_t a = sha1_prefix64("host-a");
+  std::uint64_t b = sha1_prefix64("host-b");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cam

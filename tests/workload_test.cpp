@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "camchord/net.h"
+#include "workload/churn.h"
+#include "workload/population.h"
+
+namespace cam::workload {
+namespace {
+
+TEST(Population, UniformCapacityInRangeAndDeterministic) {
+  PopulationSpec spec;
+  spec.n = 500;
+  spec.ring_bits = 16;
+  spec.seed = 3;
+  NodeDirectory a = uniform_capacity_population(spec, 4, 10);
+  NodeDirectory b = uniform_capacity_population(spec, 4, 10);
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(a.sorted_ids(), b.sorted_ids());
+  bool saw_lo = false, saw_hi = false;
+  for (Id id : a.sorted_ids()) {
+    const NodeInfo& info = a.info(id);
+    EXPECT_GE(info.capacity, 4u);
+    EXPECT_LE(info.capacity, 10u);
+    EXPECT_GE(info.bandwidth_kbps, 400.0);
+    EXPECT_LE(info.bandwidth_kbps, 1000.0);
+    EXPECT_EQ(info.capacity, b.info(id).capacity);
+    saw_lo |= info.capacity == 4;
+    saw_hi |= info.capacity == 10;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Population, SeedChangesPlacement) {
+  PopulationSpec a, b;
+  a.n = b.n = 200;
+  a.ring_bits = b.ring_bits = 16;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(uniform_capacity_population(a, 4, 10).sorted_ids(),
+            uniform_capacity_population(b, 4, 10).sorted_ids());
+}
+
+TEST(Population, BandwidthDerivedMatchesFormula) {
+  // The paper's Section 6 mapping: c_x = floor(B_x / p), and p = 100 on
+  // the default band yields capacities in [4..10].
+  PopulationSpec spec;
+  spec.n = 1000;
+  spec.ring_bits = 19;
+  NodeDirectory dir = bandwidth_derived_population(spec, 100.0, 4);
+  for (Id id : dir.sorted_ids()) {
+    const NodeInfo& info = dir.info(id);
+    auto expect = static_cast<std::uint32_t>(
+        std::floor(info.bandwidth_kbps / 100.0));
+    EXPECT_EQ(info.capacity, std::max(expect, 4u));
+    EXPECT_GE(info.capacity, 4u);
+    EXPECT_LE(info.capacity, 10u);
+  }
+}
+
+TEST(Population, BandwidthDerivedClampsToMinimum) {
+  PopulationSpec spec;
+  spec.n = 300;
+  spec.ring_bits = 16;
+  NodeDirectory dir = bandwidth_derived_population(spec, 500.0, 4);
+  for (Id id : dir.sorted_ids()) {
+    EXPECT_GE(dir.info(id).capacity, 4u);  // floor(400/500) = 0 -> clamp
+  }
+}
+
+TEST(Population, ConstantCapacity) {
+  PopulationSpec spec;
+  spec.n = 100;
+  spec.ring_bits = 16;
+  NodeDirectory dir = constant_capacity_population(spec, 7);
+  for (Id id : dir.sorted_ids()) EXPECT_EQ(dir.info(id).capacity, 7u);
+}
+
+TEST(Population, RejectsBadArguments) {
+  PopulationSpec spec;
+  spec.n = 10;
+  spec.ring_bits = 8;
+  EXPECT_THROW(uniform_capacity_population(spec, 10, 4),
+               std::invalid_argument);
+  EXPECT_THROW(uniform_capacity_population(spec, 0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(bandwidth_derived_population(spec, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(constant_capacity_population(spec, 0), std::invalid_argument);
+  spec.n = 200;  // > 2^8 / 2
+  EXPECT_THROW(uniform_capacity_population(spec, 4, 10),
+               std::invalid_argument);
+}
+
+TEST(Population, BimodalHitsBothModesAtTheRightRate) {
+  PopulationSpec spec;
+  spec.n = 2000;
+  spec.ring_bits = 16;
+  NodeDirectory dir = bimodal_capacity_population(spec, 4, 60, 0.25);
+  std::size_t high = 0;
+  for (Id id : dir.sorted_ids()) {
+    std::uint32_t c = dir.info(id).capacity;
+    ASSERT_TRUE(c == 4 || c == 60) << c;
+    high += (c == 60);
+  }
+  double frac = static_cast<double>(high) / 2000.0;
+  EXPECT_NEAR(frac, 0.25, 0.04);
+}
+
+TEST(Population, ZipfPrefersSmallCapacities) {
+  PopulationSpec spec;
+  spec.n = 4000;
+  spec.ring_bits = 16;
+  NodeDirectory dir = zipf_capacity_population(spec, 4, 40, 1.2);
+  std::size_t at_lo = 0, at_hi_half = 0;
+  for (Id id : dir.sorted_ids()) {
+    std::uint32_t c = dir.info(id).capacity;
+    ASSERT_GE(c, 4u);
+    ASSERT_LE(c, 40u);
+    at_lo += (c == 4);
+    at_hi_half += (c >= 22);
+  }
+  EXPECT_GT(at_lo, at_hi_half);  // head outweighs the entire upper half
+  EXPECT_GT(at_hi_half, 0u);     // but the tail is populated
+}
+
+TEST(Population, ZipfAlphaZeroIsUniform) {
+  PopulationSpec spec;
+  spec.n = 4000;
+  spec.ring_bits = 16;
+  NodeDirectory dir = zipf_capacity_population(spec, 4, 7, 0.0);
+  std::array<std::size_t, 4> count{};
+  for (Id id : dir.sorted_ids()) count[dir.info(id).capacity - 4]++;
+  for (std::size_t c : count) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 120.0);
+  }
+}
+
+TEST(Population, ShapedDistributionsRejectBadArguments) {
+  PopulationSpec spec;
+  spec.n = 10;
+  spec.ring_bits = 8;
+  EXPECT_THROW(bimodal_capacity_population(spec, 10, 4, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(bimodal_capacity_population(spec, 4, 10, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(zipf_capacity_population(spec, 0, 10, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(zipf_capacity_population(spec, 4, 10, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Churn, SampleSizesAndMembership) {
+  RingSpace ring(16);
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  camchord::CamChordNet overlay(ring, net);
+  Rng rng(5);
+  overlay.bootstrap(100, {.capacity = 4, .bandwidth_kbps = 500});
+  auto joined = join_random(overlay, 60, 4, 10, 400, 1000, rng);
+  EXPECT_GE(joined.size(), 50u);  // a few may collide and be skipped
+  overlay.converge();
+
+  std::size_t before = overlay.size();
+  auto failed = fail_random_fraction(overlay, 0.25, rng);
+  EXPECT_EQ(failed.size(), before / 4);
+  for (Id id : failed) EXPECT_FALSE(overlay.contains(id));
+  EXPECT_EQ(overlay.size(), before - failed.size());
+
+  before = overlay.size();
+  auto left = leave_random_fraction(overlay, 0.5, rng);
+  EXPECT_EQ(left.size(), before / 2);
+  EXPECT_EQ(overlay.size(), before - left.size());
+}
+
+}  // namespace
+}  // namespace cam::workload

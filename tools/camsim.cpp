@@ -1,0 +1,230 @@
+// camsim — command-line driver for the CAM multicast simulator.
+//
+// Subcommands:
+//   camsim multicast  --system=camchord|camkoorde|chord|koorde
+//                     [--n=N] [--bits=B] [--cap=LO:HI | --p=KBPS]
+//                     [--param=C] [--sources=K] [--seed=S] [--histogram]
+//       Runs K multicasts over a converged overlay and prints tree
+//       metrics (throughput, path lengths, children, optional histogram).
+//
+//   camsim lookup     --system=... [--n=N] [--bits=B] [--cap=LO:HI]
+//                     [--queries=Q] [--seed=S] [--param=C]
+//       Runs Q random lookups and prints hop statistics.
+//
+//   camsim churn      [--n=N] [--fail=FRAC] [--seed=S]
+//       Protocol-mode churn scenario: delivery before/after repair.
+//
+//   camsim stream     [--n=N] [--p=KBPS] [--packets=K] [--seed=S]
+//       Packet-level streaming over a CAM-Chord tree.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "camchord/net.h"
+#include "camchord/oracle.h"
+#include "experiments/runner.h"
+#include "experiments/table.h"
+#include "multicast/metrics.h"
+#include "stream/streaming.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+#include "workload/population.h"
+
+namespace {
+
+using namespace cam;
+using namespace cam::exp;
+
+struct Args {
+  std::string command;
+  std::string system = "camchord";
+  std::size_t n = 10'000;
+  int bits = 19;
+  std::uint32_t cap_lo = 4, cap_hi = 10;
+  double p = 0;  // 0 = use --cap range instead
+  std::uint32_t param = 8;
+  std::size_t sources = 3;
+  std::size_t queries = 200;
+  double fail = 0.15;
+  std::uint32_t packets = 48;
+  std::uint64_t seed = 1;
+  bool histogram = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: camsim <multicast|lookup|churn|stream> [options]\n"
+               "see the header of tools/camsim.cpp for the option list\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string s = argv[i];
+    auto val = [&](const char* prefix) {
+      return s.substr(std::strlen(prefix));
+    };
+    if (s.rfind("--system=", 0) == 0) {
+      a.system = val("--system=");
+    } else if (s.rfind("--n=", 0) == 0) {
+      a.n = std::stoull(val("--n="));
+    } else if (s.rfind("--bits=", 0) == 0) {
+      a.bits = std::stoi(val("--bits="));
+    } else if (s.rfind("--cap=", 0) == 0) {
+      std::string v = val("--cap=");
+      auto colon = v.find(':');
+      if (colon == std::string::npos) usage();
+      a.cap_lo = static_cast<std::uint32_t>(std::stoul(v.substr(0, colon)));
+      a.cap_hi = static_cast<std::uint32_t>(std::stoul(v.substr(colon + 1)));
+    } else if (s.rfind("--p=", 0) == 0) {
+      a.p = std::stod(val("--p="));
+    } else if (s.rfind("--param=", 0) == 0) {
+      a.param = static_cast<std::uint32_t>(std::stoul(val("--param=")));
+    } else if (s.rfind("--sources=", 0) == 0) {
+      a.sources = std::stoull(val("--sources="));
+    } else if (s.rfind("--queries=", 0) == 0) {
+      a.queries = std::stoull(val("--queries="));
+    } else if (s.rfind("--fail=", 0) == 0) {
+      a.fail = std::stod(val("--fail="));
+    } else if (s.rfind("--packets=", 0) == 0) {
+      a.packets = static_cast<std::uint32_t>(std::stoul(val("--packets=")));
+    } else if (s.rfind("--seed=", 0) == 0) {
+      a.seed = std::stoull(val("--seed="));
+    } else if (s == "--histogram") {
+      a.histogram = true;
+    } else {
+      usage();
+    }
+  }
+  return a;
+}
+
+System system_of(const std::string& name) {
+  if (name == "camchord") return System::kCamChord;
+  if (name == "camkoorde") return System::kCamKoorde;
+  if (name == "chord") return System::kChord;
+  if (name == "koorde") return System::kKoorde;
+  usage();
+}
+
+FrozenDirectory population(const Args& a) {
+  workload::PopulationSpec spec;
+  spec.n = a.n;
+  spec.ring_bits = a.bits;
+  spec.seed = a.seed;
+  if (a.p > 0) {
+    return workload::bandwidth_derived_population(spec, a.p, 4).freeze();
+  }
+  return workload::uniform_capacity_population(spec, a.cap_lo, a.cap_hi)
+      .freeze();
+}
+
+int cmd_multicast(const Args& a) {
+  FrozenDirectory dir = population(a);
+  System sys = system_of(a.system);
+  AveragedRun r = run_sources(sys, dir, a.sources, a.seed, a.param);
+  std::printf("system            %s\n", system_name(sys).c_str());
+  std::printf("members           %zu (reached %zu)\n", r.expected, r.reached);
+  std::printf("avg children      %.2f (provisioned degree %.2f)\n",
+              r.avg_children, r.avg_degree);
+  std::printf("throughput        %.1f kbps realized, %.1f kbps provisioned\n",
+              r.throughput_kbps, r.provisioned_kbps);
+  std::printf("path length       %.2f avg, %.1f max\n", r.avg_path,
+              r.max_depth);
+  if (a.histogram) {
+    std::printf("hops  nodes\n");
+    for (std::size_t h = 0; h < r.depth_histogram.size(); ++h) {
+      std::printf("%4zu  %llu\n", h,
+                  static_cast<unsigned long long>(r.depth_histogram[h]));
+    }
+  }
+  return 0;
+}
+
+int cmd_lookup(const Args& a) {
+  FrozenDirectory dir = population(a);
+  System sys = system_of(a.system);
+  Rng rng(a.seed ^ 0x1001);
+  double total = 0;
+  std::size_t max_hops = 0, failed = 0;
+  for (std::size_t q = 0; q < a.queries; ++q) {
+    Id from = dir.ids()[rng.next_below(dir.size())];
+    Id k = rng.next_below(dir.ring().size());
+    LookupResult r = run_lookup(sys, dir, from, k, a.param);
+    if (!r.ok) {
+      ++failed;
+      continue;
+    }
+    total += static_cast<double>(r.hops());
+    max_hops = std::max(max_hops, r.hops());
+  }
+  std::printf("system    %s\n", system_name(sys).c_str());
+  std::printf("queries   %zu (%zu failed)\n", a.queries, failed);
+  std::printf("hops      %.2f mean, %zu max\n",
+              total / static_cast<double>(a.queries - failed), max_hops);
+  return 0;
+}
+
+int cmd_churn(const Args& a) {
+  RingSpace ring(a.bits);
+  Simulator sim;
+  ConstantLatency lat(1.0);
+  Network net(sim, lat);
+  camchord::CamChordNet overlay(ring, net);
+  Rng rng(a.seed);
+  overlay.bootstrap(rng.next_below(ring.size()),
+                    {.capacity = a.cap_hi, .bandwidth_kbps = 700});
+  workload::join_random(overlay, a.n - 1, a.cap_lo, a.cap_hi, 400, 1000, rng);
+  overlay.converge();
+  std::printf("members   %zu converged\n", overlay.size());
+
+  workload::fail_random_fraction(overlay, a.fail, rng);
+  auto members = overlay.members_sorted();
+  MulticastTree before = overlay.multicast(members.front());
+  std::printf("failed    %.0f%%: delivery %.1f%% before repair\n",
+              a.fail * 100,
+              100.0 * static_cast<double>(before.size()) /
+                  static_cast<double>(overlay.size()));
+  overlay.converge();
+  MulticastTree after = overlay.multicast(members.front());
+  std::printf("repaired  delivery %.1f%% after converge\n",
+              100.0 * static_cast<double>(after.size()) /
+                  static_cast<double>(overlay.size()));
+  return 0;
+}
+
+int cmd_stream(const Args& a) {
+  Args b = a;
+  if (b.p == 0) b.p = 100;
+  FrozenDirectory dir = population(b);
+  auto cap = [&dir](Id x) { return dir.info(x).capacity; };
+  auto bw = [&dir](Id x) { return dir.info(x).bandwidth_kbps; };
+  MulticastTree tree =
+      camchord::multicast(dir.ring(), dir, cap, dir.ids()[0]);
+  ConstantLatency lat(10.0);
+  StreamConfig cfg;
+  cfg.num_packets = b.packets;
+  StreamResult r = stream_over_tree(tree, bw, lat, cfg);
+  std::printf("receivers        %zu\n", r.receivers);
+  std::printf("session rate     %.1f kbps (analytic %.1f)\n",
+              r.session_rate_kbps, tree_throughput_kbps(tree, bw));
+  std::printf("first packet     %.0f ms to the slowest receiver\n",
+              r.max_first_packet_ms);
+  std::printf("full stream      %.0f ms\n", r.completion_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse(argc, argv);
+  if (a.command == "multicast") return cmd_multicast(a);
+  if (a.command == "lookup") return cmd_lookup(a);
+  if (a.command == "churn") return cmd_churn(a);
+  if (a.command == "stream") return cmd_stream(a);
+  usage();
+}
