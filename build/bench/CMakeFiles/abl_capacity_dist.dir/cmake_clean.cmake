@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_capacity_dist.dir/abl_capacity_dist.cpp.o"
+  "CMakeFiles/abl_capacity_dist.dir/abl_capacity_dist.cpp.o.d"
+  "abl_capacity_dist"
+  "abl_capacity_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_capacity_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

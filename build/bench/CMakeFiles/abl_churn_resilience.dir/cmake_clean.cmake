@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_churn_resilience.dir/abl_churn_resilience.cpp.o"
+  "CMakeFiles/abl_churn_resilience.dir/abl_churn_resilience.cpp.o.d"
+  "abl_churn_resilience"
+  "abl_churn_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_churn_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_geography.dir/abl_geography.cpp.o"
+  "CMakeFiles/abl_geography.dir/abl_geography.cpp.o.d"
+  "abl_geography"
+  "abl_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

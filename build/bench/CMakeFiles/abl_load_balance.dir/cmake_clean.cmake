@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_load_balance.dir/abl_load_balance.cpp.o"
+  "CMakeFiles/abl_load_balance.dir/abl_load_balance.cpp.o.d"
+  "abl_load_balance"
+  "abl_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lookup_hops.dir/abl_lookup_hops.cpp.o"
+  "CMakeFiles/abl_lookup_hops.dir/abl_lookup_hops.cpp.o.d"
+  "abl_lookup_hops"
+  "abl_lookup_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lookup_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

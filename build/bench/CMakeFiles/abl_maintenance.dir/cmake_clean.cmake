@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_maintenance.dir/abl_maintenance.cpp.o"
+  "CMakeFiles/abl_maintenance.dir/abl_maintenance.cpp.o.d"
+  "abl_maintenance"
+  "abl_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

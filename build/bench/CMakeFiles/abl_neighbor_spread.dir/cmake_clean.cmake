@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_neighbor_spread.dir/abl_neighbor_spread.cpp.o"
+  "CMakeFiles/abl_neighbor_spread.dir/abl_neighbor_spread.cpp.o.d"
+  "abl_neighbor_spread"
+  "abl_neighbor_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_neighbor_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

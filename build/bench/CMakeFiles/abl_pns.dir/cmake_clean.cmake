@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pns.dir/abl_pns.cpp.o"
+  "CMakeFiles/abl_pns.dir/abl_pns.cpp.o.d"
+  "abl_pns"
+  "abl_pns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_streaming.dir/abl_streaming.cpp.o"
+  "CMakeFiles/abl_streaming.dir/abl_streaming.cpp.o.d"
+  "abl_streaming"
+  "abl_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

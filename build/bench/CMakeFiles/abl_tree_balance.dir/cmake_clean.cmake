@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tree_balance.dir/abl_tree_balance.cpp.o"
+  "CMakeFiles/abl_tree_balance.dir/abl_tree_balance.cpp.o.d"
+  "abl_tree_balance"
+  "abl_tree_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tree_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_heterogeneity.dir/fig07_heterogeneity.cpp.o"
+  "CMakeFiles/fig07_heterogeneity.dir/fig07_heterogeneity.cpp.o.d"
+  "fig07_heterogeneity"
+  "fig07_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_tradeoff.cpp" "bench/CMakeFiles/fig08_tradeoff.dir/fig08_tradeoff.cpp.o" "gcc" "bench/CMakeFiles/fig08_tradeoff.dir/fig08_tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/cam_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cam_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/cam_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cam_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cam_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cam_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/camchord/CMakeFiles/cam_camchord.dir/DependInfo.cmake"
+  "/root/repo/build/src/camkoorde/CMakeFiles/cam_camkoorde.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/cam_chord_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/koorde/CMakeFiles/cam_koorde_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/cam_experiments.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

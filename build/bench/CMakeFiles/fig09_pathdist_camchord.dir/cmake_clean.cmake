@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pathdist_camchord.dir/fig09_pathdist_camchord.cpp.o"
+  "CMakeFiles/fig09_pathdist_camchord.dir/fig09_pathdist_camchord.cpp.o.d"
+  "fig09_pathdist_camchord"
+  "fig09_pathdist_camchord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pathdist_camchord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

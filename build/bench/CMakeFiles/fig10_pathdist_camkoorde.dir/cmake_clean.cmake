@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pathdist_camkoorde.dir/fig10_pathdist_camkoorde.cpp.o"
+  "CMakeFiles/fig10_pathdist_camkoorde.dir/fig10_pathdist_camkoorde.cpp.o.d"
+  "fig10_pathdist_camkoorde"
+  "fig10_pathdist_camkoorde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pathdist_camkoorde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_avgpath.dir/fig11_avgpath.cpp.o"
+  "CMakeFiles/fig11_avgpath.dir/fig11_avgpath.cpp.o.d"
+  "fig11_avgpath"
+  "fig11_avgpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_avgpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_async_deployment.dir/async_deployment.cpp.o"
+  "CMakeFiles/example_async_deployment.dir/async_deployment.cpp.o.d"
+  "example_async_deployment"
+  "example_async_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_async_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

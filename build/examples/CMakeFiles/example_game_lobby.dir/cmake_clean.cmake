@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_game_lobby.dir/game_lobby.cpp.o"
+  "CMakeFiles/example_game_lobby.dir/game_lobby.cpp.o.d"
+  "example_game_lobby"
+  "example_game_lobby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_game_lobby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

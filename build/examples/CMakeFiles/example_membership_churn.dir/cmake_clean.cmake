@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_membership_churn.dir/membership_churn.cpp.o"
+  "CMakeFiles/example_membership_churn.dir/membership_churn.cpp.o.d"
+  "example_membership_churn"
+  "example_membership_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_membership_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

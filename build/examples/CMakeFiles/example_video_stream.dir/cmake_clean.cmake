@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_stream.dir/video_stream.cpp.o"
+  "CMakeFiles/example_video_stream.dir/video_stream.cpp.o.d"
+  "example_video_stream"
+  "example_video_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

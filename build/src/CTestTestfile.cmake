@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ids")
+subdirs("sim")
+subdirs("overlay")
+subdirs("chord")
+subdirs("koorde")
+subdirs("camchord")
+subdirs("camkoorde")
+subdirs("multicast")
+subdirs("stream")
+subdirs("proto")
+subdirs("workload")
+subdirs("experiments")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_camchord.dir/neighbor_math.cpp.o"
+  "CMakeFiles/cam_camchord.dir/neighbor_math.cpp.o.d"
+  "CMakeFiles/cam_camchord.dir/net.cpp.o"
+  "CMakeFiles/cam_camchord.dir/net.cpp.o.d"
+  "CMakeFiles/cam_camchord.dir/oracle.cpp.o"
+  "CMakeFiles/cam_camchord.dir/oracle.cpp.o.d"
+  "CMakeFiles/cam_camchord.dir/pns.cpp.o"
+  "CMakeFiles/cam_camchord.dir/pns.cpp.o.d"
+  "libcam_camchord.a"
+  "libcam_camchord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_camchord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcam_camchord.a"
+)

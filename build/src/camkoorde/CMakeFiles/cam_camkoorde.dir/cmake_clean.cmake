@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_camkoorde.dir/neighbor_math.cpp.o"
+  "CMakeFiles/cam_camkoorde.dir/neighbor_math.cpp.o.d"
+  "CMakeFiles/cam_camkoorde.dir/net.cpp.o"
+  "CMakeFiles/cam_camkoorde.dir/net.cpp.o.d"
+  "CMakeFiles/cam_camkoorde.dir/oracle.cpp.o"
+  "CMakeFiles/cam_camkoorde.dir/oracle.cpp.o.d"
+  "libcam_camkoorde.a"
+  "libcam_camkoorde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_camkoorde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

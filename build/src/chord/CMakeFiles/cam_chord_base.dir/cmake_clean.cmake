@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_chord_base.dir/el_ansary.cpp.o"
+  "CMakeFiles/cam_chord_base.dir/el_ansary.cpp.o.d"
+  "libcam_chord_base.a"
+  "libcam_chord_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_chord_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

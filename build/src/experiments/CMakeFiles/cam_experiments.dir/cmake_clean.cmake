@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_experiments.dir/figures.cpp.o"
+  "CMakeFiles/cam_experiments.dir/figures.cpp.o.d"
+  "CMakeFiles/cam_experiments.dir/runner.cpp.o"
+  "CMakeFiles/cam_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/cam_experiments.dir/systems.cpp.o"
+  "CMakeFiles/cam_experiments.dir/systems.cpp.o.d"
+  "CMakeFiles/cam_experiments.dir/table.cpp.o"
+  "CMakeFiles/cam_experiments.dir/table.cpp.o.d"
+  "libcam_experiments.a"
+  "libcam_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_ids.dir/ring.cpp.o"
+  "CMakeFiles/cam_ids.dir/ring.cpp.o.d"
+  "libcam_ids.a"
+  "libcam_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

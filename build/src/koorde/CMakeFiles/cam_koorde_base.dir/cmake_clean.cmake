@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_koorde_base.dir/koorde.cpp.o"
+  "CMakeFiles/cam_koorde_base.dir/koorde.cpp.o.d"
+  "libcam_koorde_base.a"
+  "libcam_koorde_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_koorde_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

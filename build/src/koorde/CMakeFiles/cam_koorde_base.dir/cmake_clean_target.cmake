@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcam_koorde_base.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicast/flood.cpp" "src/multicast/CMakeFiles/cam_multicast.dir/flood.cpp.o" "gcc" "src/multicast/CMakeFiles/cam_multicast.dir/flood.cpp.o.d"
+  "/root/repo/src/multicast/metrics.cpp" "src/multicast/CMakeFiles/cam_multicast.dir/metrics.cpp.o" "gcc" "src/multicast/CMakeFiles/cam_multicast.dir/metrics.cpp.o.d"
+  "/root/repo/src/multicast/tree.cpp" "src/multicast/CMakeFiles/cam_multicast.dir/tree.cpp.o" "gcc" "src/multicast/CMakeFiles/cam_multicast.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ids/CMakeFiles/cam_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_multicast.dir/flood.cpp.o"
+  "CMakeFiles/cam_multicast.dir/flood.cpp.o.d"
+  "CMakeFiles/cam_multicast.dir/metrics.cpp.o"
+  "CMakeFiles/cam_multicast.dir/metrics.cpp.o.d"
+  "CMakeFiles/cam_multicast.dir/tree.cpp.o"
+  "CMakeFiles/cam_multicast.dir/tree.cpp.o.d"
+  "libcam_multicast.a"
+  "libcam_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

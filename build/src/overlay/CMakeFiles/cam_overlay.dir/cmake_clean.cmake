@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_overlay.dir/directory.cpp.o"
+  "CMakeFiles/cam_overlay.dir/directory.cpp.o.d"
+  "CMakeFiles/cam_overlay.dir/ring_net.cpp.o"
+  "CMakeFiles/cam_overlay.dir/ring_net.cpp.o.d"
+  "libcam_overlay.a"
+  "libcam_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

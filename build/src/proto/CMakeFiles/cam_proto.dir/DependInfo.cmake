@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/async_camchord.cpp" "src/proto/CMakeFiles/cam_proto.dir/async_camchord.cpp.o" "gcc" "src/proto/CMakeFiles/cam_proto.dir/async_camchord.cpp.o.d"
+  "/root/repo/src/proto/async_camkoorde.cpp" "src/proto/CMakeFiles/cam_proto.dir/async_camkoorde.cpp.o" "gcc" "src/proto/CMakeFiles/cam_proto.dir/async_camkoorde.cpp.o.d"
+  "/root/repo/src/proto/async_node.cpp" "src/proto/CMakeFiles/cam_proto.dir/async_node.cpp.o" "gcc" "src/proto/CMakeFiles/cam_proto.dir/async_node.cpp.o.d"
+  "/root/repo/src/proto/host_bus.cpp" "src/proto/CMakeFiles/cam_proto.dir/host_bus.cpp.o" "gcc" "src/proto/CMakeFiles/cam_proto.dir/host_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ids/CMakeFiles/cam_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cam_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/cam_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/camchord/CMakeFiles/cam_camchord.dir/DependInfo.cmake"
+  "/root/repo/build/src/camkoorde/CMakeFiles/cam_camkoorde.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_proto.dir/async_camchord.cpp.o"
+  "CMakeFiles/cam_proto.dir/async_camchord.cpp.o.d"
+  "CMakeFiles/cam_proto.dir/async_camkoorde.cpp.o"
+  "CMakeFiles/cam_proto.dir/async_camkoorde.cpp.o.d"
+  "CMakeFiles/cam_proto.dir/async_node.cpp.o"
+  "CMakeFiles/cam_proto.dir/async_node.cpp.o.d"
+  "CMakeFiles/cam_proto.dir/host_bus.cpp.o"
+  "CMakeFiles/cam_proto.dir/host_bus.cpp.o.d"
+  "libcam_proto.a"
+  "libcam_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_sim.dir/latency.cpp.o"
+  "CMakeFiles/cam_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/cam_sim.dir/network.cpp.o"
+  "CMakeFiles/cam_sim.dir/network.cpp.o.d"
+  "CMakeFiles/cam_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cam_sim.dir/simulator.cpp.o.d"
+  "libcam_sim.a"
+  "libcam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

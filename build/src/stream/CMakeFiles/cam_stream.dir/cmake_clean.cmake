@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_stream.dir/streaming.cpp.o"
+  "CMakeFiles/cam_stream.dir/streaming.cpp.o.d"
+  "libcam_stream.a"
+  "libcam_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

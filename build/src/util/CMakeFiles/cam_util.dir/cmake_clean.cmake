@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_util.dir/intmath.cpp.o"
+  "CMakeFiles/cam_util.dir/intmath.cpp.o.d"
+  "CMakeFiles/cam_util.dir/rng.cpp.o"
+  "CMakeFiles/cam_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cam_util.dir/sha1.cpp.o"
+  "CMakeFiles/cam_util.dir/sha1.cpp.o.d"
+  "libcam_util.a"
+  "libcam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_workload.dir/churn.cpp.o"
+  "CMakeFiles/cam_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/cam_workload.dir/geography.cpp.o"
+  "CMakeFiles/cam_workload.dir/geography.cpp.o.d"
+  "CMakeFiles/cam_workload.dir/population.cpp.o"
+  "CMakeFiles/cam_workload.dir/population.cpp.o.d"
+  "libcam_workload.a"
+  "libcam_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_camchord_test.cpp" "tests/CMakeFiles/cam_tests.dir/async_camchord_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/async_camchord_test.cpp.o.d"
+  "/root/repo/tests/async_camkoorde_test.cpp" "tests/CMakeFiles/cam_tests.dir/async_camkoorde_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/async_camkoorde_test.cpp.o.d"
+  "/root/repo/tests/async_reliability_test.cpp" "tests/CMakeFiles/cam_tests.dir/async_reliability_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/async_reliability_test.cpp.o.d"
+  "/root/repo/tests/camchord_math_test.cpp" "tests/CMakeFiles/cam_tests.dir/camchord_math_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camchord_math_test.cpp.o.d"
+  "/root/repo/tests/camchord_net_test.cpp" "tests/CMakeFiles/cam_tests.dir/camchord_net_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camchord_net_test.cpp.o.d"
+  "/root/repo/tests/camchord_oracle_test.cpp" "tests/CMakeFiles/cam_tests.dir/camchord_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camchord_oracle_test.cpp.o.d"
+  "/root/repo/tests/camchord_pns_test.cpp" "tests/CMakeFiles/cam_tests.dir/camchord_pns_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camchord_pns_test.cpp.o.d"
+  "/root/repo/tests/camkoorde_derivation_test.cpp" "tests/CMakeFiles/cam_tests.dir/camkoorde_derivation_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camkoorde_derivation_test.cpp.o.d"
+  "/root/repo/tests/camkoorde_math_test.cpp" "tests/CMakeFiles/cam_tests.dir/camkoorde_math_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camkoorde_math_test.cpp.o.d"
+  "/root/repo/tests/camkoorde_net_test.cpp" "tests/CMakeFiles/cam_tests.dir/camkoorde_net_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camkoorde_net_test.cpp.o.d"
+  "/root/repo/tests/camkoorde_oracle_test.cpp" "tests/CMakeFiles/cam_tests.dir/camkoorde_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/camkoorde_oracle_test.cpp.o.d"
+  "/root/repo/tests/chord_test.cpp" "tests/CMakeFiles/cam_tests.dir/chord_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/chord_test.cpp.o.d"
+  "/root/repo/tests/directory_test.cpp" "tests/CMakeFiles/cam_tests.dir/directory_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/directory_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_small_ring_test.cpp" "tests/CMakeFiles/cam_tests.dir/exhaustive_small_ring_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/exhaustive_small_ring_test.cpp.o.d"
+  "/root/repo/tests/experiments_test.cpp" "tests/CMakeFiles/cam_tests.dir/experiments_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/experiments_test.cpp.o.d"
+  "/root/repo/tests/geography_test.cpp" "tests/CMakeFiles/cam_tests.dir/geography_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/geography_test.cpp.o.d"
+  "/root/repo/tests/koorde_test.cpp" "tests/CMakeFiles/cam_tests.dir/koorde_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/koorde_test.cpp.o.d"
+  "/root/repo/tests/multicast_test.cpp" "tests/CMakeFiles/cam_tests.dir/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/multicast_test.cpp.o.d"
+  "/root/repo/tests/ring_net_edge_test.cpp" "tests/CMakeFiles/cam_tests.dir/ring_net_edge_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/ring_net_edge_test.cpp.o.d"
+  "/root/repo/tests/ring_net_fuzz_test.cpp" "tests/CMakeFiles/cam_tests.dir/ring_net_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/ring_net_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ring_partition_test.cpp" "tests/CMakeFiles/cam_tests.dir/ring_partition_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/ring_partition_test.cpp.o.d"
+  "/root/repo/tests/ring_test.cpp" "tests/CMakeFiles/cam_tests.dir/ring_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/ring_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/cam_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/cam_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/util_intmath_test.cpp" "tests/CMakeFiles/cam_tests.dir/util_intmath_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/util_intmath_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/cam_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_sha1_test.cpp" "tests/CMakeFiles/cam_tests.dir/util_sha1_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/util_sha1_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/cam_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/cam_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/cam_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cam_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/cam_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cam_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cam_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cam_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/camchord/CMakeFiles/cam_camchord.dir/DependInfo.cmake"
+  "/root/repo/build/src/camkoorde/CMakeFiles/cam_camkoorde.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/cam_chord_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/koorde/CMakeFiles/cam_koorde_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/cam_experiments.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

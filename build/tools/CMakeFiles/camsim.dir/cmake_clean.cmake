@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camsim.dir/camsim.cpp.o"
+  "CMakeFiles/camsim.dir/camsim.cpp.o.d"
+  "camsim"
+  "camsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
