@@ -5,12 +5,17 @@
 // CAM-Koorde keeps exactly c_x links. Both repair crashes through
 // timeouts alone here — no oracle — so the table also reports how long
 // each takes to re-close the ring after losing 20% of its members.
+//
+// A telemetry Registry is attached for the whole run; the steady-state
+// and repair windows additionally report RPC timeouts from it, so the
+// bench doubles as a live check that metrics stay on under load.
 #include <iostream>
 
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "proto/async_camchord.h"
 #include "proto/async_camkoorde.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -21,6 +26,8 @@ using namespace cam::proto;
 struct Row {
   double maint_msgs_per_node_s = 0;  // control + maintenance classes
   double repair_s = -1;              // -1: did not re-close in budget
+  std::uint64_t steady_timeouts = 0;  // RPC timeouts in the steady window
+  std::uint64_t repair_timeouts = 0;  // RPC timeouts while repairing
 };
 
 template <typename Net>
@@ -32,6 +39,8 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
   HostBus bus(net);
   Net overlay(ring, bus);
   Rng rng(seed);
+  telemetry::Registry reg;
+  overlay.set_telemetry({&reg, nullptr});
 
   auto info = [&] { return NodeInfo{c, 700}; };
   overlay.bootstrap(rng.next_below(ring.size()), info());
@@ -46,8 +55,10 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
   while (overlay.ring_consistency() < 1.0) overlay.run_for(2'000);
   overlay.run_for(60'000);  // let the tables converge
 
-  // Steady-state maintenance rate over 60 virtual seconds.
+  // Steady-state maintenance rate over 60 virtual seconds. Counters are
+  // monotonic, so windows are deltas against marks.
   net.reset_stats();
+  std::uint64_t timeouts_mark = reg.value("rpc.timeouts");
   overlay.run_for(60'000);
   double msgs =
       static_cast<double>(
@@ -56,6 +67,7 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
   Row row;
   row.maint_msgs_per_node_s =
       msgs / static_cast<double>(overlay.size()) / 60.0;
+  row.steady_timeouts = reg.value("rpc.timeouts") - timeouts_mark;
 
   // Crash 20%, time the repair (timeout-driven only).
   auto members = overlay.members_sorted();
@@ -63,6 +75,7 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
     overlay.crash(members[i]);
   }
   SimTime start = sim.now();
+  timeouts_mark = reg.value("rpc.timeouts");
   const SimTime budget = 600'000;
   while (sim.now() - start < budget) {
     overlay.run_for(1'000);
@@ -71,6 +84,7 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
       break;
     }
   }
+  row.repair_timeouts = reg.value("rpc.timeouts") - timeouts_mark;
   return row;
 }
 
@@ -82,14 +96,19 @@ int main(int argc, char** argv) {
 
   std::cout << "# Ablation A10: async steady-state maintenance and crash "
                "repair (n=" << scale.n << ", 20% crash wave)\n";
-  Table t({"capacity", "system", "maint_msgs/node/s", "repair_s"});
+  Table t({"capacity", "system", "maint_msgs/node/s", "repair_s",
+           "steady_timeouts", "repair_timeouts"});
   for (std::uint32_t c : {8u, 16u, 32u}) {
     Row chord = run<AsyncCamChordNet>(scale.n, c, scale.seed);
     Row koorde = run<AsyncCamKoordeNet>(scale.n, c, scale.seed);
     t.add_row({std::to_string(c), "CAM-Chord",
-               fmt(chord.maint_msgs_per_node_s, 2), fmt(chord.repair_s, 1)});
+               fmt(chord.maint_msgs_per_node_s, 2), fmt(chord.repair_s, 1),
+               std::to_string(chord.steady_timeouts),
+               std::to_string(chord.repair_timeouts)});
     t.add_row({std::to_string(c), "CAM-Koorde",
-               fmt(koorde.maint_msgs_per_node_s, 2), fmt(koorde.repair_s, 1)});
+               fmt(koorde.maint_msgs_per_node_s, 2), fmt(koorde.repair_s, 1),
+               std::to_string(koorde.steady_timeouts),
+               std::to_string(koorde.repair_timeouts)});
   }
   t.print(std::cout);
   return 0;

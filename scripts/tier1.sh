@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full suite in the normal build, then the
+# telemetry + protocol tests again under ASan+UBSan (-DCAM_SANITIZE=ON).
+# Run from the repository root:  ./scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: RelWithDebInfo build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo
+echo "== tier-1: ASan+UBSan build, telemetry + protocol tests =="
+cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
+cmake --build build-asan -j --target cam_tests
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R 'Telemetry|Async|HostBus|Proto'
+
+echo
+echo "tier-1 OK"

@@ -1,0 +1,47 @@
+#include "experiments/telemetry_report.h"
+
+#include <ostream>
+#include <string>
+
+#include "experiments/table.h"
+
+namespace cam::exp {
+
+void print_telemetry_summary(const telemetry::Registry& reg,
+                             std::ostream& os) {
+  Table counters({"counter", "value"});
+  for (const auto& [name, fam] : reg.counters()) {
+    counters.add_row({name, std::to_string(fam.total.value())});
+    if (fam.has_class_series()) {
+      for (int c = 0; c < kNumMsgClasses; ++c) {
+        counters.add_row(
+            {"  " + name + "{" + msg_class_name(static_cast<MsgClass>(c)) +
+                 "}",
+             std::to_string(
+                 fam.per_class[static_cast<std::size_t>(c)].value())});
+      }
+    }
+  }
+  counters.print(os);
+
+  if (!reg.gauges().empty()) {
+    Table gauges({"gauge", "value"});
+    for (const auto& [name, g] : reg.gauges()) {
+      gauges.add_row({name, fmt(g.value(), 4)});
+    }
+    gauges.print(os);
+  }
+
+  if (!reg.histograms().empty()) {
+    Table hists({"histogram", "count", "mean", "p50", "p99", "max"});
+    for (const auto& [name, fam] : reg.histograms()) {
+      const telemetry::Histogram& h = fam.total;
+      hists.add_row({name, std::to_string(h.count()), fmt(h.mean(), 2),
+                     fmt(h.quantile(0.5), 2), fmt(h.quantile(0.99), 2),
+                     fmt(h.max(), 2)});
+    }
+    hists.print(os);
+  }
+}
+
+}  // namespace cam::exp

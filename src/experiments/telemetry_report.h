@@ -1,0 +1,20 @@
+// Human-facing telemetry summary for the experiment drivers: renders the
+// aggregate series of a Registry as the same fixed-width tables the
+// figure harnesses print. tools/camsim and the benches share this so a
+// run's observability output looks the same everywhere.
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.h"
+
+namespace cam::exp {
+
+/// Prints every aggregate counter, per-class counter series, gauge, and
+/// histogram (count / mean / p50 / p99 / max) in name order. Per-node
+/// series are summarized as their family aggregate only — dump JSON/CSV
+/// (telemetry::write_json / write_csv) for the full breakdown.
+void print_telemetry_summary(const telemetry::Registry& reg,
+                             std::ostream& os);
+
+}  // namespace cam::exp

@@ -93,7 +93,14 @@ void AsyncCamKoordeNode::forward_multicast(const MulticastData& msg) {
         y, DupCheckReq{msg.stream_id},
         [this, y, fwd](const ReplyPayload& payload) {
           if (!alive_) return;
-          if (std::get<DupCheckRep>(payload).seen) return;
+          if (std::get<DupCheckRep>(payload).seen) {
+            // Forwarding suppressed by the paper's "received or is
+            // receiving" check — the payload never ships.
+            tel().trace(telemetry::EventType::kDupSuppress,
+                        net_.sim().now(), self_, y, fwd.stream_id);
+            tel().count_node("mc.dupcheck_suppressed", self_);
+            return;
+          }
           send_multicast(y, fwd);
         },
         [] {});  // timeout: neighbor is being suspected; skip it

@@ -18,6 +18,8 @@ SimTime jitter(Id self, std::uint64_t tick, SimTime max_ms) {
 
 constexpr std::size_t kRpcBytes = 64;
 
+using telemetry::EventType;
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -38,15 +40,18 @@ void AsyncNodeBase::boot_as_first() {
   succ_list_ = {self_};
   idents_ = neighbor_idents();
   entries_.assign(idents_.size(), self_);
+  tel().trace(EventType::kJoinDone, net_.sim().now(), self_);
   start_timers();
 }
 
 void AsyncNodeBase::boot_via(Id contact) {
   join_contact_ = contact;
   if (idents_.empty()) {
+    join_started_ = net_.sim().now();
     idents_ = neighbor_idents();
     entries_.assign(idents_.size(), contact);
   }
+  tel().trace(EventType::kJoinStart, net_.sim().now(), self_, contact);
   start_lookup(contact, self_, [this](LookupResult r) {
     if (!alive_) return;
     // A node not yet in the ring cannot be its own successor: that
@@ -54,6 +59,7 @@ void AsyncNodeBase::boot_via(Id contact) {
     if (r.ok && r.owner == self_) r.ok = false;
     if (!r.ok) {
       // Contact unreachable or routing failed: retry after a beat.
+      tel().count_node("join.retries", self_);
       net_.sim().after(net_.config().rpc_timeout_ms * 2, [this] {
         if (alive_ && !joined_) boot_via(join_contact_);
       });
@@ -62,6 +68,11 @@ void AsyncNodeBase::boot_via(Id contact) {
     joined_ = true;
     succ_list_ = {r.owner};
     for (auto& e : entries_) e = r.owner;  // seeded; fix ticks refine
+    const SimTime now = net_.sim().now();
+    tel().trace(EventType::kJoinDone, now, self_, r.owner,
+                static_cast<std::uint64_t>(now - join_started_));
+    tel().count("join.completed");
+    tel().observe("join.latency_ms", now - join_started_);
   });
   start_timers();
 }
@@ -129,9 +140,41 @@ bool AsyncNodeBase::suspected(Id peer) const {
 }
 
 void AsyncNodeBase::strike(Id peer) {
-  if (++strikes_[peer] >= net_.config().suspect_after_strikes) {
-    suspects_[peer] = net_.sim().now() + net_.config().suspect_ttl_ms;
+  const int strikes = ++strikes_[peer];
+  tel().count_node("rpc.strikes", self_);
+  if (strikes >= net_.config().suspect_after_strikes) {
+    const SimTime until = net_.sim().now() + net_.config().suspect_ttl_ms;
+    suspects_[peer] = until;
+    if (strikes == net_.config().suspect_after_strikes) {
+      // Trace the transition, not every extension.
+      tel().trace(EventType::kSuspect, net_.sim().now(), self_, peer,
+                  static_cast<std::uint64_t>(until));
+      tel().count_node("suspect.marked", self_);
+    }
   }
+}
+
+void AsyncNodeBase::absolve(Id peer) {
+  const bool was_suspected = suspects_.erase(peer) > 0;
+  const bool had_strikes = strikes_.erase(peer) > 0;
+  if (was_suspected || had_strikes) {
+    tel().trace(EventType::kAbsolve, net_.sim().now(), self_, peer);
+    if (was_suspected) tel().count_node("suspect.absolved", self_);
+  }
+}
+
+bool AsyncNodeBase::note_stream(std::uint64_t stream_id) {
+  auto [it, fresh] = seen_streams_.try_emplace(stream_id, 0);
+  it->second = net_.sim().now();  // refresh on every sighting
+  return fresh;
+}
+
+void AsyncNodeBase::evict_seen_streams() {
+  const SimTime horizon = net_.config().stream_seen_ttl_ms;
+  const SimTime now = net_.sim().now();
+  std::erase_if(seen_streams_, [&](const auto& kv) {
+    return now - kv.second > horizon;
+  });
 }
 
 void AsyncNodeBase::call(Id to, RequestPayload req,
@@ -139,6 +182,9 @@ void AsyncNodeBase::call(Id to, RequestPayload req,
                          std::function<void()> on_timeout, std::size_t bytes,
                          MsgClass cls) {
   RpcId id = next_rpc_++;
+  tel().trace(EventType::kRpcIssue, net_.sim().now(), self_, to, id,
+              static_cast<std::uint64_t>(cls));
+  tel().count_node("rpc.issued", self_);
   auto wrapped_reply = [this, to,
                         fn = std::move(on_reply)](const ReplyPayload& p) {
     absolve(to);  // the peer answered — drop any stale suspicion
@@ -153,6 +199,11 @@ void AsyncNodeBase::call(Id to, RequestPayload req,
     auto on_to = std::move(it->second.on_timeout);
     pending_.erase(it);
     if (!alive_) return;
+    // Trace the timeout before strike() so a kSuspect it triggers is
+    // preceded by the full run of timeouts that earned it.
+    tel().trace(EventType::kRpcTimeout, net_.sim().now(), self_, to, id,
+                static_cast<std::uint64_t>(strikes_[to] + 1));
+    tel().count_node("rpc.timeouts", self_);
     strike(to);
     if (on_to) on_to();
   });
@@ -187,6 +238,9 @@ ReplyPayload AsyncNodeBase::answer(Id from, const RequestPayload& req) {
 }
 
 void AsyncNodeBase::send_multicast(Id to, const MulticastData& data) {
+  tel().trace(EventType::kMulticastSend, net_.sim().now(), self_, to,
+              data.stream_id, static_cast<std::uint64_t>(data.depth));
+  tel().count_node("mc.sent", self_);
   const int retries = net_.config().multicast_retries;
   if (retries <= 0) {
     net_.bus().post(self_, to, data, data.payload_bytes, MsgClass::kData);
@@ -198,13 +252,17 @@ void AsyncNodeBase::send_multicast(Id to, const MulticastData& data) {
   auto attempt = std::make_shared<std::function<void(int)>>();
   std::weak_ptr<std::function<void(int)>> weak = attempt;
   MulticastDataReq req{data.stream_id, data.bound, data.depth,
-                       data.payload_bytes};
+                      data.payload_bytes};
   *attempt = [this, to, req, weak](int left) {
     auto strong = weak.lock();
     call(
         to, req, [](const ReplyPayload&) {},
-        [this, strong, left] {
-          if (alive_ && left > 0 && strong) (*strong)(left - 1);
+        [this, to, req, strong, left] {
+          if (!(alive_ && left > 0 && strong)) return;
+          tel().trace(EventType::kRetransmit, net_.sim().now(), self_, to,
+                      req.stream_id, static_cast<std::uint64_t>(left));
+          tel().count_node("mc.retransmits", self_);
+          (*strong)(left - 1);
         },
         req.payload_bytes, MsgClass::kData);
   };
@@ -224,7 +282,10 @@ void AsyncNodeBase::adopt_successor(Id candidate) {
 void AsyncNodeBase::drop_successor(Id dead) { std::erase(succ_list_, dead); }
 
 void AsyncNodeBase::stabilize_tick() {
+  evict_seen_streams();
   if (!joined_) return;
+  tel().trace(EventType::kStabilize, net_.sim().now(), self_);
+  tel().count_node("maint.stabilize_ticks", self_);
   const RingSpace& ring = net_.ring();
   // Ring-merge repair: an entry strictly inside (self, succ) is a closer
   // successor candidate; adopt it provisionally — if it is dead, the
@@ -280,11 +341,14 @@ void AsyncNodeBase::stabilize_tick() {
         // Drop only once the strike threshold confirms the suspicion —
         // a single lost datagram must not evict a live successor.
         if (suspected(s)) drop_successor(s);
-      });
+      },
+      kRpcBytes, MsgClass::kMaintenance);
 }
 
 void AsyncNodeBase::fix_tick() {
   if (!joined_ || idents_.empty()) return;
+  tel().trace(EventType::kFix, net_.sim().now(), self_);
+  tel().count_node("maint.fix_ticks", self_);
   fix_idx_ = (fix_idx_ + 1) % idents_.size();
   const std::size_t idx = fix_idx_;
   start_lookup(self_, idents_[idx], [this, idx](LookupResult r) {
@@ -295,12 +359,15 @@ void AsyncNodeBase::fix_tick() {
 
 void AsyncNodeBase::ping_tick() {
   if (!pred_ || *pred_ == self_) return;
+  tel().trace(EventType::kPing, net_.sim().now(), self_);
+  tel().count_node("maint.ping_ticks", self_);
   Id p = *pred_;
   call(
       p, PingReq{}, [](const ReplyPayload&) {},
       [this, p] {
         if (suspected(p) && pred_ && *pred_ == p) pred_.reset();
-      });
+      },
+      kRpcBytes, MsgClass::kMaintenance);
 }
 
 void AsyncNodeBase::on_notify(Id candidate) {
@@ -315,12 +382,33 @@ void AsyncNodeBase::on_notify(Id candidate) {
 
 void AsyncNodeBase::start_lookup(Id first_hop, Id target,
                                  std::function<void(LookupResult)> done) {
+  tel().trace(EventType::kLookupStart, net_.sim().now(), self_, first_hop,
+              target);
+  tel().count_node("lookup.started", self_);
   auto op = std::make_shared<LookupOp>();
   op->target = target;
   op->cursor = first_hop;
   op->anchor = first_hop;
   op->path.push_back(first_hop);
-  op->done = std::move(done);
+  // Every completion path funnels through op->done, so the completion
+  // trace wraps the user callback instead of repeating at each exit.
+  // Only wrap when a sink is attached: lookups are frequent enough that
+  // the extra std::function indirection is worth skipping otherwise.
+  if (tel().active()) {
+    op->done = [this, user = std::move(done)](LookupResult r) {
+      tel().trace(EventType::kLookupDone, net_.sim().now(), self_, r.owner,
+                  r.hops(), r.ok ? 1 : 0);
+      if (r.ok) {
+        tel().count_node("lookup.ok", self_);
+        tel().observe("lookup.hops", static_cast<double>(r.hops()));
+      } else {
+        tel().count_node("lookup.failed", self_);
+      }
+      user(std::move(r));
+    };
+  } else {
+    op->done = std::move(done);
+  }
   if (first_hop == self_) {
     // Answer the first step locally — no RPC to ourselves.
     ClosestStepRep rep =
@@ -346,6 +434,8 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
     op->done(LookupResult{});
     return;
   }
+  tel().trace(EventType::kLookupHop, net_.sim().now(), self_, hop,
+              op->target, op->path.size());
   call(
       hop, ClosestStepReq{op->target, op->cursor, op->excluded},
       [this, op, hop](const ReplyPayload& payload) {
@@ -371,6 +461,9 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
           op->done(LookupResult{});
           return;
         }
+        tel().trace(EventType::kLookupRestart, net_.sim().now(), self_, hop,
+                    op->target, static_cast<std::uint64_t>(op->restarts));
+        tel().count_node("lookup.restarts", self_);
         // Fall back to the last responsive hop (or ourselves).
         Id retry = op->anchor == hop ? self_ : op->anchor;
         if (retry == self_) {
@@ -398,7 +491,15 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
 void AsyncNodeBase::on_multicast(Id from, const MulticastData& msg) {
   net_.deliver_record(from, self_, msg.depth);
   // Exactly-once forwarding: only the first copy is propagated.
-  if (!seen_streams_.insert(msg.stream_id).second) return;
+  if (!note_stream(msg.stream_id)) {
+    tel().trace(EventType::kDupSuppress, net_.sim().now(), self_, from,
+                msg.stream_id);
+    tel().count_node("mc.dup_suppressed", self_);
+    return;
+  }
+  tel().trace(EventType::kMulticastDeliver, net_.sim().now(), self_, from,
+              msg.stream_id, static_cast<std::uint64_t>(msg.depth));
+  tel().count_node("mc.delivered", self_);
   forward_multicast(msg);
 }
 
@@ -417,12 +518,20 @@ AsyncOverlayNet::~AsyncOverlayNet() {
   }
 }
 
+void AsyncOverlayNet::set_telemetry(telemetry::Sink sink) {
+  tel_ = sink;
+  bus_.set_telemetry(sink);
+  bus_.network().set_telemetry(sink);
+}
+
 void AsyncOverlayNet::bootstrap(Id id, NodeInfo info) {
   assert(!nodes_.contains(id));
   auto node = factory_(*this, id, info);
   AsyncNodeBase* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ++live_count_;
+  tel_.trace(telemetry::EventType::kMemberJoin, sim().now(), id);
+  tel_.count("member.joins");
   bus_.attach(
       id, [raw](Id from, Message msg) { raw->handle(from, std::move(msg)); });
   raw->boot_as_first();
@@ -434,6 +543,8 @@ void AsyncOverlayNet::spawn(Id id, NodeInfo info, Id via) {
   AsyncNodeBase* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ++live_count_;
+  tel_.trace(telemetry::EventType::kMemberJoin, sim().now(), id, via);
+  tel_.count("member.joins");
   bus_.attach(
       id, [raw](Id from, Message msg) { raw->handle(from, std::move(msg)); });
   raw->boot_via(via);
@@ -445,6 +556,8 @@ void AsyncOverlayNet::crash(Id id) {
   it->second->crash();
   bus_.detach(id);
   --live_count_;
+  tel_.trace(telemetry::EventType::kCrash, sim().now(), id);
+  tel_.count("member.crashes");
 }
 
 bool AsyncOverlayNet::running(Id id) const {
@@ -503,6 +616,7 @@ MulticastTree AsyncOverlayNet::multicast(Id source) {
 
   active_tree_ = &tree;
   deliveries_ = 0;
+  tel_.count("mc.multicasts");
   it->second->on_multicast(
       source, MulticastData{next_stream(), ring_.sub(source, 1), 0,
                             cfg_.multicast_payload_bytes});
@@ -544,7 +658,11 @@ double AsyncOverlayNet::ring_consistency() const {
       ok += got && *got == want;
     }
   }
-  return static_cast<double>(ok) / static_cast<double>(ids.size());
+  const double frac = static_cast<double>(ok) / static_cast<double>(ids.size());
+  tel_.set_gauge("ring.consistency", frac);
+  tel_.trace(telemetry::EventType::kRingSample, bus_.sim().now(), 0, 0, ok,
+             ids.size());
+  return frac;
 }
 
 }  // namespace cam::proto

@@ -7,6 +7,12 @@
 // routing table layout, the per-hop lookup decision, and the multicast
 // forwarding rule; everything else — exactly the part the paper inherits
 // from Chord — lives here.
+//
+// The stack is instrumented end to end behind a telemetry::Sink (null by
+// default): RPC issues/timeouts/strikes, suspicion changes, lookup
+// start/hop/restart/done, maintenance ticks, multicast
+// send/deliver/dup-suppress/retransmit, and membership churn. See
+// telemetry/trace.h for the event vocabulary.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 #include "multicast/tree.h"
 #include "overlay/types.h"
 #include "proto/host_bus.h"
+#include "telemetry/sink.h"
 
 namespace cam::proto {
 
@@ -50,6 +57,13 @@ struct AsyncConfig {
   /// Consecutive timeouts before a peer is suspected / a successor is
   /// dropped — one lost datagram must not evict a live neighbor.
   int suspect_after_strikes = 3;
+  /// Multicast dedupe horizon: stream ids unseen for this long are
+  /// evicted from the per-node dedupe set, so long-running sessions
+  /// don't grow it without bound. Must comfortably exceed the duration
+  /// of one dissemination (including retransmission tails); a stream
+  /// older than the horizon would be re-accepted if a copy somehow
+  /// still arrived.
+  SimTime stream_seen_ttl_ms = 300'000;
 };
 
 class AsyncOverlayNet;
@@ -72,6 +86,8 @@ class AsyncNodeBase {
   const std::vector<Id>& successor_list() const { return succ_list_; }
   const std::vector<Id>& idents() const { return idents_; }
   const std::vector<Id>& entries() const { return entries_; }
+  /// Live size of the multicast dedupe set (tests assert eviction).
+  std::size_t seen_stream_count() const { return seen_streams_.size(); }
 
  protected:
   friend class AsyncOverlayNet;
@@ -127,13 +143,17 @@ class AsyncNodeBase {
 
   bool suspected(Id peer) const;
   void strike(Id peer);
-  void absolve(Id peer) {
-    suspects_.erase(peer);
-    strikes_.erase(peer);
-  }
+  void absolve(Id peer);
   bool seen_stream(std::uint64_t stream_id) const {
     return seen_streams_.contains(stream_id);
   }
+  /// Marks `stream_id` seen now; returns true on first sighting.
+  bool note_stream(std::uint64_t stream_id);
+  /// Drops dedupe entries unseen for config().stream_seen_ttl_ms.
+  void evict_seen_streams();
+
+  /// The harness-wide telemetry sink (null members when unattached).
+  const telemetry::Sink& tel() const;
 
   AsyncOverlayNet& net_;
   Id self_;
@@ -141,6 +161,7 @@ class AsyncNodeBase {
   bool alive_ = true;
   bool joined_ = false;
   Id join_contact_ = 0;
+  SimTime join_started_ = 0;
 
   std::optional<Id> pred_;
   std::vector<Id> succ_list_;
@@ -154,7 +175,10 @@ class AsyncNodeBase {
     std::function<void()> on_timeout;
   };
   std::unordered_map<RpcId, Pending> pending_;
-  std::unordered_set<std::uint64_t> seen_streams_;  // multicast dedupe
+  /// Multicast dedupe: stream id -> virtual time last seen. Entries
+  /// older than config().stream_seen_ttl_ms are evicted from the
+  /// stabilize timer so the set stays bounded across many multicasts.
+  std::unordered_map<std::uint64_t, SimTime> seen_streams_;
   std::unordered_map<Id, SimTime> suspects_;  // id -> suspected until
   std::unordered_map<Id, int> strikes_;       // consecutive timeouts
 };
@@ -176,6 +200,12 @@ class AsyncOverlayNet {
   const AsyncConfig& config() const { return cfg_; }
   HostBus& bus() { return bus_; }
   Simulator& sim() { return bus_.sim(); }
+
+  /// Attaches telemetry to the whole stack: this harness, its HostBus,
+  /// and the underlying Network (the bus is 1:1 with the overlay in
+  /// every harness we build). Pass {} to detach.
+  void set_telemetry(telemetry::Sink sink);
+  const telemetry::Sink& telemetry() const { return tel_; }
 
   /// Creates the first member and starts its timers.
   void bootstrap(Id id, NodeInfo info);
@@ -206,8 +236,14 @@ class AsyncOverlayNet {
   /// returns the recorded implicit tree.
   MulticastTree multicast(Id source);
 
+  /// Stream id used by the most recent multicast() — the key to pull its
+  /// events out of a trace (telemetry::replay_multicast).
+  std::uint64_t last_stream_id() const { return stream_seq_ - 1; }
+
   /// Fraction of members whose successor pointer matches ground truth —
-  /// the harness's omniscient convergence probe for tests.
+  /// the harness's omniscient convergence probe for tests. Recorded as
+  /// the "ring.consistency" gauge and a kRingSample trace event when
+  /// telemetry is attached.
   double ring_consistency() const;
 
  private:
@@ -220,11 +256,16 @@ class AsyncOverlayNet {
   HostBus& bus_;
   NodeFactory factory_;
   AsyncConfig cfg_;
+  telemetry::Sink tel_;
   std::unordered_map<Id, std::unique_ptr<AsyncNodeBase>> nodes_;
   std::size_t live_count_ = 0;
   MulticastTree* active_tree_ = nullptr;
   std::uint64_t deliveries_ = 0;
   std::uint64_t stream_seq_ = 1;
 };
+
+inline const telemetry::Sink& AsyncNodeBase::tel() const {
+  return net_.telemetry();
+}
 
 }  // namespace cam::proto

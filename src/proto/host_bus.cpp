@@ -13,14 +13,26 @@ void HostBus::detach(Id host) { handlers_.erase(host); }
 void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
                    MsgClass cls) {
   if (loss_ > 0 && loss_rng_.chance(loss_)) {
-    ++dropped_;
+    ++loss_drops_;
+    if (loss_ctr_ != nullptr) loss_ctr_->add();
     return;
+  }
+  if (msgs_total_ != nullptr) {
+    auto idx = static_cast<std::size_t>(cls);
+    msgs_total_->add();
+    msgs_[idx]->add();
+    bytes_total_->add(bytes);
+    bytes_[idx]->add(bytes);
   }
   net_.send(
       from, to, bytes,
       [this, from, to, m = std::move(msg)]() mutable {
         auto it = handlers_.find(to);
-        if (it == handlers_.end()) return;  // crashed before delivery
+        if (it == handlers_.end()) {  // crashed before delivery
+          ++detached_drops_;
+          if (detached_ctr_ != nullptr) detached_ctr_->add();
+          return;
+        }
         it->second(from, std::move(m));
       },
       cls);
@@ -29,6 +41,27 @@ void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
 void HostBus::set_loss(double p, std::uint64_t seed) {
   loss_ = p;
   loss_rng_.reseed(seed);
+}
+
+void HostBus::set_telemetry(telemetry::Sink sink) {
+  sink_ = sink;
+  if (sink.metrics == nullptr) {
+    msgs_.fill(nullptr);
+    bytes_.fill(nullptr);
+    msgs_total_ = bytes_total_ = loss_ctr_ = detached_ctr_ = nullptr;
+    return;
+  }
+  telemetry::Registry& reg = *sink.metrics;
+  msgs_total_ = &reg.counter("bus.msgs");
+  bytes_total_ = &reg.counter("bus.bytes");
+  for (int c = 0; c < kNumMsgClasses; ++c) {
+    msgs_[static_cast<std::size_t>(c)] =
+        &reg.counter("bus.msgs", static_cast<MsgClass>(c));
+    bytes_[static_cast<std::size_t>(c)] =
+        &reg.counter("bus.bytes", static_cast<MsgClass>(c));
+  }
+  loss_ctr_ = &reg.counter("bus.drops.loss");
+  detached_ctr_ = &reg.counter("bus.drops.detached");
 }
 
 }  // namespace cam::proto

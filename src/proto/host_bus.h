@@ -5,14 +5,20 @@
 // (crashed) hosts are dropped silently — the sender learns nothing, which
 // is what forces the protocol layer to use timeouts. Optional uniform
 // message loss supports fault-injection tests.
+//
+// Drops are counted per cause: `loss_drops()` (injected loss ate the
+// datagram in flight) vs `detached_drops()` (it arrived at a crashed
+// host). `messages_dropped()` is their sum.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 
 #include "proto/messages.h"
 #include "sim/network.h"
+#include "telemetry/sink.h"
 #include "util/rng.h"
 
 namespace cam::proto {
@@ -43,14 +49,34 @@ class HostBus {
   /// Drops each message independently with probability `p`.
   void set_loss(double p, std::uint64_t seed);
 
-  std::uint64_t messages_dropped() const { return dropped_; }
+  /// Attaches telemetry; per-class message/byte counters and the drop
+  /// counters are resolved once so posting stays one pointer test per
+  /// metric when metrics are on and a single null test when off.
+  void set_telemetry(telemetry::Sink sink);
+  const telemetry::Sink& telemetry() const { return sink_; }
+
+  std::uint64_t loss_drops() const { return loss_drops_; }
+  std::uint64_t detached_drops() const { return detached_drops_; }
+  std::uint64_t messages_dropped() const {
+    return loss_drops_ + detached_drops_;
+  }
 
  private:
   Network& net_;
   std::unordered_map<Id, Handler> handlers_;
   double loss_ = 0;
   Rng loss_rng_{0};
-  std::uint64_t dropped_ = 0;
+  std::uint64_t loss_drops_ = 0;
+  std::uint64_t detached_drops_ = 0;
+
+  telemetry::Sink sink_;
+  // Cached metric handles (null when no metrics attached).
+  std::array<telemetry::Counter*, kNumMsgClasses> msgs_{};
+  std::array<telemetry::Counter*, kNumMsgClasses> bytes_{};
+  telemetry::Counter* msgs_total_ = nullptr;
+  telemetry::Counter* bytes_total_ = nullptr;
+  telemetry::Counter* loss_ctr_ = nullptr;
+  telemetry::Counter* detached_ctr_ = nullptr;
 };
 
 }  // namespace cam::proto

@@ -1,0 +1,25 @@
+// Coarse traffic classification, shared by the network accounting layer
+// and the telemetry subsystem. Lives in its own header so telemetry can
+// dimension metrics by class without pulling in the Network machinery.
+#pragma once
+
+namespace cam {
+
+/// Coarse traffic classification for accounting.
+enum class MsgClass : int {
+  kData = 0,         // multicast payload
+  kControl = 1,      // lookup / dup-check / membership RPCs
+  kMaintenance = 2,  // stabilization, fix-neighbors
+};
+inline constexpr int kNumMsgClasses = 3;
+
+inline const char* msg_class_name(MsgClass cls) {
+  switch (cls) {
+    case MsgClass::kData: return "data";
+    case MsgClass::kControl: return "control";
+    case MsgClass::kMaintenance: return "maintenance";
+  }
+  return "unknown";
+}
+
+}  // namespace cam

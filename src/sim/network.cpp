@@ -7,9 +7,18 @@ SimTime Network::send(Id from, Id to, std::size_t bytes,
   auto idx = static_cast<int>(cls);
   stats_.messages[idx] += 1;
   stats_.bytes[idx] += bytes;
-  SimTime arrive = sim_.now() + latency_.latency(from, to);
+  const SimTime delay = latency_.latency(from, to);
+  if (latency_hist_ != nullptr) latency_hist_->record(delay);
+  SimTime arrive = sim_.now() + delay;
   sim_.at(arrive, std::move(on_arrival));
   return arrive;
+}
+
+void Network::set_telemetry(telemetry::Sink sink) {
+  sink_ = sink;
+  latency_hist_ = sink.metrics != nullptr
+                      ? &sink.metrics->histogram("net.latency_ms")
+                      : nullptr;
 }
 
 }  // namespace cam

@@ -9,17 +9,11 @@
 
 #include "ids/ring.h"
 #include "sim/latency.h"
+#include "sim/msg_class.h"
 #include "sim/simulator.h"
+#include "telemetry/sink.h"
 
 namespace cam {
-
-/// Coarse traffic classification for accounting.
-enum class MsgClass : int {
-  kData = 0,         // multicast payload
-  kControl = 1,      // lookup / dup-check / membership RPCs
-  kMaintenance = 2,  // stabilization, fix-neighbors
-};
-inline constexpr int kNumMsgClasses = 3;
 
 /// Per-class message counters.
 struct NetStats {
@@ -53,6 +47,12 @@ class Network {
   const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Attaches (or detaches, with a default-constructed Sink) telemetry.
+  /// The latency histogram handle is resolved once here so the per-send
+  /// cost with metrics attached is one pointer test + one record.
+  void set_telemetry(telemetry::Sink sink);
+  const telemetry::Sink& telemetry() const { return sink_; }
+
   Simulator& sim() { return sim_; }
   const LatencyModel& latency_model() const { return latency_; }
 
@@ -60,6 +60,8 @@ class Network {
   Simulator& sim_;
   const LatencyModel& latency_;
   NetStats stats_;
+  telemetry::Sink sink_;
+  telemetry::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace cam

@@ -1,0 +1,185 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace cam::telemetry {
+
+namespace {
+
+// Formats a double the way JSON expects (no trailing garbage, enough
+// precision to round-trip SimTime ms values).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void write_histogram_fields(const Histogram& h, std::ostream& os) {
+  os << "\"count\":" << h.count() << ",\"sum\":" << num(h.sum())
+     << ",\"min\":" << num(h.min()) << ",\"max\":" << num(h.max())
+     << ",\"mean\":" << num(h.mean()) << ",\"p50\":" << num(h.quantile(0.5))
+     << ",\"p99\":" << num(h.quantile(0.99));
+}
+
+}  // namespace
+
+void write_json(const Registry& reg, std::ostream& os) {
+  os << "{\"counters\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& [name, fam] : reg.counters()) {
+    sep();
+    os << "{\"name\":\"" << name << "\",\"value\":" << fam.total.value()
+       << "}";
+    if (fam.has_class_series()) {
+      for (int c = 0; c < kNumMsgClasses; ++c) {
+        sep();
+        os << "{\"name\":\"" << name << "\",\"class\":\""
+           << msg_class_name(static_cast<MsgClass>(c))
+           << "\",\"value\":" << fam.per_class[static_cast<std::size_t>(c)].value()
+           << "}";
+      }
+    }
+    for (const auto& [node, c] : fam.per_node) {
+      sep();
+      os << "{\"name\":\"" << name << "\",\"node\":" << node
+         << ",\"value\":" << c.value() << "}";
+    }
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    sep();
+    os << "{\"name\":\"" << name << "\",\"value\":" << num(g.value()) << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, fam] : reg.histograms()) {
+    sep();
+    os << "{\"name\":\"" << name << "\",";
+    write_histogram_fields(fam.total, os);
+    os << "}";
+    for (const auto& [node, h] : fam.per_node) {
+      sep();
+      os << "{\"name\":\"" << name << "\",\"node\":" << node << ",";
+      write_histogram_fields(h, os);
+      os << "}";
+    }
+  }
+  os << "]}\n";
+}
+
+void write_csv(const Registry& reg, std::ostream& os) {
+  os << "kind,name,label,value,count,sum,min,max,p50,p99\n";
+  for (const auto& [name, fam] : reg.counters()) {
+    os << "counter," << name << ",," << fam.total.value() << ",,,,,,\n";
+    if (fam.has_class_series()) {
+      for (int c = 0; c < kNumMsgClasses; ++c) {
+        os << "counter," << name << ",class="
+           << msg_class_name(static_cast<MsgClass>(c)) << ","
+           << fam.per_class[static_cast<std::size_t>(c)].value()
+           << ",,,,,,\n";
+      }
+    }
+    for (const auto& [node, c] : fam.per_node) {
+      os << "counter," << name << ",node=" << node << "," << c.value()
+         << ",,,,,,\n";
+    }
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    os << "gauge," << name << ",," << num(g.value()) << ",,,,,,\n";
+  }
+  for (const auto& [name, fam] : reg.histograms()) {
+    auto row = [&](const std::string& label, const Histogram& h) {
+      os << "histogram," << name << "," << label << ",," << h.count() << ","
+         << num(h.sum()) << "," << num(h.min()) << "," << num(h.max()) << ","
+         << num(h.quantile(0.5)) << "," << num(h.quantile(0.99)) << "\n";
+    };
+    row("", fam.total);
+    for (const auto& [node, h] : fam.per_node) {
+      row("node=" + std::to_string(node), h);
+    }
+  }
+}
+
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
+  for (const TraceEvent& e : events) {
+    os << "{\"t\":" << num(e.time) << ",\"ev\":\"" << event_name(e.type)
+       << "\",\"node\":" << e.node << ",\"peer\":" << e.peer
+       << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+  }
+}
+
+void write_jsonl(const Tracer& tracer, std::ostream& os) {
+  write_jsonl(tracer.events(), os);
+}
+
+namespace {
+
+/// Extracts `"key":<value>` from a flat one-object JSONL line. Returns
+/// the character position after the colon, or npos.
+std::size_t find_value(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  std::size_t at = line.find(pat);
+  return at == std::string::npos ? std::string::npos : at + pat.size();
+}
+
+}  // namespace
+
+std::vector<TraceEvent> read_jsonl(std::istream& is) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::size_t tp = find_value(line, "t");
+    std::size_t ep = find_value(line, "ev");
+    std::size_t np = find_value(line, "node");
+    std::size_t pp = find_value(line, "peer");
+    std::size_t ap = find_value(line, "a");
+    std::size_t bp = find_value(line, "b");
+    if (tp == std::string::npos || ep == std::string::npos ||
+        np == std::string::npos || pp == std::string::npos ||
+        ap == std::string::npos || bp == std::string::npos) {
+      continue;
+    }
+    if (line[ep] != '"') continue;
+    std::size_t eq = line.find('"', ep + 1);
+    if (eq == std::string::npos) continue;
+    TraceEvent e;
+    if (!event_from_name(line.substr(ep + 1, eq - ep - 1), e.type)) continue;
+    try {
+      e.time = std::stod(line.substr(tp));
+      e.node = std::stoull(line.substr(np));
+      e.peer = std::stoull(line.substr(pp));
+      e.a = std::stoull(line.substr(ap));
+      e.b = std::stoull(line.substr(bp));
+    } catch (...) {
+      continue;  // malformed line (hand-edited trace); skip it
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void write_timeline(const std::vector<TraceEvent>& events, std::ostream& os) {
+  char buf[160];
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof buf,
+                  "[%10.1f ms] node %05" PRIu64 "  %-16s peer=%05" PRIu64
+                  " a=%" PRIu64 " b=%" PRIu64 "\n",
+                  e.time, e.node, event_name(e.type), e.peer, e.a, e.b);
+    os << buf;
+  }
+}
+
+void write_timeline(const Tracer& tracer, std::ostream& os) {
+  write_timeline(tracer.events(), os);
+}
+
+}  // namespace cam::telemetry

@@ -1,0 +1,42 @@
+// Snapshot/export layer: serializes a Registry (JSON, CSV) and a Tracer
+// (JSON Lines, human-readable timeline), plus the JSONL reader that
+// feeds trace replay. Consumed by tools/camsim, the experiment runner,
+// and the benches; formats are deterministic so dumps diff cleanly
+// across runs.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace cam::telemetry {
+
+/// Full registry snapshot as one JSON object:
+/// {"counters":[{"name":...,"value":...} | {"name":...,"class":...} |
+///              {"name":...,"node":...}, ...],
+///  "gauges":[...], "histograms":[{"name":...,"count":...,"sum":...,
+///  "min":...,"max":...,"p50":...,"p99":...}, ...]}
+void write_json(const Registry& reg, std::ostream& os);
+
+/// Flat CSV: kind,name,label,value,count,sum,min,max,p50,p99
+/// (label is empty for aggregates, "node=<id>" or "class=<name>" for
+/// labeled series; counters/gauges leave the histogram columns empty).
+void write_csv(const Registry& reg, std::ostream& os);
+
+/// One JSON object per line, oldest first:
+/// {"t":12.5,"ev":"mc_deliver","node":7,"peer":3,"a":1,"b":2}
+void write_jsonl(const Tracer& tracer, std::ostream& os);
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Parses write_jsonl output back into events (unknown lines are
+/// skipped, so a trace survives hand-editing / grepping).
+std::vector<TraceEvent> read_jsonl(std::istream& is);
+
+/// Human-readable per-event timeline, oldest first:
+///   [   123.4 ms] node 00042  mc_deliver       peer=00007 a=1 b=2
+void write_timeline(const Tracer& tracer, std::ostream& os);
+void write_timeline(const std::vector<TraceEvent>& events, std::ostream& os);
+
+}  // namespace cam::telemetry

@@ -1,0 +1,70 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cam::telemetry {
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0)) return 0;  // zero, negatives, NaN
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // v <= 2^exp with equality when v is a power of two; our buckets are
+  // upper-inclusive, so a power of two belongs to the bucket it tops.
+  if (std::ldexp(1.0, exp - 1) == v) --exp;
+  return std::clamp(exp - kMinExp, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int i) { return std::ldexp(1.0, kMinExp + i); }
+
+void Histogram::record(double v) {
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Interpolate within the bucket's (lower, upper] span.
+      const double lower = i == 0 ? 0.0 : bucket_upper(i - 1);
+      const double upper = bucket_upper(i);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return std::clamp(lower + frac * (upper - lower), min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+std::uint64_t Registry::value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.total.value();
+}
+
+std::uint64_t Registry::value(const std::string& name, MsgClass cls) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  return it->second.per_class[static_cast<std::size_t>(cls)].value();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second.total;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+}  // namespace cam::telemetry

@@ -1,0 +1,64 @@
+// The sink handle instrumentation sites hold. Null by default: an
+// uninstrumented run pays one pointer test per site and nothing else.
+// Attach a Registry and/or a Tracer to turn the stack's instrumentation
+// points on independently (metrics without traces, traces without
+// metrics, or both).
+//
+// All helpers are const: a Sink is a value of two pointers, and the
+// mutation happens behind them, so read-only protocol code (lookup
+// answering, consistency probes) can record without ceremony.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace cam::telemetry {
+
+struct Sink {
+  Registry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool active() const { return metrics != nullptr || tracer != nullptr; }
+
+  // --- tracing ---------------------------------------------------------
+  void trace(EventType type, SimTime time, Id node, Id peer = 0,
+             std::uint64_t a = 0, std::uint64_t b = 0) const {
+    if (tracer != nullptr && tracer->wants(type)) {
+      tracer->record(TraceEvent{time, type, node, peer, a, b});
+    }
+  }
+
+  // --- counting --------------------------------------------------------
+  /// Aggregate series only.
+  void count(const char* name, std::uint64_t d = 1) const {
+    if (metrics != nullptr) metrics->counter(name).add(d);
+  }
+  /// Aggregate + per-node series. (Named distinctly: Id aliases the
+  /// delta type, so an overload would be ambiguous.)
+  void count_node(const char* name, Id node, std::uint64_t d = 1) const {
+    if (metrics == nullptr) return;
+    metrics->counter(name).add(d);
+    metrics->counter(name, node).add(d);
+  }
+  /// Aggregate + per-class series.
+  void count_cls(const char* name, MsgClass cls, std::uint64_t d = 1) const {
+    if (metrics == nullptr) return;
+    metrics->counter(name).add(d);
+    metrics->counter(name, cls).add(d);
+  }
+
+  // --- distributions ---------------------------------------------------
+  void observe(const char* name, double v) const {
+    if (metrics != nullptr) metrics->histogram(name).record(v);
+  }
+  void observe(const char* name, Id node, double v) const {
+    if (metrics == nullptr) return;
+    metrics->histogram(name).record(v);
+    metrics->histogram(name, node).record(v);
+  }
+  void set_gauge(const char* name, double v) const {
+    if (metrics != nullptr) metrics->gauge(name).set(v);
+  }
+};
+
+}  // namespace cam::telemetry

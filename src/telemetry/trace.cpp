@@ -1,0 +1,76 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace cam::telemetry {
+
+namespace {
+
+constexpr const char* kEventNames[kNumEventTypes] = {
+    "join_start",     "join_done",  "stabilize",   "fix",
+    "ping",           "lookup_start", "lookup_hop", "lookup_restart",
+    "lookup_done",    "rpc_issue",  "rpc_timeout", "suspect",
+    "absolve",        "member_join", "crash",      "mc_send",
+    "mc_deliver",     "mc_dup_suppress", "mc_retransmit", "ring_sample",
+};
+
+}  // namespace
+
+const char* event_name(EventType t) {
+  const int i = static_cast<int>(t);
+  return i >= 0 && i < kNumEventTypes ? kEventNames[i] : "unknown";
+}
+
+bool event_from_name(const std::string& name, EventType& out) {
+  for (int i = 0; i < kNumEventTypes; ++i) {
+    if (name == kEventNames[i]) {
+      out = static_cast<EventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracer::Tracer(std::size_t capacity, EventMask mask)
+    : buf_(std::max<std::size_t>(capacity, 1)), mask_(mask) {}
+
+void Tracer::record(const TraceEvent& e) {
+  buf_[head_] = e;
+  head_ = (head_ + 1) % buf_.size();
+  if (size_ < buf_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::unordered_map<Id, ReplayedDelivery> replay_multicast(
+    const std::vector<TraceEvent>& events, std::uint64_t stream_id) {
+  std::unordered_map<Id, ReplayedDelivery> out;
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kMulticastDeliver || e.a != stream_id) continue;
+    // First delivery wins; with the stack's dedupe working correctly
+    // there is only one per node anyway.
+    out.try_emplace(e.node,
+                    ReplayedDelivery{e.peer, static_cast<int>(e.b)});
+  }
+  return out;
+}
+
+}  // namespace cam::telemetry

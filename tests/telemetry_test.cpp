@@ -1,0 +1,203 @@
+// Unit tests for the telemetry subsystem: counter / gauge / histogram
+// semantics, the bounded ring-buffer tracer, JSONL round-tripping, and
+// multicast trace replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sink.h"
+#include "telemetry/trace.h"
+
+namespace cam::telemetry {
+namespace {
+
+TEST(TelemetryCounter, AccumulatesAndDefaultsToZero) {
+  Registry reg;
+  EXPECT_EQ(reg.value("x"), 0u);
+  reg.counter("x").add(3);
+  reg.counter("x").add();
+  EXPECT_EQ(reg.value("x"), 4u);
+  EXPECT_EQ(reg.value("unknown"), 0u);
+}
+
+TEST(TelemetryCounter, ClassAndNodeSeriesAreIndependent) {
+  Registry reg;
+  reg.counter("msgs", MsgClass::kData).add(5);
+  reg.counter("msgs", MsgClass::kControl).add(2);
+  reg.counter("msgs", Id{42}).add(7);
+  // Label series do not implicitly roll up into the aggregate.
+  EXPECT_EQ(reg.value("msgs"), 0u);
+  EXPECT_EQ(reg.value("msgs", MsgClass::kData), 5u);
+  EXPECT_EQ(reg.value("msgs", MsgClass::kControl), 2u);
+  EXPECT_EQ(reg.value("msgs", MsgClass::kMaintenance), 0u);
+  const auto& fam = reg.counters().at("msgs");
+  EXPECT_TRUE(fam.has_class_series());
+  EXPECT_EQ(fam.per_node.at(42).value(), 7u);
+}
+
+TEST(TelemetryGauge, LastWriteWins) {
+  Registry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("missing"), 0.0);
+}
+
+TEST(TelemetryHistogram, BucketBoundariesAreHalfOpenPowersOfTwo) {
+  // Bucket i covers (2^(kMinExp+i-1), 2^(kMinExp+i)]: an exact power of
+  // two lands in the bucket it tops, the next representable value above
+  // it in the next bucket.
+  EXPECT_EQ(Histogram::bucket_of(1.0), -Histogram::kMinExp);
+  EXPECT_EQ(Histogram::bucket_of(std::nextafter(1.0, 2.0)),
+            -Histogram::kMinExp + 1);
+  EXPECT_EQ(Histogram::bucket_of(2.0), -Histogram::kMinExp + 1);
+  EXPECT_EQ(Histogram::bucket_of(0.5), -Histogram::kMinExp - 1);
+  // Everything at or below the smallest bound collapses into bucket 0,
+  // everything above the largest into the last bucket.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1e30), Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(-Histogram::kMinExp), 1.0);
+}
+
+TEST(TelemetryHistogram, ExactMomentsApproximateQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Quantiles are bucket-interpolated: right order of magnitude and
+  // clamped to the observed envelope.
+  double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 75.0);
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+  EXPECT_GE(h.quantile(0.99), p50);
+}
+
+TEST(TelemetrySink, NullSinkIsInertAndCheap) {
+  Sink sink;  // both pointers null
+  sink.count("x");
+  sink.count_node("x", Id{1});
+  sink.count_cls("x", MsgClass::kData);
+  sink.observe("h", 1.0);
+  sink.set_gauge("g", 2.0);
+  sink.trace(EventType::kCrash, 0.0, Id{1});
+  // Nothing to assert beyond "does not crash": there is no registry.
+  SUCCEED();
+}
+
+TEST(TelemetrySink, WritesAggregateAndLabelSeries) {
+  Registry reg;
+  Sink sink{&reg, nullptr};
+  sink.count_cls("msgs", MsgClass::kData, 3);
+  sink.count_node("del", Id{9});
+  EXPECT_EQ(reg.value("msgs"), 3u);  // aggregate kept in lock-step
+  EXPECT_EQ(reg.value("msgs", MsgClass::kData), 3u);
+  EXPECT_EQ(reg.value("del"), 1u);
+  EXPECT_EQ(reg.counters().at("del").per_node.at(9).value(), 1u);
+}
+
+TEST(TelemetryTracer, RingEvictsOldestFirst) {
+  Tracer tr(4);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    tr.record({.time = static_cast<SimTime>(i),
+               .type = EventType::kPing,
+               .node = i});
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.capacity(), 4u);
+  EXPECT_EQ(tr.dropped(), 3u);
+  auto ev = tr.events();
+  ASSERT_EQ(ev.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ev[i].node, i + 3);  // 0,1,2 evicted; oldest survivor first
+  }
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(TelemetryTracer, MaskGatesRecording) {
+  Tracer tr(8, kMilestoneEvents);
+  EXPECT_FALSE(tr.wants(EventType::kStabilize));
+  EXPECT_FALSE(tr.wants(EventType::kRpcIssue));
+  EXPECT_TRUE(tr.wants(EventType::kMulticastDeliver));
+  EXPECT_TRUE(tr.wants(EventType::kRpcTimeout));
+  Sink sink{nullptr, &tr};
+  sink.trace(EventType::kStabilize, 1.0, Id{1});
+  sink.trace(EventType::kMulticastDeliver, 2.0, Id{1});
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.events()[0].type, EventType::kMulticastDeliver);
+}
+
+TEST(TelemetryTrace, EventNamesRoundTrip) {
+  for (int i = 0; i < kNumEventTypes; ++i) {
+    EventType t = static_cast<EventType>(i);
+    EventType back;
+    ASSERT_TRUE(event_from_name(event_name(t), back)) << event_name(t);
+    EXPECT_EQ(back, t);
+  }
+  EventType dummy;
+  EXPECT_FALSE(event_from_name("no_such_event", dummy));
+}
+
+TEST(TelemetryExport, JsonlRoundTripsExactly) {
+  std::vector<TraceEvent> in = {
+      {12.5, EventType::kMulticastSend, 7, 3, 1, 2},
+      {13.0, EventType::kMulticastDeliver, 3, 7, 1, 2},
+      {99.75, EventType::kRpcTimeout, 3, 11, 42, 1},
+      {100.0, EventType::kRingSample, 0, 0, 8, 8},
+  };
+  std::stringstream ss;
+  write_jsonl(in, ss);
+  ss << "this line is not json\n";  // parser must skip garbage
+  auto out = read_jsonl(ss);
+  EXPECT_EQ(out, in);
+}
+
+TEST(TelemetryExport, JsonAndCsvContainEverySeries) {
+  Registry reg;
+  reg.counter("c").add(2);
+  reg.counter("c", MsgClass::kData).add(2);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h").record(3.0);
+  std::stringstream js, cs;
+  write_json(reg, js);
+  write_csv(reg, cs);
+  for (const char* needle : {"\"c\"", "\"g\"", "\"h\"", "\"data\""}) {
+    EXPECT_NE(js.str().find(needle), std::string::npos) << needle;
+  }
+  for (const char* needle : {"counter,c", "gauge,g", "histogram,h"}) {
+    EXPECT_NE(cs.str().find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(TelemetryReplay, RebuildsFirstDeliveryPerNode) {
+  std::vector<TraceEvent> ev = {
+      // Stream 5: source 1 delivers to itself, fans out to 2 and 3.
+      {1.0, EventType::kMulticastDeliver, 1, 1, 5, 0},
+      {1.0, EventType::kMulticastSend, 1, 2, 5, 1},
+      {2.0, EventType::kMulticastDeliver, 2, 1, 5, 1},
+      {3.0, EventType::kMulticastDeliver, 3, 2, 5, 2},
+      // A different stream and a duplicate for node 3 — both ignored.
+      {4.0, EventType::kMulticastDeliver, 9, 9, 6, 0},
+      {5.0, EventType::kMulticastDeliver, 3, 1, 5, 1},
+  };
+  auto replayed = replay_multicast(ev, 5);
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed.at(1), (ReplayedDelivery{1, 0}));
+  EXPECT_EQ(replayed.at(2), (ReplayedDelivery{1, 1}));
+  EXPECT_EQ(replayed.at(3), (ReplayedDelivery{2, 2}));  // first copy wins
+  EXPECT_TRUE(replay_multicast(ev, 777).empty());
+}
+
+}  // namespace
+}  // namespace cam::telemetry
