@@ -15,7 +15,15 @@ echo "== tier-1: ASan+UBSan build, telemetry + protocol tests =="
 cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target cam_tests
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Telemetry|Async|HostBus|Proto'
+  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos'
+
+echo
+echo "== tier-1: ASan+UBSan chaos smoke (camsim chaos) =="
+cmake --build build-asan -j --target camsim
+./build-asan/tools/camsim chaos --system=camchord --n=12 --bits=10 --seed=7 \
+  > /dev/null
+./build-asan/tools/camsim chaos --system=camkoorde --n=12 --bits=10 --seed=7 \
+  > /dev/null
 
 echo
 echo "tier-1 OK"

@@ -1,0 +1,200 @@
+#include "fault/chaos_run.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "proto/async_camchord.h"
+#include "proto/async_camkoorde.h"
+#include "telemetry/export.h"
+#include "util/rng.h"
+
+namespace cam::fault {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChaosMulticast::to_string() const {
+  return "mc stream=" + std::to_string(stream) + " source=" +
+         std::to_string(source) + " reached=" + std::to_string(reached) +
+         "/" + std::to_string(live) + " dups=" + std::to_string(dups) +
+         (while_faulted ? " (faulted)" : " (quiescent)");
+}
+
+std::string ChaosReport::render() const {
+  std::ostringstream os;
+  os << "chaos system=" << cfg.system << " n=" << cfg.n << " bits="
+     << cfg.bits << " seed=" << cfg.seed << "\n";
+  os << "plan:\n";
+  {
+    std::istringstream in(plan_text);
+    for (std::string line; std::getline(in, line);) {
+      os << "  " << line << "\n";
+    }
+  }
+  for (const ChaosMulticast& m : multicasts) os << m.to_string() << "\n";
+  os << "members=" << members << " consistency=" << num(consistency) << "\n";
+  os << "faults: drops=" << drops << " dups=" << dups << " delays="
+     << delays << "\n";
+  if (trace_evictions > 0) {
+    os << "warning: trace ring evicted " << trace_evictions
+       << " events (dedupe check partial)\n";
+  }
+  os << "violations: " << violations.size() << "\n";
+  for (const Violation& v : violations) os << "  " << v.to_string() << "\n";
+  os << "journal: " << journal.size() << " entries\n";
+  for (const std::string& line : journal) os << "  " << line << "\n";
+  os << "counters:\n" << counters_csv;
+  os << "result: " << (ok ? "OK" : "VIOLATIONS") << "\n";
+  return os.str();
+}
+
+ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
+  ChaosReport report;
+  report.cfg = cfg;
+  report.plan_text = plan.to_string();
+
+  RingSpace ring(cfg.bits);
+  Simulator sim;
+  UniformLatency lat(5, 25, cfg.seed ^ 0x5eed);
+  Network net(sim, lat);
+  proto::HostBus bus(net);
+
+  std::unique_ptr<proto::AsyncOverlayNet> overlay;
+  if (cfg.system == "camchord") {
+    overlay = std::make_unique<proto::AsyncCamChordNet>(ring, bus, cfg.async);
+  } else if (cfg.system == "camkoorde") {
+    overlay =
+        std::make_unique<proto::AsyncCamKoordeNet>(ring, bus, cfg.async);
+  } else {
+    report.violations.push_back(
+        {"config", 0, "unknown system '" + cfg.system + "'"});
+    return report;
+  }
+
+  telemetry::Registry reg;
+  telemetry::Tracer tracer(
+      std::max<std::size_t>(std::size_t{1} << 16, 1024 * cfg.n),
+      telemetry::kMilestoneEvents);
+  overlay->set_telemetry({&reg, &tracer});
+
+  // --- grow to n and converge (fault-free) -----------------------------
+  Rng rng(cfg.seed);
+  auto info = [&] {
+    return NodeInfo{
+        static_cast<std::uint32_t>(
+            rng.uniform(cfg.spawn.cap_lo, cfg.spawn.cap_hi)),
+        cfg.spawn.bw_lo_kbps +
+            rng.next_double() *
+                (cfg.spawn.bw_hi_kbps - cfg.spawn.bw_lo_kbps)};
+  };
+  overlay->bootstrap(rng.next_below(ring.size()), info());
+  overlay->run_for(500);
+  while (overlay->size() < cfg.n) {
+    std::size_t batch = std::min<std::size_t>(8, cfg.n - overlay->size());
+    auto members = overlay->members_sorted();
+    for (std::size_t i = 0; i < batch; ++i) {
+      Id id = rng.next_below(ring.size());
+      if (overlay->known(id)) continue;
+      overlay->spawn(id, info(), members[rng.next_below(members.size())]);
+    }
+    overlay->run_for(400);
+  }
+  SimTime deadline = sim.now() + 240'000;
+  while (sim.now() < deadline && overlay->ring_consistency() < 1.0) {
+    overlay->run_for(2'000);
+  }
+  overlay->run_for(2 * cfg.async.entry_refresh_target_ms + 4'000);
+
+  InvariantChecker checker(*overlay);
+  auto note_violations = [&](std::vector<Violation> v) {
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(v.begin()),
+                             std::make_move_iterator(v.end()));
+  };
+
+  auto checked_multicast = [&](bool expect_coverage) {
+    auto members = overlay->members_sorted();
+    if (members.empty()) return;
+    Id source = members[rng.next_below(members.size())];
+    MulticastTree tree = overlay->multicast(source);
+    std::uint64_t stream = overlay->last_stream_id();
+    report.multicasts.push_back(ChaosMulticast{
+        stream, source, tree.size(), overlay->size(),
+        tree.duplicate_deliveries(), !expect_coverage});
+    note_violations(checker.check_multicast_structure(tree));
+    note_violations(checker.check_trace_dedupe(tracer.events(), stream));
+    if (expect_coverage) {
+      note_violations(checker.check_multicast_coverage(tree));
+    }
+  };
+
+  // --- execute the plan, multicasting while faults are live ------------
+  FaultInjector injector(*overlay, cfg.seed ^ 0xFA17, cfg.spawn);
+  injector.load(plan);
+  const SimTime start = sim.now();
+  const SimTime plan_span = plan.duration() + cfg.tail_ms;
+  for (int i = 0; i < cfg.mid_multicasts; ++i) {
+    SimTime mark =
+        start + plan_span * (i + 1) / (cfg.mid_multicasts + 1);
+    if (sim.now() < mark) overlay->run_for(mark - sim.now());
+    checked_multicast(/*expect_coverage=*/false);
+  }
+  if (sim.now() < start + plan_span) {
+    overlay->run_for(start + plan_span - sim.now());
+  }
+
+  // --- heal, settle, and sweep the quiescent invariants ----------------
+  if (cfg.force_quiescence) {
+    injector.clear();
+    SimTime budget = sim.now() + cfg.quiesce_budget_ms;
+    while (sim.now() < budget && overlay->ring_consistency() < 1.0) {
+      overlay->run_for(2'000);
+    }
+    overlay->run_for(2 * cfg.async.entry_refresh_target_ms + 4'000);
+    while (sim.now() < budget && !checker.check_quiescent().empty()) {
+      overlay->run_for(5'000);
+    }
+    note_violations(checker.check_quiescent());
+    if (cfg.final_multicast) checked_multicast(/*expect_coverage=*/true);
+  } else {
+    note_violations(checker.check_quiescent());
+  }
+
+  report.journal = injector.journal();
+  report.members = overlay->size();
+  report.consistency = overlay->ring_consistency();
+  report.drops = injector.dropped();
+  report.dups = injector.duplicated();
+  report.delays = injector.delayed();
+  report.trace_evictions = tracer.dropped();
+  std::ostringstream csv;
+  telemetry::write_csv(reg, csv);
+  report.counters_csv = csv.str();
+  report.ok = report.violations.empty();
+  return report;
+}
+
+FaultPlan default_chaos_plan() {
+  FaultPlan plan;
+  plan.drop(0, 0.05)
+      .duplicate(0, 0.05, 1)
+      .reorder(0, 0.2, 40)
+      .crash(2'000, 2)
+      .join(4'000, 2)
+      .partition(6'000, 0.3)
+      .heal(9'000)
+      .restart(11'000, 1)
+      .clear(14'000);
+  return plan;
+}
+
+}  // namespace cam::fault

@@ -1,0 +1,344 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cam::fault {
+
+namespace {
+
+// %g keeps integers free of trailing zeros and round-trips the SimTime
+// and probability values used in plans, so to_string/parse is exact.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kJoin: return "join";
+    case FaultKind::kClear: return "clear";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << "at " << num(at_ms) << " " << kind_name(kind);
+  switch (kind) {
+    case FaultKind::kDrop:
+      os << " p=" << num(p);
+      if (has_link) os << " link=" << a << ":" << b;
+      break;
+    case FaultKind::kDuplicate:
+      os << " p=" << num(p) << " copies=" << count;
+      break;
+    case FaultKind::kDelay:
+    case FaultKind::kReorder:
+      os << " p=" << num(p) << " ms=" << num(ms);
+      break;
+    case FaultKind::kPartition:
+      if (!hosts.empty()) {
+        os << " ids=";
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+          if (i > 0) os << ",";
+          os << hosts[i];
+        }
+      } else {
+        os << " frac=" << num(frac);
+      }
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+    case FaultKind::kJoin:
+      os << " n=" << count;
+      break;
+    case FaultKind::kHeal:
+    case FaultKind::kClear:
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(std::move(e));
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at_ms < y.at_ms;
+                   });
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(SimTime at, double p) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kDrop;
+  e.p = p;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::drop_link(SimTime at, Id from, Id to, double p) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kDrop;
+  e.p = p;
+  e.has_link = true;
+  e.a = from;
+  e.b = to;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::duplicate(SimTime at, double p, int copies) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kDuplicate;
+  e.p = p;
+  e.count = copies;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::delay(SimTime at, double p, SimTime extra_ms) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kDelay;
+  e.p = p;
+  e.ms = extra_ms;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::reorder(SimTime at, double p, SimTime window_ms) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kReorder;
+  e.p = p;
+  e.ms = window_ms;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::partition(SimTime at, double frac) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kPartition;
+  e.frac = frac;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::partition_hosts(SimTime at, std::vector<Id> side_a) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kPartition;
+  e.hosts = std::move(side_a);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::heal(SimTime at) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kHeal;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::crash(SimTime at, int count) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kCrash;
+  e.count = count;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::restart(SimTime at, int count) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kRestart;
+  e.count = count;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::join(SimTime at, int count) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kJoin;
+  e.count = count;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::clear(SimTime at) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kClear;
+  return add(std::move(e));
+}
+
+SimTime FaultPlan::duration() const {
+  return events_.empty() ? 0 : events_.back().at_ms;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  auto fail = [&](int line, const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    std::istringstream ls(raw);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;  // blank or comment-only line
+
+    if (tok.size() < 3 || tok[0] != "at") {
+      return fail(lineno, "expected 'at <ms> <kind> ...'");
+    }
+    FaultEvent e;
+    if (!parse_double(tok[1], e.at_ms) || e.at_ms < 0) {
+      return fail(lineno, "bad time '" + tok[1] + "'");
+    }
+    const std::string& kind = tok[2];
+
+    // key=value fields after the kind keyword.
+    bool saw_p = false, saw_ms = false, saw_n = false, saw_copies = false;
+    bool saw_frac = false, saw_ids = false, saw_link = false;
+    for (std::size_t i = 3; i < tok.size(); ++i) {
+      auto eq = tok[i].find('=');
+      if (eq == std::string::npos) {
+        return fail(lineno, "expected key=value, got '" + tok[i] + "'");
+      }
+      const std::string key = tok[i].substr(0, eq);
+      const std::string val = tok[i].substr(eq + 1);
+      if (key == "p") {
+        if (!parse_double(val, e.p) || e.p < 0 || e.p > 1) {
+          return fail(lineno, "bad probability '" + val + "'");
+        }
+        saw_p = true;
+      } else if (key == "ms") {
+        if (!parse_double(val, e.ms) || e.ms < 0) {
+          return fail(lineno, "bad ms '" + val + "'");
+        }
+        saw_ms = true;
+      } else if (key == "n" || key == "copies") {
+        std::uint64_t v = 0;
+        if (!parse_u64(val, v) || v == 0 || v > 1'000'000) {
+          return fail(lineno, "bad count '" + val + "'");
+        }
+        e.count = static_cast<int>(v);
+        (key == "n" ? saw_n : saw_copies) = true;
+      } else if (key == "frac") {
+        if (!parse_double(val, e.frac) || e.frac <= 0 || e.frac >= 1) {
+          return fail(lineno, "bad fraction '" + val + "' (need 0<f<1)");
+        }
+        saw_frac = true;
+      } else if (key == "ids") {
+        std::istringstream vs(val);
+        for (std::string part; std::getline(vs, part, ',');) {
+          std::uint64_t id = 0;
+          if (!parse_u64(part, id)) {
+            return fail(lineno, "bad id '" + part + "'");
+          }
+          e.hosts.push_back(id);
+        }
+        if (e.hosts.empty()) return fail(lineno, "empty ids list");
+        saw_ids = true;
+      } else if (key == "link") {
+        auto colon = val.find(':');
+        std::uint64_t from = 0, to = 0;
+        if (colon == std::string::npos ||
+            !parse_u64(val.substr(0, colon), from) ||
+            !parse_u64(val.substr(colon + 1), to)) {
+          return fail(lineno, "bad link '" + val + "' (need from:to)");
+        }
+        e.has_link = true;
+        e.a = from;
+        e.b = to;
+        saw_link = true;
+      } else {
+        return fail(lineno, "unknown key '" + key + "'");
+      }
+    }
+
+    if (kind == "drop") {
+      if (!saw_p) return fail(lineno, "drop needs p=");
+      e.kind = FaultKind::kDrop;
+    } else if (kind == "dup") {
+      if (!saw_p) return fail(lineno, "dup needs p=");
+      e.kind = FaultKind::kDuplicate;
+      if (!saw_copies) e.count = 1;
+    } else if (kind == "delay" || kind == "reorder") {
+      if (!saw_p || !saw_ms) return fail(lineno, kind + " needs p= and ms=");
+      e.kind = kind == "delay" ? FaultKind::kDelay : FaultKind::kReorder;
+    } else if (kind == "partition") {
+      if (saw_frac == saw_ids) {
+        return fail(lineno, "partition needs exactly one of frac= / ids=");
+      }
+      e.kind = FaultKind::kPartition;
+    } else if (kind == "heal") {
+      e.kind = FaultKind::kHeal;
+    } else if (kind == "crash" || kind == "restart" || kind == "join") {
+      if (!saw_n) return fail(lineno, kind + " needs n=");
+      e.kind = kind == "crash"     ? FaultKind::kCrash
+               : kind == "restart" ? FaultKind::kRestart
+                                   : FaultKind::kJoin;
+    } else if (kind == "clear") {
+      e.kind = FaultKind::kClear;
+    } else {
+      return fail(lineno, "unknown fault kind '" + kind + "'");
+    }
+    if (saw_link && e.kind != FaultKind::kDrop) {
+      return fail(lineno, "link= is only valid on drop");
+    }
+    plan.add(std::move(e));
+  }
+  return plan;
+}
+
+}  // namespace cam::fault

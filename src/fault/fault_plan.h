@@ -1,0 +1,121 @@
+// FaultPlan: a deterministic, seed-replayable schedule of fault events.
+//
+// A plan is a time-ordered list of FaultEvents — link-level message
+// faults (drop / duplicate / extra-delay / reorder), network partitions
+// (host-set bisection with heal), and scripted churn (crash waves,
+// restart-with-fresh-id, batch joins). Plans are built programmatically
+// or parsed from a tiny line-based DSL; to_string() renders the
+// canonical form, and parse(to_string(p)) == p, so a failing chaos run
+// is reproduced by replaying the dumped plan text with the same seed.
+//
+// Event times are virtual milliseconds *relative to the moment the plan
+// is loaded* into a FaultInjector (injector.h), which executes the
+// events on the simulator clock. The plan itself contains no
+// randomness; every random choice (which message drops, which hosts
+// land on which partition side, which nodes churn) is drawn from the
+// injector's seeded RNG, so one (plan, seed) pair yields one
+// byte-identical fault schedule.
+//
+// DSL — one event per line, '#' starts a comment:
+//
+//   at <ms> drop p=<p> [link=<from>:<to>]
+//   at <ms> dup p=<p> [copies=<k>]
+//   at <ms> delay p=<p> ms=<extra>
+//   at <ms> reorder p=<p> ms=<window>
+//   at <ms> partition frac=<f>
+//   at <ms> partition ids=<a,b,c>
+//   at <ms> heal
+//   at <ms> crash n=<k>
+//   at <ms> restart n=<k>
+//   at <ms> join n=<k>
+//   at <ms> clear
+//
+// `drop`/`dup`/`delay`/`reorder` *set* the corresponding knob (p=0
+// turns it off); `clear` resets every link-level fault including an
+// active partition. `crash`/`restart`/`join` are one-shot waves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ids/ring.h"
+#include "sim/simulator.h"
+
+namespace cam::fault {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,       // set global or per-link drop probability
+  kDuplicate,  // set duplication probability + copy count
+  kDelay,      // set fixed extra-delay fault
+  kReorder,    // set randomized extra-delay (reorder) fault
+  kPartition,  // install a partition (fraction or explicit side A)
+  kHeal,       // remove the partition
+  kCrash,      // crash `count` random live nodes
+  kRestart,    // crash `count` nodes; each rejoins with a fresh id
+  kJoin,       // spawn `count` fresh nodes
+  kClear,      // reset every link-level fault (partition included)
+};
+
+/// Canonical DSL keyword of a kind ("drop", "dup", ...).
+const char* kind_name(FaultKind k);
+
+struct FaultEvent {
+  SimTime at_ms = 0;
+  FaultKind kind = FaultKind::kClear;
+  double p = 0;           // drop/dup/delay/reorder probability
+  double ms = 0;          // delay: extra ms; reorder: window ms
+  int count = 0;          // dup: extra copies; churn: wave size
+  double frac = 0;        // partition: fraction of live members on side A
+  bool has_link = false;  // drop restricted to the directed link a->b
+  Id a = 0;
+  Id b = 0;
+  std::vector<Id> hosts;  // partition: explicit side A (overrides frac)
+
+  /// One canonical DSL line (no trailing newline).
+  std::string to_string() const;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+class FaultPlan {
+ public:
+  // --- programmatic builder (all return *this for chaining) ------------
+  FaultPlan& drop(SimTime at, double p);
+  FaultPlan& drop_link(SimTime at, Id from, Id to, double p);
+  FaultPlan& duplicate(SimTime at, double p, int copies = 1);
+  FaultPlan& delay(SimTime at, double p, SimTime extra_ms);
+  FaultPlan& reorder(SimTime at, double p, SimTime window_ms);
+  FaultPlan& partition(SimTime at, double frac);
+  FaultPlan& partition_hosts(SimTime at, std::vector<Id> side_a);
+  FaultPlan& heal(SimTime at);
+  FaultPlan& crash(SimTime at, int count);
+  FaultPlan& restart(SimTime at, int count);
+  FaultPlan& join(SimTime at, int count);
+  FaultPlan& clear(SimTime at);
+
+  /// Events sorted by time; ties keep insertion order (stable), so a
+  /// plan executes in exactly the order its text reads.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  /// Time of the last event (0 for an empty plan).
+  SimTime duration() const;
+
+  /// Canonical DSL text; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  /// Parses DSL text. Returns nullopt on the first malformed line and,
+  /// when `error` is non-null, stores a "line N: why" message there.
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+  bool operator==(const FaultPlan&) const = default;
+
+ private:
+  FaultPlan& add(FaultEvent e);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cam::fault

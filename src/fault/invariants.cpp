@@ -1,0 +1,224 @@
+#include "fault/invariants.h"
+
+#include <algorithm>
+#include <map>
+
+#include "camchord/neighbor_math.h"
+#include "camkoorde/neighbor_math.h"
+#include "proto/async_camchord.h"
+#include "proto/async_camkoorde.h"
+
+namespace cam::fault {
+
+namespace {
+
+std::string id_list(const std::vector<Id>& ids) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  return "[" + check + "] node=" + std::to_string(node) + ": " + detail;
+}
+
+std::string render_violations(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+Id InvariantChecker::responsible(Id target) const {
+  std::vector<Id> members = overlay_.members_sorted();
+  auto it = std::lower_bound(members.begin(), members.end(), target);
+  return it == members.end() ? members.front() : *it;
+}
+
+std::vector<Violation> InvariantChecker::check_ring() const {
+  std::vector<Violation> out;
+  const std::vector<Id> members = overlay_.members_sorted();
+  if (members.size() < 2) return out;
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const Id id = members[i];
+    const proto::AsyncNodeBase& n = overlay_.node(id);
+    if (!n.joined()) {
+      out.push_back({"ring.joined", id, "live but never finished joining"});
+      continue;
+    }
+    const Id want_succ = members[(i + 1) % members.size()];
+    const Id want_pred = members[(i + members.size() - 1) % members.size()];
+
+    auto succ = n.successor();
+    if (!succ || *succ != want_succ) {
+      out.push_back({"ring.successor", id,
+                     "expected " + std::to_string(want_succ) + ", got " +
+                         (succ ? std::to_string(*succ) : "none")});
+    }
+    auto pred = n.predecessor();
+    if (!pred || *pred != want_pred) {
+      out.push_back({"ring.predecessor", id,
+                     "expected " + std::to_string(want_pred) + ", got " +
+                         (pred ? std::to_string(*pred) : "none")});
+    }
+    // Successor-list sanity: every entry points at a live member (stale
+    // dead entries mean repair stopped working).
+    for (Id s : n.successor_list()) {
+      if (!overlay_.running(s)) {
+        out.push_back({"ring.succ_list", id,
+                       "dead entry " + std::to_string(s) + " in " +
+                           id_list(n.successor_list())});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_tables() const {
+  std::vector<Violation> out;
+  const std::vector<Id> members = overlay_.members_sorted();
+  if (members.size() < 2) return out;
+
+  for (Id id : members) {
+    const proto::AsyncNodeBase& n = overlay_.node(id);
+    if (!n.joined()) continue;  // already reported by check_ring
+
+    // Re-derive the neighbor identifiers from the pure math the
+    // protocol is supposed to implement.
+    std::vector<Id> expected;
+    if (dynamic_cast<const proto::AsyncCamChordNode*>(&n) != nullptr) {
+      expected =
+          camchord::neighbor_identifiers(overlay_.ring(), n.info().capacity, id);
+    } else if (dynamic_cast<const proto::AsyncCamKoordeNode*>(&n) != nullptr) {
+      expected =
+          camkoorde::shift_identifiers(overlay_.ring(), n.info().capacity, id);
+    } else {
+      continue;  // unknown protocol: no oracle for its layout
+    }
+
+    if (n.idents() != expected) {
+      out.push_back({"table.idents", id,
+                     "expected " + id_list(expected) + ", got " +
+                         id_list(n.idents())});
+      continue;  // entries are parallel to idents; nothing to compare
+    }
+    const std::vector<Id>& entries = n.entries();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      const Id want = responsible(expected[i]);
+      if (entries[i] != want) {
+        out.push_back({"table.entry", id,
+                       "ident " + std::to_string(expected[i]) + " -> " +
+                           std::to_string(entries[i]) + ", oracle says " +
+                           std::to_string(want)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_quiescent() const {
+  std::vector<Violation> out = check_ring();
+  std::vector<Violation> tables = check_tables();
+  out.insert(out.end(), std::make_move_iterator(tables.begin()),
+             std::make_move_iterator(tables.end()));
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_multicast_coverage(
+    const MulticastTree& tree) const {
+  std::vector<Violation> out;
+  for (Id id : overlay_.members_sorted()) {
+    if (!tree.delivered(id)) {
+      out.push_back({"mcast.coverage", id, "live member never reached"});
+    }
+  }
+  std::vector<Id> reached;
+  reached.reserve(tree.entries().size());
+  for (const auto& [id, rec] : tree.entries()) reached.push_back(id);
+  std::sort(reached.begin(), reached.end());
+  for (Id id : reached) {
+    if (!overlay_.known(id)) {
+      out.push_back({"mcast.unknown", id, "delivery to a never-spawned host"});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_multicast_structure(
+    const MulticastTree& tree) const {
+  std::vector<Violation> out;
+  std::vector<Id> reached;
+  reached.reserve(tree.entries().size());
+  for (const auto& [id, rec] : tree.entries()) reached.push_back(id);
+  std::sort(reached.begin(), reached.end());
+
+  for (Id id : reached) {
+    const DeliveryRecord rec = *tree.record_of(id);
+    if (id == tree.source()) {
+      if (rec.parent != id || rec.depth != 0) {
+        out.push_back({"mcast.root", id, "source entry is not the root"});
+      }
+      continue;
+    }
+    auto parent = tree.record_of(rec.parent);
+    if (!parent) {
+      out.push_back({"mcast.parent", id,
+                     "parent " + std::to_string(rec.parent) +
+                         " is not in the tree"});
+      continue;
+    }
+    if (rec.depth != parent->depth + 1) {
+      out.push_back({"mcast.depth", id,
+                     "depth " + std::to_string(rec.depth) + " but parent " +
+                         std::to_string(rec.parent) + " has depth " +
+                         std::to_string(parent->depth)});
+    }
+  }
+
+  // Capacity-awareness: a forwarder never has more recorded children
+  // than its c_x — the bound the paper's tree construction guarantees.
+  std::map<Id, std::uint32_t> fanout;
+  for (const auto& [id, cnt] : tree.children_counts()) fanout[id] = cnt;
+  for (const auto& [id, cnt] : fanout) {
+    if (!overlay_.known(id)) continue;  // reported as mcast.unknown above
+    const std::uint32_t cap = overlay_.node(id).info().capacity;
+    if (cnt > cap) {
+      out.push_back({"mcast.fanout", id,
+                     std::to_string(cnt) + " children exceeds capacity " +
+                         std::to_string(cap)});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_trace_dedupe(
+    const std::vector<telemetry::TraceEvent>& events,
+    std::uint64_t stream_id) const {
+  std::map<Id, int> delivers;
+  for (const telemetry::TraceEvent& e : events) {
+    if (e.type == telemetry::EventType::kMulticastDeliver &&
+        e.a == stream_id) {
+      ++delivers[e.node];
+    }
+  }
+  std::vector<Violation> out;
+  for (const auto& [id, cnt] : delivers) {
+    if (cnt > 1) {
+      out.push_back({"mcast.exactly_once", id,
+                     std::to_string(cnt) + " deliveries past the dedupe "
+                     "layer for stream " + std::to_string(stream_id)});
+    }
+  }
+  return out;
+}
+
+}  // namespace cam::fault

@@ -1,0 +1,87 @@
+// Protocol invariant checkers for the async overlay, run against an
+// omniscient oracle (the harness's sorted live-member list).
+//
+// Two families:
+//
+//  * Quiescent checks — meaningful only once the overlay has had time to
+//    stabilize after faults healed: ring successor/predecessor
+//    consistency, successor-list sanity, and routing-table correctness
+//    (CAM-Chord finger identifiers / CAM-Koorde neighbor-group
+//    identifiers re-derived from the pure neighbor math, and every table
+//    entry pointing at the oracle-responsible live node).
+//
+//  * Per-dissemination checks — valid even while faults are active:
+//    multicast coverage (every live member reached), tree structure
+//    (parent reached, depths consistent, children within the forwarding
+//    capacity c_x), and exactly-once delivery (at most one
+//    kMulticastDeliver trace event per node per stream — duplicates past
+//    the dedupe layer are protocol bugs; duplicates *at* it are the
+//    faults working as intended).
+//
+// Checks return Violation lists (empty = invariant holds) rather than
+// asserting, so the chaos driver can aggregate, render, and exit
+// nonzero; ordering is deterministic (members visited in sorted order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "multicast/tree.h"
+#include "proto/async_node.h"
+#include "telemetry/trace.h"
+
+namespace cam::fault {
+
+struct Violation {
+  std::string check;   // dotted invariant name, e.g. "ring.successor"
+  Id node = 0;         // the member the invariant failed at
+  std::string detail;  // expected-vs-actual description
+
+  /// "[check] node=N: detail" — one line, deterministic.
+  std::string to_string() const;
+
+  bool operator==(const Violation&) const = default;
+};
+
+/// One line per violation (to_string + '\n'); "" when the list is empty.
+std::string render_violations(const std::vector<Violation>& violations);
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const proto::AsyncOverlayNet& overlay)
+      : overlay_(overlay) {}
+
+  // --- quiescent checks ------------------------------------------------
+  /// Successor/predecessor of every live member vs the oracle ring, plus
+  /// successor-list sanity (front == successor, no dead entries).
+  std::vector<Violation> check_ring() const;
+  /// Routing tables: identifiers re-derived from the protocol's neighbor
+  /// math, entries vs the oracle-responsible member per identifier.
+  std::vector<Violation> check_tables() const;
+  /// check_ring + check_tables.
+  std::vector<Violation> check_quiescent() const;
+
+  // --- per-dissemination checks (fault-tolerant) -----------------------
+  /// Every live member is in the tree (coverage); every tree entry is a
+  /// known host.
+  std::vector<Violation> check_multicast_coverage(
+      const MulticastTree& tree) const;
+  /// Tree structure: parents reached before their children (depth-wise),
+  /// depths consistent, per-forwarder children count within capacity.
+  std::vector<Violation> check_multicast_structure(
+      const MulticastTree& tree) const;
+  /// Exactly-once delivery past the dedupe layer: at most one
+  /// kMulticastDeliver event per node for `stream_id` in `events`.
+  std::vector<Violation> check_trace_dedupe(
+      const std::vector<telemetry::TraceEvent>& events,
+      std::uint64_t stream_id) const;
+
+  /// The oracle: the live member responsible for `target` (first member
+  /// clockwise at or after it, wrapping). Requires a non-empty overlay.
+  Id responsible(Id target) const;
+
+ private:
+  const proto::AsyncOverlayNet& overlay_;
+};
+
+}  // namespace cam::fault

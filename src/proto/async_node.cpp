@@ -52,27 +52,52 @@ void AsyncNodeBase::boot_via(Id contact) {
     entries_.assign(idents_.size(), contact);
   }
   tel().trace(EventType::kJoinStart, net_.sim().now(), self_, contact);
-  start_lookup(contact, self_, [this](LookupResult r) {
-    if (!alive_) return;
+  auto retry = [this] {
+    tel().count_node("join.retries", self_);
+    net_.sim().after(net_.config().rpc_timeout_ms * 2, [this] {
+      if (alive_ && !joined_) boot_via(join_contact_);
+    });
+  };
+  start_lookup(contact, self_, [this, retry](LookupResult r) {
+    if (!alive_ || joined_) return;
     // A node not yet in the ring cannot be its own successor: that
     // answer means the lookup fell back to our empty local state.
     if (r.ok && r.owner == self_) r.ok = false;
     if (!r.ok) {
-      // Contact unreachable or routing failed: retry after a beat.
-      tel().count_node("join.retries", self_);
-      net_.sim().after(net_.config().rpc_timeout_ms * 2, [this] {
-        if (alive_ && !joined_) boot_via(join_contact_);
-      });
+      retry();  // contact unreachable or routing failed
       return;
     }
-    joined_ = true;
-    succ_list_ = {r.owner};
-    for (auto& e : entries_) e = r.owner;  // seeded; fix ticks refine
-    const SimTime now = net_.sim().now();
-    tel().trace(EventType::kJoinDone, now, self_, r.owner,
-                static_cast<std::uint64_t>(now - join_started_));
-    tel().count("join.completed");
-    tel().observe("join.latency_ms", now - join_started_);
+    // The lookup names a successor out of some peer's table — which may
+    // be stale and point at a node that just crashed. Joining onto a
+    // ghost would strand us (our only contact never answers, and nobody
+    // in the ring ever hears of us), so confirm the owner is reachable
+    // by fetching its successor list; that round trip also seeds our
+    // list with live entries instead of a fragile singleton.
+    call(
+        r.owner, GetSuccListReq{},
+        [this, owner = r.owner](const ReplyPayload& pl) {
+          if (!alive_ || joined_) return;
+          joined_ = true;
+          const auto& lst = std::get<GetSuccListRep>(pl);
+          succ_list_ = {owner};
+          for (Id e : lst.succs) {
+            if (succ_list_.size() >= net_.config().successor_list_len) break;
+            if (e == self_) break;  // lapped the ring
+            if (std::find(succ_list_.begin(), succ_list_.end(), e) ==
+                succ_list_.end()) {
+              succ_list_.push_back(e);
+            }
+          }
+          for (auto& e : entries_) e = owner;  // seeded; fix ticks refine
+          const SimTime now = net_.sim().now();
+          tel().trace(EventType::kJoinDone, now, self_, owner,
+                      static_cast<std::uint64_t>(now - join_started_));
+          tel().count("join.completed");
+          tel().observe("join.latency_ms", now - join_started_);
+        },
+        [this, retry] {
+          if (alive_ && !joined_) retry();
+        });
   });
   start_timers();
 }
@@ -279,7 +304,27 @@ void AsyncNodeBase::adopt_successor(Id candidate) {
   }
 }
 
-void AsyncNodeBase::drop_successor(Id dead) { std::erase(succ_list_, dead); }
+void AsyncNodeBase::drop_successor(Id dead) {
+  // Demote, don't destroy. Erasing struck-out entries loses the node's
+  // only recovery contacts: a solo-partitioned node strikes out its
+  // whole list one head at a time, and once the list is empty (or holds
+  // only a node that really did crash) it is orphaned forever — nobody
+  // to probe, notify, or be noticed by after the partition heals. So a
+  // suspected head is rotated to the back instead: the other candidates
+  // get their turn, every former neighbor stays reachable as a
+  // last-resort contact, and the first successful stabilize round
+  // rebuilds the list wholesale from the live successor's view, which
+  // flushes the genuinely dead entries.
+  if (succ_list_.empty()) return;
+  if (succ_list_.front() == dead) {
+    if (succ_list_.size() > 1) {
+      std::rotate(succ_list_.begin(), succ_list_.begin() + 1,
+                  succ_list_.end());
+    }
+    return;
+  }
+  std::erase(succ_list_, dead);
+}
 
 void AsyncNodeBase::stabilize_tick() {
   evict_seen_streams();
@@ -304,7 +349,30 @@ void AsyncNodeBase::stabilize_tick() {
     succ = successor();
     if (!succ || *succ == self_) return;  // genuinely alone
   }
+  // Probe the first non-suspected list entry, not blindly the head: a
+  // suspected head eats the whole round timing out while a live
+  // alternate sits right behind it, and a list that is temporarily all
+  // dead (a partition cut every listed successor — possible when the
+  // list is shorter than the cut) would stall stabilization forever.
+  // On success the wholesale rebuild below flushes the dead prefix.
   Id s = *succ;
+  bool have_live = false;
+  for (Id e : succ_list_) {
+    if (e != self_ && !suspected(e)) {
+      s = e;
+      have_live = true;
+      break;
+    }
+  }
+  if (!have_live && pred_ && *pred_ != self_ && !suspected(*pred_)) {
+    // Every listed successor is suspected but the predecessor still
+    // answers pings: rejoin the ring through it. GetPred then walks
+    // backwards to the true wrap-around successor.
+    adopt_successor(*pred_);
+    s = *pred_;
+  }
+  // If nothing is live, keep knocking on the retained contacts anyway —
+  // after a partition heals, one of them answers and repair resumes.
   call(
       s, GetPredReq{},
       [this, s](const ReplyPayload& payload) {

@@ -219,6 +219,10 @@ class AsyncOverlayNet {
   void crash(Id id);
 
   bool running(Id id) const;
+  /// True if `id` was ever a member (alive or crashed). Crashed ids stay
+  /// known — their objects outlive the crash — so spawners of fresh
+  /// nodes (fault/injector.h churn waves) must avoid them.
+  bool known(Id id) const { return nodes_.contains(id); }
   std::size_t size() const { return live_count_; }
   std::vector<Id> members_sorted() const;
   const AsyncNodeBase& node(Id id) const;

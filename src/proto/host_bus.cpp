@@ -12,11 +12,29 @@ void HostBus::detach(Id host) { handlers_.erase(host); }
 
 void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
                    MsgClass cls) {
+  SimTime primary_extra = 0;
+  if (shaper_) {
+    shape_delays_.clear();
+    shape_delays_.push_back(0);
+    shaper_(from, to, msg, bytes, cls, shape_delays_);
+    if (shape_delays_.empty()) return;  // shaper ate it (it keeps the books)
+    // Extra entries are duplicate copies; each is a real datagram and
+    // pays counters and network traffic like any other.
+    for (std::size_t i = 1; i < shape_delays_.size(); ++i) {
+      deliver(from, to, msg, bytes, cls, shape_delays_[i]);
+    }
+    primary_extra = shape_delays_.front();
+  }
   if (loss_ > 0 && loss_rng_.chance(loss_)) {
     ++loss_drops_;
     if (loss_ctr_ != nullptr) loss_ctr_->add();
     return;
   }
+  deliver(from, to, std::move(msg), bytes, cls, primary_extra);
+}
+
+void HostBus::deliver(Id from, Id to, Message msg, std::size_t bytes,
+                      MsgClass cls, SimTime extra_delay_ms) {
   if (msgs_total_ != nullptr) {
     auto idx = static_cast<std::size_t>(cls);
     msgs_total_->add();
@@ -35,12 +53,20 @@ void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
         }
         it->second(from, std::move(m));
       },
-      cls);
+      cls, extra_delay_ms);
 }
 
 void HostBus::set_loss(double p, std::uint64_t seed) {
   loss_ = p;
-  loss_rng_.reseed(seed);
+  // Reseed only on the first configuration or a genuinely new seed:
+  // repeating set_loss(p, seed) mid-run must continue the original drop
+  // stream, not replay it from the start (which would correlate the
+  // drops of the two phases).
+  if (!loss_seeded_ || seed != loss_seed_) {
+    loss_rng_.reseed(seed);
+    loss_seed_ = seed;
+    loss_seeded_ = true;
+  }
 }
 
 void HostBus::set_telemetry(telemetry::Sink sink) {

@@ -9,12 +9,17 @@
 // Drops are counted per cause: `loss_drops()` (injected loss ate the
 // datagram in flight) vs `detached_drops()` (it arrived at a crashed
 // host). `messages_dropped()` is their sum.
+//
+// Beyond the uniform loss knob, a Shaper hook (fault/injector.h installs
+// one) can drop, duplicate, and stretch individual datagrams for
+// deterministic fault injection; see set_shaper below.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "proto/messages.h"
 #include "sim/network.h"
@@ -46,8 +51,26 @@ class HostBus {
   void post(Id from, Id to, Message msg, std::size_t bytes,
             MsgClass cls = MsgClass::kControl);
 
-  /// Drops each message independently with probability `p`.
+  /// Drops each message independently with probability `p`. The RNG is
+  /// seeded on the first call (or when `seed` changes); repeating the
+  /// same configuration mid-run — e.g. re-applying a fault plan phase —
+  /// continues the original drop stream instead of replaying it, so one
+  /// run stays one deterministic sequence w.r.t. the original seed.
   void set_loss(double p, std::uint64_t seed);
+
+  /// Delivery-time fault shaping, consulted once per post() before the
+  /// uniform-loss check. On entry `delays` holds {0} (one copy, no extra
+  /// delay); the shaper edits it: empty = drop the datagram, entry 0 =
+  /// extra one-way delay of the primary copy, further entries = extra
+  /// copies (duplication) with their own delays. Delays must be
+  /// non-negative — delivery never precedes the send, which is what
+  /// keeps RPC request/reply causality intact (see messages.h). The
+  /// shaper must not call post() reentrantly. Pass {} to uninstall.
+  using Shaper =
+      std::function<void(Id from, Id to, const Message& msg,
+                         std::size_t bytes, MsgClass cls,
+                         std::vector<SimTime>& delays)>;
+  void set_shaper(Shaper shaper) { shaper_ = std::move(shaper); }
 
   /// Attaches telemetry; per-class message/byte counters and the drop
   /// counters are resolved once so posting stays one pointer test per
@@ -62,12 +85,20 @@ class HostBus {
   }
 
  private:
+  /// Ships one datagram copy (counters + network hand-off).
+  void deliver(Id from, Id to, Message msg, std::size_t bytes, MsgClass cls,
+               SimTime extra_delay_ms);
+
   Network& net_;
   std::unordered_map<Id, Handler> handlers_;
   double loss_ = 0;
   Rng loss_rng_{0};
+  std::uint64_t loss_seed_ = 0;
+  bool loss_seeded_ = false;
   std::uint64_t loss_drops_ = 0;
   std::uint64_t detached_drops_ = 0;
+  Shaper shaper_;
+  std::vector<SimTime> shape_delays_;  // reused per post()
 
   telemetry::Sink sink_;
   // Cached metric handles (null when no metrics attached).

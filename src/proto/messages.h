@@ -90,6 +90,16 @@ using RequestPayload =
 using ReplyPayload = std::variant<ClosestStepRep, GetPredRep, GetSuccListRep,
                                   PingRep, DupCheckRep, MulticastAckRep>;
 
+// Ordering assumption of the RPC layer: a reply is posted only *after*
+// its request was delivered, so within one request/response pair the
+// order is causal by construction — no schedule of network delays can
+// hand the caller a reply before the request reached the callee. The
+// bus (and any fault shaper hooked into it, fault/injector.h) may drop,
+// duplicate, or stretch datagrams, but extra delays are never negative,
+// which is exactly what preserves this. A duplicated request is answered
+// twice; the caller's pending-RPC table absorbs the late reply. The
+// property is guarded by tests/host_bus_fault_test.cpp under aggressive
+// duplicate + reorder injection.
 struct RpcRequest {
   RpcId id = 0;
   RequestPayload payload;

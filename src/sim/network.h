@@ -40,9 +40,12 @@ class Network {
       : sim_(sim), latency_(latency) {}
 
   /// Sends `bytes` from `from` to `to`; runs `on_arrival` at delivery
-  /// time. Returns the scheduled arrival time.
+  /// time. Returns the scheduled arrival time. `extra_delay_ms` is added
+  /// on top of the model latency (fault injection: delay/reorder faults
+  /// stretch individual datagrams); it must be non-negative so delivery
+  /// never precedes the send.
   SimTime send(Id from, Id to, std::size_t bytes, Simulator::Action on_arrival,
-               MsgClass cls = MsgClass::kData);
+               MsgClass cls = MsgClass::kData, SimTime extra_delay_ms = 0);
 
   const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

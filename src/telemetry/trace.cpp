@@ -12,6 +12,8 @@ constexpr const char* kEventNames[kNumEventTypes] = {
     "lookup_done",    "rpc_issue",  "rpc_timeout", "suspect",
     "absolve",        "member_join", "crash",      "mc_send",
     "mc_deliver",     "mc_dup_suppress", "mc_retransmit", "ring_sample",
+    "fault_drop",     "fault_dup",  "fault_delay", "fault_partition",
+    "fault_heal",
 };
 
 }  // namespace

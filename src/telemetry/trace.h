@@ -41,6 +41,15 @@ namespace cam::telemetry {
 ///                     forwarding suppressed by the dedupe / dup-check)
 ///   kRetransmit       peer=child, a=stream id, b=attempts left
 ///   kRingSample       a=consistent successors, b=ring size
+///   kFaultDrop        injector ate a datagram: node=sender, peer=dest,
+///                     a=bytes, b=MsgClass
+///   kFaultDuplicate   injector duplicated one: node=sender, peer=dest,
+///                     a=extra copies, b=MsgClass
+///   kFaultDelay       injector stretched one (delay/reorder fault):
+///                     node=sender, peer=dest, a=extra ms (truncated),
+///                     b=MsgClass
+///   kFaultPartition   partition installed: a=side-A size, b=side-B size
+///   kFaultHeal        partition removed (no payload)
 enum class EventType : std::uint8_t {
   kJoinStart = 0,
   kJoinDone,
@@ -62,8 +71,13 @@ enum class EventType : std::uint8_t {
   kDupSuppress,
   kRetransmit,
   kRingSample,
+  kFaultDrop,
+  kFaultDuplicate,
+  kFaultDelay,
+  kFaultPartition,
+  kFaultHeal,
 };
-inline constexpr int kNumEventTypes = 20;
+inline constexpr int kNumEventTypes = 25;
 
 const char* event_name(EventType t);
 /// Inverse of event_name; returns false if `name` is unknown.

@@ -1,0 +1,167 @@
+// Property-style chaos tests: seeded fault plans executed end to end by
+// run_chaos (src/fault/chaos_run.h) over small rings. The properties:
+//
+//  * green path — for every seed, after the faults heal and the overlay
+//    re-stabilizes, every invariant holds (zero violations) and a final
+//    multicast covers every live member;
+//  * determinism — the same (config, plan, seed) renders a
+//    byte-identical report (violations, journal, telemetry counters);
+//  * sensitivity — the checker is not vacuous: it flags a deliberately
+//    broken overlay (negative tests).
+//
+// The seed sweep is split across several TEST bodies so ctest runs the
+// batches in parallel.
+#include <gtest/gtest.h>
+
+#include "fault/chaos_run.h"
+#include "proto/async_camchord.h"
+#include "util/rng.h"
+
+namespace cam::fault {
+namespace {
+
+ChaosConfig small_cfg(const char* system, std::uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.system = system;
+  cfg.n = 10;
+  cfg.bits = 10;
+  cfg.seed = seed;
+  cfg.mid_multicasts = 1;
+  return cfg;
+}
+
+// Deterministic per-seed plan mixing every fault kind; the partition
+// and every knob are cleared before the plan ends (run_chaos heals
+// again regardless, but the plan itself is self-contained).
+FaultPlan mixed_plan(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FaultPlan plan;
+  plan.drop(0, rng.next_below(8) / 100.0);
+  plan.duplicate(0, rng.next_below(8) / 100.0,
+                 1 + static_cast<int>(rng.next_below(2)));
+  plan.reorder(0, rng.next_below(30) / 100.0,
+               static_cast<SimTime>(10 + rng.next_below(50)));
+  switch (rng.next_below(3)) {
+    case 0: plan.crash(1'000, 1 + static_cast<int>(rng.next_below(2))); break;
+    case 1: plan.join(1'000, 1 + static_cast<int>(rng.next_below(3))); break;
+    default: plan.restart(1'000, 1); break;
+  }
+  if (rng.chance(0.5)) {
+    plan.partition(2'000, (20 + rng.next_below(60)) / 100.0);
+    plan.heal(4'000);
+  }
+  plan.clear(5'000);
+  return plan;
+}
+
+void expect_clean_sweep(const char* system, std::uint64_t lo,
+                        std::uint64_t hi) {
+  for (std::uint64_t seed = lo; seed < hi; ++seed) {
+    ChaosReport r = run_chaos(small_cfg(system, seed), mixed_plan(seed));
+    EXPECT_TRUE(r.ok) << system << " seed " << seed << ":\n"
+                      << render_violations(r.violations);
+    EXPECT_DOUBLE_EQ(r.consistency, 1.0) << system << " seed " << seed;
+    ASSERT_GE(r.multicasts.size(), 2u) << system << " seed " << seed;
+    // The post-heal multicast reaches everyone (coverage is also an
+    // invariant, but assert it explicitly for the error message).
+    const ChaosMulticast& final_mc = r.multicasts.back();
+    EXPECT_EQ(final_mc.reached, final_mc.live)
+        << system << " seed " << seed;
+  }
+}
+
+// 104 seeded plans per system, split into batches for test parallelism.
+TEST(ChaosInvariants, CamChordSeeds0to13) { expect_clean_sweep("camchord", 0, 13); }
+TEST(ChaosInvariants, CamChordSeeds13to26) { expect_clean_sweep("camchord", 13, 26); }
+TEST(ChaosInvariants, CamChordSeeds26to39) { expect_clean_sweep("camchord", 26, 39); }
+TEST(ChaosInvariants, CamChordSeeds39to52) { expect_clean_sweep("camchord", 39, 52); }
+TEST(ChaosInvariants, CamKoordeSeeds0to13) { expect_clean_sweep("camkoorde", 0, 13); }
+TEST(ChaosInvariants, CamKoordeSeeds13to26) { expect_clean_sweep("camkoorde", 13, 26); }
+TEST(ChaosInvariants, CamKoordeSeeds26to39) { expect_clean_sweep("camkoorde", 26, 39); }
+TEST(ChaosInvariants, CamKoordeSeeds39to52) { expect_clean_sweep("camkoorde", 39, 52); }
+
+// The acceptance-criteria integration test: two runs of the same
+// (config, plan, seed) produce byte-identical reports — violations,
+// realized fault journal, and telemetry counters included.
+TEST(ChaosInvariants, DeterminismSameSeedIdenticalReport) {
+  for (const char* system : {"camchord", "camkoorde"}) {
+    ChaosReport a = run_chaos(small_cfg(system, 77), mixed_plan(77));
+    ChaosReport b = run_chaos(small_cfg(system, 77), mixed_plan(77));
+    EXPECT_EQ(a.render(), b.render()) << system;
+    EXPECT_EQ(a.journal, b.journal) << system;
+    EXPECT_EQ(a.counters_csv, b.counters_csv) << system;
+  }
+}
+
+TEST(ChaosInvariants, DifferentSeedDifferentRealizedSchedule) {
+  ChaosReport a = run_chaos(small_cfg("camchord", 1), mixed_plan(1));
+  ChaosReport b = run_chaos(small_cfg("camchord", 2), mixed_plan(2));
+  EXPECT_NE(a.journal, b.journal);
+}
+
+// Negative test: with quiescence forcing disabled and a partition that
+// never heals, the final sweep runs against a torn overlay — the
+// checker must report violations and the report must not be ok.
+TEST(ChaosInvariants, UnhealedPartitionIsDetected) {
+  ChaosConfig cfg = small_cfg("camchord", 5);
+  cfg.force_quiescence = false;
+  cfg.final_multicast = false;
+  cfg.mid_multicasts = 0;
+  cfg.tail_ms = 20'000;  // plenty of time for views to diverge
+  FaultPlan plan;
+  plan.partition(0, 0.5);  // installed and never healed
+  ChaosReport r = run_chaos(cfg, plan);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violations.empty());
+  EXPECT_NE(r.render().find("result: VIOLATIONS"), std::string::npos);
+}
+
+// Negative test at the checker level: crash a third of a converged ring
+// and check *immediately* — stabilization has not run, so successor /
+// predecessor pointers still name dead nodes and the checker must say
+// so; after repair the same checks come back clean.
+TEST(ChaosInvariants, CheckerFlagsBrokenStabilizationThenClears) {
+  RingSpace ring(10);
+  Simulator sim;
+  UniformLatency lat(5, 25, 3);
+  Network net(sim, lat);
+  proto::HostBus bus(net);
+  proto::AsyncCamChordNet overlay(ring, bus);
+  Rng rng(9);
+  auto info = [&] {
+    return NodeInfo{static_cast<std::uint32_t>(rng.uniform(4, 8)),
+                    400 + rng.next_double() * 600};
+  };
+  overlay.bootstrap(rng.next_below(ring.size()), info());
+  overlay.run_for(500);
+  while (overlay.size() < 12) {
+    Id id = rng.next_below(ring.size());
+    if (overlay.known(id)) continue;
+    auto members = overlay.members_sorted();
+    overlay.spawn(id, info(), members[rng.next_below(members.size())]);
+    overlay.run_for(300);
+  }
+  while (overlay.ring_consistency() < 1.0) overlay.run_for(2'000);
+  overlay.run_for(30'000);  // table refresh
+
+  InvariantChecker checker(overlay);
+  ASSERT_TRUE(checker.check_quiescent().empty())
+      << render_violations(checker.check_quiescent());
+
+  // Crash 4 nodes; without any repair time the ring oracle disagrees
+  // with the survivors' pointers.
+  auto members = overlay.members_sorted();
+  for (int i = 0; i < 4; ++i) overlay.crash(members[2 * i]);
+  EXPECT_FALSE(checker.check_quiescent().empty());
+
+  // Let repair run; the checker must come back clean.
+  SimTime deadline = sim.now() + 240'000;
+  while (sim.now() < deadline && !checker.check_quiescent().empty()) {
+    overlay.run_for(5'000);
+  }
+  EXPECT_TRUE(checker.check_quiescent().empty())
+      << render_violations(checker.check_quiescent());
+}
+
+}  // namespace
+}  // namespace cam::fault

@@ -1,0 +1,187 @@
+// HostBus fault hooks: the uniform-loss knob's determinism across
+// re-configuration, the shaper's drop/duplicate/delay protocol, and the
+// RPC request/response causality assumption documented in
+// proto/messages.h — all at the bus layer, with hand-rolled handlers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/host_bus.h"
+#include "util/rng.h"
+
+namespace cam::proto {
+namespace {
+
+struct BusFixture {
+  Simulator sim;
+  ConstantLatency lat{5.0};
+  Network net{sim, lat};
+  HostBus bus{net};
+};
+
+Message ping_msg() { return RpcRequest{1, PingReq{}}; }
+
+// Posts `count` tagged pings 1ms apart and returns, per posting slot,
+// whether that datagram survived the loss knob.
+std::vector<bool> delivery_pattern(HostBus& bus, Simulator& sim, int count) {
+  std::vector<bool> delivered(count, false);
+  bus.attach(1, [](Id, Message) {});
+  bus.attach(2, [&](Id, Message msg) {
+    delivered[std::get<RpcRequest>(msg).id] = true;
+  });
+  for (int i = 0; i < count; ++i) {
+    bus.post(1, 2, RpcRequest{static_cast<RpcId>(i), PingReq{}}, 64);
+    sim.run_until(sim.now() + 1);
+  }
+  sim.run_until(sim.now() + 100);
+  return delivered;
+}
+
+TEST(HostBusFault, SetLossRepeatedConfigurationKeepsOriginalStream) {
+  // Reference: one configuration, 200 posts.
+  BusFixture a;
+  a.bus.set_loss(0.3, 77);
+  std::vector<bool> reference = delivery_pattern(a.bus, a.sim, 200);
+  std::uint64_t ref_drops = a.bus.loss_drops();
+
+  // Same run, but the identical configuration is re-applied mid-stream
+  // (as a fault plan re-entering a phase would). The drop stream must
+  // continue, not restart: re-seeding on every call would replay the
+  // first 100 decisions.
+  BusFixture b;
+  b.bus.set_loss(0.3, 77);
+  std::vector<bool> first_half = delivery_pattern(b.bus, b.sim, 100);
+  b.bus.set_loss(0.3, 77);  // re-configure: must be a no-op for the RNG
+  std::vector<bool> second_half = delivery_pattern(b.bus, b.sim, 100);
+
+  std::vector<bool> combined = first_half;
+  combined.insert(combined.end(), second_half.begin(), second_half.end());
+  EXPECT_EQ(combined, reference);
+  EXPECT_EQ(b.bus.loss_drops(), ref_drops);
+}
+
+TEST(HostBusFault, SetLossNewSeedReseeds) {
+  BusFixture a;
+  a.bus.set_loss(0.5, 1);
+  std::vector<bool> run1 = delivery_pattern(a.bus, a.sim, 100);
+
+  BusFixture b;
+  b.bus.set_loss(0.5, 2);
+  std::vector<bool> run2 = delivery_pattern(b.bus, b.sim, 100);
+  EXPECT_NE(run1, run2);  // different seed, different stream
+
+  // Changing the seed mid-run re-seeds deterministically.
+  BusFixture c;
+  c.bus.set_loss(0.5, 1);
+  (void)delivery_pattern(c.bus, c.sim, 40);
+  c.bus.set_loss(0.5, 2);
+  std::vector<bool> tail1 = delivery_pattern(c.bus, c.sim, 60);
+
+  BusFixture d;
+  d.bus.set_loss(0.5, 1);
+  (void)delivery_pattern(d.bus, d.sim, 40);
+  d.bus.set_loss(0.5, 2);
+  std::vector<bool> tail2 = delivery_pattern(d.bus, d.sim, 60);
+  EXPECT_EQ(tail1, tail2);
+}
+
+TEST(HostBusFault, ShaperDropsDuplicatesAndDelays) {
+  BusFixture fx;
+  int arrivals = 0;
+  SimTime last_arrival = 0;
+  fx.bus.attach(1, [](Id, Message) {});
+  fx.bus.attach(2, [&](Id, Message) {
+    ++arrivals;
+    last_arrival = fx.sim.now();
+  });
+
+  // Drop: empty delays vector.
+  fx.bus.set_shaper([](Id, Id, const Message&, std::size_t, MsgClass,
+                       std::vector<SimTime>& d) { d.clear(); });
+  fx.bus.post(1, 2, ping_msg(), 64);
+  fx.sim.run_until(fx.sim.now() + 50);
+  EXPECT_EQ(arrivals, 0);
+
+  // Duplicate: two extra copies -> three arrivals.
+  fx.bus.set_shaper([](Id, Id, const Message&, std::size_t, MsgClass,
+                       std::vector<SimTime>& d) {
+    d.push_back(10);
+    d.push_back(20);
+  });
+  fx.bus.post(1, 2, ping_msg(), 64);
+  fx.sim.run_until(fx.sim.now() + 50);
+  EXPECT_EQ(arrivals, 3);
+
+  // Delay: the primary copy arrives latency + extra later.
+  arrivals = 0;
+  fx.bus.set_shaper([](Id, Id, const Message&, std::size_t, MsgClass,
+                       std::vector<SimTime>& d) { d[0] += 100; });
+  SimTime posted_at = fx.sim.now();
+  fx.bus.post(1, 2, ping_msg(), 64);
+  fx.sim.run_until(fx.sim.now() + 200);
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_DOUBLE_EQ(last_arrival, posted_at + 5.0 + 100);
+
+  // Uninstall: back to plain delivery.
+  fx.bus.set_shaper({});
+  arrivals = 0;
+  fx.bus.post(1, 2, ping_msg(), 64);
+  fx.sim.run_until(fx.sim.now() + 50);
+  EXPECT_EQ(arrivals, 1);
+}
+
+// The messages.h causality assumption: under aggressive duplication and
+// randomized extra delay on *every* datagram, a reply never reaches the
+// caller before its request reached the callee, for every RPC id and
+// every duplicated copy.
+TEST(HostBusFault, RpcPairsStayCausalUnderDuplicationAndReorder) {
+  Simulator sim;
+  UniformLatency lat(1, 30, 99);  // per-message random latency
+  Network net(sim, lat);
+  HostBus bus(net);
+
+  Rng rng(1234);
+  bus.set_shaper([&](Id, Id, const Message&, std::size_t, MsgClass,
+                     std::vector<SimTime>& d) {
+    d[0] += rng.next_double() * 50;            // reorder window
+    if (rng.chance(0.5)) {
+      d.push_back(rng.next_double() * 50);     // duplicate copy
+    }
+  });
+
+  std::unordered_map<RpcId, SimTime> req_delivered;  // earliest at callee
+  std::unordered_map<RpcId, SimTime> rep_delivered;  // earliest at caller
+  // Callee: answers every request copy immediately (a duplicated request
+  // is answered twice — the pending table absorbs the extra reply).
+  bus.attach(2, [&](Id from, Message msg) {
+    const auto& req = std::get<RpcRequest>(msg);
+    if (!req_delivered.contains(req.id)) {
+      req_delivered[req.id] = sim.now();
+    }
+    bus.post(2, from, RpcReply{req.id, PingRep{}}, 64);
+  });
+  bus.attach(1, [&](Id, Message msg) {
+    const auto& rep = std::get<RpcReply>(msg);
+    if (!rep_delivered.contains(rep.id)) {
+      rep_delivered[rep.id] = sim.now();
+    }
+  });
+
+  for (RpcId id = 1; id <= 300; ++id) {
+    sim.at(sim.now(), [&bus, id] {
+      bus.post(1, 2, RpcRequest{id, PingReq{}}, 64);
+    });
+    sim.run_until(sim.now() + 7);  // overlapping in-flight windows
+  }
+  sim.run_until(sim.now() + 500);
+
+  ASSERT_EQ(req_delivered.size(), 300u);  // nothing dropped here
+  ASSERT_EQ(rep_delivered.size(), 300u);
+  for (RpcId id = 1; id <= 300; ++id) {
+    EXPECT_GE(rep_delivered[id], req_delivered[id])
+        << "reply for rpc " << id << " outran its request";
+  }
+}
+
+}  // namespace
+}  // namespace cam::proto

@@ -1,9 +1,15 @@
 // Directed tests of the partition diagnostics and healing APIs
 // (overlay/ring_net.h): ring_partitions, isolated_members,
-// rejoin_isolated, heal_partitions.
+// rejoin_isolated, heal_partitions — plus async-mode partition/heal
+// through the fault injector's network-cut primitive (src/fault).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "camchord/net.h"
+#include "fault/injector.h"
+#include "fault/invariants.h"
+#include "proto/async_camchord.h"
 #include "util/rng.h"
 #include "workload/churn.h"
 
@@ -103,6 +109,98 @@ TEST(RingPartitions, HealWithDeadTrustedContactIsANoop) {
   Id ghost = 0;
   while (fx.overlay.contains(ghost)) ++ghost;
   EXPECT_TRUE(fx.overlay.heal_partitions(ghost).empty());
+}
+
+// --- async mode: partitions injected at the network layer ---------------
+
+struct AsyncFixture {
+  RingSpace ring{10};
+  Simulator sim;
+  UniformLatency lat{5, 25, 21};
+  Network net{sim, lat};
+  proto::HostBus bus{net};
+  proto::AsyncCamChordNet overlay{ring, bus};
+  Rng rng{13};
+
+  void grow(std::size_t n) {
+    auto info = [&] {
+      return NodeInfo{static_cast<std::uint32_t>(rng.uniform(4, 8)),
+                      400 + rng.next_double() * 600};
+    };
+    overlay.bootstrap(rng.next_below(ring.size()), info());
+    overlay.run_for(500);
+    while (overlay.size() < n) {
+      Id id = rng.next_below(ring.size());
+      if (overlay.known(id)) continue;
+      auto members = overlay.members_sorted();
+      overlay.spawn(id, info(), members[rng.next_below(members.size())]);
+      overlay.run_for(300);
+    }
+    while (overlay.ring_consistency() < 1.0) overlay.run_for(2'000);
+    overlay.run_for(30'000);  // table refresh
+  }
+};
+
+TEST(RingPartitions, AsyncPartitionConfinesMulticastToSourceSide) {
+  AsyncFixture fx;
+  fx.grow(14);
+  fault::FaultInjector injector(fx.overlay, 99);
+
+  auto members = fx.overlay.members_sorted();
+  std::vector<Id> side_a(members.begin(), members.begin() + 6);
+  injector.partition_hosts(side_a);
+  ASSERT_TRUE(injector.partitioned());
+  fx.overlay.run_for(30'000);  // both sides repair their own rings
+
+  Id source = side_a[2];
+  MulticastTree tree = fx.overlay.multicast(source);
+  // Delivery is confined to side A: nothing crosses the cut, and after
+  // repair time side A's 6 hosts form their own consistent ring, so the
+  // delivery ratio within the source side is 1.
+  EXPECT_EQ(tree.size(), side_a.size());
+  for (Id id : side_a) {
+    EXPECT_TRUE(tree.delivered(id)) << "side-A host " << id << " missed";
+  }
+  for (Id id : members) {
+    bool in_a = std::find(side_a.begin(), side_a.end(), id) != side_a.end();
+    if (!in_a) {
+      EXPECT_FALSE(tree.delivered(id)) << "message crossed the cut to " << id;
+    }
+  }
+}
+
+TEST(RingPartitions, AsyncHealRemergesAndRestoresInvariants) {
+  AsyncFixture fx;
+  fx.grow(14);
+  fault::FaultInjector injector(fx.overlay, 99);
+  fault::InvariantChecker checker(fx.overlay);
+
+  // The window is long enough for cross-cut successors to be dropped
+  // (strike-based suspicion fires within ~2s) but shorter than a full
+  // finger-refresh cycle: stale cross-side table entries must survive,
+  // because they are the only bridge stabilization can re-merge over —
+  // two fully separated stable rings would never find each other again.
+  injector.partition_fraction(0.4);
+  fx.overlay.run_for(4'000);
+  EXPECT_LT(fx.overlay.ring_consistency(), 1.0);
+  EXPECT_FALSE(checker.check_ring().empty());
+
+  injector.heal();
+  ASSERT_FALSE(injector.partitioned());
+  // Suspicions from the partition must expire and stabilization re-merge
+  // the two rings into one.
+  SimTime deadline = fx.sim.now() + 240'000;
+  while (fx.sim.now() < deadline && !checker.check_quiescent().empty()) {
+    fx.overlay.run_for(5'000);
+  }
+  EXPECT_TRUE(checker.check_quiescent().empty())
+      << fault::render_violations(checker.check_quiescent());
+
+  // Full coverage again after the re-merge.
+  auto members = fx.overlay.members_sorted();
+  MulticastTree tree = fx.overlay.multicast(members[0]);
+  EXPECT_EQ(tree.size(), fx.overlay.size());
+  EXPECT_TRUE(checker.check_multicast_coverage(tree).empty());
 }
 
 }  // namespace

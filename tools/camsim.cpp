@@ -26,6 +26,20 @@
 //       verifies that the trace replays to the recorded tree, prints a
 //       telemetry summary, and dumps the JSON Lines trace / timeline /
 //       metrics snapshot to the given files.
+//
+//   camsim chaos      --system=camchord|camkoorde [--n=N] [--bits=B]
+//                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
+//                     [--plan-text=DSL] [--settle=MS] [--no-quiesce]
+//       Deterministic fault-injection run (src/fault): grows the
+//       overlay, executes a FaultPlan (drops, duplicates, reordering,
+//       partitions, churn — see fault/fault_plan.h for the DSL), checks
+//       every protocol invariant, and prints the full report including
+//       the realized fault journal and telemetry counters. The report
+//       is a deterministic function of (options, plan): rerunning with
+//       the same seed reproduces it byte for byte. Exits nonzero on any
+//       invariant violation. Without --plan/--plan-text a stock mixed
+//       plan is used; --no-quiesce skips the heal + re-stabilize phase
+//       (the final checks then run against the still-faulted overlay).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -33,10 +47,12 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "camchord/net.h"
 #include "camchord/oracle.h"
+#include "fault/chaos_run.h"
 #include "experiments/runner.h"
 #include "experiments/table.h"
 #include "experiments/telemetry_report.h"
@@ -76,11 +92,16 @@ struct Args {
   std::string metrics_file;
   std::string metrics_csv_file;
   bool trace_all = false;
+  // chaos subcommand
+  std::string plan_file;
+  std::string plan_text;
+  double settle_ms = 240'000;
+  bool no_quiesce = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: camsim <multicast|lookup|churn|stream|async> "
+               "usage: camsim <multicast|lookup|churn|stream|async|chaos> "
                "[options]\n"
                "see the header of tools/camsim.cpp for the option list\n");
   std::exit(2);
@@ -137,6 +158,14 @@ Args parse(int argc, char** argv) {
       a.metrics_csv_file = val("--metrics-csv=");
     } else if (s == "--trace-all") {
       a.trace_all = true;
+    } else if (s.rfind("--plan=", 0) == 0) {
+      a.plan_file = val("--plan=");
+    } else if (s.rfind("--plan-text=", 0) == 0) {
+      a.plan_text = val("--plan-text=");
+    } else if (s.rfind("--settle=", 0) == 0) {
+      a.settle_ms = std::stod(val("--settle="));
+    } else if (s == "--no-quiesce") {
+      a.no_quiesce = true;
     } else {
       usage();
     }
@@ -375,6 +404,47 @@ int cmd_async(const Args& a) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// Deterministic fault-injection run; see src/fault/chaos_run.h.
+int cmd_chaos(const Args& a) {
+  fault::FaultPlan plan = fault::default_chaos_plan();
+  if (!a.plan_file.empty() || !a.plan_text.empty()) {
+    std::string text = a.plan_text;
+    if (!a.plan_file.empty()) {
+      std::ifstream in(a.plan_file);
+      if (!in) {
+        std::fprintf(stderr, "camsim: cannot open %s\n",
+                     a.plan_file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    std::string error;
+    auto parsed = fault::FaultPlan::parse(text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "camsim: bad plan: %s\n", error.c_str());
+      return 2;
+    }
+    plan = std::move(*parsed);
+  }
+
+  fault::ChaosConfig cfg;
+  cfg.system = a.system;
+  cfg.n = a.n;
+  cfg.bits = a.bits;
+  cfg.seed = a.seed;
+  cfg.spawn.cap_lo = a.cap_lo;
+  cfg.spawn.cap_hi = a.cap_hi;
+  cfg.quiesce_budget_ms = a.settle_ms;
+  cfg.force_quiescence = !a.no_quiesce;
+  if (cfg.system != "camchord" && cfg.system != "camkoorde") usage();
+
+  fault::ChaosReport report = fault::run_chaos(cfg, plan);
+  std::fputs(report.render().c_str(), stdout);
+  return report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -384,5 +454,6 @@ int main(int argc, char** argv) {
   if (a.command == "churn") return cmd_churn(a);
   if (a.command == "stream") return cmd_stream(a);
   if (a.command == "async") return cmd_async(a);
+  if (a.command == "chaos") return cmd_chaos(a);
   usage();
 }
