@@ -26,4 +26,17 @@ cmake --build build-asan -j --target camsim
   > /dev/null
 
 echo
+echo "== tier-1: ASan+UBSan repair-enabled crash-wave smoke =="
+# Crash a third of the overlay while a multicast is in flight; the
+# repair layer (on by default) must bring eventual delivery to 100% of
+# survivors or camsim exits nonzero on the mcast.eventual invariant.
+CRASH_WAVE_PLAN='at 0 drop p=0.05
+at 1000 crash n=4
+at 6000 clear'
+./build-asan/tools/camsim chaos --system=camchord --n=12 --bits=10 --seed=6 \
+  --plan-text="$CRASH_WAVE_PLAN" > /dev/null
+./build-asan/tools/camsim chaos --system=camkoorde --n=12 --bits=10 --seed=6 \
+  --plan-text="$CRASH_WAVE_PLAN" > /dev/null
+
+echo
 echo "tier-1 OK"

@@ -51,10 +51,21 @@ struct ChaosMulticast {
   std::size_t live = 0;     // live members when it fired
   std::uint64_t dups = 0;   // raw duplicate arrivals at the tree
   bool while_faulted = false;  // fired while the plan was active
+  /// Filled by the final sweep (force_quiescence only): of the members
+  /// live at fire time, how many are still live (`eligible`) and how
+  /// many of those hold the stream after repair ran (`eventually`).
+  std::size_t eligible = 0;
+  std::size_t eventually = 0;
 
   std::string to_string() const;
   double delivery_ratio() const {
     return live == 0 ? 0 : static_cast<double>(reached) / live;
+  }
+  /// Post-quiescence delivery over still-live fire-time members — the
+  /// repair layer's scoreboard: 1.0 when every survivor got the stream.
+  double eventual_ratio() const {
+    return eligible == 0 ? 0
+                         : static_cast<double>(eventually) / eligible;
   }
 };
 

@@ -186,6 +186,11 @@ std::vector<Violation> InvariantChecker::check_multicast_structure(
 
   // Capacity-awareness: a forwarder never has more recorded children
   // than its c_x — the bound the paper's tree construction guarantees.
+  // Only enforceable with the repair layer off: re-delegating an orphan
+  // region (or serving anti-entropy pulls) deliberately hands a node
+  // extra children beyond its split, trading the steady-state capacity
+  // bound for delivery.
+  if (overlay_.config().repair) return out;
   std::map<Id, std::uint32_t> fanout;
   for (const auto& [id, cnt] : tree.children_counts()) fanout[id] = cnt;
   for (const auto& [id, cnt] : fanout) {
@@ -216,6 +221,31 @@ std::vector<Violation> InvariantChecker::check_trace_dedupe(
       out.push_back({"mcast.exactly_once", id,
                      std::to_string(cnt) + " deliveries past the dedupe "
                      "layer for stream " + std::to_string(stream_id)});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_eventual_delivery(
+    std::uint64_t stream_id, const std::vector<Id>& eligible) const {
+  std::vector<Violation> out;
+  // If no live node holds the stream, the payload is extinct — every
+  // holder crashed before handing off a copy. That is data loss, not a
+  // repair-protocol failure, so the check is vacuous.
+  bool extant = false;
+  for (Id id : overlay_.members_sorted()) {
+    if (overlay_.node(id).seen_stream(stream_id)) {
+      extant = true;
+      break;
+    }
+  }
+  if (!extant) return out;
+  for (Id id : eligible) {
+    if (!overlay_.running(id)) continue;  // crashed since the send
+    if (!overlay_.node(id).seen_stream(stream_id)) {
+      out.push_back({"mcast.eventual", id,
+                     "live member still missing stream " +
+                         std::to_string(stream_id) + " after quiescence"});
     }
   }
   return out;

@@ -68,6 +68,8 @@ class InvariantChecker {
       const MulticastTree& tree) const;
   /// Tree structure: parents reached before their children (depth-wise),
   /// depths consistent, per-forwarder children count within capacity.
+  /// The capacity bound is checked only when the delivery-repair layer
+  /// is off — re-delegation and pull serving legitimately exceed c_x.
   std::vector<Violation> check_multicast_structure(
       const MulticastTree& tree) const;
   /// Exactly-once delivery past the dedupe layer: at most one
@@ -75,6 +77,12 @@ class InvariantChecker {
   std::vector<Violation> check_trace_dedupe(
       const std::vector<telemetry::TraceEvent>& events,
       std::uint64_t stream_id) const;
+  /// Eventual delivery (the repair layer's contract): every member of
+  /// `eligible` that is *still live* holds `stream_id` in its dedupe
+  /// set. Vacuously holds when no live node at all has the stream — the
+  /// payload died with its holders, and no protocol can resurrect it.
+  std::vector<Violation> check_eventual_delivery(
+      std::uint64_t stream_id, const std::vector<Id>& eligible) const;
 
   /// The oracle: the live member responsible for `target` (first member
   /// clockwise at or after it, wrapping). Requires a non-empty overlay.

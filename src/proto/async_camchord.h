@@ -17,6 +17,13 @@ class AsyncCamChordNode final : public AsyncNodeBase {
   std::vector<Id> neighbor_idents() const override;
   ClosestStepRep closest_step(const ClosestStepReq& req) const override;
   void forward_multicast(const MulticastData& msg) override;
+  /// Orphan-region re-delegation: the dead child owned (dead, bound] of
+  /// our region split (Section 3.4); hand that exact range to its first
+  /// live member. Bounded so the repair never leaks outside the split —
+  /// the invariant that makes CAM-Chord multicast exactly-once.
+  void repair_orphan(Id dead, const MulticastData& msg) override {
+    redelegate_region(dead, msg, /*bounded=*/true);
+  }
 };
 
 /// Harness preconfigured with CAM-Chord nodes.

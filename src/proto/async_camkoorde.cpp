@@ -103,7 +103,15 @@ void AsyncCamKoordeNode::forward_multicast(const MulticastData& msg) {
           }
           send_multicast(y, fwd);
         },
-        [] {});  // timeout: neighbor is being suspected; skip it
+        [this, y, fwd] {
+          // Dup-check timeout: the neighbor may be dead — or merely on a
+          // lossy link. With repair on, ship anyway: the reliable path's
+          // own give-up hands persistent failures to repair_orphan, and
+          // the receiver's dedupe absorbs the copy if the neighbor was
+          // fine after all. Without repair, skip it (pre-repair
+          // semantics: it is probably being suspected).
+          if (alive_ && net_.config().repair) send_multicast(y, fwd);
+        });
   }
 }
 

@@ -18,6 +18,12 @@ class AsyncCamKoordeNode final : public AsyncNodeBase {
   std::vector<Id> neighbor_idents() const override;
   ClosestStepRep closest_step(const ClosestStepReq& req) const override;
   void forward_multicast(const MulticastData& msg) override;
+  /// Flooding has no per-child region, so the repair is unbounded: ship
+  /// the payload to the dead neighbor's ring successor and let the
+  /// flood + dup checks cover whatever the dead node would have reached.
+  void repair_orphan(Id dead, const MulticastData& msg) override {
+    redelegate_region(dead, msg, /*bounded=*/false);
+  }
 
  private:
   /// The current out-neighbor set: predecessor, successor, and the live

@@ -22,6 +22,40 @@ using telemetry::EventType;
 
 }  // namespace
 
+SimTime retry_backoff_ms(const AsyncConfig& cfg, Id self, std::uint64_t nonce,
+                         int attempt) {
+  double nominal = static_cast<double>(cfg.backoff_base_ms);
+  const double cap = static_cast<double>(cfg.backoff_cap_ms);
+  for (int k = 0; k < attempt && nominal < cap; ++k) {
+    nominal *= cfg.backoff_factor;
+  }
+  nominal = std::min(nominal, cap);
+  // Seeded jitter in [1 - j, 1 + j): same (node, nonce, attempt), same
+  // delay — retry timing replays exactly under a fixed seed.
+  std::uint64_t s = self * 0x9E3779B97F4A7C15ULL +
+                    nonce * 0xBF58476D1CE4E5B9ULL +
+                    static_cast<std::uint64_t>(attempt);
+  const double u = static_cast<double>(splitmix64(s) >> 11) /
+                   static_cast<double>(std::uint64_t{1} << 53);
+  const double mult = 1.0 - cfg.backoff_jitter + 2.0 * cfg.backoff_jitter * u;
+  return static_cast<SimTime>(nominal * mult);
+}
+
+SimTime retransmit_tail_ms(const AsyncConfig& cfg) {
+  const int retries = std::max(cfg.multicast_retries, 0);
+  // Every attempt times out (one rpc_timeout each) and every inter-
+  // attempt backoff lands at its jittered maximum.
+  double tail =
+      static_cast<double>(cfg.rpc_timeout_ms) * (retries + 1);
+  double nominal = static_cast<double>(cfg.backoff_base_ms);
+  const double cap = static_cast<double>(cfg.backoff_cap_ms);
+  for (int k = 0; k < retries; ++k) {
+    tail += std::min(nominal, cap) * (1.0 + cfg.backoff_jitter);
+    nominal *= cfg.backoff_factor;
+  }
+  return static_cast<SimTime>(tail) + 1;
+}
+
 // ---------------------------------------------------------------------
 // AsyncNodeBase
 // ---------------------------------------------------------------------
@@ -54,9 +88,15 @@ void AsyncNodeBase::boot_via(Id contact) {
   tel().trace(EventType::kJoinStart, net_.sim().now(), self_, contact);
   auto retry = [this] {
     tel().count_node("join.retries", self_);
-    net_.sim().after(net_.config().rpc_timeout_ms * 2, [this] {
-      if (alive_ && !joined_) boot_via(join_contact_);
-    });
+    // Jittered exponential backoff: simultaneous joiners (or a wave of
+    // rejoins after a heal) spread out instead of hammering the contact
+    // in lockstep.
+    net_.sim().after(
+        retry_backoff_ms(net_.config(), self_, 0x6a6f696eULL,
+                         join_attempts_++),
+        [this] {
+          if (alive_ && !joined_) boot_via(join_contact_);
+        });
   };
   start_lookup(contact, self_, [this, retry](LookupResult r) {
     if (!alive_ || joined_) return;
@@ -188,17 +228,27 @@ void AsyncNodeBase::absolve(Id peer) {
   }
 }
 
-bool AsyncNodeBase::note_stream(std::uint64_t stream_id) {
-  auto [it, fresh] = seen_streams_.try_emplace(stream_id, 0);
-  it->second = net_.sim().now();  // refresh on every sighting
+bool AsyncNodeBase::note_stream(std::uint64_t stream_id, int depth,
+                                std::uint32_t payload_bytes) {
+  auto [it, fresh] = seen_streams_.try_emplace(stream_id);
+  it->second.last_seen = net_.sim().now();  // refresh on every sighting
+  if (fresh) {
+    it->second.depth = depth;
+    it->second.payload_bytes = payload_bytes;
+  }
   return fresh;
 }
 
 void AsyncNodeBase::evict_seen_streams() {
-  const SimTime horizon = net_.config().stream_seen_ttl_ms;
+  // Clamp to the retransmission tail: an id evicted while its transfer's
+  // retransmissions are still in flight would be re-accepted by the
+  // straggler, breaking exactly-once (regression: async_repair_test).
+  const AsyncConfig& cfg = net_.config();
+  const SimTime horizon =
+      std::max(cfg.stream_seen_ttl_ms, retransmit_tail_ms(cfg));
   const SimTime now = net_.sim().now();
   std::erase_if(seen_streams_, [&](const auto& kv) {
-    return now - kv.second > horizon;
+    return now - kv.second.last_seen > horizon;
   });
 }
 
@@ -259,6 +309,20 @@ ReplyPayload AsyncNodeBase::answer(Id from, const RequestPayload& req) {
                                      data->depth, data->payload_bytes});
     return MulticastAckRep{};
   }
+  if (auto* dig = std::get_if<RepairDigestReq>(&req)) {
+    // Bidirectional anti-entropy: pull what the offerer has that we
+    // miss, and hand back our own digest so it can do the same.
+    handle_repair_digest(from, dig->streams);
+    return RepairDigestRep{repair_digest()};
+  }
+  if (auto* pull = std::get_if<StreamPullReq>(&req)) {
+    auto it = seen_streams_.find(pull->stream_id);
+    if (it == seen_streams_.end()) return StreamPullRep{};
+    // Serving a pull refreshes the entry: a stream actively spreading
+    // through repair stays advertisable until the chain completes.
+    it->second.last_seen = net_.sim().now();
+    return StreamPullRep{true, it->second.depth, it->second.payload_bytes};
+  }
   return PingRep{};
 }
 
@@ -278,20 +342,183 @@ void AsyncNodeBase::send_multicast(Id to, const MulticastData& data) {
   std::weak_ptr<std::function<void(int)>> weak = attempt;
   MulticastDataReq req{data.stream_id, data.bound, data.depth,
                       data.payload_bytes};
-  *attempt = [this, to, req, weak](int left) {
+  *attempt = [this, to, req, weak, retries](int left) {
     auto strong = weak.lock();
     call(
         to, req, [](const ReplyPayload&) {},
-        [this, to, req, strong, left] {
-          if (!(alive_ && left > 0 && strong)) return;
+        [this, to, req, strong, left, retries] {
+          if (!alive_ || !strong) return;
+          if (left <= 0) {
+            // All retransmissions exhausted: the link is down or the
+            // child is dead — hand the orphaned region to the repair
+            // layer instead of dropping it on the floor.
+            give_up_multicast(to, MulticastData{req.stream_id, req.bound,
+                                                req.depth,
+                                                req.payload_bytes});
+            return;
+          }
           tel().trace(EventType::kRetransmit, net_.sim().now(), self_, to,
                       req.stream_id, static_cast<std::uint64_t>(left));
           tel().count_node("mc.retransmits", self_);
-          (*strong)(left - 1);
+          // Jittered exponential backoff between attempts (attempt index
+          // counts completed tries) so post-heal retries desynchronize.
+          net_.sim().after(
+              retry_backoff_ms(net_.config(), self_, req.stream_id + to,
+                               retries - left),
+              [strong, left] { (*strong)(left - 1); });
         },
         req.payload_bytes, MsgClass::kData);
   };
   (*attempt)(retries);
+}
+
+void AsyncNodeBase::give_up_multicast(Id to, const MulticastData& msg) {
+  tel().trace(EventType::kRepairGiveUp, net_.sim().now(), self_, to,
+              msg.stream_id, static_cast<std::uint64_t>(msg.depth));
+  tel().count_node("repair.give_ups", self_);
+  if (!net_.config().repair) return;
+  repair_orphan(to, msg);
+}
+
+bool AsyncNodeBase::redelegate_budget(std::uint64_t stream_id) {
+  auto it = seen_streams_.find(stream_id);
+  if (it == seen_streams_.end()) return false;  // evicted: window closed
+  if (it->second.repairs >= net_.config().repair_redelegate_budget) {
+    return false;
+  }
+  ++it->second.repairs;
+  return true;
+}
+
+void AsyncNodeBase::redelegate_region(Id dead, const MulticastData& msg,
+                                      bool bounded) {
+  if (!alive_) return;
+  // The orphan region is (dead, msg.bound]; when the dead child IS the
+  // bound, the region beyond it is empty — nothing to recover.
+  if (bounded && msg.bound == dead) return;
+  if (!redelegate_budget(msg.stream_id)) return;
+  // The region's first live member owns dead + 1; route to it with our
+  // own lookup machinery (which excludes dead hops as it goes).
+  start_lookup(
+      self_, net_.ring().add(dead, 1),
+      [this, dead, msg, bounded](LookupResult r) {
+        if (!alive_) return;
+        const bool usable =
+            r.ok && r.owner != self_ && r.owner != dead &&
+            !suspected(r.owner) &&
+            (!bounded || net_.ring().in_oc(r.owner, dead, msg.bound));
+        if (!usable) {
+          // Routing hasn't absorbed the crash yet: retry once the fix /
+          // stabilize machinery has had a backoff's worth of rounds.
+          auto it = seen_streams_.find(msg.stream_id);
+          if (it == seen_streams_.end()) return;
+          net_.sim().after(
+              retry_backoff_ms(net_.config(), self_, msg.stream_id + dead,
+                               it->second.repairs),
+              [this, dead, msg, bounded] {
+                redelegate_region(dead, msg, bounded);
+              });
+          return;
+        }
+        tel().trace(EventType::kRepairRedelegate, net_.sim().now(), self_,
+                    r.owner, msg.stream_id, dead);
+        tel().count_node("repair.redelegations", self_);
+        // Same bound and depth as the original transfer: the new
+        // delegate inherits the dead child's responsibility wholesale.
+        send_multicast(r.owner, msg);
+      });
+}
+
+std::vector<std::uint64_t> AsyncNodeBase::repair_digest() const {
+  const AsyncConfig& cfg = net_.config();
+  const SimTime horizon =
+      std::max(cfg.stream_seen_ttl_ms, retransmit_tail_ms(cfg));
+  // Advertise at most half the eviction horizon: a stream evicted here
+  // must already be gone from every neighbor's digest, or eviction and
+  // re-pull would chase each other forever.
+  const SimTime window = std::min(cfg.repair_digest_window_ms, horizon / 2);
+  const SimTime now = net_.sim().now();
+  std::vector<std::pair<SimTime, std::uint64_t>> recent;
+  for (const auto& [id, meta] : seen_streams_) {
+    if (now - meta.last_seen <= window) recent.emplace_back(meta.last_seen, id);
+  }
+  if (recent.size() > cfg.repair_digest_max) {
+    // Newest first, id as the deterministic tiebreak; then truncate.
+    std::sort(recent.begin(), recent.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    recent.resize(cfg.repair_digest_max);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(recent.size());
+  for (const auto& [t, id] : recent) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AsyncNodeBase::repair_exchange_tick() {
+  // Exchange with the ring neighbors: a digest spreads one hop per tick
+  // in both directions, so any hole in the membership eventually meets
+  // a holder — the epidemic argument behind eventual delivery. An empty
+  // digest is still worth sending: the *reply* carries the peer's
+  // digest, which is how a restarted or partitioned node learns what it
+  // missed.
+  std::vector<Id> peers;
+  if (auto s = successor(); s && *s != self_ && !suspected(*s)) {
+    peers.push_back(*s);
+  }
+  if (pred_ && *pred_ != self_ && !suspected(*pred_) &&
+      (peers.empty() || peers.front() != *pred_)) {
+    peers.push_back(*pred_);
+  }
+  if (peers.empty()) return;
+  std::vector<std::uint64_t> digest = repair_digest();
+  for (Id p : peers) {
+    tel().trace(EventType::kRepairDigest, net_.sim().now(), self_, p,
+                digest.size());
+    tel().count_node("repair.digests", self_);
+    call(
+        p, RepairDigestReq{digest},
+        [this, p](const ReplyPayload& pl) {
+          if (!alive_) return;
+          handle_repair_digest(p, std::get<RepairDigestRep>(pl).streams);
+        },
+        [] {}, kRpcBytes, MsgClass::kRepair);
+  }
+}
+
+void AsyncNodeBase::handle_repair_digest(
+    Id peer, const std::vector<std::uint64_t>& ids) {
+  for (std::uint64_t id : ids) {
+    if (!seen_stream(id)) pull_stream(peer, id);
+  }
+}
+
+void AsyncNodeBase::pull_stream(Id peer, std::uint64_t stream_id) {
+  // One pull in flight per stream: both neighbors usually advertise the
+  // same hole, and duplicate pulls would double-count repair traffic.
+  if (!pulls_in_flight_.insert(stream_id).second) return;
+  call(
+      peer, StreamPullReq{stream_id},
+      [this, peer, stream_id](const ReplyPayload& pl) {
+        pulls_in_flight_.erase(stream_id);
+        if (!alive_) return;
+        const auto& rep = std::get<StreamPullRep>(pl);
+        if (!rep.found || seen_stream(stream_id)) return;
+        tel().trace(EventType::kRepairPull, net_.sim().now(), self_, peer,
+                    stream_id, static_cast<std::uint64_t>(rep.depth + 1));
+        tel().count_node("repair.pulls", self_);
+        // Deliver as a regular copy one level below the provider. The
+        // bound is the puller itself, so a region-split forward is a
+        // no-op (the pull repairs this node, not a region); CAM-Koorde
+        // refloods and its dup checks absorb the copies.
+        on_multicast(peer, MulticastData{stream_id, self_, rep.depth + 1,
+                                         rep.payload_bytes});
+      },
+      [this, stream_id] { pulls_in_flight_.erase(stream_id); },
+      kRpcBytes, MsgClass::kRepair);
 }
 
 void AsyncNodeBase::adopt_successor(Id candidate) {
@@ -331,7 +558,40 @@ void AsyncNodeBase::stabilize_tick() {
   if (!joined_) return;
   tel().trace(EventType::kStabilize, net_.sim().now(), self_);
   tel().count_node("maint.stabilize_ticks", self_);
+  if (net_.config().repair) repair_exchange_tick();
   const RingSpace& ring = net_.ring();
+  // Suspicion post-mortem: an expired suspicion marks a link this node
+  // severed under faults and then forgot — succ-list rebuilds and entry
+  // refreshes flush every reference, which is exactly how two
+  // partition-era rings end up interleaved with no cross-links left to
+  // merge through. Re-probe an expired suspect that would sit between
+  // us and our current successor; if it answers, adopting it splices
+  // the rings back together.
+  {
+    const SimTime now = net_.sim().now();
+    std::vector<Id> expired;
+    for (const auto& [p, until] : suspects_) {
+      if (now >= until) expired.push_back(p);
+    }
+    std::sort(expired.begin(), expired.end());
+    for (Id p : expired) {
+      absolve(p);
+      auto succ = successor();
+      if (!succ || *succ == self_ || p == *succ || p == self_) continue;
+      if (!ring.in_oo(p, self_, *succ)) continue;
+      call(
+          p, PingReq{},
+          [this, p](const ReplyPayload&) {
+            if (!alive_) return;
+            auto s = successor();
+            if (s && *s != p &&
+                (*s == self_ || net_.ring().in_oo(p, self_, *s))) {
+              adopt_successor(p);
+            }
+          },
+          [] {}, kRpcBytes, MsgClass::kMaintenance);
+    }
+  }
   // Ring-merge repair: an entry strictly inside (self, succ) is a closer
   // successor candidate; adopt it provisionally — if it is dead, the
   // GetPred timeouts below prune it again.
@@ -557,9 +817,9 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
 }
 
 void AsyncNodeBase::on_multicast(Id from, const MulticastData& msg) {
-  net_.deliver_record(from, self_, msg.depth);
+  net_.deliver_record(from, self_, msg.depth, msg.stream_id);
   // Exactly-once forwarding: only the first copy is propagated.
-  if (!note_stream(msg.stream_id)) {
+  if (!note_stream(msg.stream_id, msg.depth, msg.payload_bytes)) {
     tel().trace(EventType::kDupSuppress, net_.sim().now(), self_, from,
                 msg.stream_id);
     tel().count_node("mc.dup_suppressed", self_);
@@ -683,17 +943,30 @@ MulticastTree AsyncOverlayNet::multicast(Id source) {
   if (it == nodes_.end() || !it->second->alive()) return tree;
 
   active_tree_ = &tree;
+  const std::uint64_t sid = next_stream();
+  active_stream_ = sid;
   deliveries_ = 0;
   tel_.count("mc.multicasts");
   it->second->on_multicast(
-      source, MulticastData{next_stream(), ring_.sub(source, 1), 0,
+      source, MulticastData{sid, ring_.sub(source, 1), 0,
                             cfg_.multicast_payload_bytes});
   // Run until deliveries go quiet (poll slices sized above one hop +
-  // dup-check round trip).
+  // dup-check round trip). With repair on, "quiet" must outlast the
+  // slowest silent path — a full retransmission tail (give-up +
+  // re-delegation) or one stabilize round of anti-entropy — or the tree
+  // would be snapshotted while a repair is still in flight.
+  const SimTime slice = cfg_.rpc_timeout_ms * 2;
+  int quiet_needed = 3;
+  if (cfg_.repair) {
+    const SimTime tail = retransmit_tail_ms(cfg_) + cfg_.stabilize_period_ms +
+                         cfg_.timer_jitter_ms;
+    quiet_needed =
+        std::max<int>(quiet_needed, static_cast<int>((tail + slice - 1) / slice));
+  }
   std::uint64_t last = deliveries_;
   int quiet = 0;
-  while (quiet < 3) {
-    run_for(cfg_.rpc_timeout_ms * 2);
+  while (quiet < quiet_needed) {
+    run_for(slice);
     if (deliveries_ == last) {
       ++quiet;
     } else {
@@ -702,11 +975,16 @@ MulticastTree AsyncOverlayNet::multicast(Id source) {
     }
   }
   active_tree_ = nullptr;
+  active_stream_ = 0;
   return tree;
 }
 
-void AsyncOverlayNet::deliver_record(Id parent, Id child, int depth) {
+void AsyncOverlayNet::deliver_record(Id parent, Id child, int depth,
+                                     std::uint64_t stream) {
   if (active_tree_ == nullptr) return;
+  // A late repair of an *older* stream landing mid-multicast must not
+  // pollute the active tree.
+  if (stream != active_stream_) return;
   if (child == active_tree_->source()) return;
   if (active_tree_->record(parent, child, depth, bus_.sim().now())) {
     ++deliveries_;

@@ -60,11 +60,52 @@ struct AsyncConfig {
   /// Multicast dedupe horizon: stream ids unseen for this long are
   /// evicted from the per-node dedupe set, so long-running sessions
   /// don't grow it without bound. Must comfortably exceed the duration
-  /// of one dissemination (including retransmission tails); a stream
-  /// older than the horizon would be re-accepted if a copy somehow
-  /// still arrived.
+  /// of one dissemination (including retransmission tails); the
+  /// effective horizon is clamped to at least retransmit_tail_ms() so a
+  /// straggling retransmission can never resurrect an evicted stream
+  /// (exactly-once would break).
   SimTime stream_seen_ttl_ms = 300'000;
+
+  // --- retry backoff ----------------------------------------------------
+  /// Multicast retransmissions and join retries back off exponentially
+  /// instead of firing every rpc_timeout_ms: attempt k waits
+  /// min(backoff_cap_ms, backoff_base_ms * backoff_factor^k) scaled by a
+  /// seeded jitter in [1 - backoff_jitter, 1 + backoff_jitter), so a
+  /// partition heal doesn't release a synchronized retry storm onto the
+  /// bus. All timing flows from splitmix64 of (node, nonce, attempt) —
+  /// fully deterministic per seed.
+  SimTime backoff_base_ms = 250;
+  double backoff_factor = 2.0;
+  SimTime backoff_cap_ms = 4'000;
+  double backoff_jitter = 0.25;
+
+  // --- delivery repair --------------------------------------------------
+  /// Master switch for the repair layer: orphan-region re-delegation on
+  /// retransmission give-up plus anti-entropy digest exchange with ring
+  /// neighbors during stabilization.
+  bool repair = true;
+  /// Only streams seen within this window are advertised in anti-entropy
+  /// digests (clamped to half the dedupe horizon so an advertised stream
+  /// is never near eviction at the provider).
+  SimTime repair_digest_window_ms = 120'000;
+  /// Digest size cap: newest streams win when the window holds more.
+  std::size_t repair_digest_max = 32;
+  /// Per-stream cap on re-delegation attempts a single node may issue —
+  /// bounds repair recursion under pathological churn.
+  int repair_redelegate_budget = 16;
 };
+
+/// Backoff delay before retry number `attempt` (0-based) of the retry
+/// chain identified by `nonce` at node `self`. Deterministic: same
+/// inputs, same delay.
+SimTime retry_backoff_ms(const AsyncConfig& cfg, Id self, std::uint64_t nonce,
+                         int attempt);
+
+/// Worst-case duration of one acknowledged multicast transfer: every
+/// attempt times out and every backoff lands at its jittered maximum.
+/// The dedupe eviction horizon is clamped to this (satellite: a stream
+/// id evicted mid-retransmission would be re-delivered by the tail).
+SimTime retransmit_tail_ms(const AsyncConfig& cfg);
 
 class AsyncOverlayNet;
 
@@ -88,6 +129,9 @@ class AsyncNodeBase {
   const std::vector<Id>& entries() const { return entries_; }
   /// Live size of the multicast dedupe set (tests assert eviction).
   std::size_t seen_stream_count() const { return seen_streams_.size(); }
+  bool seen_stream(std::uint64_t stream_id) const {
+    return seen_streams_.contains(stream_id);
+  }
 
  protected:
   friend class AsyncOverlayNet;
@@ -110,6 +154,13 @@ class AsyncNodeBase {
   virtual ClosestStepRep closest_step(const ClosestStepReq& req) const = 0;
   /// Forward a (deduplicated) multicast payload onward.
   virtual void forward_multicast(const MulticastData& msg) = 0;
+  /// A child exhausted its retransmissions: recover the region it was
+  /// responsible for. Default is no repair (fire-and-forget semantics);
+  /// protocol subclasses re-delegate via redelegate_region().
+  virtual void repair_orphan(Id dead, const MulticastData& msg) {
+    (void)dead;
+    (void)msg;
+  }
 
   // --- lifecycle (driven by the harness) -------------------------------
   void boot_as_first();
@@ -144,13 +195,36 @@ class AsyncNodeBase {
   bool suspected(Id peer) const;
   void strike(Id peer);
   void absolve(Id peer);
-  bool seen_stream(std::uint64_t stream_id) const {
-    return seen_streams_.contains(stream_id);
-  }
-  /// Marks `stream_id` seen now; returns true on first sighting.
-  bool note_stream(std::uint64_t stream_id);
-  /// Drops dedupe entries unseen for config().stream_seen_ttl_ms.
+  /// Marks `stream_id` seen now (recording delivery depth + size for
+  /// repair pulls); returns true on first sighting.
+  bool note_stream(std::uint64_t stream_id, int depth = 0,
+                   std::uint32_t payload_bytes = 0);
+  /// Drops dedupe entries unseen for the effective horizon
+  /// (max(config().stream_seen_ttl_ms, retransmit_tail_ms(config()))).
   void evict_seen_streams();
+
+  // --- delivery repair -------------------------------------------------
+  /// Terminal retransmission failure on the reliable multicast path:
+  /// traces kRepairGiveUp and hands the orphaned region to
+  /// repair_orphan() when config().repair is on.
+  void give_up_multicast(Id to, const MulticastData& msg);
+  /// Looks up the live owner of the region just past `dead` and re-ships
+  /// the payload to it. `bounded` restricts the repair to the orphan
+  /// region (dead, msg.bound] — CAM-Chord's region-split invariant;
+  /// CAM-Koorde floods unbounded.
+  void redelegate_region(Id dead, const MulticastData& msg, bool bounded);
+  /// Anti-entropy: offer a digest of recently seen streams to the
+  /// successor and predecessor (stabilize-tick cadence).
+  void repair_exchange_tick();
+  /// Recently seen stream ids, sorted ascending, newest-first truncation
+  /// to config().repair_digest_max.
+  std::vector<std::uint64_t> repair_digest() const;
+  /// Pulls streams from `peer`'s digest that this node has not seen.
+  void handle_repair_digest(Id peer, const std::vector<std::uint64_t>& ids);
+  void pull_stream(Id peer, std::uint64_t stream_id);
+  /// Consumes one unit of the per-stream re-delegation budget; false
+  /// once config().repair_redelegate_budget is exhausted.
+  bool redelegate_budget(std::uint64_t stream_id);
 
   /// The harness-wide telemetry sink (null members when unattached).
   const telemetry::Sink& tel() const;
@@ -175,10 +249,23 @@ class AsyncNodeBase {
     std::function<void()> on_timeout;
   };
   std::unordered_map<RpcId, Pending> pending_;
-  /// Multicast dedupe: stream id -> virtual time last seen. Entries
-  /// older than config().stream_seen_ttl_ms are evicted from the
-  /// stabilize timer so the set stays bounded across many multicasts.
-  std::unordered_map<std::uint64_t, SimTime> seen_streams_;
+  /// What a node remembers about a seen stream: the dedupe timestamp
+  /// plus enough payload metadata to serve anti-entropy pulls and a
+  /// counter bounding re-delegation recursion.
+  struct StreamMeta {
+    SimTime last_seen = 0;
+    int depth = 0;
+    std::uint32_t payload_bytes = 0;
+    int repairs = 0;  // re-delegations issued by this node
+  };
+  /// Multicast dedupe + repair memory: stream id -> StreamMeta. Entries
+  /// older than the effective horizon are evicted from the stabilize
+  /// timer so the set stays bounded across many multicasts.
+  std::unordered_map<std::uint64_t, StreamMeta> seen_streams_;
+  /// Streams with an outstanding StreamPullReq — one pull at a time per
+  /// stream, cleared on reply and on timeout.
+  std::unordered_set<std::uint64_t> pulls_in_flight_;
+  int join_attempts_ = 0;  // backoff index for boot_via retries
   std::unordered_map<Id, SimTime> suspects_;  // id -> suspected until
   std::unordered_map<Id, int> strikes_;       // consecutive timeouts
 };
@@ -253,7 +340,7 @@ class AsyncOverlayNet {
  private:
   friend class AsyncNodeBase;
 
-  void deliver_record(Id parent, Id child, int depth);
+  void deliver_record(Id parent, Id child, int depth, std::uint64_t stream);
   std::uint64_t next_stream() { return stream_seq_++; }
 
   RingSpace ring_;
@@ -264,6 +351,7 @@ class AsyncOverlayNet {
   std::unordered_map<Id, std::unique_ptr<AsyncNodeBase>> nodes_;
   std::size_t live_count_ = 0;
   MulticastTree* active_tree_ = nullptr;
+  std::uint64_t active_stream_ = 0;  // stream the active tree records
   std::uint64_t deliveries_ = 0;
   std::uint64_t stream_seq_ = 1;
 };

@@ -58,6 +58,19 @@ struct MulticastDataReq {
   std::uint32_t payload_bytes = 0;
 };
 
+/// Anti-entropy digest offer: "these are the streams I have seen
+/// recently" (sorted ascending, bounded by AsyncConfig::repair_digest_max).
+/// The receiver pulls what it misses and replies with its own digest so
+/// one exchange repairs both directions.
+struct RepairDigestReq {
+  std::vector<std::uint64_t> streams;
+};
+
+/// Pull one missed stream's payload from a node that advertised it.
+struct StreamPullReq {
+  std::uint64_t stream_id = 0;
+};
+
 // --- reply payloads ------------------------------------------------------
 
 struct ClosestStepRep {
@@ -84,11 +97,26 @@ struct GetSuccListRep {
 
 struct PingRep {};
 
+/// Responder's half of the digest exchange (same format as the request).
+struct RepairDigestRep {
+  std::vector<std::uint64_t> streams;
+};
+
+/// Serve (or decline) a StreamPullReq. `found` is false when the
+/// provider evicted the stream between the digest and the pull.
+struct StreamPullRep {
+  bool found = false;
+  int depth = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
 using RequestPayload =
     std::variant<ClosestStepReq, GetPredReq, GetSuccListReq, PingReq,
-                 DupCheckReq, MulticastDataReq>;
+                 DupCheckReq, MulticastDataReq, RepairDigestReq,
+                 StreamPullReq>;
 using ReplyPayload = std::variant<ClosestStepRep, GetPredRep, GetSuccListRep,
-                                  PingRep, DupCheckRep, MulticastAckRep>;
+                                  PingRep, DupCheckRep, MulticastAckRep,
+                                  RepairDigestRep, StreamPullRep>;
 
 // Ordering assumption of the RPC layer: a reply is posted only *after*
 // its request was delivered, so within one request/response pair the

@@ -10,14 +10,16 @@ enum class MsgClass : int {
   kData = 0,         // multicast payload
   kControl = 1,      // lookup / dup-check / membership RPCs
   kMaintenance = 2,  // stabilization, fix-neighbors
+  kRepair = 3,       // delivery repair: digest exchange, stream pulls
 };
-inline constexpr int kNumMsgClasses = 3;
+inline constexpr int kNumMsgClasses = 4;
 
 inline const char* msg_class_name(MsgClass cls) {
   switch (cls) {
     case MsgClass::kData: return "data";
     case MsgClass::kControl: return "control";
     case MsgClass::kMaintenance: return "maintenance";
+    case MsgClass::kRepair: return "repair";
   }
   return "unknown";
 }

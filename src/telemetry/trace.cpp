@@ -13,7 +13,8 @@ constexpr const char* kEventNames[kNumEventTypes] = {
     "absolve",        "member_join", "crash",      "mc_send",
     "mc_deliver",     "mc_dup_suppress", "mc_retransmit", "ring_sample",
     "fault_drop",     "fault_dup",  "fault_delay", "fault_partition",
-    "fault_heal",
+    "fault_heal",     "repair_give_up", "repair_redelegate",
+    "repair_digest",  "repair_pull",
 };
 
 }  // namespace

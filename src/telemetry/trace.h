@@ -50,6 +50,14 @@ namespace cam::telemetry {
 ///                     b=MsgClass
 ///   kFaultPartition   partition installed: a=side-A size, b=side-B size
 ///   kFaultHeal        partition removed (no payload)
+///   kRepairGiveUp     multicast to peer exhausted its retransmissions:
+///                     peer=unresponsive child, a=stream id, b=depth
+///   kRepairRedelegate orphan region re-delegated: peer=new delegate,
+///                     a=stream id, b=the suspected (dead) child
+///   kRepairDigest     anti-entropy digest offered: peer=exchange peer,
+///                     a=ids advertised (high-rate; milestone-masked)
+///   kRepairPull       missed stream pulled: peer=provider, a=stream id,
+///                     b=delivery depth after the pull
 enum class EventType : std::uint8_t {
   kJoinStart = 0,
   kJoinDone,
@@ -76,8 +84,12 @@ enum class EventType : std::uint8_t {
   kFaultDelay,
   kFaultPartition,
   kFaultHeal,
+  kRepairGiveUp,
+  kRepairRedelegate,
+  kRepairDigest,
+  kRepairPull,
 };
-inline constexpr int kNumEventTypes = 25;
+inline constexpr int kNumEventTypes = 29;
 
 const char* event_name(EventType t);
 /// Inverse of event_name; returns false if `name` is unknown.
@@ -104,13 +116,14 @@ inline constexpr EventMask event_bit(EventType t) {
 inline constexpr EventMask kAllEvents =
     (EventMask{1} << kNumEventTypes) - 1;
 /// Everything except the high-rate periodic noise (ticks, rpc issues,
-/// absolves) — the default diagnostic mask.
+/// absolves, per-tick repair digests) — the default diagnostic mask.
 inline constexpr EventMask kMilestoneEvents =
     kAllEvents & ~(event_bit(EventType::kStabilize) |
                    event_bit(EventType::kFix) |
                    event_bit(EventType::kPing) |
                    event_bit(EventType::kRpcIssue) |
-                   event_bit(EventType::kAbsolve));
+                   event_bit(EventType::kAbsolve) |
+                   event_bit(EventType::kRepairDigest));
 
 /// Bounded ring buffer of TraceEvents: O(1) append, oldest-first
 /// iteration, overwrite-oldest once full (`dropped()` counts evictions).

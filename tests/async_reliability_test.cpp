@@ -22,11 +22,13 @@ struct Fixture {
   Net overlay;
   Rng rng{31};
 
-  explicit Fixture(int retries) : cfg{}, overlay{ring, bus, make_cfg(retries)} {}
+  explicit Fixture(int retries, bool repair = true)
+      : cfg{}, overlay{ring, bus, make_cfg(retries, repair)} {}
 
-  static AsyncConfig make_cfg(int retries) {
+  static AsyncConfig make_cfg(int retries, bool repair) {
     AsyncConfig c;
     c.multicast_retries = retries;
+    c.repair = repair;
     return c;
   }
 
@@ -64,7 +66,9 @@ TEST(AsyncReliability, RetransmissionsDeliverThroughLoss) {
 }
 
 TEST(AsyncReliability, FireAndForgetDropsUnderLoss) {
-  Fixture<AsyncCamChordNet> fx(/*retries=*/0);
+  // Repair off: this test asserts the *unrepaired* loss floor, which the
+  // anti-entropy layer would otherwise fill during the quiesce window.
+  Fixture<AsyncCamChordNet> fx(/*retries=*/0, /*repair=*/false);
   fx.grow(40);
   fx.bus.set_loss(0.10, 4242);
   Id source = fx.overlay.members_sorted()[3];

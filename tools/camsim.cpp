@@ -30,6 +30,7 @@
 //   camsim chaos      --system=camchord|camkoorde [--n=N] [--bits=B]
 //                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
 //                     [--plan-text=DSL] [--settle=MS] [--no-quiesce]
+//                     [--repair|--no-repair]
 //       Deterministic fault-injection run (src/fault): grows the
 //       overlay, executes a FaultPlan (drops, duplicates, reordering,
 //       partitions, churn — see fault/fault_plan.h for the DSL), checks
@@ -40,6 +41,11 @@
 //       invariant violation. Without --plan/--plan-text a stock mixed
 //       plan is used; --no-quiesce skips the heal + re-stabilize phase
 //       (the final checks then run against the still-faulted overlay).
+//       The delivery-repair layer (orphan-region re-delegation +
+//       anti-entropy pulls) is on by default; --no-repair disables it
+//       to measure the unrepaired baseline, and the eventual-delivery
+//       invariant then reports every surviving member a mid-fault
+//       multicast failed to reach.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +103,7 @@ struct Args {
   std::string plan_text;
   double settle_ms = 240'000;
   bool no_quiesce = false;
+  bool repair = true;
 };
 
 [[noreturn]] void usage() {
@@ -166,6 +173,10 @@ Args parse(int argc, char** argv) {
       a.settle_ms = std::stod(val("--settle="));
     } else if (s == "--no-quiesce") {
       a.no_quiesce = true;
+    } else if (s == "--repair") {
+      a.repair = true;
+    } else if (s == "--no-repair") {
+      a.repair = false;
     } else {
       usage();
     }
@@ -438,6 +449,7 @@ int cmd_chaos(const Args& a) {
   cfg.spawn.cap_hi = a.cap_hi;
   cfg.quiesce_budget_ms = a.settle_ms;
   cfg.force_quiescence = !a.no_quiesce;
+  cfg.async.repair = a.repair;
   if (cfg.system != "camchord" && cfg.system != "camkoorde") usage();
 
   fault::ChaosReport report = fault::run_chaos(cfg, plan);
