@@ -37,9 +37,9 @@ Row run(std::size_t n, std::uint32_t c, std::uint64_t seed) {
   UniformLatency lat(5, 25, seed);
   Network net(sim, lat);
   HostBus bus(net);
+  telemetry::Registry reg;  // outlives the overlay attached to it
   Net overlay(ring, bus);
   Rng rng(seed);
-  telemetry::Registry reg;
   overlay.set_telemetry({&reg, nullptr});
 
   auto info = [&] { return NodeInfo{c, 700}; };

@@ -13,12 +13,15 @@
 // and verify every protocol invariant — resilience measured end to end
 // rather than against oracle-repaired tables.
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "camchord/net.h"
 #include "camkoorde/net.h"
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "fault/chaos_run.h"
+#include "runtime/sweep_pool.h"
 #include "util/rng.h"
 #include "workload/churn.h"
 
@@ -104,21 +107,36 @@ int main(int argc, char** argv) {
   struct Cfg {
     const char* name;
     std::uint32_t lo, hi;
+    double frac;
   };
-  for (Cfg cap : {Cfg{"small[4..6]", 4, 6}, Cfg{"large[16..24]", 16, 24}}) {
+  // The declarative (capacity × failure-fraction) grid; each cell grows
+  // its own pair of overlays on the sweep pool, rows land in grid order.
+  std::vector<Cfg> grid;
+  for (Cfg cap : {Cfg{"small[4..6]", 4, 6, 0},
+                  Cfg{"large[16..24]", 16, 24, 0}}) {
     for (double frac : {0.05, 0.15, 0.30}) {
-      Result chord = run<cam::camchord::CamChordNet>(scale.n, cap.lo, cap.hi,
-                                                     frac, scale.seed);
-      Result koorde = run<cam::camkoorde::CamKoordeNet>(scale.n, cap.lo,
-                                                        cap.hi, frac,
-                                                        scale.seed);
-      t.add_row({"CAM-Chord", cap.name, fmt(frac, 2),
-                 fmt(chord.before_repair, 3), fmt(chord.after_repair, 3),
-                 fmt(chord.lookup_ok, 3)});
-      t.add_row({"CAM-Koorde", cap.name, fmt(frac, 2),
-                 fmt(koorde.before_repair, 3), fmt(koorde.after_repair, 3),
-                 fmt(koorde.lookup_ok, 3)});
+      cap.frac = frac;
+      grid.push_back(cap);
     }
+  }
+  auto results = cam::runtime::map_ordered(
+      grid.size(), scale.jobs, [&](std::size_t i) {
+        const Cfg& cfg = grid[i];
+        return std::pair{
+            run<cam::camchord::CamChordNet>(scale.n, cfg.lo, cfg.hi,
+                                            cfg.frac, scale.seed),
+            run<cam::camkoorde::CamKoordeNet>(scale.n, cfg.lo, cfg.hi,
+                                              cfg.frac, scale.seed)};
+      });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Cfg& cfg = grid[i];
+    const auto& [chord, koorde] = results[i];
+    t.add_row({"CAM-Chord", cfg.name, fmt(cfg.frac, 2),
+               fmt(chord.before_repair, 3), fmt(chord.after_repair, 3),
+               fmt(chord.lookup_ok, 3)});
+    t.add_row({"CAM-Koorde", cfg.name, fmt(cfg.frac, 2),
+               fmt(koorde.before_repair, 3), fmt(koorde.after_repair, 3),
+               fmt(koorde.lookup_ok, 3)});
   }
   t.print(std::cout);
 
@@ -136,37 +154,43 @@ int main(int argc, char** argv) {
   Table ct({"system", "fail_frac", "mid_off", "evt_off", "mid_on", "evt_on",
             "invariants"});
   std::size_t chaos_n = 24;
+  // Declarative chaos grid: [system][frac] × {repair off, repair on} =
+  // 12 independent worlds, all dispatched through run_chaos_cells so
+  // --jobs parallelizes them without changing a byte of the table.
+  std::vector<cam::fault::ChaosCell> chaos_cells;
+  std::vector<double> cell_frac;  // fail fraction of cells 2i and 2i+1
   for (const char* system : {"camchord", "camkoorde"}) {
     for (double frac : {0.05, 0.15, 0.30}) {
+      cell_frac.push_back(frac);
       int wave = std::max(1, static_cast<int>(chaos_n * frac));
-      cam::fault::FaultPlan plan;
-      plan.drop(0, 0.05).crash(1'000, wave).clear(6'000);
-      auto one = [&](bool repair) {
-        cam::fault::ChaosConfig cfg;
-        cfg.system = system;
-        cfg.n = chaos_n;
-        cfg.bits = 10;
-        cfg.seed = scale.seed;
-        cfg.mid_multicasts = 1;
-        cfg.async.repair = repair;
-        return cam::fault::run_chaos(cfg, plan);
-      };
-      cam::fault::ChaosReport off = one(false);
-      cam::fault::ChaosReport on = one(true);
-      auto mid = [](const cam::fault::ChaosReport& r) {
-        return r.multicasts.empty() ? 0
-                                    : r.multicasts.front().delivery_ratio();
-      };
-      auto evt = [](const cam::fault::ChaosReport& r) {
-        return r.multicasts.empty() ? 0
-                                    : r.multicasts.front().eventual_ratio();
-      };
-      // The repair-off run reports mcast.eventual violations by design;
-      // the invariant verdict that matters is the repair-on run's.
-      ct.add_row({system, fmt(frac, 2), fmt(mid(off), 3), fmt(evt(off), 3),
-                  fmt(mid(on), 3), fmt(evt(on), 3),
-                  on.ok ? "ok" : "VIOLATED"});
+      cam::fault::ChaosCell cell;
+      cell.plan.drop(0, 0.05).crash(1'000, wave).clear(6'000);
+      cell.cfg.system = system;
+      cell.cfg.n = chaos_n;
+      cell.cfg.bits = 10;
+      cell.cfg.seed = scale.seed;
+      cell.cfg.mid_multicasts = 1;
+      cell.cfg.async.repair = false;
+      chaos_cells.push_back(cell);
+      cell.cfg.async.repair = true;
+      chaos_cells.push_back(std::move(cell));
     }
+  }
+  auto reports = cam::fault::run_chaos_cells(chaos_cells, scale.jobs);
+  auto mid = [](const cam::fault::ChaosReport& r) {
+    return r.multicasts.empty() ? 0 : r.multicasts.front().delivery_ratio();
+  };
+  auto evt = [](const cam::fault::ChaosReport& r) {
+    return r.multicasts.empty() ? 0 : r.multicasts.front().eventual_ratio();
+  };
+  for (std::size_t i = 0; i < reports.size(); i += 2) {
+    const cam::fault::ChaosReport& off = reports[i];
+    const cam::fault::ChaosReport& on = reports[i + 1];
+    // The repair-off run reports mcast.eventual violations by design;
+    // the invariant verdict that matters is the repair-on run's.
+    ct.add_row({off.cfg.system, fmt(cell_frac[i / 2], 2), fmt(mid(off), 3),
+                fmt(evt(off), 3), fmt(mid(on), 3), fmt(evt(on), 3),
+                on.ok ? "ok" : "VIOLATED"});
   }
   ct.print(std::cout);
   return 0;

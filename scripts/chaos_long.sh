@@ -7,12 +7,15 @@
 #
 #   ./scripts/chaos_long.sh              # seeds 1..100
 #   SEEDS=250 ./scripts/chaos_long.sh    # seeds 1..250
+#   JOBS=8 ./scripts/chaos_long.sh       # sweep-pool workers (default
+#                                        # nproc; results identical)
 #
 # Exits nonzero if any repair-on run reports a violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEEDS="${SEEDS:-100}"
+JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target camsim >/dev/null
@@ -27,29 +30,39 @@ koorde_plan='at 0 drop p=0.15
 at 1000 crash n=6
 at 6000 clear'
 
+# One camsim invocation per (system, repair) leg: the chaos sweep mode
+# runs a cell per seed on the parallel sweep pool and prints one line
+# per seed; the per-seed lines and summary are byte-identical for any
+# JOBS value, so raising parallelism never changes what this script sees.
 fail=0
 for system in camchord camkoorde; do
   plan="$chord_plan"
   [ "$system" = camkoorde ] && plan="$koorde_plan"
-  flagged=0
-  bad=0
-  for seed in $(seq 1 "$SEEDS"); do
-    if ! "$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
-        --seed="$seed" --plan-text="$plan" > /dev/null 2>&1; then
+
+  # Repair on: every seed must be invariant-clean (camsim exits nonzero
+  # if any is not). Capture the output so failing seeds get a repro line.
+  on_report=$("$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
+      --seeds=1.."$SEEDS" --jobs="$JOBS" --plan-text="$plan" 2>/dev/null) \
+    || true
+  bad=$(grep -c 'VIOLATIONS' <<< "$on_report" || true)
+  if [ "$bad" -gt 0 ]; then
+    grep 'VIOLATIONS' <<< "$on_report" | while read -r line; do
+      seed="${line#seed=}"
+      seed="${seed%% *}"
       echo "FAIL $system seed=$seed (repair on): invariant violation"
       echo "  repro: camsim chaos --system=$system --n=12 --bits=10" \
            "--seed=$seed --plan-text='$plan'"
-      bad=$((bad + 1))
-    fi
-    # camsim exits nonzero here by design (the eventual-delivery
-    # invariant fires); capture the report before grepping so pipefail
-    # doesn't mask the match.
-    off_report=$("$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
-        --seed="$seed" --plan-text="$plan" --no-repair 2>/dev/null || true)
-    if grep -q 'mcast.eventual' <<< "$off_report"; then
-      flagged=$((flagged + 1))
-    fi
-  done
+    done
+  fi
+
+  # Repair off: eventual-delivery violations are EXPECTED; count the
+  # seeds that lost a region (their line carries the mcast.eventual
+  # kind). camsim exits nonzero here by design.
+  off_report=$("$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
+      --seeds=1.."$SEEDS" --jobs="$JOBS" --plan-text="$plan" --no-repair \
+      2>/dev/null) || true
+  flagged=$(grep -c 'mcast.eventual' <<< "$off_report" || true)
+
   echo "$system: $SEEDS seeds, repair-on violations=$bad," \
        "repair-off seeds with lost regions=$flagged"
   [ "$bad" -gt 0 ] && fail=1

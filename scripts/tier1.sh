@@ -39,4 +39,14 @@ at 6000 clear'
   --plan-text="$CRASH_WAVE_PLAN" > /dev/null
 
 echo
+echo "== tier-1: TSan parallel sweep smoke (4-job chaos sweep) =="
+# The parallel sweep runtime under ThreadSanitizer: four chaos cells on
+# four workers. Any mutable state shared between cells (a leaked static,
+# a shared Registry) shows up here as a data race, not a flaky sweep.
+cmake -B build-tsan -S . -DCAM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target camsim
+./build-tsan/tools/camsim chaos --system=camchord --n=12 --bits=10 \
+  --seeds=1..4 --jobs=4 --plan-text="$CRASH_WAVE_PLAN" > /dev/null
+
+echo
 echo "tier-1 OK"

@@ -3,9 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "runtime/flags.h"
+#include "runtime/sweep_pool.h"
 #include "workload/population.h"
 
 namespace cam::exp {
@@ -27,25 +28,17 @@ workload::PopulationSpec spec_of(const FigureScale& scale, double bw_lo = 400,
 
 FigureScale parse_scale(int argc, char** argv, FigureScale defaults) {
   FigureScale s = defaults;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    auto num = [a](const char* prefix) -> long long {
-      return std::atoll(a + std::strlen(prefix));
-    };
-    if (std::strncmp(a, "--n=", 4) == 0) {
-      s.n = static_cast<std::size_t>(num("--n="));
-    } else if (std::strncmp(a, "--sources=", 10) == 0) {
-      s.sources = static_cast<std::size_t>(num("--sources="));
-    } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      s.seed = static_cast<std::uint64_t>(num("--seed="));
-    } else if (std::strncmp(a, "--bits=", 7) == 0) {
-      s.ring_bits = static_cast<int>(num("--bits="));
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--n=N] [--sources=K] [--seed=S] [--bits=B]\n",
-                   argv[0]);
-      std::exit(2);
-    }
+  runtime::FlagSet flags;
+  flags.add("n", "group size", &s.n);
+  flags.add("sources", "multicast trees per data point", &s.sources);
+  flags.add("seed", "master seed", &s.seed);
+  flags.add("bits", "ring identifier bits", &s.ring_bits);
+  flags.add("jobs", "parallel sweep cells (0 = hardware)", &s.jobs);
+  std::string error;
+  if (!flags.parse(argc, argv, 1, &error)) {
+    std::fprintf(stderr, "%s: %s\nflags:\n%s", argv[0], error.c_str(),
+                 flags.usage().c_str());
+    std::exit(2);
   }
   return s;
 }
@@ -54,28 +47,42 @@ std::vector<Fig6Row> figure6(const FigureScale& scale) {
   // Sweep the average number of children. For the CAMs this is driven by
   // the per-link parameter p (average capacity ~ E(B)/p = 700/p for the
   // default band); the baselines take the structural parameter directly.
-  const std::uint32_t targets[] = {4, 6, 8, 10, 14, 20, 28, 40, 55, 70};
-  std::vector<Fig6Row> rows;
+  const std::vector<std::uint32_t> targets = {4, 6, 8, 10, 14, 20,
+                                              28, 40, 55, 70};
 
   // One shared population for the capacity-unaware baselines (they ignore
-  // node capacities; only ids and bandwidths matter).
+  // node capacities; only ids and bandwidths matter). FrozenDirectory is
+  // immutable, so the parallel cells below read it concurrently.
   FrozenDirectory base_pop =
       workload::uniform_capacity_population(spec_of(scale), 4, 10).freeze();
 
-  for (std::uint32_t c : targets) {
-    double p = 700.0 / c;
-    FrozenDirectory cam_pop =
-        workload::bandwidth_derived_population(spec_of(scale), p, 4).freeze();
-    for (System sys : {System::kCamChord, System::kCamKoorde}) {
-      AveragedRun r = run_sources(sys, cam_pop, scale.sources, scale.seed);
-      rows.push_back(
-          Fig6Row{sys, p, r.avg_degree, r.avg_children, r.provisioned_kbps});
-    }
-    for (System sys : {System::kChord, System::kKoorde}) {
-      AveragedRun r = run_sources(sys, base_pop, scale.sources, scale.seed, c);
-      rows.push_back(Fig6Row{sys, static_cast<double>(c), r.avg_degree,
-                             r.avg_children, r.provisioned_kbps});
-    }
+  // One sweep cell per fanout target; each builds its own CAM population.
+  auto chunks = runtime::map_ordered(
+      targets.size(), scale.jobs, [&](std::size_t ti) {
+        const std::uint32_t c = targets[ti];
+        double p = 700.0 / c;
+        FrozenDirectory cam_pop =
+            workload::bandwidth_derived_population(spec_of(scale), p, 4)
+                .freeze();
+        std::vector<Fig6Row> chunk;
+        for (System sys : {System::kCamChord, System::kCamKoorde}) {
+          AveragedRun r =
+              run_sources(sys, cam_pop, scale.sources, scale.seed);
+          chunk.push_back(Fig6Row{sys, p, r.avg_degree, r.avg_children,
+                                  r.provisioned_kbps});
+        }
+        for (System sys : {System::kChord, System::kKoorde}) {
+          AveragedRun r =
+              run_sources(sys, base_pop, scale.sources, scale.seed, c);
+          chunk.push_back(Fig6Row{sys, static_cast<double>(c), r.avg_degree,
+                                  r.avg_children, r.provisioned_kbps});
+        }
+        return chunk;
+      });
+
+  std::vector<Fig6Row> rows;
+  for (auto& chunk : chunks) {
+    rows.insert(rows.end(), chunk.begin(), chunk.end());
   }
   return rows;
 }
@@ -87,8 +94,9 @@ std::vector<Fig7Row> figure7(const FigureScale& scale) {
   // parameter c = E(B)/p that the CAMs achieve on average.
   const double a = 400;
   const double p = 100;
-  std::vector<Fig7Row> rows;
-  for (double b : {800.0, 1000.0, 1200.0, 1400.0, 1600.0}) {
+  const std::vector<double> highs = {800.0, 1000.0, 1200.0, 1400.0, 1600.0};
+  return runtime::map_ordered(highs.size(), scale.jobs, [&](std::size_t bi) {
+    const double b = highs[bi];
     FrozenDirectory cam_pop =
         workload::bandwidth_derived_population(spec_of(scale, a, b), p, 4)
             .freeze();
@@ -111,22 +119,31 @@ std::vector<Fig7Row> figure7(const FigureScale& scale) {
     row.ratio_chord = cam_chord.provisioned_kbps / chord.provisioned_kbps;
     row.ratio_koorde = cam_koorde.provisioned_kbps / koorde.provisioned_kbps;
     row.predicted = (a + b) / (2 * a);
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
 }
 
 std::vector<Fig8Row> figure8(const FigureScale& scale) {
   // Sweep p: larger p => fewer children per node => higher throughput but
   // deeper trees. Throughput ~ p, so this traces the tradeoff curve.
+  const std::vector<double> ps = {10.0, 15.0, 20.0, 30.0,
+                                  46.0, 60.0, 80.0, 100.0};
+  auto chunks = runtime::map_ordered(
+      ps.size(), scale.jobs, [&](std::size_t pi) {
+        const double p = ps[pi];
+        FrozenDirectory pop =
+            workload::bandwidth_derived_population(spec_of(scale), p, 4)
+                .freeze();
+        std::vector<Fig8Row> chunk;
+        for (System sys : {System::kCamChord, System::kCamKoorde}) {
+          AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
+          chunk.push_back(Fig8Row{sys, p, r.provisioned_kbps, r.avg_path});
+        }
+        return chunk;
+      });
   std::vector<Fig8Row> rows;
-  for (double p : {10.0, 15.0, 20.0, 30.0, 46.0, 60.0, 80.0, 100.0}) {
-    FrozenDirectory pop =
-        workload::bandwidth_derived_population(spec_of(scale), p, 4).freeze();
-    for (System sys : {System::kCamChord, System::kCamKoorde}) {
-      AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
-      rows.push_back(Fig8Row{sys, p, r.provisioned_kbps, r.avg_path});
-    }
+  for (auto& chunk : chunks) {
+    rows.insert(rows.end(), chunk.begin(), chunk.end());
   }
   return rows;
 }
@@ -137,19 +154,20 @@ std::vector<PathDistRow> path_distribution(System sys,
                                            const FigureScale& scale,
                                            const std::vector<std::uint32_t>&
                                                cap_highs) {
-  std::vector<PathDistRow> rows;
-  for (std::uint32_t hi : cap_highs) {
-    FrozenDirectory pop =
-        workload::uniform_capacity_population(spec_of(scale), 4, hi).freeze();
-    AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
-    PathDistRow row;
-    row.cap_lo = 4;
-    row.cap_hi = hi;
-    row.histogram = r.depth_histogram;
-    row.avg_path = r.avg_path;
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  return runtime::map_ordered(
+      cap_highs.size(), scale.jobs, [&](std::size_t i) {
+        const std::uint32_t hi = cap_highs[i];
+        FrozenDirectory pop =
+            workload::uniform_capacity_population(spec_of(scale), 4, hi)
+                .freeze();
+        AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
+        PathDistRow row;
+        row.cap_lo = 4;
+        row.cap_hi = hi;
+        row.histogram = r.depth_histogram;
+        row.avg_path = r.avg_path;
+        return row;
+      });
 }
 
 }  // namespace
@@ -170,9 +188,10 @@ std::vector<PathDistRow> figure10(const FigureScale& scale) {
 std::vector<Fig11Row> figure11(const FigureScale& scale) {
   // Capacities U[4..hi] give average (4 + hi) / 2; sweeping hi up to 216
   // covers the paper's x-axis (average capacity up to ~110).
-  std::vector<Fig11Row> rows;
-  for (std::uint32_t hi :
-       {4u, 6u, 8u, 10u, 16u, 24u, 40u, 60u, 100u, 140u, 200u, 216u}) {
+  const std::vector<std::uint32_t> highs = {4u,  6u,   8u,   10u,  16u,  24u,
+                                            40u, 60u, 100u, 140u, 200u, 216u};
+  return runtime::map_ordered(highs.size(), scale.jobs, [&](std::size_t i) {
+    const std::uint32_t hi = highs[i];
     FrozenDirectory pop =
         workload::uniform_capacity_population(spec_of(scale), 4, hi).freeze();
     double avg_c = (4.0 + hi) / 2.0;
@@ -186,9 +205,8 @@ std::vector<Fig11Row> figure11(const FigureScale& scale) {
     row.camkoorde_path = koorde.avg_path;
     row.bound = 1.5 * std::log(static_cast<double>(scale.n)) /
                 std::log(avg_c);
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
 }
 
 }  // namespace cam::exp

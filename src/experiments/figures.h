@@ -22,10 +22,15 @@ struct FigureScale {
   int ring_bits = 19;
   std::size_t sources = 3;  // multicast trees averaged per data point
   std::uint64_t seed = 7;
+  /// Sweep parallelism: each figure data point is an independent cell
+  /// run on a runtime::SweepPool; the row order (and every byte of the
+  /// output) is identical for any jobs value. 0 = hardware concurrency.
+  std::size_t jobs = 1;
 };
 
-/// Parses "--n=", "--sources=", "--seed=", "--bits=" overrides (for the
-/// bench binaries). Unknown arguments abort with a usage message.
+/// Parses "--n=", "--sources=", "--seed=", "--bits=", "--jobs="
+/// overrides (for the bench binaries) through the shared
+/// runtime::FlagSet table. Unknown flags abort with a usage message.
 FigureScale parse_scale(int argc, char** argv, FigureScale defaults = {});
 
 // --- Figure 6: throughput vs. average number of children per non-leaf ---

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/sweep_pool.h"
 #include "util/rng.h"
 
 namespace cam::exp {
@@ -33,7 +34,7 @@ TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
 
 AveragedRun run_sources(System system, const FrozenDirectory& dir,
                         std::size_t num_sources, std::uint64_t seed,
-                        std::uint32_t uniform_param) {
+                        std::uint32_t uniform_param, std::size_t jobs) {
   AveragedRun agg;
   agg.expected = dir.size();
   agg.reached = dir.size();
@@ -44,12 +45,23 @@ AveragedRun run_sources(System system, const FrozenDirectory& dir,
   for (Id id : dir.ids()) degree_sum += links(id);
   agg.avg_degree = degree_sum / static_cast<double>(dir.size());
 
+  // Sources are drawn serially (the rng touches nothing else), then the
+  // trees — pure functions of (dir, source) — run as parallel cells.
+  // The reduction below consumes summaries in source order, so the
+  // aggregate is byte-identical for every jobs value.
   Rng rng(seed);
+  std::vector<Id> sources(num_sources);
   for (std::size_t s = 0; s < num_sources; ++s) {
-    Id source = dir.ids()[rng.next_below(dir.size())];
-    MulticastTree tree = run_multicast(system, dir, source, uniform_param);
-    TreeSummary sum = summarize(dir, tree, system, uniform_param);
+    sources[s] = dir.ids()[rng.next_below(dir.size())];
+  }
+  std::vector<TreeSummary> summaries =
+      runtime::map_ordered(num_sources, jobs, [&](std::size_t s) {
+        MulticastTree tree =
+            run_multicast(system, dir, sources[s], uniform_param);
+        return summarize(dir, tree, system, uniform_param);
+      });
 
+  for (const TreeSummary& sum : summaries) {
     agg.avg_children += sum.metrics.avg_children_nonleaf;
     agg.throughput_kbps += sum.throughput_kbps;
     agg.provisioned_kbps += sum.provisioned_kbps;

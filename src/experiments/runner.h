@@ -27,6 +27,10 @@ TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
                       System system, std::uint32_t uniform_param = 0);
 
 /// Aggregates over several source nodes (uniformly sampled, seeded).
+/// With jobs > 1 the per-source trees are built concurrently on a
+/// runtime::SweepPool; the sources are pre-drawn serially from the seed
+/// and the reduction runs in source order, so the result is
+/// byte-identical to the jobs = 1 run.
 struct AveragedRun {
   double avg_children = 0;       // mean over trees of avg children/non-leaf
   double avg_degree = 0;         // mean provisioned links per node
@@ -42,6 +46,7 @@ struct AveragedRun {
 
 AveragedRun run_sources(System system, const FrozenDirectory& dir,
                         std::size_t num_sources, std::uint64_t seed,
-                        std::uint32_t uniform_param = 0);
+                        std::uint32_t uniform_param = 0,
+                        std::size_t jobs = 1);
 
 }  // namespace cam::exp

@@ -7,6 +7,7 @@
 
 #include "proto/async_camchord.h"
 #include "proto/async_camkoorde.h"
+#include "runtime/sweep_pool.h"
 #include "telemetry/export.h"
 #include "util/rng.h"
 
@@ -74,6 +75,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   Network net(sim, lat);
   proto::HostBus bus(net);
 
+  // Declared before the overlay: the sink must outlive the host that
+  // attaches to it (the overlay detaches from its destructor).
+  telemetry::Registry reg;
+  telemetry::Tracer tracer(
+      std::max<std::size_t>(std::size_t{1} << 16, 1024 * cfg.n),
+      telemetry::kMilestoneEvents);
+
   std::unique_ptr<proto::AsyncOverlayNet> overlay;
   if (cfg.system == "camchord") {
     overlay = std::make_unique<proto::AsyncCamChordNet>(ring, bus, cfg.async);
@@ -86,10 +94,6 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
     return report;
   }
 
-  telemetry::Registry reg;
-  telemetry::Tracer tracer(
-      std::max<std::size_t>(std::size_t{1} << 16, 1024 * cfg.n),
-      telemetry::kMilestoneEvents);
   overlay->set_telemetry({&reg, &tracer});
 
   // --- grow to n and converge (fault-free) -----------------------------
@@ -226,6 +230,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   report.counters_csv = csv.str();
   report.ok = report.violations.empty();
   return report;
+}
+
+std::vector<ChaosReport> run_chaos_cells(const std::vector<ChaosCell>& cells,
+                                         std::size_t jobs) {
+  return runtime::map_ordered(cells.size(), jobs, [&](std::size_t i) {
+    return run_chaos(cells[i].cfg, cells[i].plan);
+  });
 }
 
 FaultPlan default_chaos_plan() {

@@ -90,6 +90,21 @@ struct ChaosReport {
 /// report.ok is true iff none were detected.
 ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan);
 
+/// One cell of a chaos sweep: a full run_chaos world. Cells share no
+/// state — each owns its Simulator, Network, HostBus, overlay, fault
+/// injector, Registry, and Tracer (see DESIGN.md §9).
+struct ChaosCell {
+  ChaosConfig cfg;
+  FaultPlan plan;
+};
+
+/// Runs a grid of chaos cells on a runtime::SweepPool (`jobs` workers;
+/// 0 = hardware concurrency) and returns the reports in cell order.
+/// Each report — and therefore the concatenation of render() outputs —
+/// is byte-identical to a serial jobs = 1 sweep.
+std::vector<ChaosReport> run_chaos_cells(const std::vector<ChaosCell>& cells,
+                                         std::size_t jobs = 1);
+
 /// The stock plan camsim uses when none is given: drop + duplicate +
 /// reorder faults, a crash and a join wave, and a partition with heal.
 FaultPlan default_chaos_plan();

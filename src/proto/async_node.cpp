@@ -840,6 +840,7 @@ AsyncOverlayNet::AsyncOverlayNet(RingSpace ring, HostBus& bus,
     : ring_(ring), bus_(bus), factory_(std::move(factory)), cfg_(cfg) {}
 
 AsyncOverlayNet::~AsyncOverlayNet() {
+  set_telemetry({});  // release Registry/Tracer ownership (they outlive us)
   for (auto& [id, node] : nodes_) {
     node->crash();
     bus_.detach(id);
@@ -847,6 +848,14 @@ AsyncOverlayNet::~AsyncOverlayNet() {
 }
 
 void AsyncOverlayNet::set_telemetry(telemetry::Sink sink) {
+  if (tel_.metrics != nullptr && tel_.metrics != sink.metrics) {
+    tel_.metrics->detach_host(this);
+  }
+  if (tel_.tracer != nullptr && tel_.tracer != sink.tracer) {
+    tel_.tracer->detach_host(this);
+  }
+  if (sink.metrics != nullptr) sink.metrics->attach_host(this);
+  if (sink.tracer != nullptr) sink.tracer->attach_host(this);
   tel_ = sink;
   bus_.set_telemetry(sink);
   bus_.network().set_telemetry(sink);

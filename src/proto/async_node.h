@@ -291,6 +291,12 @@ class AsyncOverlayNet {
   /// Attaches telemetry to the whole stack: this harness, its HostBus,
   /// and the underlying Network (the bus is 1:1 with the overlay in
   /// every harness we build). Pass {} to detach.
+  ///
+  /// Ownership: the overlay claims the Registry/Tracer via attach_host,
+  /// so wiring one sink into two live overlays asserts (they are not
+  /// thread-safe; parallel sweep cells must not share them). The sink
+  /// objects must outlive this overlay — declare them first; the
+  /// destructor detaches.
   void set_telemetry(telemetry::Sink sink);
   const telemetry::Sink& telemetry() const { return tel_; }
 

@@ -1,0 +1,100 @@
+#include "runtime/cells.h"
+
+namespace cam::runtime {
+
+PopulationRecipe PopulationRecipe::uniform(
+    const workload::PopulationSpec& spec, std::uint32_t lo,
+    std::uint32_t hi) {
+  PopulationRecipe r;
+  r.model = Model::kUniform;
+  r.spec = spec;
+  r.cap_lo = lo;
+  r.cap_hi = hi;
+  return r;
+}
+
+PopulationRecipe PopulationRecipe::bandwidth_derived(
+    const workload::PopulationSpec& spec, double per_link_kbps,
+    std::uint32_t min_cap) {
+  PopulationRecipe r;
+  r.model = Model::kBandwidthDerived;
+  r.spec = spec;
+  r.per_link_kbps = per_link_kbps;
+  r.min_cap = min_cap;
+  return r;
+}
+
+PopulationRecipe PopulationRecipe::constant(
+    const workload::PopulationSpec& spec, std::uint32_t c) {
+  PopulationRecipe r;
+  r.model = Model::kConstant;
+  r.spec = spec;
+  r.constant_c = c;
+  return r;
+}
+
+PopulationRecipe PopulationRecipe::bimodal(
+    const workload::PopulationSpec& spec, std::uint32_t lo, std::uint32_t hi,
+    double fraction_high) {
+  PopulationRecipe r;
+  r.model = Model::kBimodal;
+  r.spec = spec;
+  r.cap_lo = lo;
+  r.cap_hi = hi;
+  r.fraction_high = fraction_high;
+  return r;
+}
+
+PopulationRecipe PopulationRecipe::zipf(const workload::PopulationSpec& spec,
+                                        std::uint32_t lo, std::uint32_t hi,
+                                        double alpha) {
+  PopulationRecipe r;
+  r.model = Model::kZipf;
+  r.spec = spec;
+  r.cap_lo = lo;
+  r.cap_hi = hi;
+  r.alpha = alpha;
+  return r;
+}
+
+FrozenDirectory PopulationRecipe::build() const {
+  switch (model) {
+    case Model::kUniform:
+      return workload::uniform_capacity_population(spec, cap_lo, cap_hi)
+          .freeze();
+    case Model::kBandwidthDerived:
+      return workload::bandwidth_derived_population(spec, per_link_kbps,
+                                                    min_cap)
+          .freeze();
+    case Model::kConstant:
+      return workload::constant_capacity_population(spec, constant_c)
+          .freeze();
+    case Model::kBimodal:
+      return workload::bimodal_capacity_population(spec, cap_lo, cap_hi,
+                                                   fraction_high)
+          .freeze();
+    case Model::kZipf:
+      return workload::zipf_capacity_population(spec, cap_lo, cap_hi, alpha)
+          .freeze();
+  }
+  return workload::uniform_capacity_population(spec, cap_lo, cap_hi)
+      .freeze();
+}
+
+exp::AveragedRun run_cell(const CellSpec& cell) {
+  if (cell.prebuilt != nullptr) {
+    return exp::run_sources(cell.system, *cell.prebuilt, cell.sources,
+                            cell.seed, cell.uniform_param);
+  }
+  FrozenDirectory dir = cell.population.build();
+  return exp::run_sources(cell.system, dir, cell.sources, cell.seed,
+                          cell.uniform_param);
+}
+
+std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
+                                        const RunOptions& opts) {
+  return map_ordered(cells.size(), opts.jobs,
+                     [&](std::size_t i) { return run_cell(cells[i]); });
+}
+
+}  // namespace cam::runtime

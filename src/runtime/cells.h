@@ -1,0 +1,81 @@
+// The unified cell-run API: every oracle-mode measurement in the repo —
+// figure benches, ablations, camsim sweeps — is some grid of
+// (population, system, seed) cells, each executing build-population →
+// run-multicasts → aggregate. CellSpec captures one cell declaratively;
+// run_cells() executes a whole grid on a SweepPool and returns results
+// in cell order, byte-identical for any --jobs value.
+//
+// Thread-safety model (DESIGN.md §9): a cell shares NOTHING mutable.
+// Populations are either built inside the cell from the recipe, or
+// passed as a *frozen* (immutable, const-only) directory that any
+// number of cells may read concurrently. The oracle multicast/lookup
+// paths hold no static caches — audited when this engine landed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "overlay/directory.h"
+#include "runtime/sweep_pool.h"
+#include "workload/population.h"
+
+namespace cam::runtime {
+
+/// How a cell builds its population. A recipe is a value (no directory
+/// handles), so a cell grid is cheap to describe and each cell can
+/// materialize its own world inside the worker that runs it.
+struct PopulationRecipe {
+  enum class Model { kUniform, kBandwidthDerived, kConstant, kBimodal,
+                     kZipf };
+
+  Model model = Model::kUniform;
+  workload::PopulationSpec spec;
+  std::uint32_t cap_lo = 4, cap_hi = 10;  // kUniform / kBimodal / kZipf
+  double per_link_kbps = 100;             // kBandwidthDerived: p
+  std::uint32_t min_cap = 4;              // kBandwidthDerived clamp
+  std::uint32_t constant_c = 8;           // kConstant
+  double fraction_high = 0.1;             // kBimodal supernode share
+  double alpha = 1.0;                     // kZipf exponent
+
+  static PopulationRecipe uniform(const workload::PopulationSpec& spec,
+                                  std::uint32_t lo, std::uint32_t hi);
+  static PopulationRecipe bandwidth_derived(
+      const workload::PopulationSpec& spec, double per_link_kbps,
+      std::uint32_t min_cap = 4);
+  static PopulationRecipe constant(const workload::PopulationSpec& spec,
+                                   std::uint32_t c);
+  static PopulationRecipe bimodal(const workload::PopulationSpec& spec,
+                                  std::uint32_t lo, std::uint32_t hi,
+                                  double fraction_high);
+  static PopulationRecipe zipf(const workload::PopulationSpec& spec,
+                               std::uint32_t lo, std::uint32_t hi,
+                               double alpha);
+
+  FrozenDirectory build() const;
+};
+
+/// One measurement cell. If `prebuilt` is set it is used instead of the
+/// recipe — FrozenDirectory is immutable, so one snapshot may back many
+/// concurrent cells; the caller keeps it alive across run_cells().
+struct CellSpec {
+  exp::System system = exp::System::kCamChord;
+  PopulationRecipe population;
+  const FrozenDirectory* prebuilt = nullptr;
+  std::size_t sources = 3;          // multicast trees averaged
+  std::uint64_t seed = 1;           // source-draw seed
+  std::uint32_t uniform_param = 0;  // Chord base / Koorde degree
+};
+
+/// Executes one cell on the calling thread.
+exp::AveragedRun run_cell(const CellSpec& cell);
+
+struct RunOptions {
+  std::size_t jobs = 1;  // 0 = hardware concurrency
+};
+
+/// Executes a cell grid; results land in spec order regardless of jobs.
+std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
+                                        const RunOptions& opts = {});
+
+}  // namespace cam::runtime

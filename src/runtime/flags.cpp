@@ -1,0 +1,184 @@
+#include "runtime/flags.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+
+namespace cam::runtime {
+
+namespace detail {
+
+bool parse_u64(const std::string& v, std::uint64_t* out, std::string* error) {
+  if (v.empty() || v[0] == '-') {
+    if (error) *error = "expected a non-negative integer, got '" + v + "'";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long val = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) {
+    if (error) *error = "bad integer '" + v + "'";
+    return false;
+  }
+  *out = val;
+  return true;
+}
+
+bool parse_i64(const std::string& v, std::int64_t* out, std::string* error) {
+  errno = 0;
+  char* end = nullptr;
+  long long val = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || errno != 0 || end != v.c_str() + v.size()) {
+    if (error) *error = "bad integer '" + v + "'";
+    return false;
+  }
+  *out = val;
+  return true;
+}
+
+bool parse_double(const std::string& v, double* out, std::string* error) {
+  errno = 0;
+  char* end = nullptr;
+  double val = std::strtod(v.c_str(), &end);
+  if (v.empty() || errno != 0 || end != v.c_str() + v.size()) {
+    if (error) *error = "bad number '" + v + "'";
+    return false;
+  }
+  *out = val;
+  return true;
+}
+
+}  // namespace detail
+
+bool SeedRange::parse(const std::string& text, SeedRange* out,
+                      std::string* error) {
+  const auto dots = text.find("..");
+  if (dots == std::string::npos) {
+    std::uint64_t n = 0;
+    if (!detail::parse_u64(text, &n, error)) return false;
+    out->lo = out->hi = n;
+    return true;
+  }
+  if (!detail::parse_u64(text.substr(0, dots), &out->lo, error) ||
+      !detail::parse_u64(text.substr(dots + 2), &out->hi, error)) {
+    return false;
+  }
+  if (out->lo > out->hi) {
+    if (error) *error = "empty seed range '" + text + "' (need A <= B)";
+    return false;
+  }
+  return true;
+}
+
+void FlagSet::add_switch(const std::string& name, const std::string& help,
+                         bool* target, bool value) {
+  assert(find(name) == nullptr && "duplicate flag");
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.takes_value = false;
+  f.switch_target = target;
+  f.switch_value = value;
+  flags_.push_back(std::move(f));
+}
+
+void FlagSet::add(const std::string& name, const std::string& help,
+                  std::string* target) {
+  add_parsed(name, help, [target](const std::string& v, std::string*) {
+    *target = v;
+    return true;
+  });
+}
+
+void FlagSet::add(const std::string& name, const std::string& help,
+                  SeedRange* target) {
+  add_parsed(name, help, [target](const std::string& v, std::string* error) {
+    return SeedRange::parse(v, target, error);
+  });
+}
+
+void FlagSet::add_parsed(const std::string& name, const std::string& help,
+                         Parser parser) {
+  assert(find(name) == nullptr && "duplicate flag");
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.takes_value = true;
+  f.parser = std::move(parser);
+  flags_.push_back(std::move(f));
+}
+
+FlagSet::Flag* FlagSet::find(const std::string& name) {
+  for (Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::parse(int argc, char** argv, int first, std::string* error) {
+  for (Flag& f : flags_) f.seen = false;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (error) *error = "expected a --flag, got '" + arg + "'";
+      return false;
+    }
+    const auto eq = arg.find('=');
+    const std::string name =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    Flag* f = find(name);
+    if (f == nullptr) {
+      if (error) *error = "unknown flag --" + name;
+      return false;
+    }
+    if (!f->takes_value) {
+      if (eq != std::string::npos) {
+        if (error) *error = "--" + name + " takes no value";
+        return false;
+      }
+      *f->switch_target = f->switch_value;
+      f->seen = true;
+      continue;
+    }
+    if (eq == std::string::npos) {
+      if (error) *error = "--" + name + " needs a value (--" + name + "=...)";
+      return false;
+    }
+    std::string detail;
+    if (!f->parser(arg.substr(eq + 1), &detail)) {
+      if (error) {
+        *error = "--" + name + ": " +
+                 (detail.empty() ? "bad value" : detail);
+      }
+      return false;
+    }
+    f->seen = true;
+  }
+  return true;
+}
+
+bool FlagSet::provided(const std::string& name) const {
+  const Flag* f = find(name);
+  return f != nullptr && f->seen;
+}
+
+std::string FlagSet::usage() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    std::string lhs = "  --" + f.name + (f.takes_value ? "=..." : "");
+    constexpr std::size_t kHelpCol = 26;
+    lhs += std::string(lhs.size() < kHelpCol ? kHelpCol - lhs.size() : 1,
+                       ' ');
+    out += lhs + f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace cam::runtime

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -144,7 +145,31 @@ class Registry {
     return histograms_;
   }
 
+  // --- single-owner enforcement (see DESIGN.md §9) ---------------------
+  // A Registry is not thread-safe: map insertion during metric lookup
+  // races with any concurrent access. Under the parallel sweep runtime
+  // every cell therefore owns its Registry outright. A writing host
+  // (AsyncOverlayNet) registers itself here; a second live host
+  // attaching to the same Registry is a wiring bug and asserts
+  // immediately instead of racing. The Registry must outlive the host
+  // attached to it (the host detaches from its destructor).
+
+  /// Claims this Registry for `host`. Re-attaching the same host is a
+  /// no-op; attaching while another host holds it asserts.
+  void attach_host(const void* host) {
+    assert((host_ == nullptr || host_ == host) &&
+           "telemetry::Registry shared by two live hosts; "
+           "give each sweep cell its own Registry");
+    host_ = host;
+  }
+  /// Releases the claim. Detaching a host that is not attached is a
+  /// no-op (so detach is safe to call unconditionally).
+  void detach_host(const void* host) {
+    if (host_ == host) host_ = nullptr;
+  }
+
  private:
+  const void* host_ = nullptr;
   std::map<std::string, CounterFamily> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, HistogramFamily> histograms_;

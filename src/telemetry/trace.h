@@ -9,6 +9,7 @@
 // per-type structures.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -150,7 +151,21 @@ class Tracer {
 
   void clear();
 
+  // Single-owner enforcement, mirroring telemetry::Registry (see
+  // DESIGN.md §9): the ring buffer is not thread-safe, so exactly one
+  // live host may record into a Tracer, and the Tracer must outlive it.
+  void attach_host(const void* host) {
+    assert((host_ == nullptr || host_ == host) &&
+           "telemetry::Tracer shared by two live hosts; "
+           "give each sweep cell its own Tracer");
+    host_ = host;
+  }
+  void detach_host(const void* host) {
+    if (host_ == host) host_ = nullptr;
+  }
+
  private:
+  const void* host_ = nullptr;
   std::vector<TraceEvent> buf_;
   std::size_t head_ = 0;  // next write slot
   std::size_t size_ = 0;

@@ -141,11 +141,11 @@ TEST(RepairDedupe, TinyTtlCannotBreakExactlyOnce) {
   AsyncConfig cfg;
   cfg.multicast_retries = 4;
   cfg.stream_seen_ttl_ms = 1;  // absurdly small on purpose
+  telemetry::Registry reg;  // sinks outlive the fixture's overlay
+  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   Fixture<AsyncCamChordNet> fx(cfg);
   fx.grow(30);
 
-  telemetry::Registry reg;
-  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   fx.overlay.set_telemetry({&reg, &tracer});
 
   fx.bus.set_loss(0.10, 7);  // plenty of lost ACKs -> retransmissions
@@ -199,13 +199,13 @@ TEST(RepairPull, AntiEntropyFillsLossHolesKoorde) {
 TEST(RepairPull, PullsAreTracedAndCounted) {
   AsyncConfig cfg;
   cfg.multicast_retries = 0;
-  Fixture<AsyncCamChordNet> fx(cfg);
-  fx.grow(40);
-
-  telemetry::Registry reg;
+  telemetry::Registry reg;  // sinks outlive the fixture's overlay
   telemetry::Tracer tracer(
       1 << 16, telemetry::event_bit(EventType::kRepairPull) |
                    telemetry::event_bit(EventType::kRepairDigest));
+  Fixture<AsyncCamChordNet> fx(cfg);
+  fx.grow(40);
+
   fx.overlay.set_telemetry({&reg, &tracer});
 
   fx.bus.set_loss(0.10, 4242);

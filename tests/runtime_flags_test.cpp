@@ -1,0 +1,146 @@
+// FlagSet / SeedRange unit tests: the shared CLI table every sweep-era
+// binary parses against. Unknown flags are hard errors by design — a
+// typo must never silently run a multi-hour sweep with defaults.
+#include "runtime/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cam::runtime {
+namespace {
+
+/// argv adapter: parse() wants char**, tests want string literals.
+bool parse_tokens(FlagSet& flags, std::vector<std::string> tokens,
+                  std::string* error) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (std::string& t : tokens) argv.push_back(t.data());
+  return flags.parse(static_cast<int>(argv.size()), argv.data(), 1, error);
+}
+
+TEST(SeedRange, ParsesSingleSeedAndRange) {
+  SeedRange r;
+  std::string error;
+  ASSERT_TRUE(SeedRange::parse("7", &r, &error));
+  EXPECT_EQ(r.lo, 7u);
+  EXPECT_EQ(r.hi, 7u);
+  EXPECT_EQ(r.count(), 1u);
+
+  ASSERT_TRUE(SeedRange::parse("3..12", &r, &error));
+  EXPECT_EQ(r.lo, 3u);
+  EXPECT_EQ(r.hi, 12u);
+  EXPECT_EQ(r.count(), 10u);
+}
+
+TEST(SeedRange, RejectsMalformedRanges) {
+  SeedRange r;
+  std::string error;
+  EXPECT_FALSE(SeedRange::parse("", &r, &error));
+  EXPECT_FALSE(SeedRange::parse("5..3", &r, &error));  // hi < lo
+  EXPECT_FALSE(SeedRange::parse("a..b", &r, &error));
+  EXPECT_FALSE(SeedRange::parse("3..", &r, &error));
+  EXPECT_FALSE(SeedRange::parse("..7", &r, &error));
+  EXPECT_FALSE(SeedRange::parse("1..2..3", &r, &error));
+}
+
+TEST(FlagSet, ParsesTypedValues) {
+  std::size_t n = 0;
+  double p = 0;
+  int bits = 0;
+  std::string name;
+  SeedRange seeds;
+  FlagSet flags;
+  flags.add("n", "", &n);
+  flags.add("p", "", &p);
+  flags.add("bits", "", &bits);
+  flags.add("system", "", &name);
+  flags.add("seeds", "", &seeds);
+
+  std::string error;
+  ASSERT_TRUE(parse_tokens(flags,
+                           {"--n=4096", "--p=12.5", "--bits=-3",
+                            "--system=camkoorde", "--seeds=2..9"},
+                           &error))
+      << error;
+  EXPECT_EQ(n, 4096u);
+  EXPECT_DOUBLE_EQ(p, 12.5);
+  EXPECT_EQ(bits, -3);
+  EXPECT_EQ(name, "camkoorde");
+  EXPECT_EQ(seeds.lo, 2u);
+  EXPECT_EQ(seeds.hi, 9u);
+}
+
+TEST(FlagSet, UnknownFlagIsAHardError) {
+  std::size_t n = 7;
+  FlagSet flags;
+  flags.add("n", "", &n);
+  std::string error;
+  EXPECT_FALSE(parse_tokens(flags, {"--bogus=1"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_FALSE(parse_tokens(flags, {"positional"}, &error));
+  EXPECT_EQ(n, 7u) << "failed parse must not have side effects before "
+                      "the offending token";
+}
+
+TEST(FlagSet, SwitchesTakeNoValueAndSupportInversePairs) {
+  bool histogram = false;
+  bool repair = true;
+  FlagSet flags;
+  flags.add_switch("histogram", "", &histogram);
+  flags.add_switch("repair", "", &repair);
+  flags.add_switch("no-repair", "", &repair, false);
+
+  std::string error;
+  ASSERT_TRUE(parse_tokens(flags, {"--histogram", "--no-repair"}, &error))
+      << error;
+  EXPECT_TRUE(histogram);
+  EXPECT_FALSE(repair);
+
+  EXPECT_FALSE(parse_tokens(flags, {"--histogram=yes"}, &error))
+      << "switches must reject values";
+}
+
+TEST(FlagSet, ValueFlagRequiresValue) {
+  std::size_t n = 0;
+  FlagSet flags;
+  flags.add("n", "", &n);
+  std::string error;
+  EXPECT_FALSE(parse_tokens(flags, {"--n"}, &error));
+  EXPECT_FALSE(parse_tokens(flags, {"--n=12x"}, &error));
+  EXPECT_FALSE(parse_tokens(flags, {"--n="}, &error));
+}
+
+TEST(FlagSet, ProvidedReflectsTheLastParse) {
+  std::size_t n = 0;
+  SeedRange seeds;
+  FlagSet flags;
+  flags.add("n", "", &n);
+  flags.add("seeds", "", &seeds);
+
+  std::string error;
+  ASSERT_TRUE(parse_tokens(flags, {"--n=5"}, &error));
+  EXPECT_TRUE(flags.provided("n"));
+  EXPECT_FALSE(flags.provided("seeds"));
+
+  ASSERT_TRUE(parse_tokens(flags, {"--seeds=1..4"}, &error));
+  EXPECT_FALSE(flags.provided("n")) << "provided() resets per parse";
+  EXPECT_TRUE(flags.provided("seeds"));
+}
+
+TEST(FlagSet, UsageListsEveryFlag) {
+  std::size_t n = 0;
+  bool sw = false;
+  FlagSet flags;
+  flags.add("n", "group size", &n);
+  flags.add_switch("histogram", "print histogram", &sw);
+  std::string u = flags.usage();
+  EXPECT_NE(u.find("--n=..."), std::string::npos) << u;
+  EXPECT_NE(u.find("group size"), std::string::npos) << u;
+  EXPECT_NE(u.find("--histogram"), std::string::npos) << u;
+}
+
+}  // namespace
+}  // namespace cam::runtime

@@ -56,11 +56,11 @@ struct Fixture {
 };
 
 TEST(TelemetryIntegration, TracedMulticastReplaysToRecordedTree) {
+  telemetry::Registry reg;  // sinks outlive the fixture's overlay
+  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   Fixture<AsyncCamChordNet> fx;
   fx.grow(30);
 
-  telemetry::Registry reg;
-  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   fx.overlay.set_telemetry({&reg, &tracer});
 
   Id source = fx.overlay.members_sorted()[2];
@@ -90,18 +90,19 @@ TEST(TelemetryIntegration, TracedMulticastReplaysToRecordedTree) {
 }
 
 TEST(TelemetryIntegration, TimeoutEventsMatchStrikeBookkeeping) {
-  AsyncConfig cfg;
-  Fixture<AsyncCamChordNet> fx(cfg);
-  fx.grow(25);
-
-  // Fresh registry + tracer attached at the same instant: from here on
-  // every traced timeout has a counted twin. The mask keeps the
+  // Registry + tracer attached at the same instant (after growth): from
+  // then on every traced timeout has a counted twin. The mask keeps the
   // high-rate kRpcIssue stream out but admits the suspicion triple.
+  // Declared before the fixture so the sinks outlive the overlay.
   telemetry::Registry reg;
   telemetry::EventMask mask = telemetry::event_bit(EventType::kRpcTimeout) |
                               telemetry::event_bit(EventType::kSuspect) |
                               telemetry::event_bit(EventType::kAbsolve);
   telemetry::Tracer tracer(1 << 16, mask);
+
+  AsyncConfig cfg;
+  Fixture<AsyncCamChordNet> fx(cfg);
+  fx.grow(25);
   fx.overlay.set_telemetry({&reg, &tracer});
 
   fx.bus.set_loss(0.20, 99);
@@ -174,11 +175,11 @@ TEST(TelemetryIntegration, SeenStreamsEvictAfterHorizon) {
 }
 
 TEST(TelemetryIntegration, KoordeFloodTracesDupSuppression) {
+  telemetry::Registry reg;  // sinks outlive the fixture's overlay
+  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   Fixture<AsyncCamKoordeNet> fx;
   fx.grow(25);
 
-  telemetry::Registry reg;
-  telemetry::Tracer tracer(1 << 16, telemetry::kMilestoneEvents);
   fx.overlay.set_telemetry({&reg, &tracer});
 
   Id source = fx.overlay.members_sorted()[1];

@@ -1,0 +1,96 @@
+// One-registry-per-cell ownership (DESIGN.md §9): Registry and Tracer
+// are single-owner — two live overlays sharing a sink is the data race
+// the parallel sweep runtime must never allow, and it asserts rather
+// than racing. These are death tests for the assert plus positive tests
+// for the legal hand-off patterns.
+#include <gtest/gtest.h>
+
+#include "proto/async_camchord.h"
+#include "proto/host_bus.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace cam {
+namespace {
+
+struct World {
+  RingSpace ring{10};
+  Simulator sim;
+  ConstantLatency lat{1.0};
+  Network net{sim, lat};
+  proto::HostBus bus{net};
+  proto::AsyncCamChordNet overlay{ring, bus};
+};
+
+TEST(TelemetryOwnership, AttachDetachReattachIsLegal) {
+  telemetry::Registry reg;
+  telemetry::Tracer tracer;
+  {
+    World w1;
+    w1.overlay.set_telemetry({&reg, &tracer});
+    // Re-attaching the same sink to the same overlay is a no-op.
+    w1.overlay.set_telemetry({&reg, &tracer});
+    // Explicit detach releases ownership ...
+    w1.overlay.set_telemetry({});
+    // ... so another overlay in the same scope may claim it.
+    World w2;
+    w2.overlay.set_telemetry({&reg, &tracer});
+  }
+  // w2's destructor released the sinks; sequential reuse is legal.
+  World w3;
+  w3.overlay.set_telemetry({&reg, &tracer});
+}
+
+TEST(TelemetryOwnership, SwappingSinksReleasesTheOldOnes) {
+  telemetry::Registry reg_a, reg_b;
+  World w1;
+  w1.overlay.set_telemetry({&reg_a, nullptr});
+  w1.overlay.set_telemetry({&reg_b, nullptr});  // detaches reg_a
+  World w2;
+  w2.overlay.set_telemetry({&reg_a, nullptr});  // reg_a is free again
+}
+
+using TelemetryOwnershipDeathTest = ::testing::Test;
+
+TEST(TelemetryOwnershipDeathTest, TwoOverlaysSharingARegistryAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  telemetry::Registry reg;
+  World w1;
+  w1.overlay.set_telemetry({&reg, nullptr});
+  EXPECT_DEATH(
+      {
+        World w2;
+        w2.overlay.set_telemetry({&reg, nullptr});
+      },
+      "single-owner|two live hosts");
+}
+
+TEST(TelemetryOwnershipDeathTest, TwoOverlaysSharingATracerAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  telemetry::Tracer tracer;
+  World w1;
+  w1.overlay.set_telemetry({nullptr, &tracer});
+  EXPECT_DEATH(
+      {
+        World w2;
+        w2.overlay.set_telemetry({nullptr, &tracer});
+      },
+      "single-owner|two live hosts");
+}
+
+TEST(TelemetryOwnershipDeathTest, DirectDoubleAttachAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  telemetry::Registry reg;
+  int host_a = 0, host_b = 0;
+  reg.attach_host(&host_a);
+  reg.attach_host(&host_a);  // same host: legal no-op
+  EXPECT_DEATH(reg.attach_host(&host_b), "two live hosts");
+  reg.detach_host(&host_a);
+  reg.attach_host(&host_b);  // after detach: legal
+}
+
+}  // namespace
+}  // namespace cam

@@ -1,11 +1,26 @@
 // camsim — command-line driver for the CAM multicast simulator.
 //
+// All subcommands share ONE flag table (src/runtime/flags.h): every
+// option parses the same way everywhere, unknown flags are hard errors,
+// and `camsim <cmd>` with a bad flag prints the generated option list.
+// Sweep flags, available to every subcommand that runs seeded cells:
+//
+//   --seeds=A..B   run one cell per seed in [A..B] (sweep mode) instead
+//                  of the single --seed run
+//   --jobs=N       execute sweep cells on N worker threads (0 = hardware
+//                  concurrency); output is byte-identical for any N
+//   --out=FILE     redirect stdout to FILE
+//
 // Subcommands:
 //   camsim multicast  --system=camchord|camkoorde|chord|koorde
 //                     [--n=N] [--bits=B] [--cap=LO:HI | --p=KBPS]
 //                     [--param=C] [--sources=K] [--seed=S] [--histogram]
+//                     [--seeds=A..B] [--jobs=N]
 //       Runs K multicasts over a converged overlay and prints tree
-//       metrics (throughput, path lengths, children, optional histogram).
+//       metrics (throughput, path lengths, children, optional
+//       histogram). With --seeds, runs one independent world per seed
+//       (population + sources reseeded) in parallel and prints a
+//       per-seed table plus the mean row.
 //
 //   camsim lookup     --system=... [--n=N] [--bits=B] [--cap=LO:HI]
 //                     [--queries=Q] [--seed=S] [--param=C]
@@ -30,7 +45,7 @@
 //   camsim chaos      --system=camchord|camkoorde [--n=N] [--bits=B]
 //                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
 //                     [--plan-text=DSL] [--settle=MS] [--no-quiesce]
-//                     [--repair|--no-repair]
+//                     [--repair|--no-repair] [--seeds=A..B] [--jobs=N]
 //       Deterministic fault-injection run (src/fault): grows the
 //       overlay, executes a FaultPlan (drops, duplicates, reordering,
 //       partitions, churn — see fault/fault_plan.h for the DSL), checks
@@ -45,26 +60,32 @@
 //       anti-entropy pulls) is on by default; --no-repair disables it
 //       to measure the unrepaired baseline, and the eventual-delivery
 //       invariant then reports every surviving member a mid-fault
-//       multicast failed to reach.
+//       multicast failed to reach. With --seeds, the whole chaos world
+//       is rerun once per seed (cells run in parallel under --jobs) and
+//       one compact line is printed per seed plus a sweep summary; the
+//       exit code is nonzero if ANY seed violated an invariant.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "camchord/net.h"
 #include "camchord/oracle.h"
-#include "fault/chaos_run.h"
 #include "experiments/runner.h"
 #include "experiments/table.h"
 #include "experiments/telemetry_report.h"
+#include "fault/chaos_run.h"
 #include "multicast/metrics.h"
 #include "proto/async_camchord.h"
 #include "proto/async_camkoorde.h"
+#include "runtime/cells.h"
+#include "runtime/flags.h"
 #include "stream/streaming.h"
 #include "telemetry/export.h"
 #include "util/rng.h"
@@ -90,6 +111,11 @@ struct Args {
   std::uint32_t packets = 48;
   std::uint64_t seed = 1;
   bool histogram = false;
+  // sweep mode (any seeded subcommand)
+  runtime::SeedRange seeds;
+  bool sweep = false;  // --seeds was given explicitly
+  std::size_t jobs = 1;
+  std::string out_file;
   // async subcommand
   double loss = 0;
   int retries = 2;
@@ -106,11 +132,67 @@ struct Args {
   bool repair = true;
 };
 
-[[noreturn]] void usage() {
+/// The one flag table every subcommand parses against. Registering all
+/// flags in a single set keeps "--seed means the same thing everywhere"
+/// true by construction and makes usage() self-maintaining.
+runtime::FlagSet make_flags(Args& a) {
+  runtime::FlagSet f;
+  f.add("system", "camchord|camkoorde|chord|koorde", &a.system);
+  f.add("n", "group size", &a.n);
+  f.add("bits", "ring identifier bits", &a.bits);
+  f.add_parsed("cap", "capacity range LO:HI (uniform population)",
+               [&a](const std::string& v, std::string* error) {
+                 auto colon = v.find(':');
+                 std::uint64_t lo = 0, hi = 0;
+                 if (colon == std::string::npos ||
+                     !runtime::detail::parse_u64(v.substr(0, colon), &lo,
+                                                 error) ||
+                     !runtime::detail::parse_u64(v.substr(colon + 1), &hi,
+                                                 error)) {
+                   *error = "expected LO:HI";
+                   return false;
+                 }
+                 a.cap_lo = static_cast<std::uint32_t>(lo);
+                 a.cap_hi = static_cast<std::uint32_t>(hi);
+                 return true;
+               });
+  f.add("p", "per-link kbps (bandwidth-derived population)", &a.p);
+  f.add("param", "structural parameter for chord/koorde", &a.param);
+  f.add("sources", "multicast trees per run", &a.sources);
+  f.add("queries", "lookup queries", &a.queries);
+  f.add("fail", "failed fraction (churn)", &a.fail);
+  f.add("packets", "stream packets", &a.packets);
+  f.add("seed", "master seed (single run)", &a.seed);
+  f.add("seeds", "seed sweep A..B (one cell per seed)", &a.seeds);
+  f.add("jobs", "parallel sweep workers (0 = hardware)", &a.jobs);
+  f.add("out", "redirect stdout to FILE", &a.out_file);
+  f.add_switch("histogram", "print the depth histogram", &a.histogram);
+  f.add("loss", "datagram loss probability (async)", &a.loss);
+  f.add("retries", "multicast retransmissions (async)", &a.retries);
+  f.add("trace", "write JSONL trace to FILE", &a.trace_file);
+  f.add("timeline", "write event timeline to FILE", &a.timeline_file);
+  f.add("metrics", "write metrics JSON to FILE", &a.metrics_file);
+  f.add("metrics-csv", "write metrics CSV to FILE", &a.metrics_csv_file);
+  f.add_switch("trace-all", "trace every event type", &a.trace_all);
+  f.add("plan", "read the fault plan DSL from FILE", &a.plan_file);
+  f.add("plan-text", "inline fault plan DSL", &a.plan_text);
+  f.add("settle", "post-heal settle budget ms (chaos)", &a.settle_ms);
+  f.add_switch("no-quiesce", "skip heal + re-stabilize (chaos)",
+               &a.no_quiesce);
+  f.add_switch("repair", "enable the delivery-repair layer", &a.repair);
+  f.add_switch("no-repair", "disable the delivery-repair layer", &a.repair,
+               false);
+  return f;
+}
+
+[[noreturn]] void usage(const std::string& detail = {}) {
+  Args defaults;
+  runtime::FlagSet f = make_flags(defaults);
+  if (!detail.empty()) std::fprintf(stderr, "camsim: %s\n", detail.c_str());
   std::fprintf(stderr,
                "usage: camsim <multicast|lookup|churn|stream|async|chaos> "
-               "[options]\n"
-               "see the header of tools/camsim.cpp for the option list\n");
+               "[options]\noptions (shared by all subcommands):\n%s",
+               f.usage().c_str());
   std::exit(2);
 }
 
@@ -118,95 +200,84 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args a;
   a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string s = argv[i];
-    auto val = [&](const char* prefix) {
-      return s.substr(std::strlen(prefix));
-    };
-    if (s.rfind("--system=", 0) == 0) {
-      a.system = val("--system=");
-    } else if (s.rfind("--n=", 0) == 0) {
-      a.n = std::stoull(val("--n="));
-    } else if (s.rfind("--bits=", 0) == 0) {
-      a.bits = std::stoi(val("--bits="));
-    } else if (s.rfind("--cap=", 0) == 0) {
-      std::string v = val("--cap=");
-      auto colon = v.find(':');
-      if (colon == std::string::npos) usage();
-      a.cap_lo = static_cast<std::uint32_t>(std::stoul(v.substr(0, colon)));
-      a.cap_hi = static_cast<std::uint32_t>(std::stoul(v.substr(colon + 1)));
-    } else if (s.rfind("--p=", 0) == 0) {
-      a.p = std::stod(val("--p="));
-    } else if (s.rfind("--param=", 0) == 0) {
-      a.param = static_cast<std::uint32_t>(std::stoul(val("--param=")));
-    } else if (s.rfind("--sources=", 0) == 0) {
-      a.sources = std::stoull(val("--sources="));
-    } else if (s.rfind("--queries=", 0) == 0) {
-      a.queries = std::stoull(val("--queries="));
-    } else if (s.rfind("--fail=", 0) == 0) {
-      a.fail = std::stod(val("--fail="));
-    } else if (s.rfind("--packets=", 0) == 0) {
-      a.packets = static_cast<std::uint32_t>(std::stoul(val("--packets=")));
-    } else if (s.rfind("--seed=", 0) == 0) {
-      a.seed = std::stoull(val("--seed="));
-    } else if (s == "--histogram") {
-      a.histogram = true;
-    } else if (s.rfind("--loss=", 0) == 0) {
-      a.loss = std::stod(val("--loss="));
-    } else if (s.rfind("--retries=", 0) == 0) {
-      a.retries = std::stoi(val("--retries="));
-    } else if (s.rfind("--trace=", 0) == 0) {
-      a.trace_file = val("--trace=");
-    } else if (s.rfind("--timeline=", 0) == 0) {
-      a.timeline_file = val("--timeline=");
-    } else if (s.rfind("--metrics=", 0) == 0) {
-      a.metrics_file = val("--metrics=");
-    } else if (s.rfind("--metrics-csv=", 0) == 0) {
-      a.metrics_csv_file = val("--metrics-csv=");
-    } else if (s == "--trace-all") {
-      a.trace_all = true;
-    } else if (s.rfind("--plan=", 0) == 0) {
-      a.plan_file = val("--plan=");
-    } else if (s.rfind("--plan-text=", 0) == 0) {
-      a.plan_text = val("--plan-text=");
-    } else if (s.rfind("--settle=", 0) == 0) {
-      a.settle_ms = std::stod(val("--settle="));
-    } else if (s == "--no-quiesce") {
-      a.no_quiesce = true;
-    } else if (s == "--repair") {
-      a.repair = true;
-    } else if (s == "--no-repair") {
-      a.repair = false;
-    } else {
-      usage();
-    }
-  }
+  runtime::FlagSet f = make_flags(a);
+  std::string error;
+  if (!f.parse(argc, argv, 2, &error)) usage(error);
+  a.sweep = f.provided("seeds");
   return a;
 }
 
-System system_of(const std::string& name) {
-  if (name == "camchord") return System::kCamChord;
-  if (name == "camkoorde") return System::kCamKoorde;
-  if (name == "chord") return System::kChord;
-  if (name == "koorde") return System::kKoorde;
-  usage();
+System system_of(const Args& a) {
+  if (a.system == "camchord") return System::kCamChord;
+  if (a.system == "camkoorde") return System::kCamKoorde;
+  if (a.system == "chord") return System::kChord;
+  if (a.system == "koorde") return System::kKoorde;
+  usage("unknown system '" + a.system + "'");
 }
 
-FrozenDirectory population(const Args& a) {
+/// The population recipe one cell materializes: seeded per cell so a
+/// seed sweep reruns the whole world, not just the source draw.
+runtime::PopulationRecipe recipe(const Args& a, std::uint64_t seed) {
   workload::PopulationSpec spec;
   spec.n = a.n;
   spec.ring_bits = a.bits;
-  spec.seed = a.seed;
+  spec.seed = seed;
   if (a.p > 0) {
-    return workload::bandwidth_derived_population(spec, a.p, 4).freeze();
+    return runtime::PopulationRecipe::bandwidth_derived(spec, a.p, 4);
   }
-  return workload::uniform_capacity_population(spec, a.cap_lo, a.cap_hi)
-      .freeze();
+  return runtime::PopulationRecipe::uniform(spec, a.cap_lo, a.cap_hi);
 }
 
 int cmd_multicast(const Args& a) {
-  FrozenDirectory dir = population(a);
-  System sys = system_of(a.system);
+  System sys = system_of(a);
+  if (a.sweep) {
+    // One cell per seed, executed on the sweep pool. The per-seed rows
+    // and the mean are identical for any --jobs value.
+    std::vector<runtime::CellSpec> cells;
+    for (std::uint64_t s = a.seeds.lo; s <= a.seeds.hi; ++s) {
+      runtime::CellSpec cell;
+      cell.system = sys;
+      cell.population = recipe(a, s);
+      cell.sources = a.sources;
+      cell.seed = s;
+      cell.uniform_param = a.param;
+      cells.push_back(cell);
+    }
+    std::vector<AveragedRun> runs =
+        runtime::run_cells(cells, {.jobs = a.jobs});
+
+    std::printf("system            %s\n", system_name(sys).c_str());
+    std::printf("seeds             %llu..%llu (%zu cells, %zu trees each)\n",
+                static_cast<unsigned long long>(a.seeds.lo),
+                static_cast<unsigned long long>(a.seeds.hi), runs.size(),
+                a.sources);
+    Table table({"seed", "reached", "children", "degree", "kbps",
+                 "provisioned", "path", "maxdepth"});
+    double children = 0, degree = 0, kbps = 0, prov = 0, path = 0, depth = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const AveragedRun& r = runs[i];
+      table.add_row({std::to_string(cells[i].seed),
+                     std::to_string(r.reached) + "/" +
+                         std::to_string(r.expected),
+                     fmt(r.avg_children), fmt(r.avg_degree),
+                     fmt(r.throughput_kbps, 1), fmt(r.provisioned_kbps, 1),
+                     fmt(r.avg_path), fmt(r.max_depth, 1)});
+      children += r.avg_children;
+      degree += r.avg_degree;
+      kbps += r.throughput_kbps;
+      prov += r.provisioned_kbps;
+      path += r.avg_path;
+      depth += r.max_depth;
+    }
+    auto k = static_cast<double>(runs.size());
+    table.add_row({"mean", "-", fmt(children / k), fmt(degree / k),
+                   fmt(kbps / k, 1), fmt(prov / k, 1), fmt(path / k),
+                   fmt(depth / k, 1)});
+    table.print(std::cout);
+    return 0;
+  }
+
+  FrozenDirectory dir = recipe(a, a.seed).build();
   AveragedRun r = run_sources(sys, dir, a.sources, a.seed, a.param);
   std::printf("system            %s\n", system_name(sys).c_str());
   std::printf("members           %zu (reached %zu)\n", r.expected, r.reached);
@@ -227,8 +298,8 @@ int cmd_multicast(const Args& a) {
 }
 
 int cmd_lookup(const Args& a) {
-  FrozenDirectory dir = population(a);
-  System sys = system_of(a.system);
+  FrozenDirectory dir = recipe(a, a.seed).build();
+  System sys = system_of(a);
   Rng rng(a.seed ^ 0x1001);
   double total = 0;
   std::size_t max_hops = 0, failed = 0;
@@ -281,7 +352,7 @@ int cmd_churn(const Args& a) {
 int cmd_stream(const Args& a) {
   Args b = a;
   if (b.p == 0) b.p = 100;
-  FrozenDirectory dir = population(b);
+  FrozenDirectory dir = recipe(b, b.seed).build();
   auto cap = [&dir](Id x) { return dir.info(x).capacity; };
   auto bw = [&dir](Id x) { return dir.info(x).bandwidth_kbps; };
   MulticastTree tree =
@@ -313,16 +384,22 @@ int cmd_async(const Args& a) {
   cfg.multicast_retries = a.retries;
   Rng rng(a.seed);
 
+  // Sinks precede the overlay: they must outlive the host attached to
+  // them. Capacity scales with n so nothing milestone-rated is evicted.
+  telemetry::Registry reg;
+  std::size_t cap = std::max<std::size_t>(std::size_t{1} << 16, 64 * a.n);
+  telemetry::Tracer tracer(cap, a.trace_all ? telemetry::kAllEvents
+                                            : telemetry::kMilestoneEvents);
+
   std::unique_ptr<proto::AsyncOverlayNet> overlay;
   if (a.system == "camchord") {
     overlay = std::make_unique<proto::AsyncCamChordNet>(ring, bus, cfg);
   } else if (a.system == "camkoorde") {
     overlay = std::make_unique<proto::AsyncCamKoordeNet>(ring, bus, cfg);
   } else {
-    usage();
+    usage("async needs --system=camchord|camkoorde");
   }
 
-  telemetry::Registry reg;
   overlay->set_telemetry({&reg, nullptr});
 
   auto info = [&] {
@@ -351,10 +428,7 @@ int cmd_async(const Args& a) {
               overlay->ring_consistency());
 
   // Trace from here on: the multicast and whatever maintenance the mask
-  // admits. Capacity scales with n so nothing milestone-rated is evicted.
-  std::size_t cap = std::max<std::size_t>(std::size_t{1} << 16, 64 * a.n);
-  telemetry::Tracer tracer(cap, a.trace_all ? telemetry::kAllEvents
-                                            : telemetry::kMilestoneEvents);
+  // admits.
   overlay->set_telemetry({&reg, &tracer});
   if (a.loss > 0) bus.set_loss(a.loss, a.seed ^ 0x1055);
 
@@ -450,22 +524,86 @@ int cmd_chaos(const Args& a) {
   cfg.quiesce_budget_ms = a.settle_ms;
   cfg.force_quiescence = !a.no_quiesce;
   cfg.async.repair = a.repair;
-  if (cfg.system != "camchord" && cfg.system != "camkoorde") usage();
+  if (cfg.system != "camchord" && cfg.system != "camkoorde") {
+    usage("chaos needs --system=camchord|camkoorde");
+  }
 
-  fault::ChaosReport report = fault::run_chaos(cfg, plan);
-  std::fputs(report.render().c_str(), stdout);
-  return report.ok ? 0 : 1;
+  if (!a.sweep) {
+    fault::ChaosReport report = fault::run_chaos(cfg, plan);
+    std::fputs(report.render().c_str(), stdout);
+    return report.ok ? 0 : 1;
+  }
+
+  // Seed sweep: one full chaos world per seed, run on the sweep pool.
+  // Per-seed lines are compact (full reports would bury a violation in
+  // megabytes); rerun the failing seed without --seeds for the full
+  // deterministic report.
+  std::vector<fault::ChaosCell> cells;
+  for (std::uint64_t s = a.seeds.lo; s <= a.seeds.hi; ++s) {
+    fault::ChaosCell cell{cfg, plan};
+    cell.cfg.seed = s;
+    cells.push_back(std::move(cell));
+  }
+  std::vector<fault::ChaosReport> reports =
+      fault::run_chaos_cells(cells, a.jobs);
+
+  std::printf("chaos sweep system=%s n=%zu bits=%d seeds=%llu..%llu\n",
+              cfg.system.c_str(), cfg.n, cfg.bits,
+              static_cast<unsigned long long>(a.seeds.lo),
+              static_cast<unsigned long long>(a.seeds.hi));
+  std::size_t bad = 0;
+  double eventual_sum = 0;
+  std::size_t eventual_count = 0;
+  for (const fault::ChaosReport& r : reports) {
+    for (const fault::ChaosMulticast& m : r.multicasts) {
+      if (m.eligible > 0) {
+        eventual_sum += m.eventual_ratio();
+        ++eventual_count;
+      }
+    }
+    if (r.ok) {
+      std::printf("seed=%llu ok members=%zu consistency=%.3f\n",
+                  static_cast<unsigned long long>(r.cfg.seed), r.members,
+                  r.consistency);
+      continue;
+    }
+    ++bad;
+    // Deduplicate violation kinds so the line stays one line.
+    std::set<std::string> kinds;
+    for (const fault::Violation& v : r.violations) kinds.insert(v.check);
+    std::string joined;
+    for (const std::string& k : kinds) {
+      if (!joined.empty()) joined += ",";
+      joined += k;
+    }
+    std::printf("seed=%llu VIOLATIONS n=%zu kinds=%s\n",
+                static_cast<unsigned long long>(r.cfg.seed),
+                r.violations.size(), joined.c_str());
+  }
+  std::printf("summary: %zu/%zu seeds ok", reports.size() - bad,
+              reports.size());
+  if (eventual_count > 0) {
+    std::printf(", mean eventual delivery %.3f",
+                eventual_sum / static_cast<double>(eventual_count));
+  }
+  std::printf("\n");
+  return bad == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args a = parse(argc, argv);
+  if (!a.out_file.empty() &&
+      std::freopen(a.out_file.c_str(), "w", stdout) == nullptr) {
+    std::fprintf(stderr, "camsim: cannot open %s\n", a.out_file.c_str());
+    return 2;
+  }
   if (a.command == "multicast") return cmd_multicast(a);
   if (a.command == "lookup") return cmd_lookup(a);
   if (a.command == "churn") return cmd_churn(a);
   if (a.command == "stream") return cmd_stream(a);
   if (a.command == "async") return cmd_async(a);
   if (a.command == "chaos") return cmd_chaos(a);
-  usage();
+  usage("unknown subcommand '" + a.command + "'");
 }
