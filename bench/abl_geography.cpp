@@ -9,10 +9,12 @@
 // does not depend on the layout).
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <unordered_map>
 
 #include "camchord/oracle.h"
 #include "camkoorde/oracle.h"
+#include "fixture.h"
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "multicast/metrics.h"
@@ -91,10 +93,10 @@ int main(int argc, char** argv) {
     gspec.base.ring_bits = scale.ring_bits;
     gspec.base.seed = scale.seed;
     gspec.region_bits = kRegionBits;
-    FrozenDirectory dir =
-        geo ? workload::geographic_population(gspec, 4, 10).freeze()
-            : workload::uniform_capacity_population(gspec.base, 4, 10)
-                  .freeze();
+    std::optional<FrozenDirectory> geo_dir;
+    if (geo) geo_dir = workload::geographic_population(gspec, 4, 10).freeze();
+    const FrozenDirectory& dir =
+        geo ? *geo_dir : benchfix::shared_directory(gspec.base, 4, 10);
     workload::RegionLatency lat(dir.ring(), kRegionBits, geo, 10, 80,
                                 scale.seed);
     for (bool koorde : {false, true}) {

@@ -21,6 +21,7 @@
 #include "experiments/table.h"
 #include "multicast/metrics.h"
 #include "util/rng.h"
+#include "fixture.h"
 #include "workload/population.h"
 
 int main(int argc, char** argv) {
@@ -32,8 +33,7 @@ int main(int argc, char** argv) {
   spec.n = scale.n;
   spec.ring_bits = scale.ring_bits;
   spec.seed = scale.seed;
-  FrozenDirectory dir =
-      workload::uniform_capacity_population(spec, 4, 10).freeze();
+  const FrozenDirectory& dir = benchfix::shared_directory(spec, 4, 10);
   auto cap = [&dir](Id x) { return dir.info(x).capacity; };
 
   const int kMessages = 64;

@@ -11,6 +11,7 @@
 #include "experiments/table.h"
 #include "runtime/sweep_pool.h"
 #include "util/rng.h"
+#include "fixture.h"
 #include "workload/population.h"
 
 int main(int argc, char** argv) {
@@ -41,8 +42,8 @@ int main(int argc, char** argv) {
         spec.n = n;
         spec.ring_bits = scale.ring_bits;
         spec.seed = scale.seed;
-        FrozenDirectory dir =
-            workload::constant_capacity_population(spec, c).freeze();
+        const FrozenDirectory& dir =
+            benchfix::shared_constant_directory(spec, c);
         std::vector<std::vector<std::string>> rows;
         for (System sys : {System::kCamChord, System::kCamKoorde}) {
           Rng rng(scale.seed ^ 0xABCD);

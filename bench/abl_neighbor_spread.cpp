@@ -15,6 +15,7 @@
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "koorde/koorde.h"
+#include "fixture.h"
 #include "workload/population.h"
 
 int main(int argc, char** argv) {
@@ -33,8 +34,7 @@ int main(int argc, char** argv) {
            "koorde_span"});
 
   for (std::uint32_t deg : {4u, 6u, 8u, 12u, 20u, 40u}) {
-    FrozenDirectory dir =
-        workload::constant_capacity_population(spec, deg).freeze();
+    const FrozenDirectory& dir = benchfix::shared_constant_directory(spec, deg);
     const RingSpace& ring = dir.ring();
     double camk_distinct = 0, koorde_distinct = 0;
     double camk_span = 0, koorde_span = 0;

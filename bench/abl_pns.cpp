@@ -11,6 +11,7 @@
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "util/rng.h"
+#include "fixture.h"
 #include "workload/population.h"
 
 int main(int argc, char** argv) {
@@ -29,8 +30,7 @@ int main(int argc, char** argv) {
     spec.n = scale.n;
     spec.ring_bits = scale.ring_bits;
     spec.seed = scale.seed;
-    FrozenDirectory dir =
-        workload::constant_capacity_population(spec, c).freeze();
+    const FrozenDirectory& dir = benchfix::shared_constant_directory(spec, c);
 
     Rng rng(scale.seed ^ 0x505);
     double plain_ms = 0, pns_ms = 0, plain_hops = 0, pns_hops = 0;

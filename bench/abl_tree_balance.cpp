@@ -14,6 +14,7 @@
 #include "experiments/figures.h"
 #include "experiments/table.h"
 #include "multicast/metrics.h"
+#include "fixture.h"
 #include "workload/population.h"
 
 namespace {
@@ -59,8 +60,8 @@ int main(int argc, char** argv) {
     spec.n = scale.n;
     spec.ring_bits = scale.ring_bits;
     spec.seed = scale.seed;
-    FrozenDirectory dir =
-        workload::constant_capacity_population(spec, std::max(c, 2u)).freeze();
+    const FrozenDirectory& dir =
+        benchfix::shared_constant_directory(spec, std::max(c, 2u));
     Id source = dir.ids()[42 % dir.size()];
 
     MulticastTree cam = camchord::multicast(

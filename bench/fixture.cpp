@@ -1,0 +1,174 @@
+#include "fixture.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cam::benchfix {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x43414d464958'01ULL;  // "CAMFIX" + v1
+
+struct CacheKey {
+  workload::PopulationSpec spec;
+  std::uint32_t kind;  // 0 = uniform[cap_lo..cap_hi], 1 = constant cap_lo
+  std::uint32_t cap_lo, cap_hi;
+
+  std::uint64_t digest() const {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return h;
+    };
+    std::uint64_t h = kMagic;
+    h = mix(h, spec.n);
+    h = mix(h, static_cast<std::uint64_t>(spec.ring_bits));
+    h = mix(h, spec.seed);
+    std::uint64_t bw_lo, bw_hi;
+    std::memcpy(&bw_lo, &spec.bw_lo_kbps, sizeof bw_lo);
+    std::memcpy(&bw_hi, &spec.bw_hi_kbps, sizeof bw_hi);
+    h = mix(h, bw_lo);
+    h = mix(h, bw_hi);
+    h = mix(h, kind);
+    h = mix(h, cap_lo);
+    h = mix(h, cap_hi);
+    return h;
+  }
+
+  bool operator<(const CacheKey& o) const { return digest() < o.digest(); }
+};
+
+std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("CAM_BENCH_CACHE_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return std::filesystem::temp_directory_path() / "cam_bench_cache";
+}
+
+std::filesystem::path cache_path(const CacheKey& key) {
+  char name[64];
+  std::snprintf(name, sizeof name, "dir-%016llx.bin",
+                static_cast<unsigned long long>(key.digest()));
+  return cache_dir() / name;
+}
+
+// On-disk layout: magic, ring_bits, count, then count records of
+// (id, capacity, bandwidth_kbps). Any read failure or shape mismatch
+// falls back to a rebuild.
+bool load_cached(const CacheKey& key, std::vector<Id>* ids,
+                 std::vector<NodeInfo>* infos) {
+  std::FILE* f = std::fopen(cache_path(key).c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = false;
+  std::uint64_t magic = 0, count = 0;
+  std::uint32_t bits = 0;
+  if (std::fread(&magic, sizeof magic, 1, f) == 1 && magic == kMagic &&
+      std::fread(&bits, sizeof bits, 1, f) == 1 &&
+      bits == static_cast<std::uint32_t>(key.spec.ring_bits) &&
+      std::fread(&count, sizeof count, 1, f) == 1 &&
+      count == key.spec.n) {
+    ids->resize(count);
+    infos->resize(count);
+    ok = true;
+    for (std::uint64_t i = 0; i < count && ok; ++i) {
+      NodeInfo info;
+      Id id = 0;
+      ok = std::fread(&id, sizeof id, 1, f) == 1 &&
+           std::fread(&info.capacity, sizeof info.capacity, 1, f) == 1 &&
+           std::fread(&info.bandwidth_kbps, sizeof info.bandwidth_kbps, 1,
+                      f) == 1;
+      (*ids)[i] = id;
+      (*infos)[i] = info;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+void store_cached(const CacheKey& key, const FrozenDirectory& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (ec) return;  // caching is best-effort
+  // Write to a temp name then rename, so a concurrent bench process
+  // never reads a half-written file.
+  std::filesystem::path final_path = cache_path(key);
+  std::filesystem::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return;
+  const std::uint64_t count = dir.size();
+  const auto bits = static_cast<std::uint32_t>(key.spec.ring_bits);
+  bool ok = std::fwrite(&kMagic, sizeof kMagic, 1, f) == 1 &&
+            std::fwrite(&bits, sizeof bits, 1, f) == 1 &&
+            std::fwrite(&count, sizeof count, 1, f) == 1;
+  for (std::uint64_t i = 0; i < count && ok; ++i) {
+    Id id = dir.ids()[i];
+    const NodeInfo& info = dir.info_at(i);
+    ok = std::fwrite(&id, sizeof id, 1, f) == 1 &&
+         std::fwrite(&info.capacity, sizeof info.capacity, 1, f) == 1 &&
+         std::fwrite(&info.bandwidth_kbps, sizeof info.bandwidth_kbps, 1,
+                     f) == 1;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) {
+    std::filesystem::rename(tmp_path, final_path, ec);
+  } else {
+    std::filesystem::remove(tmp_path, ec);
+  }
+}
+
+const FrozenDirectory& shared(const CacheKey& key) {
+  static std::mutex mu;
+  static std::map<CacheKey, FrozenDirectory>* memo =
+      new std::map<CacheKey, FrozenDirectory>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (auto it = memo->find(key); it != memo->end()) return it->second;
+
+  std::vector<Id> ids;
+  std::vector<NodeInfo> infos;
+  if (load_cached(key, &ids, &infos)) {
+    auto [it, inserted] = memo->emplace(
+        key, FrozenDirectory(RingSpace(key.spec.ring_bits), std::move(ids),
+                             std::move(infos)));
+    return it->second;
+  }
+  FrozenDirectory built =
+      key.kind == 0
+          ? workload::uniform_capacity_population(key.spec, key.cap_lo,
+                                                  key.cap_hi)
+                .freeze()
+          : workload::constant_capacity_population(key.spec, key.cap_lo)
+                .freeze();
+  store_cached(key, built);
+  auto [it, inserted] = memo->emplace(key, std::move(built));
+  return it->second;
+}
+
+}  // namespace
+
+const FrozenDirectory& shared_directory(const workload::PopulationSpec& spec,
+                                        std::uint32_t cap_lo,
+                                        std::uint32_t cap_hi) {
+  return shared(CacheKey{spec, 0, cap_lo, cap_hi});
+}
+
+const FrozenDirectory& shared_constant_directory(
+    const workload::PopulationSpec& spec, std::uint32_t cap) {
+  return shared(CacheKey{spec, 1, cap, cap});
+}
+
+const FrozenDirectory& paper_directory_20k() {
+  workload::PopulationSpec spec;
+  spec.n = 20000;
+  spec.ring_bits = 19;
+  spec.seed = 5;
+  return shared_directory(spec, 4, 10);
+}
+
+}  // namespace cam::benchfix

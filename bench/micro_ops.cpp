@@ -1,12 +1,20 @@
 // Micro-benchmarks (google-benchmark) of the hot routines: neighbor
-// arithmetic, child selection, directory resolution, lookups, and a full
-// multicast tree build at moderate scale.
+// arithmetic, child selection, directory resolution, lookups, a full
+// multicast tree build at moderate scale, the event engine's
+// schedule/drain loop, and the flat hash tables against their std
+// counterparts.
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <unordered_map>
 
 #include "camchord/neighbor_math.h"
 #include "camchord/oracle.h"
 #include "camkoorde/neighbor_math.h"
 #include "camkoorde/oracle.h"
+#include "fixture.h"
+#include "sim/simulator.h"
+#include "util/flat_table.h"
 #include "util/rng.h"
 #include "workload/population.h"
 
@@ -14,16 +22,7 @@ namespace {
 
 using namespace cam;
 
-const FrozenDirectory& test_dir() {
-  static FrozenDirectory dir = [] {
-    workload::PopulationSpec spec;
-    spec.n = 20000;
-    spec.ring_bits = 19;
-    spec.seed = 5;
-    return workload::uniform_capacity_population(spec, 4, 10).freeze();
-  }();
-  return dir;
-}
+const FrozenDirectory& test_dir() { return benchfix::paper_directory_20k(); }
 
 void BM_LevelSeq(benchmark::State& state) {
   RingSpace ring(19);
@@ -127,6 +126,123 @@ void BM_CamKoordeMulticastTree(benchmark::State& state) {
                           static_cast<std::int64_t>(dir.size()));
 }
 BENCHMARK(BM_CamKoordeMulticastTree)->Unit(benchmark::kMillisecond);
+
+// ---- Event engine ----
+
+// Pure schedule+drain throughput: bulk-load events across many ticks,
+// then run them all. Measures placement, slot load/sort, and in-place
+// execution with a trivially small action.
+void BM_SimScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(9);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sim.at(static_cast<double>(rng.next_below(60'000)) +
+                 0.25 * static_cast<double>(i % 4),
+             [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimScheduleDrain)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+// Self-rescheduling timer churn: the protocol-timer shape (stabilize,
+// RPC timeout, retransmit). Steady-state per-event cost of the wheel.
+void BM_SimTimerChurn(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t fired = 0;
+  struct Timer {
+    Simulator* sim;
+    std::uint64_t state;
+    std::uint64_t* fired;
+    void operator()() {
+      ++*fired;
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      sim->after(0.25 + static_cast<double>(state >> 58),
+                 Timer{sim, state, fired});
+    }
+  };
+  for (int i = 0; i < 64; ++i) {
+    sim.after(0.5 + i * 0.125, Timer{&sim, 0x9E3779B97F4A7C15ULL * (i + 1),
+                                     &fired});
+  }
+  sim.run(100'000);  // warm the wheel
+  for (auto _ : state) {
+    sim.run(1);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimTimerChurn);
+
+// ---- Flat tables vs std ----
+
+template <typename Map>
+void table_churn(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Map m;
+  Rng rng(11);
+  // Pre-populate half, then run an insert/lookup/erase mix over a keyspace
+  // 2x the resident size (the RPC-pending / seen-stream shape).
+  for (std::uint64_t i = 0; i < n / 2; ++i) m[rng.next_below(n)] = i;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint64_t key = rng.next_below(n);
+    switch (rng.next_below(4)) {
+      case 0:
+        m[key] = key;
+        break;
+      case 1:
+        sink += m.erase(key);
+        break;
+      default: {
+        auto it = m.find(key);
+        if (it != m.end()) sink += it->second;
+        break;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  table_churn<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  table_churn<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_UnorderedMapChurn)->Arg(64)->Arg(4096)->Arg(262144);
+
+template <typename Map>
+void table_iterate(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Map m;
+  Rng rng(13);
+  for (std::uint64_t i = 0; i < n; ++i) m[rng.next()] = i;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const auto& [k, v] : m) sink += v;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_FlatMapIterate(benchmark::State& state) {
+  table_iterate<FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+void BM_UnorderedMapIterate(benchmark::State& state) {
+  table_iterate<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapIterate)->Arg(4096);
+BENCHMARK(BM_UnorderedMapIterate)->Arg(4096);
 
 }  // namespace
 

@@ -15,7 +15,7 @@ echo "== tier-1: ASan+UBSan build, telemetry + protocol tests =="
 cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target cam_tests
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos'
+  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden'
 
 echo
 echo "== tier-1: ASan+UBSan chaos smoke (camsim chaos) =="
@@ -39,6 +39,13 @@ at 6000 clear'
   --plan-text="$CRASH_WAVE_PLAN" > /dev/null
 
 echo
+echo "== tier-1: perf smoke (release preset, calibrated ns/event gate) =="
+# Best-of-3 engine_sweep at reduced scale against the committed
+# BENCH_PR5.json baseline; fails on a >25% load-normalized ns/event
+# regression. See scripts/bench.sh for the calibration scheme.
+./scripts/bench.sh --smoke
+
+echo
 echo "== tier-1: TSan parallel sweep smoke (4-job chaos sweep) =="
 # The parallel sweep runtime under ThreadSanitizer: four chaos cells on
 # four workers. Any mutable state shared between cells (a leaked static,
@@ -47,6 +54,12 @@ cmake -B build-tsan -S . -DCAM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target camsim
 ./build-tsan/tools/camsim chaos --system=camchord --n=12 --bits=10 \
   --seeds=1..4 --jobs=4 --plan-text="$CRASH_WAVE_PLAN" > /dev/null
+
+echo
+echo "== tier-1: TSan engine goldens (byte-identity under TSan) =="
+cmake --build build-tsan -j --target cam_tests
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R 'EngineGolden'
 
 echo
 echo "tier-1 OK"

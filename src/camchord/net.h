@@ -10,10 +10,9 @@
 // is that our LOOKUP routine replaces the Chord LOOKUP routine").
 #pragma once
 
-#include <unordered_map>
-
 #include "camchord/neighbor_math.h"
 #include "overlay/ring_net.h"
+#include "util/flat_table.h"
 
 namespace cam::camchord {
 
@@ -58,7 +57,7 @@ class CamChordNet final : public RingOverlayNet {
   /// the designated entry is dead.
   std::optional<Id> best_preceding_live(Id x, Id target) const;
 
-  std::unordered_map<Id, Table> tables_;
+  FlatMap<Id, Table> tables_;
 };
 
 }  // namespace cam::camchord

@@ -4,11 +4,11 @@
 // with the "has received or is receiving" duplicate check.
 #pragma once
 
-#include <unordered_map>
 #include <unordered_set>
 
 #include "camkoorde/neighbor_math.h"
 #include "overlay/ring_net.h"
+#include "util/flat_table.h"
 
 namespace cam::camkoorde {
 
@@ -47,7 +47,7 @@ class CamKoordeNet final : public RingOverlayNet {
   const Table& table_at(Id id) const;
   Table& table_at(Id id);
 
-  std::unordered_map<Id, Table> tables_;
+  FlatMap<Id, Table> tables_;
 };
 
 }  // namespace cam::camkoorde

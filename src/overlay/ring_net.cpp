@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace cam {
 
@@ -181,7 +182,7 @@ void RingOverlayNet::fix_neighbors_all() {
 
 std::uint64_t RingOverlayNet::state_digest() const {
   // Order-independent fold (per-node FNV chain, XOR-combined across
-  // nodes) so the unordered_map iteration order cannot matter.
+  // nodes) so the node-table iteration order cannot matter.
   std::uint64_t acc = 0;
   for (const auto& [id, st] : nodes_) {
     std::uint64_t h = 1469598103934665603ULL ^ id;

@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ids/ring.h"
@@ -28,6 +27,7 @@
 #include "overlay/directory.h"
 #include "overlay/types.h"
 #include "sim/network.h"
+#include "util/flat_table.h"
 
 namespace cam {
 
@@ -150,7 +150,7 @@ class RingOverlayNet {
   RingSpace ring_;
   Network& net_;
   RingNetConfig cfg_;
-  std::unordered_map<Id, BaseState> nodes_;
+  FlatMap<Id, BaseState> nodes_;
 
  private:
   void notify(BaseState& succ_state, Id candidate);

@@ -247,7 +247,7 @@ void AsyncNodeBase::evict_seen_streams() {
   const SimTime horizon =
       std::max(cfg.stream_seen_ttl_ms, retransmit_tail_ms(cfg));
   const SimTime now = net_.sim().now();
-  std::erase_if(seen_streams_, [&](const auto& kv) {
+  seen_streams_.erase_if([&](const auto& kv) {
     return now - kv.second.last_seen > horizon;
   });
 }

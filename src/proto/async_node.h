@@ -19,14 +19,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "multicast/tree.h"
 #include "overlay/types.h"
 #include "proto/host_bus.h"
 #include "telemetry/sink.h"
+#include "util/flat_table.h"
 
 namespace cam::proto {
 
@@ -248,7 +247,7 @@ class AsyncNodeBase {
     std::function<void(const ReplyPayload&)> on_reply;
     std::function<void()> on_timeout;
   };
-  std::unordered_map<RpcId, Pending> pending_;
+  FlatMap<RpcId, Pending> pending_;
   /// What a node remembers about a seen stream: the dedupe timestamp
   /// plus enough payload metadata to serve anti-entropy pulls and a
   /// counter bounding re-delegation recursion.
@@ -261,13 +260,13 @@ class AsyncNodeBase {
   /// Multicast dedupe + repair memory: stream id -> StreamMeta. Entries
   /// older than the effective horizon are evicted from the stabilize
   /// timer so the set stays bounded across many multicasts.
-  std::unordered_map<std::uint64_t, StreamMeta> seen_streams_;
+  FlatMap<std::uint64_t, StreamMeta> seen_streams_;
   /// Streams with an outstanding StreamPullReq — one pull at a time per
   /// stream, cleared on reply and on timeout.
-  std::unordered_set<std::uint64_t> pulls_in_flight_;
+  FlatSet<std::uint64_t> pulls_in_flight_;
   int join_attempts_ = 0;  // backoff index for boot_via retries
-  std::unordered_map<Id, SimTime> suspects_;  // id -> suspected until
-  std::unordered_map<Id, int> strikes_;       // consecutive timeouts
+  FlatMap<Id, SimTime> suspects_;  // id -> suspected until
+  FlatMap<Id, int> strikes_;       // consecutive timeouts
 };
 
 /// Harness owning the nodes, the bus wiring, and test conveniences.
@@ -354,7 +353,7 @@ class AsyncOverlayNet {
   NodeFactory factory_;
   AsyncConfig cfg_;
   telemetry::Sink tel_;
-  std::unordered_map<Id, std::unique_ptr<AsyncNodeBase>> nodes_;
+  FlatMap<Id, std::unique_ptr<AsyncNodeBase>> nodes_;
   std::size_t live_count_ = 0;
   MulticastTree* active_tree_ = nullptr;
   std::uint64_t active_stream_ = 0;  // stream the active tree records

@@ -18,12 +18,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "proto/messages.h"
 #include "sim/network.h"
 #include "telemetry/sink.h"
+#include "util/flat_table.h"
 #include "util/rng.h"
 
 namespace cam::proto {
@@ -90,7 +90,7 @@ class HostBus {
                SimTime extra_delay_ms);
 
   Network& net_;
-  std::unordered_map<Id, Handler> handlers_;
+  FlatMap<Id, Handler> handlers_;
   double loss_ = 0;
   Rng loss_rng_{0};
   std::uint64_t loss_seed_ = 0;

@@ -1,0 +1,128 @@
+// Byte-identity goldens for the event-engine overhaul.
+//
+// The engine rebuild (InlineAction + timer wheel + flat tables) promises
+// byte-identical behavior: the same (time, seq) execution order and the
+// same protocol decisions as the std::function + priority_queue +
+// unordered_map engine it replaced. These tests pin that promise to
+// golden files captured from the PRE-SWAP engine: a serial protocol-mode
+// multicast sweep (the parallel_determinism_test grid shape) and two
+// full chaos runs, rendered to text with every float printed at full
+// precision. Any engine change that reorders events or perturbs a table
+// decision shows up as a golden diff, not a silent drift.
+//
+// Regenerating (only legitimate when the *protocol* intentionally
+// changes, never to paper over an engine diff):
+//   CAM_REGEN_GOLDENS=1 ./build/tests/cam_tests --gtest_filter='EngineGolden*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments/runner.h"
+#include "fault/chaos_run.h"
+#include "runtime/cells.h"
+#include "workload/population.h"
+
+namespace cam {
+namespace {
+
+using exp::AveragedRun;
+using exp::System;
+
+std::string golden_path(const std::string& name) {
+  return std::string(CAM_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Compares `text` to the committed golden byte for byte; with
+// CAM_REGEN_GOLDENS=1 rewrites the golden instead (and fails, so a regen
+// run is never mistaken for a passing one).
+void expect_golden(const std::string& name, const std::string& text) {
+  const std::string path = golden_path(name);
+  if (std::getenv("CAM_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    FAIL() << "regenerated " << path << " (" << text.size() << " bytes)";
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing golden " << path;
+  EXPECT_EQ(text, want) << "engine output diverged from pre-swap golden "
+                        << name;
+}
+
+// Renders an AveragedRun with every double at full round-trip precision:
+// bit-identical accumulation is the requirement, not approximate equality.
+void render_run(std::ostringstream& out, const AveragedRun& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "expected=%zu reached=%zu dups=%llu children=%.17g "
+                "degree=%.17g tput=%.17g prov=%.17g path=%.17g depth=%.17g",
+                r.expected, r.reached,
+                static_cast<unsigned long long>(r.duplicates), r.avg_children,
+                r.avg_degree, r.throughput_kbps, r.provisioned_kbps,
+                r.avg_path, r.max_depth);
+  out << buf << " hist=";
+  for (std::size_t i = 0; i < r.depth_histogram.size(); ++i) {
+    out << (i == 0 ? "" : ",") << r.depth_histogram[i];
+  }
+  out << "\n";
+}
+
+TEST(EngineGolden, SerialMulticastSweep) {
+  std::vector<runtime::CellSpec> cells;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (System sys :
+         {System::kCamChord, System::kCamKoorde, System::kChord,
+          System::kKoorde}) {
+      runtime::CellSpec cell;
+      cell.system = sys;
+      workload::PopulationSpec spec;
+      spec.n = 300;
+      spec.ring_bits = 12;
+      spec.seed = seed;
+      cell.population = runtime::PopulationRecipe::uniform(spec, 4, 10);
+      cell.sources = 2;
+      cell.seed = seed;
+      cell.uniform_param = 8;
+      cells.push_back(cell);
+    }
+  }
+  std::vector<AveragedRun> runs = runtime::run_cells(cells, {.jobs = 1});
+  std::ostringstream out;
+  for (const AveragedRun& r : runs) render_run(out, r);
+  expect_golden("multicast_sweep.txt", out.str());
+}
+
+TEST(EngineGolden, ChaosCamChord) {
+  fault::ChaosConfig cfg;
+  cfg.system = "camchord";
+  cfg.n = 12;
+  cfg.bits = 10;
+  cfg.seed = 7;
+  fault::ChaosReport rep =
+      fault::run_chaos(cfg, fault::default_chaos_plan());
+  expect_golden("chaos_camchord.txt", rep.render());
+}
+
+TEST(EngineGolden, ChaosCamKoorde) {
+  fault::ChaosConfig cfg;
+  cfg.system = "camkoorde";
+  cfg.n = 12;
+  cfg.bits = 10;
+  cfg.seed = 7;
+  fault::ChaosReport rep =
+      fault::run_chaos(cfg, fault::default_chaos_plan());
+  expect_golden("chaos_camkoorde.txt", rep.render());
+}
+
+}  // namespace
+}  // namespace cam

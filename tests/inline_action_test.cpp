@@ -1,0 +1,142 @@
+// InlineAction: capture sizes straddling the inline threshold, move
+// semantics, and construct/destroy balance (no leaks, no double-runs).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_action.h"
+
+namespace cam {
+namespace {
+
+// Instance-counting payload of tunable size.
+template <std::size_t Pad>
+struct Counted {
+  static int live;
+  static int ctors;
+  static int dtors;
+  static void reset() { live = ctors = dtors = 0; }
+
+  int* fired;
+  std::array<unsigned char, Pad> pad{};
+
+  explicit Counted(int* f) : fired(f) {
+    ++live;
+    ++ctors;
+  }
+  Counted(const Counted& o) : fired(o.fired), pad(o.pad) {
+    ++live;
+    ++ctors;
+  }
+  Counted(Counted&& o) noexcept : fired(o.fired), pad(o.pad) {
+    ++live;
+    ++ctors;
+  }
+  ~Counted() {
+    ++live, --live;  // keep the compiler from eliding the dtor body
+    --live;
+    ++dtors;
+  }
+  void operator()() { ++*fired; }
+};
+template <std::size_t Pad>
+int Counted<Pad>::live = 0;
+template <std::size_t Pad>
+int Counted<Pad>::ctors = 0;
+template <std::size_t Pad>
+int Counted<Pad>::dtors = 0;
+
+using Small = Counted<16>;                            // far below threshold
+using AtLimit = Counted<InlineAction::kInlineSize - sizeof(int*) -
+                        (InlineAction::kInlineSize - sizeof(int*)) % 8>;
+using Oversized = Counted<InlineAction::kInlineSize + 64>;  // heap fallback
+
+TEST(InlineAction, StorageClassStraddlesThreshold) {
+  static_assert(InlineAction::kInlineSize >= 48,
+                "design contract: inline capacity of at least 48 bytes");
+  EXPECT_TRUE(InlineAction::stored_inline<Small>());
+  static_assert(sizeof(AtLimit) <= InlineAction::kInlineSize);
+  EXPECT_TRUE(InlineAction::stored_inline<AtLimit>());
+  static_assert(sizeof(Oversized) > InlineAction::kInlineSize);
+  EXPECT_FALSE(InlineAction::stored_inline<Oversized>());
+}
+
+// The engine's reason-for-being: the closures the protocol stack
+// schedules every event must be inline. Mirrors HostBus::deliver's
+// capture (this + from + to + a ~64-byte message payload by value).
+TEST(InlineAction, HotPathShapedClosuresAreInline) {
+  struct FakeMessage {
+    unsigned char bytes[64];
+  };
+  void* self = nullptr;
+  std::uint64_t from = 1, to = 2;
+  FakeMessage m{};
+  auto deliver = [self, from, to, m]() {
+    (void)self, (void)from, (void)to, (void)m;
+  };
+  EXPECT_TRUE(InlineAction::stored_inline<decltype(deliver)>());
+}
+
+template <typename Payload>
+void run_lifecycle_checks() {
+  Payload::reset();
+  int fired = 0;
+  {
+    InlineAction a{Payload(&fired)};
+    EXPECT_TRUE(static_cast<bool>(a));
+    a();
+    EXPECT_EQ(fired, 1);
+
+    // Move construction transfers the callable; the source goes empty.
+    InlineAction b{std::move(a)};
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    b();
+    EXPECT_EQ(fired, 2);
+
+    // Move assignment destroys the target's old payload.
+    InlineAction c{Payload(&fired)};
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+    c();
+    EXPECT_EQ(fired, 3);
+  }
+  EXPECT_EQ(Payload::live, 0) << "payloads leaked or double-destroyed";
+  EXPECT_EQ(Payload::ctors, Payload::dtors);
+}
+
+TEST(InlineAction, LifecycleInline) { run_lifecycle_checks<Small>(); }
+TEST(InlineAction, LifecycleAtLimit) { run_lifecycle_checks<AtLimit>(); }
+TEST(InlineAction, LifecycleHeapFallback) { run_lifecycle_checks<Oversized>(); }
+
+TEST(InlineAction, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  InlineAction a{[p = std::move(p), &got] { got = *p + 1; }};
+  InlineAction b{std::move(a)};
+  b();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineAction, DefaultConstructedIsEmpty) {
+  InlineAction a;
+  EXPECT_FALSE(static_cast<bool>(a));
+  a = InlineAction{[] {}};
+  EXPECT_TRUE(static_cast<bool>(a));
+}
+
+TEST(InlineAction, SelfMoveAssignIsSafe) {
+  Small::reset();
+  int fired = 0;
+  InlineAction a{Small(&fired)};
+  InlineAction& ref = a;
+  a = std::move(ref);
+  ASSERT_TRUE(static_cast<bool>(a));
+  a();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace cam

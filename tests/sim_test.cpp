@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/latency.h"
@@ -77,6 +79,143 @@ TEST(Simulator, StepOnEmptyReturnsFalse) {
   Simulator sim;
   EXPECT_FALSE(sim.step());
 }
+
+// ---- Timer-wheel internals: slot boundaries, cascades, overflow. ----
+// The wheel geometry is 1 ms ticks, 1024-tick chunks, 512-chunk
+// superchunks; these tests pin behavior at each boundary without
+// reaching into private state.
+
+TEST(SimulatorWheel, FractionalTimesWithinOneTickStayOrdered) {
+  Simulator sim;
+  std::vector<double> order;
+  // All land in the same 1 ms slot; exact (time, seq) must still rule.
+  sim.at(5.75, [&] { order.push_back(5.75); });
+  sim.at(5.25, [&] { order.push_back(5.25); });
+  sim.at(5.5, [&] { order.push_back(5.5); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<double>{5.25, 5.5, 5.75}));
+}
+
+TEST(SimulatorWheel, ChunkBoundaryCascadePreservesOrder) {
+  Simulator sim;
+  std::vector<double> order;
+  // Straddle the first L0 chunk boundary at t = 1024 ms: the events past
+  // it sit in a level-1 chunk-slot until the cascade scatters them.
+  const std::vector<double> times = {1023.0, 1023.5, 1024.0,
+                                     1024.5, 1025.0, 2047.5, 2048.25};
+  std::vector<double> shuffled = {2048.25, 1023.5, 1025.0, 1024.0,
+                                  2047.5,  1023.0, 1024.5};
+  for (double t : shuffled) {
+    sim.at(t, [&order, t] { order.push_back(t); });
+  }
+  sim.run();
+  EXPECT_EQ(order, times);
+}
+
+TEST(SimulatorWheel, FarFutureOverflowHandsBackToWheels) {
+  Simulator sim;
+  std::vector<double> order;
+  // Past one superchunk (1024 * 512 ms = 524288 ms) events overflow to a
+  // heap; the engine must hand them back chunk-aligned when reached.
+  const double super_ms = 1024.0 * 512.0;
+  const std::vector<double> times = {
+      1.0, super_ms - 0.5, super_ms + 0.25, super_ms + 1.5,
+      3 * super_ms + 7.125, 3 * super_ms + 7.25};
+  std::vector<double> shuffled = {3 * super_ms + 7.25, super_ms + 0.25, 1.0,
+                                  3 * super_ms + 7.125, super_ms + 1.5,
+                                  super_ms - 0.5};
+  for (double t : shuffled) {
+    sim.at(t, [&order, t] { order.push_back(t); });
+  }
+  sim.run();
+  EXPECT_EQ(order, times);
+  EXPECT_DOUBLE_EQ(sim.now(), 3 * super_ms + 7.25);
+}
+
+TEST(SimulatorWheel, SelfSchedulingMarchesAcrossAllLevels) {
+  Simulator sim;
+  // A timer hopping in uneven strides crosses tick, chunk, and super
+  // boundaries; a second fixed-period timer interleaves with it.
+  std::vector<std::pair<int, double>> log;
+  std::uint64_t hops = 0;
+  std::function<void()> hop = [&] {
+    log.emplace_back(1, sim.now());
+    if (++hops < 2000) sim.after(300.5, hop);
+  };
+  std::uint64_t ticks = 0;
+  std::function<void()> tick = [&] {
+    log.emplace_back(2, sim.now());
+    if (++ticks < 3000) sim.after(250.25, tick);
+  };
+  sim.after(0.5, hop);
+  sim.after(0.75, tick);
+  sim.run();
+  ASSERT_EQ(log.size(), 5000u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    ASSERT_LE(log[i - 1].second, log[i].second) << "time went backwards";
+  }
+  EXPECT_GT(sim.now(), 1024.0 * 512.0);  // crossed a superchunk
+}
+
+TEST(SimulatorWheel, TieOnTimeAcrossStructuresBreaksBySeq) {
+  Simulator sim;
+  std::vector<int> order;
+  // Same absolute time, scheduled at different moments so the events
+  // route through different structures (overflow vs wheel vs current
+  // slot); insertion order must still win.
+  const double t = 2.0 * 1024.0 * 512.0 + 3.0;  // two supers out
+  sim.at(t, [&] { order.push_back(0); });       // via overflow
+  sim.at(1.0, [&, t] {
+    sim.at(t, [&] { order.push_back(1); });     // via overflow, later seq
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimulatorWheel, RunUntilIdleJumpThenSchedule) {
+  Simulator sim;
+  // run_until advances now() past the wheel cursor; scheduling relative
+  // to the new now() must still execute at the right times.
+  sim.run_until(100000.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100000.5);
+  std::vector<double> order;
+  sim.at(sim.now(), [&] { order.push_back(0.0); });  // exactly now
+  sim.after(0.25, [&] { order.push_back(0.25); });
+  sim.after(2000.0, [&] { order.push_back(2000.0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<double>{0.0, 0.25, 2000.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 102000.5);
+}
+
+// ---- at() rejects scheduling in the past. ----
+// Policy (src/sim/simulator.h): asserts in debug-style builds (this
+// project keeps asserts on even in Release unless CAM_FORCE_NDEBUG is
+// set); if asserts are compiled out, the event clamps to now() and runs
+// after everything already scheduled for now(), in seq order.
+
+#ifdef NDEBUG
+TEST(SimulatorPastScheduling, ClampsToNowWithAssertsOff) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10.0, [&] {
+    sim.at(3.0, [&] { order.push_back(1); });  // the past: clamps to 10.0
+    sim.at(10.0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // clamped first: lower seq
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+#else
+using SimulatorPastSchedulingDeathTest = testing::Test;
+TEST(SimulatorPastSchedulingDeathTest, AssertsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Simulator sim;
+  sim.at(10.0, [] {});
+  sim.run();
+  ASSERT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_DEATH(sim.at(3.0, [] {}), "scheduling in the past");
+}
+#endif
 
 TEST(Latency, ConstantModel) {
   ConstantLatency lat(2.5);
