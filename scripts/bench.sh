@@ -6,10 +6,13 @@
 #   engine_sweep — the A3-churn-shaped macro probe (events/sec,
 #                  ns/event, allocs/event, peak RSS)
 #   micro_ops    — event-engine + flat-table microbenchmarks
+#   abl_backpressure — the data-plane hotspot grid (Ablation A12);
+#                  tracked rows go to BENCH_PR6.json
 #
 # Modes:
 #   scripts/bench.sh                full run; rewrites BENCH_PR5.json
 #                                   (preserving its "history" section)
+#                                   and BENCH_PR6.json (dataplane rows)
 #   scripts/bench.sh --smoke        reduced engine_sweep run; compares
 #                                   total ns/event against the committed
 #                                   BENCH_PR5.json smoke baseline and
@@ -156,4 +159,64 @@ print(f"total: {t['events']} events, {t['ns_per_event']:.1f} ns/event, "
       f"{t['events_per_sec']:.0f} events/sec, "
       f"{t['allocs_per_event']:.3f} allocs/event, "
       f"peak RSS {doc['engine_sweep']['peak_rss_bytes']/1e6:.1f} MB")
+EOF
+
+# ---------------------------------------------------------------------
+# Data-plane phase (BENCH_PR6.json): the Ablation A12 hotspot grid.
+# The rows are deterministic in --seed (event-level simulation, not
+# wall clock), so unlike the engine numbers above they are directly
+# comparable across machines: the tracked file records the session-rate
+# win of backpressure over FIFO at a 25% hotspot uplink, and the
+# uncongested rows double as a byte-identity check between the two
+# forwarding modes.
+DP_OUT=BENCH_PR6.json
+echo "== bench: abl_backpressure (dataplane hotspot grid, n=2000) =="
+cmake --build "$BUILD" -j --target abl_backpressure >/dev/null
+DP_JSON=$($PIN "./$BUILD/bench/abl_backpressure" --json --jobs=4)
+
+python3 - "$DP_OUT" <<'EOF' "$DP_JSON"
+import json, sys
+path, rows = sys.argv[1], json.loads(sys.argv[2])["rows"]
+history = {}
+try:
+    history = json.load(open(path)).get("history", {})
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+def cell(system, hotspot, mode):
+    return next(r for r in rows if r["system"] == system
+                and r["hotspot"] == hotspot and r["mode"] == mode)
+summary = {}
+for system in sorted({r["system"] for r in rows}):
+    fifo = cell(system, 0.25, "fifo")
+    bp = cell(system, 0.25, "backpressure")
+    uf, ub = cell(system, 1.0, "fifo"), cell(system, 1.0, "backpressure")
+    summary[system] = {
+        "hotspot_fifo_kbps": fifo["session_kbps"],
+        "hotspot_backpressure_kbps": bp["session_kbps"],
+        "speedup": round(bp["session_kbps"] / fifo["session_kbps"], 3)
+            if fifo["session_kbps"] > 0 else None,
+        "delegated": bp["delegated"],
+        "uncongested_identical":
+            uf["session_kbps"] == ub["session_kbps"]
+            and uf["completion_ms"] == ub["completion_ms"],
+    }
+doc = {
+    "schema": "cam-bench-v1",
+    "generated_by": "scripts/bench.sh (release preset, abl_backpressure "
+                    "--json --jobs=4, n=2000 seed=7)",
+    "dataplane": {"rows": rows, "summary": summary},
+    "history": history,
+}
+json.dump(doc, open(path, "w"), indent=2)
+open(path, "a").write("\n")
+for system, s in summary.items():
+    print(f"{system}: hotspot fifo {s['hotspot_fifo_kbps']:.1f} kbps -> "
+          f"backpressure {s['hotspot_backpressure_kbps']:.1f} kbps "
+          f"({s['speedup']}x, {s['delegated']} delegated), "
+          f"uncongested identical: {s['uncongested_identical']}")
+    if not s["uncongested_identical"]:
+        print("bench: uncongested backpressure diverged from FIFO "
+              f"for {system} — byte-identity broken", file=sys.stderr)
+        sys.exit(1)
+print(f"bench: wrote {path}")
 EOF

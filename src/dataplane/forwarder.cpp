@@ -1,0 +1,549 @@
+#include "dataplane/forwarder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cam::dataplane {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BackpressureForwarder::BackpressureForwarder(const MulticastTree& tree,
+                                             const LatencyModel& latency,
+                                             ForwarderConfig cfg,
+                                             telemetry::Sink sink)
+    : latency_(latency), cfg_(cfg), sink_(sink) {
+  assert(cfg_.admission_low_ms <= cfg_.admission_high_ms &&
+         "admission low watermark above high watermark");
+  ids_.reserve(tree.size());
+  for (const auto& [id, rec] : tree.entries()) ids_.push_back(id);
+  // Ascending-id indexing: deterministic regardless of the hash-map
+  // iteration order the tree stores deliveries in.
+  std::sort(ids_.begin(), ids_.end());
+  FlatMap<Id, std::uint32_t> index;
+  index.reserve(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    index.emplace(ids_[i], static_cast<std::uint32_t>(i));
+  }
+  nodes_.resize(ids_.size());
+  source_ = index.at(tree.source());
+  for (const auto& [id, rec] : tree.entries()) {
+    if (id == tree.source()) continue;
+    const std::uint32_t child = index.at(id);
+    const std::uint32_t parent = index.at(rec.parent);
+    nodes_[child].parent = parent;
+    nodes_[child].parent_latency_ms = latency_.latency(rec.parent, id);
+    nodes_[parent].links.push_back(Link{child, latency_.latency(id, rec.parent),
+                                        {}, 0, 0});
+  }
+  nodes_[source_].parent = source_;
+  for (Node& n : nodes_) {
+    std::sort(n.links.begin(), n.links.end(),
+              [](const Link& a, const Link& b) { return a.child < b.child; });
+  }
+}
+
+void BackpressureForwarder::set_uplinks(std::vector<double> kbps) {
+  assert(kbps.size() == nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    assert(kbps[i] > 0 && "uplink capacity must be positive");
+    nodes_[i].kbps = kbps[i];
+  }
+}
+
+void BackpressureForwarder::resolve_uplinks(
+    const std::function<double(Id)>& kbps_of) {
+  std::vector<double> table(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) table[i] = kbps_of(ids_[i]);
+  set_uplinks(std::move(table));
+}
+
+void BackpressureForwarder::push_event(Event e) {
+  e.seq = next_event_seq_++;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+double BackpressureForwarder::backlog_bytes(const Node& n) const {
+  std::uint64_t bytes = n.relay.depth_bytes();
+  for (const Link& l : n.links) bytes += l.queue.depth_bytes();
+  return static_cast<double>(bytes);
+}
+
+double BackpressureForwarder::backlog_ms(const Node& n) const {
+  return backlog_bytes(n) * 8.0 / n.kbps;
+}
+
+bool BackpressureForwarder::delivered(std::uint32_t node,
+                                      std::uint32_t seq) const {
+  const std::uint64_t word =
+      delivered_bits_[node * words_per_node_ + seq / 64];
+  return (word >> (seq % 64)) & 1;
+}
+
+std::uint32_t BackpressureForwarder::link_index(const Node& n,
+                                                std::uint32_t child) const {
+  for (std::size_t i = 0; i < n.links.size(); ++i) {
+    if (n.links[i].child == child) return static_cast<std::uint32_t>(i);
+  }
+  assert(false && "depth report from a non-child");
+  return 0;
+}
+
+bool BackpressureForwarder::active() const {
+  return next_emit_ < traffic_.num_packets || live_copies_ > 0;
+}
+
+void BackpressureForwarder::enqueue_copy(std::uint32_t owner,
+                                         std::uint32_t dest, PacketRef pkt,
+                                         SimTime now, bool via_relay,
+                                         bool delegated) {
+  pool_.add_ref(pkt);
+  const std::uint32_t bytes = pool_.get(pkt).bytes;
+  QueuedCopy copy{pkt, dest, next_order_++, now, delegated};
+  Node& n = nodes_[owner];
+  if (via_relay) {
+    n.relay.push(traffic_.stream, copy, bytes);
+  } else {
+    n.links[link_index(n, dest)].queue.push(traffic_.stream, copy, bytes);
+  }
+  // live_copies_ unchanged: a delegated duty was already counted when
+  // the original copy was created; it merely changed owner.
+}
+
+void BackpressureForwarder::relay_to_children(std::uint32_t node,
+                                              PacketRef pkt, SimTime now) {
+  Node& n = nodes_[node];
+  if (n.links.empty()) return;
+  // Round-robin rotation by sequence number, as in the legacy FIFO
+  // plane: no child permanently pays the full serialization delay.
+  const std::size_t rot = pool_.get(pkt).seq % n.links.size();
+  for (std::size_t j = 0; j < n.links.size(); ++j) {
+    const std::size_t li = (j + rot) % n.links.size();
+    pool_.add_ref(pkt);
+    const std::uint32_t bytes = pool_.get(pkt).bytes;
+    QueuedCopy copy{pkt, n.links[li].child, next_order_++, now, false};
+    n.links[li].queue.push(traffic_.stream, copy, bytes);
+    ++live_copies_;
+  }
+  start_tx_if_idle(node, now);
+  update_congestion(node, now);
+}
+
+void BackpressureForwarder::start_tx_if_idle(std::uint32_t node,
+                                             SimTime now) {
+  if (!nodes_[node].tx_busy) serve(node, now);
+}
+
+void BackpressureForwarder::serve(std::uint32_t node, SimTime now) {
+  Node& n = nodes_[node];
+  for (;;) {
+    // Global-FIFO head: lowest enqueue stamp across the relay queue and
+    // every link. -1 marks the relay queue.
+    int fifo_q = -2;
+    const QueuedCopy* fifo = nullptr;
+    if (const QueuedCopy* c = n.relay.peek_fifo()) {
+      fifo = c;
+      fifo_q = -1;
+    }
+    for (std::size_t i = 0; i < n.links.size(); ++i) {
+      const QueuedCopy* c = n.links[i].queue.peek_fifo();
+      if (c != nullptr && (fifo == nullptr || c->order < fifo->order)) {
+        fifo = c;
+        fifo_q = static_cast<int>(i);
+      }
+    }
+    if (fifo == nullptr) return;  // transmitter idles
+
+    const double my_backlog = backlog_ms(n);
+    if (my_backlog > stats_.max_backlog_ms) {
+      stats_.max_backlog_ms = my_backlog;
+    }
+    // Congestion gate: one packet's fan-out burst (one copy per child)
+    // is normal operation — a node that has just received a packet holds
+    // exactly that much. Upstream queueing can also bunch two packets
+    // closer than the pacing interval, transiently stacking a second
+    // burst, so only backlog in EXCESS of two full bursts (plus the
+    // configured slack) marks the uplink congested; until then the
+    // service order is pure FIFO, which is what keeps the uncongested
+    // backpressure schedule bit-identical to the legacy plane. A real
+    // hotspot grows without bound and clears the gate regardless.
+    const double burst_ms = static_cast<double>(n.links.size()) *
+                            (packet_kbit_ / n.kbps * 1000.0);
+    const bool congested_here =
+        cfg_.backpressure && my_backlog > 2.0 * burst_ms + cfg_.delegation_ms;
+
+    int chosen_q = fifo_q;
+    const QueuedCopy* chosen = fifo;
+    bool by_pressure = false;
+    if (congested_here) {
+      // Congestion-gradient selection: local link backlog minus the
+      // child's advertised uplink backlog (corrected by what we have
+      // delegated to it since its last report). Deviating from FIFO
+      // requires a hysteresis-sized advantage; ties keep tree order.
+      auto gradient = [&](int q) {
+        if (q < 0) return n.relay.depth_bytes() * 8.0 / n.kbps;
+        const Link& l = n.links[static_cast<std::size_t>(q)];
+        const double local = l.queue.depth_bytes() * 8.0 / n.kbps;
+        const double remote =
+            l.adv_backlog_ms +
+            l.delegated_since_bytes * 8.0 / nodes_[l.child].kbps;
+        return local - remote;
+      };
+      int best_q = -2;
+      double best_grad = -kInf;
+      for (std::size_t i = 0; i < n.links.size(); ++i) {
+        if (n.links[i].queue.empty()) continue;
+        const double g = gradient(static_cast<int>(i));
+        if (g > best_grad) {
+          best_grad = g;
+          best_q = static_cast<int>(i);
+        }
+      }
+      if (best_q >= -1 && best_q != fifo_q &&
+          best_grad > gradient(fifo_q) + cfg_.hysteresis_ms) {
+        chosen_q = best_q;
+        chosen = n.links[static_cast<std::size_t>(best_q)]
+                     .queue.peek_pressure();
+        by_pressure = true;
+      }
+    }
+
+    const Packet& pkt = pool_.get(chosen->pkt);
+    const std::uint32_t bytes = pkt.bytes;
+    auto pop_chosen = [&]() -> QueuedCopy {
+      BinQueue& q = chosen_q < 0
+                        ? n.relay
+                        : n.links[static_cast<std::size_t>(chosen_q)].queue;
+      return by_pressure ? q.pop_pressure(bytes) : q.pop_fifo(bytes);
+    };
+
+    // Latency-constrained mode: a copy past its deadline at service
+    // time becomes a zombie — dropped, counted, never transmitted.
+    if (cfg_.deadline_ms > 0 &&
+        now - pkt.emitted_ms > cfg_.deadline_ms) {
+      QueuedCopy copy = pop_chosen();
+      ++stats_.zombie_copies;
+      stats_.zombie_bytes += bytes;
+      sink_.count("dataplane.zombie.copies");
+      sink_.count("dataplane.zombie.bytes", bytes);
+      sink_.trace(telemetry::EventType::kPacketZombie, now, ids_[node],
+                  ids_[copy.dest], pkt.stream, pkt.seq);
+      pool_.release(copy.pkt);
+      --live_copies_;
+      update_congestion(node, now);
+      continue;
+    }
+
+    // Duty shedding: a congested node hands the copy to another child
+    // that already holds the packet and has the shallower uplink, via a
+    // control token — the data bytes route around this uplink entirely.
+    if (congested_here && chosen_q >= 0 && !chosen->delegated) {
+      int best_l = -1;
+      double best_est = kInf;
+      for (std::size_t i = 0; i < n.links.size(); ++i) {
+        const Link& l = n.links[i];
+        if (l.child == chosen->dest) continue;
+        if (!delivered(l.child, pkt.seq)) continue;
+        const double est = l.adv_backlog_ms +
+                           l.delegated_since_bytes * 8.0 /
+                               nodes_[l.child].kbps;
+        if (est < best_est) {
+          best_est = est;
+          best_l = static_cast<int>(i);
+        }
+      }
+      if (best_l >= 0 && best_est + cfg_.hysteresis_ms < my_backlog) {
+        QueuedCopy copy = pop_chosen();
+        Link& helper = n.links[static_cast<std::size_t>(best_l)];
+        helper.delegated_since_bytes += bytes;
+        ++stats_.delegated_copies;
+        sink_.count("dataplane.delegated");
+        Event e;
+        e.time = now + helper.latency_ms;
+        e.kind = EventKind::kDelegateArrive;
+        e.node = helper.child;
+        e.dest = copy.dest;
+        e.pkt = copy.pkt;  // the queued ref rides the token
+        push_event(e);
+        update_congestion(node, now);
+        continue;
+      }
+    }
+
+    // Transmit: identical arithmetic to the legacy FIFO uplink —
+    // done = start + tx, arrival = done + link latency.
+    QueuedCopy copy = pop_chosen();
+    const double tx = packet_kbit_ / n.kbps * 1000.0;
+    n.tx_busy = true;
+    ++stats_.copies_sent;
+    sink_.observe("dataplane.backlog_ms", my_backlog);
+    const SimTime done = now + tx;
+    Event free;
+    free.time = done;
+    free.kind = EventKind::kTxFree;
+    free.node = node;
+    push_event(free);
+    const SimTime lat = chosen_q >= 0
+                            ? n.links[static_cast<std::size_t>(chosen_q)]
+                                  .latency_ms
+                            : latency_.latency(ids_[node], ids_[copy.dest]);
+    Event arr;
+    arr.time = done + lat;
+    arr.kind = EventKind::kArrival;
+    arr.node = copy.dest;
+    arr.pkt = copy.pkt;  // the queued ref rides the transmission
+    push_event(arr);
+    update_congestion(node, now);
+    return;
+  }
+}
+
+void BackpressureForwarder::handle_arrival(const Event& e) {
+  Node& n = nodes_[e.node];
+  const Packet& pkt = pool_.get(e.pkt);
+  delivered_bits_[e.node * words_per_node_ + pkt.seq / 64] |=
+      std::uint64_t{1} << (pkt.seq % 64);
+  ++n.delivered;
+  ++stats_.copies_delivered;
+  if (e.time < n.first_arrival_ms) n.first_arrival_ms = e.time;
+  if (e.time > n.last_arrival_ms) n.last_arrival_ms = e.time;
+  relay_to_children(e.node, e.pkt, e.time);
+  pool_.release(e.pkt);
+  --live_copies_;
+}
+
+void BackpressureForwarder::update_congestion(std::uint32_t node,
+                                              SimTime now) {
+  if (cfg_.admission_high_ms <= 0) return;
+  Node& n = nodes_[node];
+  const double b = backlog_ms(n);
+  if (!n.own_congested && b > cfg_.admission_high_ms) {
+    n.own_congested = true;
+  } else if (n.own_congested && b < cfg_.admission_low_ms) {
+    n.own_congested = false;
+  }
+  const bool subtree = n.own_congested || n.congested_children > 0;
+  if (node == source_) {
+    if (!subtree) maybe_resume(now);
+    return;
+  }
+  if (subtree != n.flag_sent) {
+    n.flag_sent = subtree;
+    Event e;
+    e.time = now + n.parent_latency_ms;
+    e.kind = EventKind::kFlagArrive;
+    e.node = n.parent;
+    e.dest = node;
+    e.aux = subtree ? 1 : 0;
+    push_event(e);
+  }
+}
+
+void BackpressureForwarder::maybe_resume(SimTime now) {
+  if (!emission_paused_) return;
+  emission_paused_ = false;
+  stats_.admission_paused_ms += now - pause_start_ms_;
+  sink_.trace(telemetry::EventType::kAdmissionGate, now, ids_[source_], 0, 0,
+              next_emit_);
+  // Re-anchor the emission clock: remaining packets pace from now.
+  emit_offset_ = now - static_cast<SimTime>(next_emit_) * gen_interval_;
+  Event e;
+  e.time = now;
+  e.kind = EventKind::kSourceEmit;
+  e.node = source_;
+  e.aux = next_emit_;
+  push_event(e);
+}
+
+void BackpressureForwarder::emit(std::uint32_t seq, SimTime now) {
+  Node& src = nodes_[source_];
+  const bool subtree_congested =
+      cfg_.admission_high_ms > 0 &&
+      (src.own_congested || src.congested_children > 0);
+  if (subtree_congested) {
+    emission_paused_ = true;
+    pause_start_ms_ = now;
+    ++stats_.admission_pauses;
+    sink_.count("dataplane.admission.pauses");
+    sink_.trace(telemetry::EventType::kAdmissionGate, now, ids_[source_], 0,
+                1, seq);
+    return;  // maybe_resume() re-schedules this seq when the flag clears
+  }
+  PacketRef pkt =
+      pool_.alloc(traffic_.stream, seq,
+                  static_cast<std::uint32_t>(traffic_.packet_bytes), now);
+  delivered_bits_[source_ * words_per_node_ + seq / 64] |=
+      std::uint64_t{1} << (seq % 64);
+  ++stats_.packets_emitted;
+  relay_to_children(source_, pkt, now);
+  pool_.release(pkt);
+  next_emit_ = seq + 1;
+  if (next_emit_ < traffic_.num_packets) {
+    Event e;
+    e.time = emit_offset_ +
+             static_cast<SimTime>(next_emit_) * gen_interval_;
+    e.kind = EventKind::kSourceEmit;
+    e.node = source_;
+    e.aux = next_emit_;
+    push_event(e);
+  }
+}
+
+ForwardStats BackpressureForwarder::run(const TrafficSpec& traffic) {
+  assert(!ran_ && "BackpressureForwarder is single-shot");
+  ran_ = true;
+  traffic_ = traffic;
+  stats_ = ForwardStats{};
+  if (nodes_.size() <= 1 || traffic_.num_packets == 0) {
+    stats_.session.receivers = 0;
+    return stats_;
+  }
+  assert(nodes_[source_].kbps > 0 &&
+         "call set_uplinks()/resolve_uplinks() before run()");
+
+  packet_kbit_ = static_cast<double>(traffic_.packet_bytes) * 8.0 / 1000.0;
+  gen_interval_ = traffic_.source_rate_kbps > 0
+                      ? packet_kbit_ / traffic_.source_rate_kbps * 1000.0
+                      : 0.0;
+  words_per_node_ = (traffic_.num_packets + 63) / 64;
+  delivered_bits_.assign(nodes_.size() * words_per_node_, 0);
+  stats_.copies_expected =
+      static_cast<std::uint64_t>(nodes_.size() - 1) * traffic_.num_packets;
+
+  // Pre-size the hot-path storage: the pool covers a few packets' worth
+  // of full-tree fan-out before its first mid-run slab growth, each
+  // link queue its own small working set.
+  pool_.reserve(2 * nodes_.size() + 64);
+  heap_.reserve(4 * nodes_.size() + 16);
+  for (Node& n : nodes_) {
+    n.first_arrival_ms = kInf;
+    n.last_arrival_ms = 0;
+    for (Link& l : n.links) l.queue.reserve(1, 8);
+    n.relay.reserve(1, 8);
+  }
+
+  Event first;
+  first.time = 0;
+  first.kind = EventKind::kSourceEmit;
+  first.node = source_;
+  first.aux = 0;
+  push_event(first);
+  if (cfg_.backpressure) {
+    for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
+      if (v == source_) continue;
+      Event e;
+      e.time = cfg_.depth_report_interval_ms;
+      e.kind = EventKind::kDepthReport;
+      e.node = v;
+      push_event(e);
+    }
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    switch (e.kind) {
+      case EventKind::kSourceEmit:
+        emit(static_cast<std::uint32_t>(e.aux), e.time);
+        break;
+      case EventKind::kArrival:
+        handle_arrival(e);
+        break;
+      case EventKind::kTxFree:
+        nodes_[e.node].tx_busy = false;
+        start_tx_if_idle(e.node, e.time);
+        break;
+      case EventKind::kDelegateArrive: {
+        enqueue_copy(e.node, e.dest, e.pkt, e.time, /*via_relay=*/true,
+                     /*delegated=*/true);
+        pool_.release(e.pkt);  // the token's ref; the queue holds its own
+        start_tx_if_idle(e.node, e.time);
+        update_congestion(e.node, e.time);
+        break;
+      }
+      case EventKind::kDepthReport: {
+        if (!active()) break;  // traffic drained; stop the chain
+        Node& n = nodes_[e.node];
+        Event adv;
+        adv.time = e.time + n.parent_latency_ms;
+        adv.kind = EventKind::kDepthArrive;
+        adv.node = n.parent;
+        adv.dest = e.node;
+        adv.value = backlog_ms(n);
+        push_event(adv);
+        Event next = e;
+        next.time = e.time + cfg_.depth_report_interval_ms;
+        push_event(next);
+        break;
+      }
+      case EventKind::kDepthArrive: {
+        Node& n = nodes_[e.node];
+        Link& l = n.links[link_index(n, e.dest)];
+        l.adv_backlog_ms = e.value;
+        l.delegated_since_bytes = 0;
+        break;
+      }
+      case EventKind::kFlagArrive: {
+        Node& n = nodes_[e.node];
+        if (e.aux != 0) {
+          ++n.congested_children;
+        } else {
+          assert(n.congested_children > 0);
+          --n.congested_children;
+        }
+        update_congestion(e.node, e.time);
+        break;
+      }
+    }
+  }
+  assert(pool_.in_use() == 0 && "packet leak: refs left at quiesce");
+
+  // Session stats, computed exactly as the legacy FIFO plane did so the
+  // FIFO configuration is bit-identical to the historical results.
+  SessionStats& s = stats_.session;
+  double min_rate = kInf;
+  double rate_sum = 0;
+  for (std::uint32_t u = 0; u < nodes_.size(); ++u) {
+    if (u == source_) continue;
+    const Node& n = nodes_[u];
+    ++s.receivers;
+    if (n.delivered > 0) {
+      if (n.last_arrival_ms > s.completion_ms) {
+        s.completion_ms = n.last_arrival_ms;
+      }
+      if (n.first_arrival_ms > s.max_first_packet_ms) {
+        s.max_first_packet_ms = n.first_arrival_ms;
+      }
+    }
+    double rate;
+    if (n.delivered >= 2 && n.last_arrival_ms > n.first_arrival_ms) {
+      rate = static_cast<double>(n.delivered - 1) * packet_kbit_ /
+             (n.last_arrival_ms - n.first_arrival_ms) * 1000.0;
+    } else {
+      rate = kInf;
+    }
+    if (rate < min_rate) min_rate = rate;
+    rate_sum += rate == kInf ? 0 : rate;
+  }
+  s.session_rate_kbps = min_rate == kInf ? 0 : min_rate;
+  s.mean_rate_kbps =
+      s.receivers > 0 ? rate_sum / static_cast<double>(s.receivers) : 0;
+
+  stats_.pool_peak_in_use = pool_.peak_in_use();
+  stats_.pool_allocs = pool_.total_allocs();
+  stats_.pool_recycled = pool_.recycled();
+  if (sink_.metrics != nullptr) {
+    sink_.count("dataplane.packets", stats_.packets_emitted);
+    sink_.count("dataplane.copies", stats_.copies_sent);
+    sink_.set_gauge("dataplane.max_backlog_ms", stats_.max_backlog_ms);
+    sink_.set_gauge("dataplane.pool.peak",
+                    static_cast<double>(stats_.pool_peak_in_use));
+  }
+  return stats_;
+}
+
+}  // namespace cam::dataplane

@@ -1,0 +1,248 @@
+// Backpressure packet forwarding over a recorded multicast tree.
+//
+// The paper's throughput model (Section 4.3) serializes every copy a
+// node forwards through one FIFO uplink; src/stream reproduced exactly
+// that. This forwarder generalizes it into a real packet data plane in
+// the IRON/GNAT mold (DESIGN.md §11):
+//
+//   * every node keeps one BinQueue per child link (bins keyed by
+//     stream) plus a relay queue for duties delegated to it;
+//   * the uplink transmitter serves the global-FIFO head by default and
+//     deviates to the steepest positive depth gradient — local link
+//     backlog minus the child's advertised uplink backlog — only when
+//     the gradient advantage exceeds a hysteresis, so with shallow
+//     queues the legacy FIFO schedule is reproduced bit for bit;
+//   * a congested node sheds forwarding duty: when its backlog crosses
+//     the delegation threshold, copies whose destination some other
+//     child (which already holds the packet) can serve more cheaply are
+//     delegated there with a control token instead of being transmitted
+//     — multicast traffic steers around the congested uplink;
+//   * children advertise their uplink backlog to their parent on a
+//     periodic depth report; between reports the parent corrects its
+//     view by the bytes it has delegated since (depth-gradient
+//     accounting);
+//   * source-side admission control: a node whose backlog crosses the
+//     high watermark raises a congestion flag that propagates up the
+//     tree; while the source's subtree flag is up, emission pauses, and
+//     it resumes when the backlog drains below the low watermark;
+//   * latency-constrained mode: a copy older than `deadline_ms` at
+//     service time is not transmitted — it is dropped as a *zombie*
+//     (IRON's term for expired-but-accounted packets) and counted in
+//     the dataplane.zombie.* series instead of queueing forever.
+//
+// With `backpressure = false` (or, equivalently, thresholds no queue
+// ever crosses) the forwarder IS the legacy FIFO plane: the same packet
+// arrival times to the last bit, which tests/dataplane_test.cpp pins by
+// comparing whole result structs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataplane/bin_queue.h"
+#include "dataplane/packet_pool.h"
+#include "ids/ring.h"
+#include "multicast/tree.h"
+#include "sim/latency.h"
+#include "telemetry/sink.h"
+
+namespace cam::dataplane {
+
+/// The packet stream a run pushes through the tree. (src/stream aliases
+/// this as cam::StreamConfig — the legacy API is a view of the data
+/// plane.)
+struct TrafficSpec {
+  std::uint64_t packet_bytes = 1250;  // 10 kbit per packet
+  std::uint32_t num_packets = 64;     // packets in the measured stream
+  double source_rate_kbps = 0;        // 0 = source emits back-to-back
+  std::uint64_t stream = 0;           // group/stream id the bins key on
+};
+
+/// Per-receiver and session-level results (cam::StreamResult alias).
+struct SessionStats {
+  /// Steady-state rate at the slowest receiver (kbps): delivered-1
+  /// packet payloads over the time between its first and last arrival.
+  double session_rate_kbps = 0;
+  /// Time (ms) until the last delivered packet lands anywhere.
+  SimTime completion_ms = 0;
+  /// Mean per-receiver steady-state rate (kbps).
+  double mean_rate_kbps = 0;
+  /// First-packet delivery spread (ms): max over receivers.
+  SimTime max_first_packet_ms = 0;
+  std::size_t receivers = 0;
+};
+
+struct ForwarderConfig {
+  /// false = legacy FIFO uplink plane (no gradients, no delegation, no
+  /// depth reports); true = congestion-gradient forwarding.
+  bool backpressure = true;
+  /// Minimum gradient advantage (ms of serialization backlog) before
+  /// service order deviates from FIFO or a copy is delegated. Zero
+  /// hysteresis would flap on ties; ties always fall back to the
+  /// recorded tree order.
+  double hysteresis_ms = 2.0;
+  /// Congestion slack (ms) past one full fan-out burst. One copy per
+  /// child is what a node holds right after any packet arrives — normal
+  /// operation, served pure FIFO. Only when backlog exceeds
+  /// burst + slack do gradient deviation and duty shedding activate.
+  double delegation_ms = 8.0;
+  /// Source admission watermarks (ms of backlog). 0 disables admission
+  /// control; otherwise emission pauses while any node in the tree
+  /// reports backlog above `admission_high_ms` and resumes once the
+  /// congested subtree drains below `admission_low_ms`.
+  double admission_high_ms = 0;
+  double admission_low_ms = 0;
+  /// Latency-constrained mode: a copy older than this at service time
+  /// is zombied instead of transmitted. 0 = no deadline.
+  double deadline_ms = 0;
+  /// Cadence of child -> parent uplink-backlog advertisements.
+  double depth_report_interval_ms = 20.0;
+};
+
+/// Everything one run measures, legacy session stats included.
+struct ForwardStats {
+  SessionStats session;
+  std::uint64_t packets_emitted = 0;
+  std::uint64_t copies_sent = 0;       // actual uplink transmissions
+  std::uint64_t copies_delivered = 0;  // arrivals at their destination
+  std::uint64_t copies_expected = 0;   // (nodes - 1) * num_packets
+  std::uint64_t delegated_copies = 0;  // duties steered off a hot uplink
+  std::uint64_t zombie_copies = 0;     // expired under deadline_ms
+  std::uint64_t zombie_bytes = 0;
+  std::uint64_t admission_pauses = 0;  // emission stop events
+  SimTime admission_paused_ms = 0;     // total time emission was gated
+  double max_backlog_ms = 0;           // deepest uplink backlog observed
+  std::size_t pool_peak_in_use = 0;
+  std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_recycled = 0;
+};
+
+class BackpressureForwarder {
+ public:
+  /// Builds the per-node link structure from the recorded tree. Node
+  /// indexing is by ascending id (deterministic across platforms).
+  BackpressureForwarder(const MulticastTree& tree,
+                        const LatencyModel& latency, ForwarderConfig cfg,
+                        telemetry::Sink sink = {});
+
+  /// Dense node table, ascending id; index i is the `dest` space of
+  /// QueuedCopy and the row of the uplink capacity table.
+  const std::vector<Id>& node_ids() const { return ids_; }
+
+  /// Installs the pre-resolved uplink capacity table (kbps, aligned
+  /// with node_ids()). All rates must be positive.
+  void set_uplinks(std::vector<double> kbps);
+  /// Convenience: resolves the table with one call per node at setup
+  /// time, so the per-packet hot path never touches a std::function.
+  void resolve_uplinks(const std::function<double(Id)>& kbps_of);
+
+  /// Runs one stream through the tree. Single-shot: construct a fresh
+  /// forwarder per stream.
+  ForwardStats run(const TrafficSpec& traffic);
+
+ private:
+  struct Link {
+    std::uint32_t child = 0;   // dense index
+    SimTime latency_ms = 0;    // one-way, resolved at construction
+    BinQueue queue;
+    // Depth-gradient accounting: the child's last advertised uplink
+    // backlog, plus a local correction for bytes delegated to it since
+    // that report.
+    double adv_backlog_ms = 0;
+    double delegated_since_bytes = 0;
+  };
+
+  struct Node {
+    std::uint32_t parent = 0;      // dense index; self for the source
+    SimTime parent_latency_ms = 0;
+    double kbps = 0;
+    std::vector<Link> links;       // ascending child id = tree order
+    BinQueue relay;                // delegated duties (foreign dests)
+    bool tx_busy = false;
+    // Admission state.
+    bool own_congested = false;
+    std::uint32_t congested_children = 0;
+    bool flag_sent = false;        // last subtree flag signaled upward
+    // Measurement.
+    SimTime first_arrival_ms = 0;
+    SimTime last_arrival_ms = 0;
+    std::uint32_t delivered = 0;
+  };
+
+  enum class EventKind : std::uint8_t {
+    kSourceEmit,     // node = source, aux = packet seq
+    kArrival,        // copy lands at `node`
+    kTxFree,         // node's transmitter finished a copy
+    kDelegateArrive, // delegated duty (pkt -> dest) reaches helper
+    kDepthReport,    // periodic advertisement tick at `node`
+    kDepthArrive,    // advertisement reaches the parent (value = ms)
+    kFlagArrive,     // congestion flag flips at the parent (aux = 0/1)
+  };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kSourceEmit;
+    std::uint32_t node = 0;
+    std::uint32_t dest = 0;
+    PacketRef pkt = kNullPacket;
+    std::uint64_t aux = 0;
+    double value = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(Event e);
+  double backlog_ms(const Node& n) const;
+  double backlog_bytes(const Node& n) const;
+  bool delivered(std::uint32_t node, std::uint32_t seq) const;
+  std::uint32_t link_index(const Node& n, std::uint32_t child) const;
+
+  void emit(std::uint32_t seq, SimTime now);
+  void enqueue_copy(std::uint32_t owner, std::uint32_t dest, PacketRef pkt,
+                    SimTime now, bool via_relay, bool delegated);
+  void relay_to_children(std::uint32_t node, PacketRef pkt, SimTime now);
+  void start_tx_if_idle(std::uint32_t node, SimTime now);
+  void serve(std::uint32_t node, SimTime now);
+  void handle_arrival(const Event& e);
+  void update_congestion(std::uint32_t node, SimTime now);
+  void maybe_resume(SimTime now);
+  bool active() const;
+
+  const LatencyModel& latency_;
+  ForwarderConfig cfg_;
+  telemetry::Sink sink_;
+
+  std::vector<Id> ids_;
+  std::vector<Node> nodes_;
+  std::uint32_t source_ = 0;
+
+  PacketPool pool_;
+  std::vector<Event> heap_;
+  std::uint64_t next_event_seq_ = 0;
+  std::uint64_t next_order_ = 0;
+
+  // Per-node delivery bitmap, num_packets bits each (steering
+  // eligibility: a helper must hold the packet it relays).
+  std::vector<std::uint64_t> delivered_bits_;
+  std::size_t words_per_node_ = 0;
+
+  TrafficSpec traffic_;
+  double packet_kbit_ = 0;
+  SimTime gen_interval_ = 0;
+  SimTime emit_offset_ = 0;   // 0 until admission pauses the source
+  std::uint32_t next_emit_ = 0;
+  bool emission_paused_ = false;
+  SimTime pause_start_ms_ = 0;
+  std::uint64_t live_copies_ = 0;
+  bool ran_ = false;
+
+  ForwardStats stats_;
+};
+
+}  // namespace cam::dataplane

@@ -1,0 +1,50 @@
+#include "dataplane/packet_pool.h"
+
+namespace cam::dataplane {
+
+void PacketPool::reserve(std::size_t packets) {
+  while (capacity() < packets) add_slab();
+}
+
+void PacketPool::add_slab() {
+  auto slab = std::make_unique<Packet[]>(kSlabPackets);
+  const PacketRef base = static_cast<PacketRef>(capacity());
+  // Thread the fresh slab onto the free list back-to-front so the pool
+  // hands out ascending handles first (stable, debuggable ordering).
+  for (std::size_t i = kSlabPackets; i-- > 0;) {
+    slab[i].next_free = free_head_;
+    free_head_ = base + static_cast<PacketRef>(i);
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+PacketRef PacketPool::alloc(std::uint64_t stream, std::uint32_t seq,
+                            std::uint32_t bytes, SimTime emitted_ms) {
+  if (free_head_ == kNullPacket) add_slab();
+  const PacketRef ref = free_head_;
+  Packet& p = get(ref);
+  free_head_ = p.next_free;
+  p.stream = stream;
+  p.seq = seq;
+  p.bytes = bytes;
+  p.emitted_ms = emitted_ms;
+  p.refs = 1;
+  p.next_free = kNullPacket;
+  ++total_allocs_;
+  ++in_use_;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  return ref;
+}
+
+void PacketPool::release(PacketRef ref) {
+  Packet& p = get(ref);
+  assert(p.refs > 0 && "release of a packet with no live references");
+  if (--p.refs > 0) return;
+  ++recycled_;
+  p.next_free = free_head_;
+  free_head_ = ref;
+  assert(in_use_ > 0);
+  --in_use_;
+}
+
+}  // namespace cam::dataplane

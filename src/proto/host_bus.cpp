@@ -1,8 +1,16 @@
 #include "proto/host_bus.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 namespace cam::proto {
+
+namespace {
+// Sentinel for "the sender never published a depth": a datagram from
+// such a host must not overwrite what the receiver learned elsewhere.
+constexpr double kNoDepth = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 void HostBus::attach(Id host, Handler handler) {
   handlers_[host] = std::move(handler);
@@ -12,6 +20,14 @@ void HostBus::detach(Id host) { handlers_.erase(host); }
 
 void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
                    MsgClass cls) {
+  // Piggyback snapshot: the depth carried is the sender's backlog AT
+  // POST TIME, not at delivery — the advertisement is as stale as the
+  // network is slow, exactly like a real header field.
+  double depth = kNoDepth;
+  if (!depths_.empty()) {
+    auto it = depths_.find(from);
+    if (it != depths_.end()) depth = it->second;
+  }
   SimTime primary_extra = 0;
   if (shaper_) {
     shape_delays_.clear();
@@ -21,7 +37,7 @@ void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
     // Extra entries are duplicate copies; each is a real datagram and
     // pays counters and network traffic like any other.
     for (std::size_t i = 1; i < shape_delays_.size(); ++i) {
-      deliver(from, to, msg, bytes, cls, shape_delays_[i]);
+      deliver(from, to, msg, bytes, cls, shape_delays_[i], depth);
     }
     primary_extra = shape_delays_.front();
   }
@@ -30,11 +46,23 @@ void HostBus::post(Id from, Id to, Message msg, std::size_t bytes,
     if (loss_ctr_ != nullptr) loss_ctr_->add();
     return;
   }
-  deliver(from, to, std::move(msg), bytes, cls, primary_extra);
+  deliver(from, to, std::move(msg), bytes, cls, primary_extra, depth);
+}
+
+double HostBus::local_depth(Id host) const {
+  auto it = depths_.find(host);
+  return it == depths_.end() ? 0 : it->second;
+}
+
+double HostBus::advertised_depth(Id observer, Id peer) const {
+  auto it = advertised_.find(observer);
+  if (it == advertised_.end()) return 0;
+  auto jt = it->second.find(peer);
+  return jt == it->second.end() ? 0 : jt->second;
 }
 
 void HostBus::deliver(Id from, Id to, Message msg, std::size_t bytes,
-                      MsgClass cls, SimTime extra_delay_ms) {
+                      MsgClass cls, SimTime extra_delay_ms, double depth) {
   if (msgs_total_ != nullptr) {
     auto idx = static_cast<std::size_t>(cls);
     msgs_total_->add();
@@ -44,13 +72,14 @@ void HostBus::deliver(Id from, Id to, Message msg, std::size_t bytes,
   }
   net_.send(
       from, to, bytes,
-      [this, from, to, m = std::move(msg)]() mutable {
+      [this, from, to, depth, m = std::move(msg)]() mutable {
         auto it = handlers_.find(to);
         if (it == handlers_.end()) {  // crashed before delivery
           ++detached_drops_;
           if (detached_ctr_ != nullptr) detached_ctr_->add();
           return;
         }
+        if (!std::isnan(depth)) advertised_[to][from] = depth;
         it->second(from, std::move(m));
       },
       cls, extra_delay_ms);

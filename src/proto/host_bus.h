@@ -72,6 +72,22 @@ class HostBus {
                          std::vector<SimTime>& delays)>;
   void set_shaper(Shaper shaper) { shaper_ = std::move(shaper); }
 
+  /// Queue-depth piggyback (DESIGN.md §11): a host publishes its local
+  /// data-plane uplink backlog (ms); every datagram it posts from then
+  /// on carries a snapshot of that depth taken at post() time, and the
+  /// receiver records it on delivery. Congestion gradients thus ride
+  /// existing traffic — no dedicated advertisement messages, no extra
+  /// bytes on the simulated wire. Hosts that never publish pay one
+  /// empty() test per post.
+  void set_local_depth(Id host, double backlog_ms) {
+    depths_[host] = backlog_ms;
+  }
+  /// Last depth the host published (0 if never).
+  double local_depth(Id host) const;
+  /// Last depth `observer` has received piggybacked from `peer` (0 if
+  /// no carrying datagram has been delivered).
+  double advertised_depth(Id observer, Id peer) const;
+
   /// Attaches telemetry; per-class message/byte counters and the drop
   /// counters are resolved once so posting stays one pointer test per
   /// metric when metrics are on and a single null test when off.
@@ -85,9 +101,10 @@ class HostBus {
   }
 
  private:
-  /// Ships one datagram copy (counters + network hand-off).
+  /// Ships one datagram copy (counters + network hand-off). `depth`
+  /// is the sender's piggybacked queue depth (NaN = none published).
   void deliver(Id from, Id to, Message msg, std::size_t bytes, MsgClass cls,
-               SimTime extra_delay_ms);
+               SimTime extra_delay_ms, double depth);
 
   Network& net_;
   FlatMap<Id, Handler> handlers_;
@@ -99,6 +116,11 @@ class HostBus {
   std::uint64_t detached_drops_ = 0;
   Shaper shaper_;
   std::vector<SimTime> shape_delays_;  // reused per post()
+
+  // Queue-depth piggyback state: published depths by host, and per
+  // (observer, peer) the last depth delivered to the observer.
+  FlatMap<Id, double> depths_;
+  FlatMap<Id, FlatMap<Id, double>> advertised_;
 
   telemetry::Sink sink_;
   // Cached metric handles (null when no metrics attached).

@@ -1,5 +1,12 @@
 #include "runtime/cells.h"
 
+#include <algorithm>
+
+#include "multicast/metrics.h"
+#include "sim/latency.h"
+#include "util/flat_table.h"
+#include "util/rng.h"
+
 namespace cam::runtime {
 
 PopulationRecipe PopulationRecipe::uniform(
@@ -95,6 +102,69 @@ std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
                                         const RunOptions& opts) {
   return map_ordered(cells.size(), opts.jobs,
                      [&](std::size_t i) { return run_cell(cells[i]); });
+}
+
+namespace {
+
+StreamCellResult stream_cell_on(const FrozenDirectory& dir,
+                                const StreamCellSpec& cell) {
+  StreamCellResult out;
+  if (dir.size() == 0) return out;
+  Rng rng(cell.seed);
+  const Id source = dir.ids()[rng.next_below(dir.size())];
+  const MulticastTree tree =
+      exp::run_multicast(cell.system, dir, source, cell.uniform_param);
+
+  // The hotspot is the busiest relay: most children among non-source
+  // interior nodes, ties to the smallest id. Counted through a FlatMap
+  // and resolved by an explicit scan so hash-map iteration order never
+  // leaks into the result.
+  bool has_hotspot = false;
+  if (cell.hotspot_factor != 1.0) {
+    FlatMap<Id, std::size_t> children;
+    children.reserve(tree.size());
+    for (const auto& [id, rec] : tree.entries()) {
+      if (id == tree.source()) continue;
+      ++children[rec.parent];
+    }
+    for (const auto& [id, count] : children) {
+      if (id == tree.source()) continue;
+      if (count > out.hotspot_children ||
+          (count == out.hotspot_children && has_hotspot &&
+           id < out.hotspot)) {
+        out.hotspot = id;
+        out.hotspot_children = count;
+        has_hotspot = true;
+      }
+    }
+  }
+
+  auto bw = [&](Id x) {
+    double kbps = dir.info(x).bandwidth_kbps;
+    if (has_hotspot && x == out.hotspot) kbps *= cell.hotspot_factor;
+    return kbps;
+  };
+  out.analytic_kbps = tree_throughput_kbps(tree, bw);
+
+  ConstantLatency lat(cell.latency_ms);
+  dataplane::BackpressureForwarder forwarder(tree, lat, cell.fwd);
+  forwarder.resolve_uplinks(bw);
+  out.stats = forwarder.run(cell.traffic);
+  return out;
+}
+
+}  // namespace
+
+StreamCellResult run_stream_cell(const StreamCellSpec& cell) {
+  if (cell.prebuilt != nullptr) return stream_cell_on(*cell.prebuilt, cell);
+  FrozenDirectory dir = cell.population.build();
+  return stream_cell_on(dir, cell);
+}
+
+std::vector<StreamCellResult> run_cells(
+    const std::vector<StreamCellSpec>& cells, const RunOptions& opts) {
+  return map_ordered(cells.size(), opts.jobs,
+                     [&](std::size_t i) { return run_stream_cell(cells[i]); });
 }
 
 }  // namespace cam::runtime

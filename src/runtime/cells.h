@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dataplane/forwarder.h"
 #include "experiments/runner.h"
 #include "overlay/directory.h"
 #include "runtime/sweep_pool.h"
@@ -77,5 +78,41 @@ struct RunOptions {
 /// Executes a cell grid; results land in spec order regardless of jobs.
 std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
                                         const RunOptions& opts = {});
+
+/// One packet-level data-plane measurement cell: build (or reuse) a
+/// population, grow one multicast tree from a seeded source, then push a
+/// packet stream through src/dataplane with the given forwarder config.
+/// `hotspot_factor` scales the uplink of the tree's busiest relay (the
+/// non-source interior node with the most children; ties break to the
+/// smallest id) — the hotspot-link experiment of abl_backpressure.
+struct StreamCellSpec {
+  exp::System system = exp::System::kCamChord;
+  PopulationRecipe population;
+  const FrozenDirectory* prebuilt = nullptr;
+  std::uint64_t seed = 1;           // source-draw seed
+  std::uint32_t uniform_param = 0;  // Chord base / Koorde degree
+  dataplane::ForwarderConfig fwd;
+  dataplane::TrafficSpec traffic;
+  double latency_ms = 10.0;         // constant per-link propagation
+  double hotspot_factor = 1.0;      // 1.0 = no induced hotspot
+};
+
+struct StreamCellResult {
+  dataplane::ForwardStats stats;
+  /// Analytic session rate (multicast/metrics.h) for the same tree and
+  /// the same (hotspot-scaled) uplink table.
+  double analytic_kbps = 0;
+  Id hotspot = 0;                   // scaled node (0 if none qualified)
+  std::size_t hotspot_children = 0;
+};
+
+/// Executes one stream cell on the calling thread. Cells share nothing
+/// mutable, so any grid of them is safe on a SweepPool.
+StreamCellResult run_stream_cell(const StreamCellSpec& cell);
+
+/// Stream-cell grid on the same ordered-sweep machinery: results in
+/// spec order, byte-identical for any --jobs value.
+std::vector<StreamCellResult> run_cells(
+    const std::vector<StreamCellSpec>& cells, const RunOptions& opts = {});
 
 }  // namespace cam::runtime

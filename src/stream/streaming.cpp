@@ -1,123 +1,14 @@
 #include "stream/streaming.h"
 
-#include <algorithm>
-#include <limits>
-#include <queue>
-#include <vector>
-
 namespace cam {
-
-namespace {
-
-struct Arrival {
-  SimTime time;
-  std::uint64_t seq;
-  std::uint32_t node_idx;
-  std::uint32_t packet;
-};
-struct Later {
-  bool operator()(const Arrival& a, const Arrival& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-}  // namespace
 
 StreamResult stream_over_tree(const MulticastTree& tree, const UplinkFn& uplink,
                               const LatencyModel& latency, StreamConfig cfg) {
-  StreamResult out;
-  if (tree.size() <= 1 || cfg.num_packets == 0) return out;
-
-  // Dense-index the tree nodes and build children lists.
-  std::vector<Id> nodes;
-  nodes.reserve(tree.size());
-  std::unordered_map<Id, std::uint32_t> index;
-  index.reserve(tree.size());
-  for (const auto& [id, rec] : tree.entries()) {
-    index.emplace(id, static_cast<std::uint32_t>(nodes.size()));
-    nodes.push_back(id);
-  }
-  std::vector<std::vector<std::uint32_t>> children(nodes.size());
-  for (const auto& [id, rec] : tree.entries()) {
-    if (id == tree.source()) continue;
-    children[index.at(rec.parent)].push_back(index.at(id));
-  }
-  // Deterministic child order regardless of hash-map iteration.
-  for (auto& c : children) std::sort(c.begin(), c.end());
-
-  const double packet_kbit =
-      static_cast<double>(cfg.packet_bytes) * 8.0 / 1000.0;
-
-  std::vector<SimTime> busy_until(nodes.size(), 0.0);
-  std::vector<SimTime> first_arrival(
-      nodes.size(), std::numeric_limits<SimTime>::infinity());
-  std::vector<SimTime> last_arrival(nodes.size(), 0.0);
-  std::vector<std::uint32_t> packets_seen(nodes.size(), 0);
-
-  std::priority_queue<Arrival, std::vector<Arrival>, Later> queue;
-  std::uint64_t seq = 0;
-
-  // A node relays packet p to its children, round-robin-rotated by p so
-  // no child permanently pays the full serialization delay.
-  auto relay = [&](std::uint32_t u, std::uint32_t packet, SimTime now) {
-    const auto& kids = children[u];
-    if (kids.empty()) return;
-    const double kbps = uplink(nodes[u]);
-    const SimTime tx = packet_kbit / kbps * 1000.0;  // ms per copy
-    const std::size_t rot = packet % kids.size();
-    for (std::size_t j = 0; j < kids.size(); ++j) {
-      std::uint32_t child = kids[(j + rot) % kids.size()];
-      SimTime start = std::max(busy_until[u], now);
-      busy_until[u] = start + tx;
-      SimTime arrive =
-          busy_until[u] + latency.latency(nodes[u], nodes[child]);
-      queue.push(Arrival{arrive, seq++, child, packet});
-    }
-  };
-
-  // Source emission: paced at source_rate_kbps, or back-to-back.
-  const std::uint32_t src = index.at(tree.source());
-  const SimTime gen_interval =
-      cfg.source_rate_kbps > 0 ? packet_kbit / cfg.source_rate_kbps * 1000.0
-                               : 0.0;
-  for (std::uint32_t p = 0; p < cfg.num_packets; ++p) {
-    relay(src, p, static_cast<SimTime>(p) * gen_interval);
-  }
-
-  while (!queue.empty()) {
-    Arrival a = queue.top();
-    queue.pop();
-    first_arrival[a.node_idx] = std::min(first_arrival[a.node_idx], a.time);
-    last_arrival[a.node_idx] = std::max(last_arrival[a.node_idx], a.time);
-    ++packets_seen[a.node_idx];
-    relay(a.node_idx, a.packet, a.time);
-  }
-
-  // Per-receiver steady-state rates.
-  double min_rate = std::numeric_limits<double>::infinity();
-  double rate_sum = 0;
-  for (std::uint32_t u = 0; u < nodes.size(); ++u) {
-    if (u == src) continue;
-    ++out.receivers;
-    out.completion_ms = std::max(out.completion_ms, last_arrival[u]);
-    out.max_first_packet_ms =
-        std::max(out.max_first_packet_ms, first_arrival[u]);
-    double rate;
-    if (cfg.num_packets >= 2 && last_arrival[u] > first_arrival[u]) {
-      rate = static_cast<double>(cfg.num_packets - 1) * packet_kbit /
-             (last_arrival[u] - first_arrival[u]) * 1000.0;
-    } else {
-      rate = std::numeric_limits<double>::infinity();
-    }
-    min_rate = std::min(min_rate, rate);
-    rate_sum += rate == std::numeric_limits<double>::infinity() ? 0 : rate;
-  }
-  out.session_rate_kbps =
-      min_rate == std::numeric_limits<double>::infinity() ? 0 : min_rate;
-  out.mean_rate_kbps =
-      out.receivers > 0 ? rate_sum / static_cast<double>(out.receivers) : 0;
-  return out;
+  dataplane::ForwarderConfig fwd;
+  fwd.backpressure = false;  // the paper's Section 4.3 FIFO uplink plane
+  dataplane::BackpressureForwarder forwarder(tree, latency, fwd);
+  if (tree.size() > 1) forwarder.resolve_uplinks(uplink);
+  return forwarder.run(cfg).session;
 }
 
 }  // namespace cam

@@ -2,11 +2,19 @@
 //
 // Section 4.3 of the paper: "a node does not have to wait for the entire
 // message to arrive before forwarding it to neighbors. The forwarding is
-// done on per packet basis." This module simulates exactly that: the
+// done on per packet basis." This module exposes exactly that: the
 // source emits a stream of packets; every tree node forwards each packet
 // to its children as soon as it arrives, subject to its *uplink* — a
 // FIFO transmitter serving bandwidth_kbps — plus per-link propagation
 // latency.
+//
+// Since the backpressure data plane landed (src/dataplane, DESIGN.md
+// §11) this API is a thin view of it: stream_over_tree() runs a
+// BackpressureForwarder with backpressure disabled, which reproduces the
+// legacy single-FIFO uplink schedule bit for bit (the forwarder's FIFO
+// service order and transmit arithmetic are the paper model's). The
+// UplinkFn is resolved into a dense capacity table once at setup, so the
+// per-packet hot path never invokes a std::function.
 //
 // The sustainable session rate measured here validates the analytic
 // throughput model of multicast/metrics.h mechanistically: a node with
@@ -15,37 +23,23 @@
 // every downstream receiver. abl_streaming bench quantifies the match.
 #pragma once
 
-#include <cstdint>
 #include <functional>
-#include <unordered_map>
 
+#include "dataplane/forwarder.h"
 #include "ids/ring.h"
 #include "multicast/tree.h"
 #include "sim/latency.h"
 
 namespace cam {
 
-struct StreamConfig {
-  std::uint64_t packet_bytes = 1250;   // 10 kbit per packet
-  std::uint32_t num_packets = 64;      // packets in the measured stream
-  double source_rate_kbps = 0;         // 0 = source emits back-to-back
-};
+/// Legacy names for the data-plane types: the stream API predates
+/// src/dataplane and every caller keeps compiling unchanged.
+using StreamConfig = dataplane::TrafficSpec;
+using StreamResult = dataplane::SessionStats;
 
-/// Per-receiver and session-level results of one streamed multicast.
-struct StreamResult {
-  /// Steady-state rate at the slowest receiver (kbps): (K-1) packet
-  /// payloads over the time between its first and last packet arrival.
-  double session_rate_kbps = 0;
-  /// Time (ms) until every receiver holds the full stream.
-  SimTime completion_ms = 0;
-  /// Mean per-receiver steady-state rate (kbps).
-  double mean_rate_kbps = 0;
-  /// First-packet delivery spread (ms): max over receivers.
-  SimTime max_first_packet_ms = 0;
-  std::size_t receivers = 0;
-};
-
-/// Upload bandwidth (kbps) of a node.
+/// Upload bandwidth (kbps) of a node. Resolved once per run into a
+/// dense table (dataplane::BackpressureForwarder::resolve_uplinks); the
+/// hot path indexes the table, it never calls this.
 using UplinkFn = std::function<double(Id)>;
 
 /// Streams `cfg.num_packets` packets from the tree's source through the

@@ -14,7 +14,7 @@ constexpr const char* kEventNames[kNumEventTypes] = {
     "mc_deliver",     "mc_dup_suppress", "mc_retransmit", "ring_sample",
     "fault_drop",     "fault_dup",  "fault_delay", "fault_partition",
     "fault_heal",     "repair_give_up", "repair_redelegate",
-    "repair_digest",  "repair_pull",
+    "repair_digest",  "repair_pull", "packet_zombie", "admission_gate",
 };
 
 }  // namespace

@@ -59,6 +59,11 @@ namespace cam::telemetry {
 ///                     a=ids advertised (high-rate; milestone-masked)
 ///   kRepairPull       missed stream pulled: peer=provider, a=stream id,
 ///                     b=delivery depth after the pull
+///   kPacketZombie     data-plane copy expired past its deadline:
+///                     node=holder, peer=intended dest, a=stream id,
+///                     b=packet seq
+///   kAdmissionGate    source emission gated: node=source, a=1 pause /
+///                     0 resume, b=next packet seq held back
 enum class EventType : std::uint8_t {
   kJoinStart = 0,
   kJoinDone,
@@ -89,8 +94,10 @@ enum class EventType : std::uint8_t {
   kRepairRedelegate,
   kRepairDigest,
   kRepairPull,
+  kPacketZombie,
+  kAdmissionGate,
 };
-inline constexpr int kNumEventTypes = 29;
+inline constexpr int kNumEventTypes = 31;
 
 const char* event_name(EventType t);
 /// Inverse of event_name; returns false if `name` is unknown.

@@ -183,5 +183,41 @@ TEST(HostBusFault, RpcPairsStayCausalUnderDuplicationAndReorder) {
   }
 }
 
+// Queue-depth piggyback (DESIGN.md §11): a host that publishes its
+// uplink backlog has it carried on every datagram it posts, snapshotted
+// at post time; hosts that never publish leave the receiver's view
+// untouched.
+TEST(HostBusFault, DepthPiggybacksOnDatagrams) {
+  BusFixture f;
+  int delivered = 0;
+  f.bus.attach(1, [](Id, Message) {});
+  f.bus.attach(2, [&](Id, Message) { ++delivered; });
+
+  // No publication yet: delivery records nothing.
+  f.bus.post(1, 2, ping_msg(), 64);
+  f.sim.run_until(f.sim.now() + 50);
+  ASSERT_EQ(delivered, 1);
+  EXPECT_EQ(f.bus.advertised_depth(2, 1), 0.0);
+
+  f.bus.set_local_depth(1, 120.0);
+  EXPECT_EQ(f.bus.local_depth(1), 120.0);
+  f.bus.post(1, 2, ping_msg(), 64);
+  // The depth travels with the datagram already in flight: changing the
+  // local value after post() must not alter what arrives.
+  f.bus.set_local_depth(1, 999.0);
+  f.sim.run_until(f.sim.now() + 50);
+  ASSERT_EQ(delivered, 2);
+  EXPECT_EQ(f.bus.advertised_depth(2, 1), 120.0);
+
+  // Later datagrams carry the updated snapshot and overwrite the view;
+  // the reverse direction (2's view of nothing-published hosts) and an
+  // unrelated observer stay at the "never heard" default.
+  f.bus.post(1, 2, ping_msg(), 64);
+  f.sim.run_until(f.sim.now() + 50);
+  EXPECT_EQ(f.bus.advertised_depth(2, 1), 999.0);
+  EXPECT_EQ(f.bus.advertised_depth(1, 2), 0.0);
+  EXPECT_EQ(f.bus.advertised_depth(3, 1), 0.0);
+}
+
 }  // namespace
 }  // namespace cam::proto
