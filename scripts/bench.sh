@@ -8,6 +8,8 @@
 #   micro_ops    — event-engine + flat-table microbenchmarks
 #   abl_backpressure — the data-plane hotspot grid (Ablation A12);
 #                  tracked rows go to BENCH_PR6.json
+#   abl_manygroup — the many-group session grid (Ablation A13);
+#                  tracked rows go to BENCH_PR7.json
 #
 # Modes:
 #   scripts/bench.sh                full run; rewrites BENCH_PR5.json
@@ -218,5 +220,57 @@ for system, s in summary.items():
         print("bench: uncongested backpressure diverged from FIFO "
               f"for {system} — byte-identity broken", file=sys.stderr)
         sys.exit(1)
+print(f"bench: wrote {path}")
+EOF
+
+# ---------------------------------------------------------------------
+# Session phase (BENCH_PR7.json): the Ablation A13 many-group grid —
+# 500 zipf-sized groups over one 2000-node overlay, admitted through
+# the shared-uplink CapacityLedger and streamed concurrently through
+# the multi-group data plane. Rows are deterministic in --seed; the
+# bench itself exits nonzero if any node's summed uplink usage exceeds
+# its capacity or any group sees a duplicate delivery, so a tracked
+# file existing at all certifies the ledger invariant held.
+MG_OUT=BENCH_PR7.json
+echo "== bench: abl_manygroup (many-group session grid, n=2000) =="
+cmake --build "$BUILD" -j --target abl_manygroup >/dev/null
+MG_JSON=$($PIN "./$BUILD/bench/abl_manygroup" --json --jobs=4)
+
+python3 - "$MG_OUT" <<'EOF' "$MG_JSON"
+import json, sys
+path, rows = sys.argv[1], json.loads(sys.argv[2])["rows"]
+history = {}
+try:
+    history = json.load(open(path)).get("history", {})
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+summary = {}
+for r in rows:
+    key = f"{r['system']}/{r['mode']}"
+    summary[key] = {
+        "groups": r["groups"],
+        "streamed": r["streamed"],
+        "joins_rejected": r["joins_rejected"],
+        "goodput_kbps": r["goodput_kbps"],
+        "jain": r["jain"],
+        "p99_ms": r["p99_ms"],
+    }
+    if r["max_util"] > 1.0:
+        print(f"bench: ledger oversubscription in {key} "
+              f"(max_util={r['max_util']})", file=sys.stderr)
+        sys.exit(1)
+doc = {
+    "schema": "cam-bench-v1",
+    "generated_by": "scripts/bench.sh (release preset, abl_manygroup "
+                    "--json --jobs=4, n=2000 seed=7)",
+    "manygroup": {"rows": rows, "summary": summary},
+    "history": history,
+}
+json.dump(doc, open(path, "w"), indent=2)
+open(path, "a").write("\n")
+for key, s in summary.items():
+    print(f"{key}: {s['streamed']}/{s['groups']} groups streamed, "
+          f"goodput {s['goodput_kbps']:.1f} kbps, jain {s['jain']:.4f}, "
+          f"p99 {s['p99_ms']:.1f} ms, {s['joins_rejected']} joins rejected")
 print(f"bench: wrote {path}")
 EOF

@@ -11,11 +11,11 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo
-echo "== tier-1: ASan+UBSan build, telemetry + protocol + dataplane tests =="
+echo "== tier-1: ASan+UBSan build, telemetry + protocol + dataplane + session tests =="
 cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target cam_tests dataplane_alloc_probe
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue'
+  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue|Session|Zipf|FlashWave|WorkloadPlan|GenerateEvents|CapacityLedger|GroupTree|Piggyback'
 
 echo
 echo "== tier-1: ASan+UBSan chaos smoke (camsim chaos) =="
@@ -56,10 +56,10 @@ cmake --build build-tsan -j --target camsim
   --seeds=1..4 --jobs=4 --plan-text="$CRASH_WAVE_PLAN" > /dev/null
 
 echo
-echo "== tier-1: TSan engine goldens + dataplane sweep (byte-identity) =="
+echo "== tier-1: TSan engine goldens + dataplane/session sweeps (byte-identity) =="
 cmake --build build-tsan -j --target cam_tests
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'EngineGolden|DataplaneSweep'
+  -R 'EngineGolden|DataplaneSweep|SessionSweep'
 
 echo
 echo "tier-1 OK"

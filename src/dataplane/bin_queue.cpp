@@ -85,6 +85,22 @@ const Bin* BinQueue::select_pressure() const {
   return best;
 }
 
+const Bin* BinQueue::select_stream(std::uint64_t stream) const {
+  auto it = index_.find(stream);
+  if (it == index_.end()) return nullptr;
+  const Bin& bin = bins_[it->second];
+  return bin.empty() ? nullptr : &bin;
+}
+
+const QueuedCopy* BinQueue::peek_stream(std::uint64_t stream) const {
+  const Bin* bin = select_stream(stream);
+  return bin == nullptr ? nullptr : &bin->front();
+}
+
+QueuedCopy BinQueue::pop_stream(std::uint64_t stream, std::uint32_t bytes) {
+  return pop_from(select_stream(stream), bytes);
+}
+
 const QueuedCopy* BinQueue::peek_fifo() const {
   const Bin* bin = select_fifo();
   return bin == nullptr ? nullptr : &bin->front();

@@ -92,15 +92,22 @@ class BinQueue {
   /// Head copy of the deepest bin (most bytes; ties break to the lower
   /// enqueue stamp, so the choice is deterministic), or nullptr.
   const QueuedCopy* peek_pressure() const;
+  /// Head copy of one stream's bin (FIFO within the bin), or nullptr if
+  /// the stream has no queued copies. The session layer's per-group
+  /// virtual transmitters serve this view: each group drains its own
+  /// bin independently of what the other groups have queued here.
+  const QueuedCopy* peek_stream(std::uint64_t stream) const;
 
-  /// Pops the copy `peek_fifo()` / `peek_pressure()` returned.
-  /// `bytes` must be the packet's size (depth accounting).
+  /// Pops the copy `peek_fifo()` / `peek_pressure()` / `peek_stream()`
+  /// returned. `bytes` must be the packet's size (depth accounting).
   QueuedCopy pop_fifo(std::uint32_t bytes);
   QueuedCopy pop_pressure(std::uint32_t bytes);
+  QueuedCopy pop_stream(std::uint64_t stream, std::uint32_t bytes);
 
  private:
   const Bin* select_fifo() const;
   const Bin* select_pressure() const;
+  const Bin* select_stream(std::uint64_t stream) const;
   QueuedCopy pop_from(const Bin* bin, std::uint32_t bytes);
 
   FlatMap<std::uint64_t, std::uint32_t> index_;  // stream -> bins_ slot

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace cam::dataplane {
@@ -474,6 +475,11 @@ ForwardStats BackpressureForwarder::run(const TrafficSpec& traffic) {
         adv.node = n.parent;
         adv.dest = e.node;
         adv.value = backlog_ms(n);
+        if (feed_) {
+          // Piggyback mode: the value travels through the external
+          // transport; the event only marks when the parent looks.
+          feed_.publish(ids_[e.node], adv.value, e.time);
+        }
         push_event(adv);
         Event next = e;
         next.time = e.time + cfg_.depth_report_interval_ms;
@@ -483,7 +489,13 @@ ForwardStats BackpressureForwarder::run(const TrafficSpec& traffic) {
       case EventKind::kDepthArrive: {
         Node& n = nodes_[e.node];
         Link& l = n.links[link_index(n, e.dest)];
-        l.adv_backlog_ms = e.value;
+        double value = e.value;
+        if (feed_) {
+          feed_.advance(e.time);
+          value = feed_.sample(ids_[e.node], ids_[e.dest]);
+          if (std::isnan(value)) break;  // lost in transit: keep old view
+        }
+        l.adv_backlog_ms = value;
         l.delegated_since_bytes = 0;
         break;
       }

@@ -100,6 +100,25 @@ struct ForwarderConfig {
   double depth_report_interval_ms = 20.0;
 };
 
+/// External transport for child -> parent backlog advertisements
+/// (DESIGN.md §11). The forwarder's default is an oracle: the depth
+/// value rides inside its own simulation event. With hooks installed,
+/// the value instead travels through a real protocol stack — publish()
+/// hands the child's fresh backlog to the transport at report time,
+/// advance() runs the transport clock forward, and sample() returns the
+/// last depth the parent has actually *received* from the child (NaN =
+/// nothing delivered yet; the parent keeps its previous view). See
+/// proto/depth_feed.h for the HostBus piggyback binding.
+struct DepthFeedHooks {
+  std::function<void(Id child, double backlog_ms, SimTime now)> publish;
+  std::function<void(SimTime now)> advance;
+  std::function<double(Id observer, Id peer)> sample;
+
+  explicit operator bool() const {
+    return publish != nullptr && advance != nullptr && sample != nullptr;
+  }
+};
+
 /// Everything one run measures, legacy session stats included.
 struct ForwardStats {
   SessionStats session;
@@ -136,6 +155,10 @@ class BackpressureForwarder {
   /// Convenience: resolves the table with one call per node at setup
   /// time, so the per-packet hot path never touches a std::function.
   void resolve_uplinks(const std::function<double(Id)>& kbps_of);
+
+  /// Routes depth advertisements through an external transport instead
+  /// of the oracle event payload. Install before run().
+  void set_depth_feed(DepthFeedHooks feed) { feed_ = std::move(feed); }
 
   /// Runs one stream through the tree. Single-shot: construct a fresh
   /// forwarder per stream.
@@ -217,6 +240,7 @@ class BackpressureForwarder {
   const LatencyModel& latency_;
   ForwarderConfig cfg_;
   telemetry::Sink sink_;
+  DepthFeedHooks feed_;
 
   std::vector<Id> ids_;
   std::vector<Node> nodes_;

@@ -1,0 +1,181 @@
+#include "fault/session_chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "runtime/sweep_pool.h"
+#include "workload/population.h"
+
+namespace cam::fault {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+exp::System parse_system(const std::string& s) {
+  return s == "camkoorde" ? exp::System::kCamKoorde
+                          : exp::System::kCamChord;
+}
+
+void merge(session::ApplyStats& into, const session::ApplyStats& part) {
+  into.creates += part.creates;
+  into.joins_ok += part.joins_ok;
+  into.joins_rejected += part.joins_rejected;
+  into.leaves += part.leaves;
+  into.noop_leaves += part.noop_leaves;
+  into.fails += part.fails;
+}
+
+/// Wraps SessionLayer::check() lines into Violations, tagged with how
+/// far into the script the sweep ran.
+void sweep_invariants(const session::SessionLayer& layer,
+                      std::size_t applied,
+                      std::vector<Violation>& out) {
+  for (const std::string& line : layer.check()) {
+    out.push_back(Violation{"session.consistency", 0,
+                            "after event " + std::to_string(applied) +
+                                ": " + line});
+  }
+}
+
+}  // namespace
+
+SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
+                                     const workload::WorkloadPlan& plan) {
+  SessionChaosReport rep;
+  rep.cfg = cfg;
+  rep.plan_text = plan.to_string();
+
+  workload::PopulationSpec spec;
+  spec.n = cfg.n;
+  spec.ring_bits = cfg.bits;
+  spec.bw_lo_kbps = cfg.bw_lo_kbps;
+  spec.bw_hi_kbps = cfg.bw_hi_kbps;
+  spec.seed = cfg.seed;
+  const NodeDirectory ndir =
+      workload::uniform_capacity_population(spec, cfg.cap_lo, cfg.cap_hi);
+  const FrozenDirectory dir = ndir.freeze();
+
+  session::SessionLayer layer(dir, parse_system(cfg.system));
+
+  const std::vector<workload::SessionEvent> events =
+      workload::generate_events(plan, dir, cfg.seed);
+  rep.events = events.size();
+
+  // Replay in invariant-swept chunks: membership chaos is only chaos if
+  // the ledger/tree cross-checks hold WHILE it happens, not just after.
+  const std::size_t step = cfg.check_every == 0 ? events.size() + 1
+                                                : cfg.check_every;
+  for (std::size_t off = 0; off < events.size(); off += step) {
+    const std::size_t end = std::min(events.size(), off + step);
+    const std::vector<workload::SessionEvent> chunk(
+        events.begin() + static_cast<std::ptrdiff_t>(off),
+        events.begin() + static_cast<std::ptrdiff_t>(end));
+    merge(rep.apply, session::apply_events(layer, chunk));
+    sweep_invariants(layer, end, rep.violations);
+  }
+  if (events.empty()) sweep_invariants(layer, 0, rep.violations);
+
+  rep.counters = layer.counters();
+  rep.groups = layer.group_count();
+  for (session::GroupId g : layer.group_ids()) {
+    rep.memberships += layer.group(g)->size();
+  }
+  rep.max_utilization = layer.ledger().max_utilization();
+
+  // Stream the first eligible groups through the shared dataplane and
+  // hold every delivery to cross-group exactly-once + completeness.
+  std::vector<session::GroupTraffic> traffic;
+  for (session::GroupId g : layer.group_ids()) {
+    if (traffic.size() >= cfg.stream_groups) break;
+    if (layer.group(g)->size() < 2) continue;
+    session::GroupTraffic t;
+    t.group = g;
+    t.num_packets = cfg.stream_packets;
+    traffic.push_back(t);
+  }
+  if (!traffic.empty()) {
+    const ConstantLatency latency(1.0);
+    session::MultiGroupForwarder fwd(layer, latency,
+                                     session::MultiGroupConfig{cfg.mode});
+    const session::MultiGroupStats stats = fwd.run(traffic);
+    rep.streamed = stats.groups.size();
+    for (const session::GroupRunStats& g : stats.groups) {
+      rep.copies_delivered += g.copies_delivered;
+      rep.copies_expected += g.copies_expected;
+      rep.dup_copies += g.duplicate_deliveries;
+      if (g.duplicate_deliveries != 0) {
+        rep.violations.push_back(Violation{
+            "session.exactly_once", 0,
+            "group " + std::to_string(g.group) + ": " +
+                std::to_string(g.duplicate_deliveries) +
+                " duplicate deliveries"});
+      }
+      if (g.copies_delivered != g.copies_expected) {
+        rep.violations.push_back(Violation{
+            "session.delivery", 0,
+            "group " + std::to_string(g.group) + ": delivered " +
+                std::to_string(g.copies_delivered) + " of " +
+                std::to_string(g.copies_expected)});
+      }
+    }
+  }
+
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+std::string SessionChaosReport::render() const {
+  std::ostringstream os;
+  os << "session-chaos system=" << cfg.system << " n=" << cfg.n
+     << " bits=" << cfg.bits << " seed=" << cfg.seed
+     << " mode=" << (cfg.mode == session::SchedMode::kShared
+                         ? "shared"
+                         : "ledger-shares")
+     << "\n";
+  os << "plan:\n" << plan_text;
+  os << "apply: events=" << events << " creates=" << apply.creates
+     << " joins_ok=" << apply.joins_ok
+     << " joins_rejected=" << apply.joins_rejected
+     << " leaves=" << apply.leaves << " noop_leaves=" << apply.noop_leaves
+     << " fails=" << apply.fails << "\n";
+  os << "counters: created=" << counters.groups_created
+     << " destroyed=" << counters.groups_destroyed
+     << " joins_ok=" << counters.joins_ok
+     << " rejected=" << counters.joins_rejected
+     << " leaves=" << counters.leaves
+     << " failures=" << counters.failures
+     << " reparented=" << counters.reparented
+     << " dropped=" << counters.dropped_members << "\n";
+  os << "state: groups=" << groups << " memberships=" << memberships
+     << " max_util=" << num(max_utilization) << "\n";
+  os << "stream: groups=" << streamed << " delivered=" << copies_delivered
+     << "/" << copies_expected << " dups=" << dup_copies << "\n";
+  os << "violations=" << violations.size() << "\n";
+  os << render_violations(violations);
+  os << "ok=" << (ok ? "true" : "false") << "\n";
+  return os.str();
+}
+
+std::vector<SessionChaosReport> run_session_chaos_cells(
+    const std::vector<SessionChaosCell>& cells, std::size_t jobs) {
+  return runtime::map_ordered(cells.size(), jobs, [&](std::size_t i) {
+    return run_session_chaos(cells[i].cfg, cells[i].plan);
+  });
+}
+
+workload::WorkloadPlan default_session_workload() {
+  workload::WorkloadPlan plan;
+  plan.groups(6, 1.0, 2, 12);
+  plan.flash(1, 10.0, 8, 2.0);
+  plan.diurnal(20.0, 220.0, 100.0, 0.5, 0.05, 0.03);
+  plan.region_fail(240.0, 0, 0.1, 3);
+  return plan;
+}
+
+}  // namespace cam::fault

@@ -1,0 +1,92 @@
+// run_session_chaos: one seeded end-to-end many-group chaos experiment.
+//
+// Where run_chaos stresses the async protocol stack with message faults,
+// this harness stresses the SESSION layer with membership chaos: expand
+// a WorkloadPlan (zipf group fleet, flash crowds, diurnal churn,
+// regional failure bursts) into an event script, replay it against a
+// SessionLayer, and sweep the group-level invariants as it goes —
+// per-group tree consistency against the shared CapacityLedger, no node
+// oversubscribed, membership views convergent. After the script, the
+// surviving groups stream through the MultiGroupForwarder and every
+// delivery is checked for cross-group exactly-once and completeness.
+//
+// The whole run is a deterministic function of (config, plan): render()
+// is byte-identical across repeats with the same inputs, so a failing
+// seed IS the reproduction recipe (the property tests/session_chaos_test
+// sweeps across 64+ seeds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/invariants.h"
+#include "session/apply.h"
+#include "session/multi_forwarder.h"
+#include "session/session.h"
+#include "workload/session_workload.h"
+
+namespace cam::fault {
+
+struct SessionChaosConfig {
+  std::string system = "camchord";  // "camchord" | "camkoorde"
+  std::size_t n = 64;               // overlay population
+  int bits = 12;                    // ring identifier bits
+  std::uint64_t seed = 1;           // population + workload seed
+  double bw_lo_kbps = 400;          // paper Section 6 bandwidth range
+  double bw_hi_kbps = 1000;
+  std::uint32_t cap_lo = 4;         // uniform capacity range
+  std::uint32_t cap_hi = 10;
+  /// Invariant sweep cadence: full SessionLayer::check() every this many
+  /// applied events (and always once at the end).
+  std::size_t check_every = 32;
+  /// Groups streamed through the dataplane after the script (ascending
+  /// group id, only groups with at least one receiver).
+  std::size_t stream_groups = 4;
+  std::uint32_t stream_packets = 16;
+  session::SchedMode mode = session::SchedMode::kShared;
+};
+
+struct SessionChaosReport {
+  bool ok = false;  // no invariant violations anywhere in the run
+  SessionChaosConfig cfg;
+  std::string plan_text;              // canonical workload DSL
+  std::vector<Violation> violations;  // aggregated, in detection order
+  session::ApplyStats apply;
+  session::SessionCounters counters;
+  std::size_t events = 0;       // script length
+  std::size_t groups = 0;       // live groups at the end
+  std::size_t memberships = 0;  // sum of final group sizes
+  double max_utilization = 0;   // deepest ledger fill observed at the end
+  // Streaming scoreboard.
+  std::size_t streamed = 0;
+  std::uint64_t copies_delivered = 0;
+  std::uint64_t copies_expected = 0;
+  std::uint64_t dup_copies = 0;  // exactly-once: must be 0
+
+  /// The full deterministic report (same run inputs ⇒ same bytes).
+  std::string render() const;
+};
+
+/// Runs one session chaos experiment; report.ok iff no violations.
+SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
+                                     const workload::WorkloadPlan& plan);
+
+/// One cell of a session chaos sweep. Cells share no state.
+struct SessionChaosCell {
+  SessionChaosConfig cfg;
+  workload::WorkloadPlan plan;
+};
+
+/// Runs cells on a runtime::SweepPool (0 jobs = hardware concurrency);
+/// reports — and the concatenation of their render() outputs — are
+/// byte-identical to a serial jobs = 1 sweep.
+std::vector<SessionChaosReport> run_session_chaos_cells(
+    const std::vector<SessionChaosCell>& cells, std::size_t jobs = 1);
+
+/// The stock plan `camsim groups --chaos` uses when none is given: a
+/// zipf fleet, one flash crowd, a diurnal churn window, and a regional
+/// failure burst.
+workload::WorkloadPlan default_session_workload();
+
+}  // namespace cam::fault

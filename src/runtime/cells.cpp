@@ -167,4 +167,58 @@ std::vector<StreamCellResult> run_cells(
                      [&](std::size_t i) { return run_stream_cell(cells[i]); });
 }
 
+namespace {
+
+SessionCellResult session_cell_on(const FrozenDirectory& dir,
+                                  const SessionCellSpec& cell) {
+  SessionCellResult out;
+  if (dir.size() == 0) return out;
+
+  session::SessionLayer layer(dir, cell.system);
+  const std::vector<workload::SessionEvent> events =
+      workload::generate_events(cell.plan, dir, cell.seed);
+  out.apply = session::apply_events(layer, events);
+  out.counters = layer.counters();
+  out.groups = layer.group_count();
+  for (session::GroupId g : layer.group_ids()) {
+    out.memberships += layer.group(g)->size();
+  }
+  out.max_utilization = layer.ledger().max_utilization();
+  out.check_violations = layer.check().size();
+
+  std::vector<session::GroupTraffic> traffic;
+  for (session::GroupId g : layer.group_ids()) {
+    if (cell.stream_groups != 0 && traffic.size() >= cell.stream_groups) {
+      break;
+    }
+    if (layer.group(g)->size() < 2) continue;
+    session::GroupTraffic t;
+    t.group = g;
+    t.packet_bytes = cell.packet_bytes;
+    t.num_packets = cell.stream_packets;
+    traffic.push_back(t);
+  }
+  if (!traffic.empty()) {
+    ConstantLatency lat(cell.latency_ms);
+    session::MultiGroupForwarder forwarder(layer, lat, cell.fwd);
+    out.stats = forwarder.run(traffic);
+  }
+  return out;
+}
+
+}  // namespace
+
+SessionCellResult run_session_cell(const SessionCellSpec& cell) {
+  if (cell.prebuilt != nullptr) return session_cell_on(*cell.prebuilt, cell);
+  FrozenDirectory dir = cell.population.build();
+  return session_cell_on(dir, cell);
+}
+
+std::vector<SessionCellResult> run_cells(
+    const std::vector<SessionCellSpec>& cells, const RunOptions& opts) {
+  return map_ordered(cells.size(), opts.jobs, [&](std::size_t i) {
+    return run_session_cell(cells[i]);
+  });
+}
+
 }  // namespace cam::runtime

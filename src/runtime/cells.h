@@ -19,7 +19,10 @@
 #include "experiments/runner.h"
 #include "overlay/directory.h"
 #include "runtime/sweep_pool.h"
+#include "session/apply.h"
+#include "session/multi_forwarder.h"
 #include "workload/population.h"
+#include "workload/session_workload.h"
 
 namespace cam::runtime {
 
@@ -114,5 +117,42 @@ StreamCellResult run_stream_cell(const StreamCellSpec& cell);
 /// spec order, byte-identical for any --jobs value.
 std::vector<StreamCellResult> run_cells(
     const std::vector<StreamCellSpec>& cells, const RunOptions& opts = {});
+
+/// One many-group session cell: build (or reuse) a population, replay a
+/// WorkloadPlan script against a SessionLayer (capacity-aware group
+/// admission), then stream the surviving groups concurrently through
+/// the MultiGroupForwarder. The production-workload counterpart of
+/// StreamCellSpec — `camsim groups` and bench/abl_manygroup are grids
+/// of these.
+struct SessionCellSpec {
+  exp::System system = exp::System::kCamChord;
+  PopulationRecipe population;
+  const FrozenDirectory* prebuilt = nullptr;
+  std::uint64_t seed = 1;            // workload expansion seed
+  workload::WorkloadPlan plan;       // membership script
+  session::MultiGroupConfig fwd;     // scheduling discipline + admission
+  std::uint64_t packet_bytes = 1250;
+  std::uint32_t stream_packets = 32; // per-group measured stream
+  std::size_t stream_groups = 0;     // cap on streamed groups; 0 = all
+  double latency_ms = 10.0;          // constant per-link propagation
+};
+
+struct SessionCellResult {
+  session::ApplyStats apply;
+  session::SessionCounters counters;
+  std::size_t groups = 0;          // live groups after the script
+  std::size_t memberships = 0;     // sum of final group sizes
+  double max_utilization = 0;      // deepest ledger fill
+  std::size_t check_violations = 0;  // SessionLayer::check() defects
+  session::MultiGroupStats stats;  // the streamed groups' scoreboard
+};
+
+/// Executes one session cell on the calling thread. Cells share nothing
+/// mutable, so any grid of them is safe on a SweepPool.
+SessionCellResult run_session_cell(const SessionCellSpec& cell);
+
+/// Session-cell grid: results in spec order for any --jobs value.
+std::vector<SessionCellResult> run_cells(
+    const std::vector<SessionCellSpec>& cells, const RunOptions& opts = {});
 
 }  // namespace cam::runtime

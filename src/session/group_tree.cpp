@@ -1,0 +1,160 @@
+#include "session/group_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cam::session {
+
+GroupTree::GroupTree(GroupId id, Id source) : id_(id), source_(source) {
+  Member m;
+  m.parent = source;
+  m.depth = 0;
+  members_.try_emplace(source, std::move(m));
+}
+
+void GroupTree::add(Id node, Id parent) {
+  assert(!members_.contains(node) && "duplicate join");
+  auto pit = members_.find(parent);
+  assert(pit != members_.end() && "parent is not a member");
+  Member m;
+  m.parent = parent;
+  m.depth = pit->second.depth + 1;
+  members_.try_emplace(node, std::move(m));
+  // members_.find may have been invalidated by the insert above.
+  std::vector<Id>& kids = members_.at(parent).children;
+  kids.insert(std::upper_bound(kids.begin(), kids.end(), node), node);
+}
+
+void GroupTree::erase_leaf(Id node) {
+  auto it = members_.find(node);
+  assert(it != members_.end() && "erase of a non-member");
+  assert(it->second.children.empty() && "erase of an interior member");
+  assert(node != source_ && "the source leaves by destroying the group");
+  const Id parent = it->second.parent;
+  std::vector<Id>& kids = members_.at(parent).children;
+  kids.erase(std::find(kids.begin(), kids.end(), node));
+  members_.erase(node);
+}
+
+void GroupTree::set_parent(Id node, Id new_parent) {
+  Member& m = members_.at(node);
+  assert(node != source_);
+  const Id old_parent = m.parent;
+  if (old_parent == new_parent) return;
+  std::vector<Id>& old_kids = members_.at(old_parent).children;
+  old_kids.erase(std::find(old_kids.begin(), old_kids.end(), node));
+  std::vector<Id>& new_kids = members_.at(new_parent).children;
+  new_kids.insert(std::upper_bound(new_kids.begin(), new_kids.end(), node),
+                  node);
+  members_.at(node).parent = new_parent;
+  // Recompute depths down the moved subtree (BFS).
+  members_.at(node).depth = members_.at(new_parent).depth + 1;
+  std::vector<Id> frontier{node};
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const Member& p = members_.at(frontier[i]);
+    for (Id c : p.children) {
+      members_.at(c).depth = p.depth + 1;
+      frontier.push_back(c);
+    }
+  }
+}
+
+std::vector<Id> GroupTree::subtree(Id node) const {
+  std::vector<Id> out{node};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Member& m = members_.at(out[i]);
+    out.insert(out.end(), m.children.begin(), m.children.end());
+  }
+  return out;
+}
+
+std::vector<Id> GroupTree::sorted_members() const {
+  std::vector<Id> out;
+  out.reserve(members_.size());
+  for (const auto& [id, m] : members_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Id> GroupTree::members_by_depth() const {
+  std::vector<Id> out = sorted_members();
+  std::stable_sort(out.begin(), out.end(), [&](Id a, Id b) {
+    return members_.at(a).depth < members_.at(b).depth;
+  });
+  return out;
+}
+
+MulticastTree GroupTree::to_multicast_tree() const {
+  MulticastTree tree(source_);
+  // BFS from the source so every parent is recorded before its children
+  // (MulticastTree::record requires that ordering for depth tracking).
+  std::vector<Id> frontier{source_};
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const Member& m = members_.at(frontier[i]);
+    for (Id c : m.children) {
+      tree.record(frontier[i], c, members_.at(c).depth);
+      frontier.push_back(c);
+    }
+  }
+  return tree;
+}
+
+std::vector<std::string> GroupTree::check(
+    const CapacityLedger& ledger) const {
+  std::vector<std::string> issues;
+  auto flag = [&](Id node, const std::string& what) {
+    issues.push_back("group " + std::to_string(id_) + " node " +
+                     std::to_string(node) + ": " + what);
+  };
+
+  if (!members_.contains(source_)) {
+    flag(source_, "source is not a member");
+    return issues;
+  }
+  for (Id id : sorted_members()) {
+    const Member& m = members_.at(id);
+    if (id == source_) {
+      if (m.depth != 0) flag(id, "source depth != 0");
+      if (m.parent != id) flag(id, "source parent != self");
+    } else {
+      auto pit = members_.find(m.parent);
+      if (pit == members_.end()) {
+        flag(id, "parent " + std::to_string(m.parent) + " not a member");
+        continue;
+      }
+      if (m.depth != pit->second.depth + 1) {
+        flag(id, "depth " + std::to_string(m.depth) + " != parent depth + 1");
+      }
+      const std::vector<Id>& kids = pit->second.children;
+      if (std::find(kids.begin(), kids.end(), id) == kids.end()) {
+        flag(id, "missing from parent's child list");
+      }
+    }
+    if (!std::is_sorted(m.children.begin(), m.children.end())) {
+      flag(id, "children not in ascending order");
+    }
+    for (Id c : m.children) {
+      auto cit = members_.find(c);
+      if (cit == members_.end()) {
+        flag(id, "child " + std::to_string(c) + " not a member");
+      } else if (cit->second.parent != id) {
+        flag(id, "child " + std::to_string(c) + " has a different parent");
+      }
+    }
+    const std::uint32_t fanout =
+        static_cast<std::uint32_t>(m.children.size());
+    const std::uint32_t debited = ledger.used(id, id_);
+    if (fanout != debited) {
+      flag(id, "fanout " + std::to_string(fanout) + " != ledger debits " +
+                   std::to_string(debited));
+    }
+  }
+  // Reachability doubles as the acyclicity check: every member on a
+  // cycle is unreachable from the source.
+  if (subtree(source_).size() != members_.size()) {
+    flag(source_, "tree is not fully reachable from the source");
+  }
+  return issues;
+}
+
+}  // namespace cam::session

@@ -1,0 +1,79 @@
+#include "session/ledger.h"
+
+#include <cassert>
+
+namespace cam::session {
+
+CapacityLedger::CapacityLedger(const FrozenDirectory& dir)
+    : dir_(&dir), used_(dir.size(), 0), by_group_(dir.size()) {}
+
+bool CapacityLedger::debit(Id node, GroupId g) {
+  const std::size_t idx = dir_->index_of(node);
+  if (used_[idx] >= dir_->info_at(idx).capacity) return false;
+  ++used_[idx];
+  ++by_group_[idx][g];
+  return true;
+}
+
+void CapacityLedger::credit(Id node, GroupId g, std::uint32_t count) {
+  if (count == 0) return;
+  const std::size_t idx = dir_->index_of(node);
+  auto it = by_group_[idx].find(g);
+  assert(it != by_group_[idx].end() && it->second >= count &&
+         "credit exceeds the group's debits at this node");
+  assert(used_[idx] >= count);
+  it->second -= count;
+  if (it->second == 0) by_group_[idx].erase(g);
+  used_[idx] -= count;
+}
+
+std::uint32_t CapacityLedger::capacity(Id node) const {
+  return dir_->info(node).capacity;
+}
+
+std::uint32_t CapacityLedger::used(Id node) const {
+  return used_[dir_->index_of(node)];
+}
+
+std::uint32_t CapacityLedger::used(Id node, GroupId g) const {
+  const auto& groups = by_group_[dir_->index_of(node)];
+  auto it = groups.find(g);
+  return it == groups.end() ? 0 : it->second;
+}
+
+double CapacityLedger::uplink_kbps(Id node) const {
+  return dir_->info(node).bandwidth_kbps;
+}
+
+double CapacityLedger::share_kbps(Id node, GroupId g) const {
+  const std::size_t idx = dir_->index_of(node);
+  const std::uint32_t mine = used(node, g);
+  if (mine == 0) return 0;
+  const double b = dir_->info_at(idx).bandwidth_kbps;
+  return used_[idx] == mine
+             ? b
+             : b * static_cast<double>(mine) /
+                   static_cast<double>(used_[idx]);
+}
+
+double CapacityLedger::max_utilization() const {
+  double worst = 0;
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    const std::uint32_t cap = dir_->info_at(i).capacity;
+    if (cap == 0) continue;
+    const double u =
+        static_cast<double>(used_[i]) / static_cast<double>(cap);
+    if (u > worst) worst = u;
+  }
+  return worst;
+}
+
+std::vector<Id> CapacityLedger::oversubscribed() const {
+  std::vector<Id> bad;
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    if (used_[i] > dir_->info_at(i).capacity) bad.push_back(dir_->ids()[i]);
+  }
+  return bad;
+}
+
+}  // namespace cam::session

@@ -1,0 +1,525 @@
+#include "session/multi_forwarder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cam::session {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MultiGroupForwarder::MultiGroupForwarder(const SessionLayer& session,
+                                         const LatencyModel& latency,
+                                         MultiGroupConfig cfg)
+    : latency_(latency), cfg_(cfg) {
+  assert(cfg_.admission_low_ms <= cfg_.admission_high_ms &&
+         "admission low watermark above high watermark");
+  const std::vector<GroupId> gids = session.group_ids();
+
+  // Dense node table: the ascending-id union of every group's members
+  // (the same indexing rule as the single-tree forwarder).
+  for (GroupId gid : gids) {
+    const GroupTree* tree = session.group(gid);
+    const std::vector<Id> members = tree->sorted_members();
+    ids_.insert(ids_.end(), members.begin(), members.end());
+  }
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  FlatMap<Id, std::uint32_t> index;
+  index.reserve(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    index.emplace(ids_[i], static_cast<std::uint32_t>(i));
+  }
+  nodes_.resize(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    nodes_[i].kbps = session.ledger().uplink_kbps(ids_[i]);
+  }
+
+  // One Link per (node, child) pair across ALL groups: two groups that
+  // share an edge share its BinQueue, so their copies contend in the
+  // same place. Links sorted ascending by child id, as in the legacy
+  // plane.
+  std::vector<std::vector<Id>> kids(ids_.size());
+  for (GroupId gid : gids) {
+    const GroupTree* tree = session.group(gid);
+    for (Id m : tree->sorted_members()) {
+      const auto& children = tree->member(m).children;
+      auto& row = kids[index.at(m)];
+      row.insert(row.end(), children.begin(), children.end());
+    }
+  }
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    std::sort(kids[i].begin(), kids[i].end());
+    kids[i].erase(std::unique(kids[i].begin(), kids[i].end()),
+                  kids[i].end());
+    nodes_[i].links.reserve(kids[i].size());
+    for (Id c : kids[i]) {
+      nodes_[i].links.push_back(
+          Link{index.at(c), latency_.latency(c, ids_[i]), {}});
+    }
+  }
+
+  // Per-group views: member slots ascending by id, per-member link
+  // subsets, and the serving rate — full uplink under kShared, the
+  // ledger share under kLedgerShares.
+  groups_.reserve(gids.size());
+  for (GroupId gid : gids) {
+    const GroupTree* tree = session.group(gid);
+    Group g;
+    g.id = gid;
+    const std::vector<Id> members = tree->sorted_members();
+    g.members.resize(members.size());
+    g.slot_of.reserve(members.size());
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      g.slot_of.emplace(index.at(members[s]),
+                        static_cast<std::uint32_t>(s));
+    }
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      const Id m = members[s];
+      const GroupTree::Member& mem = tree->member(m);
+      GroupNode& gn = g.members[s];
+      gn.node = index.at(m);
+      if (m == tree->source()) {
+        g.source_slot = static_cast<std::uint32_t>(s);
+        gn.parent_slot = static_cast<std::uint32_t>(s);
+      } else {
+        const auto pit = std::lower_bound(members.begin(), members.end(),
+                                          mem.parent);
+        gn.parent_slot =
+            static_cast<std::uint32_t>(pit - members.begin());
+        gn.parent_latency_ms = latency_.latency(mem.parent, m);
+      }
+      const Node& n = nodes_[gn.node];
+      gn.links.reserve(mem.children.size());
+      for (Id c : mem.children) {
+        const std::uint32_t child = index.at(c);
+        for (std::size_t li = 0; li < n.links.size(); ++li) {
+          if (n.links[li].child == child) {
+            gn.links.push_back(static_cast<std::uint32_t>(li));
+            break;
+          }
+        }
+      }
+      assert(gn.links.size() == mem.children.size());
+      gn.rate_kbps = cfg_.mode == SchedMode::kShared || mem.children.empty()
+                         ? n.kbps
+                         : session.ledger().share_kbps(m, gid);
+      assert(gn.rate_kbps > 0);
+    }
+    group_index_.emplace(gid, static_cast<std::uint32_t>(groups_.size()));
+    groups_.push_back(std::move(g));
+  }
+}
+
+void MultiGroupForwarder::push_event(Event e) {
+  e.seq = next_event_seq_++;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+double MultiGroupForwarder::node_backlog_ms(const Node& n) const {
+  std::uint64_t bytes = 0;
+  for (const Link& l : n.links) bytes += l.queue.depth_bytes();
+  return static_cast<double>(bytes) * 8.0 / n.kbps;
+}
+
+double MultiGroupForwarder::group_backlog_ms(const Group& g,
+                                             const GroupNode& gn) const {
+  std::uint64_t bytes = 0;
+  const Node& n = nodes_[gn.node];
+  for (std::uint32_t li : gn.links) {
+    bytes += n.links[li].queue.depth_bytes(g.id);
+  }
+  return static_cast<double>(bytes) * 8.0 / gn.rate_kbps;
+}
+
+void MultiGroupForwarder::relay_to_children(std::uint32_t gidx,
+                                            std::uint32_t slot,
+                                            dataplane::PacketRef pkt,
+                                            SimTime now) {
+  Group& g = groups_[gidx];
+  GroupNode& gn = g.members[slot];
+  if (gn.links.empty()) return;
+  Node& n = nodes_[gn.node];
+  // Round-robin rotation by sequence number over THIS group's children
+  // — with one group this is exactly the legacy rotation.
+  const std::size_t rot = pool_.get(pkt).seq % gn.links.size();
+  for (std::size_t j = 0; j < gn.links.size(); ++j) {
+    Link& l = n.links[gn.links[(j + rot) % gn.links.size()]];
+    pool_.add_ref(pkt);
+    const std::uint32_t bytes = pool_.get(pkt).bytes;
+    dataplane::QueuedCopy copy{pkt, l.child, next_order_++, now, false};
+    l.queue.push(g.id, copy, bytes);
+    ++live_copies_;
+  }
+  if (cfg_.mode == SchedMode::kShared) {
+    if (!n.tx_busy) serve_shared(gn.node, now);
+  } else {
+    if (!gn.vtx_busy) serve_group(gidx, slot, now);
+  }
+  update_congestion(gidx, slot, now);
+}
+
+void MultiGroupForwarder::serve_shared(std::uint32_t node, SimTime now) {
+  Node& n = nodes_[node];
+  // Global FIFO head across every group's bins on every link — the one
+  // place where groups contend for the uplink under kShared.
+  int fifo_q = -1;
+  const dataplane::QueuedCopy* fifo = nullptr;
+  for (std::size_t i = 0; i < n.links.size(); ++i) {
+    const dataplane::QueuedCopy* c = n.links[i].queue.peek_fifo();
+    if (c != nullptr && (fifo == nullptr || c->order < fifo->order)) {
+      fifo = c;
+      fifo_q = static_cast<int>(i);
+    }
+  }
+  if (fifo == nullptr) return;  // transmitter idles
+
+  const double my_backlog = node_backlog_ms(n);
+  if (my_backlog > max_backlog_ms_) max_backlog_ms_ = my_backlog;
+
+  Link& l = n.links[static_cast<std::size_t>(fifo_q)];
+  const dataplane::Packet& pkt = pool_.get(fifo->pkt);
+  const std::uint32_t gidx = group_index_.at(pkt.stream);
+  dataplane::QueuedCopy copy = l.queue.pop_fifo(pkt.bytes);
+
+  // Transmit: identical arithmetic to the legacy FIFO uplink.
+  const double tx = groups_[gidx].packet_kbit / n.kbps * 1000.0;
+  n.tx_busy = true;
+  ++copies_sent_;
+  const SimTime done = now + tx;
+  Event free;
+  free.time = done;
+  free.kind = EventKind::kTxFree;
+  free.node = node;
+  push_event(free);
+  Event arr;
+  arr.time = done + l.latency_ms;
+  arr.kind = EventKind::kArrival;
+  arr.node = copy.dest;
+  arr.gidx = gidx;
+  arr.pkt = copy.pkt;  // the queued ref rides the transmission
+  push_event(arr);
+  update_congestion(gidx, groups_[gidx].slot_of.at(node), now);
+}
+
+void MultiGroupForwarder::serve_group(std::uint32_t gidx,
+                                      std::uint32_t slot, SimTime now) {
+  Group& g = groups_[gidx];
+  GroupNode& gn = g.members[slot];
+  Node& n = nodes_[gn.node];
+  // FIFO head among THIS group's bins only: the virtual transmitter
+  // never sees other groups' queued bytes.
+  int fifo_q = -1;
+  const dataplane::QueuedCopy* fifo = nullptr;
+  for (std::uint32_t li : gn.links) {
+    const dataplane::QueuedCopy* c = n.links[li].queue.peek_stream(g.id);
+    if (c != nullptr && (fifo == nullptr || c->order < fifo->order)) {
+      fifo = c;
+      fifo_q = static_cast<int>(li);
+    }
+  }
+  if (fifo == nullptr) return;
+
+  const double my_backlog = group_backlog_ms(g, gn);
+  if (my_backlog > max_backlog_ms_) max_backlog_ms_ = my_backlog;
+
+  Link& l = n.links[static_cast<std::size_t>(fifo_q)];
+  const dataplane::Packet& pkt = pool_.get(fifo->pkt);
+  dataplane::QueuedCopy copy = l.queue.pop_stream(g.id, pkt.bytes);
+
+  const double tx = g.packet_kbit / gn.rate_kbps * 1000.0;
+  gn.vtx_busy = true;
+  ++copies_sent_;
+  const SimTime done = now + tx;
+  Event free;
+  free.time = done;
+  free.kind = EventKind::kVtxFree;
+  free.node = gn.node;
+  free.dest = slot;
+  free.gidx = gidx;
+  push_event(free);
+  Event arr;
+  arr.time = done + l.latency_ms;
+  arr.kind = EventKind::kArrival;
+  arr.node = copy.dest;
+  arr.gidx = gidx;
+  arr.pkt = copy.pkt;
+  push_event(arr);
+  update_congestion(gidx, slot, now);
+}
+
+void MultiGroupForwarder::handle_arrival(const Event& e) {
+  Group& g = groups_[e.gidx];
+  const std::uint32_t slot = g.slot_of.at(e.node);
+  GroupNode& gn = g.members[slot];
+  const dataplane::Packet& pkt = pool_.get(e.pkt);
+  std::uint64_t& word =
+      g.delivered_bits[slot * g.words_per_member + pkt.seq / 64];
+  if ((word >> (pkt.seq % 64)) & 1) ++g.stats.duplicate_deliveries;
+  word |= std::uint64_t{1} << (pkt.seq % 64);
+  ++gn.delivered;
+  ++g.stats.copies_delivered;
+  if (e.time < gn.first_arrival_ms) gn.first_arrival_ms = e.time;
+  if (e.time > gn.last_arrival_ms) gn.last_arrival_ms = e.time;
+  g.latencies_ms.push_back(e.time - pkt.emitted_ms);
+  relay_to_children(e.gidx, slot, e.pkt, e.time);
+  pool_.release(e.pkt);
+  --live_copies_;
+}
+
+void MultiGroupForwarder::update_congestion(std::uint32_t gidx,
+                                            std::uint32_t slot,
+                                            SimTime now) {
+  if (cfg_.admission_high_ms <= 0) return;
+  Group& g = groups_[gidx];
+  GroupNode& gn = g.members[slot];
+  const double b = group_backlog_ms(g, gn);
+  if (!gn.own_congested && b > cfg_.admission_high_ms) {
+    gn.own_congested = true;
+  } else if (gn.own_congested && b < cfg_.admission_low_ms) {
+    gn.own_congested = false;
+  }
+  const bool subtree = gn.own_congested || gn.congested_children > 0;
+  if (slot == g.source_slot) {
+    if (!subtree) maybe_resume(gidx, now);
+    return;
+  }
+  if (subtree != gn.flag_sent) {
+    gn.flag_sent = subtree;
+    Event e;
+    e.time = now + gn.parent_latency_ms;
+    e.kind = EventKind::kFlagArrive;
+    e.node = gn.node;
+    e.dest = gn.parent_slot;
+    e.gidx = gidx;
+    e.aux = subtree ? 1 : 0;
+    push_event(e);
+  }
+}
+
+void MultiGroupForwarder::maybe_resume(std::uint32_t gidx, SimTime now) {
+  Group& g = groups_[gidx];
+  if (!g.emission_paused) return;
+  g.emission_paused = false;
+  g.stats.admission_paused_ms += now - g.pause_start_ms;
+  // Re-anchor this group's emission clock; the others are untouched.
+  g.emit_offset = now - static_cast<SimTime>(g.next_emit) * g.gen_interval;
+  Event e;
+  e.time = now;
+  e.kind = EventKind::kSourceEmit;
+  e.node = g.members[g.source_slot].node;
+  e.dest = gidx;
+  e.aux = g.next_emit;
+  push_event(e);
+}
+
+void MultiGroupForwarder::emit(std::uint32_t gidx, std::uint32_t seq,
+                               SimTime now) {
+  Group& g = groups_[gidx];
+  GroupNode& src = g.members[g.source_slot];
+  const bool subtree_congested =
+      cfg_.admission_high_ms > 0 &&
+      (src.own_congested || src.congested_children > 0);
+  if (subtree_congested) {
+    // Only THIS group's emission gates; other groups keep streaming.
+    g.emission_paused = true;
+    g.pause_start_ms = now;
+    ++g.stats.admission_pauses;
+    return;  // maybe_resume() re-schedules this seq when the flag clears
+  }
+  dataplane::PacketRef pkt = pool_.alloc(
+      g.id, seq, static_cast<std::uint32_t>(g.traffic.packet_bytes), now);
+  g.delivered_bits[g.source_slot * g.words_per_member + seq / 64] |=
+      std::uint64_t{1} << (seq % 64);
+  ++g.stats.packets_emitted;
+  relay_to_children(gidx, g.source_slot, pkt, now);
+  pool_.release(pkt);
+  g.next_emit = seq + 1;
+  if (g.next_emit < g.traffic.num_packets) {
+    Event e;
+    e.time = g.emit_offset +
+             static_cast<SimTime>(g.next_emit) * g.gen_interval;
+    e.kind = EventKind::kSourceEmit;
+    e.node = src.node;
+    e.dest = gidx;
+    e.aux = g.next_emit;
+    push_event(e);
+  }
+}
+
+MultiGroupStats MultiGroupForwarder::run(
+    const std::vector<GroupTraffic>& traffic) {
+  assert(!ran_ && "MultiGroupForwarder is single-shot");
+  ran_ = true;
+  MultiGroupStats out;
+
+  for (const GroupTraffic& t : traffic) {
+    auto it = group_index_.find(t.group);
+    assert(it != group_index_.end() && "traffic for an unknown group");
+    const std::uint32_t gidx = it->second;
+    Group& g = groups_[gidx];
+    assert(g.words_per_member == 0 && "one traffic entry per group");
+    g.traffic = t;
+    g.packet_kbit =
+        static_cast<double>(t.packet_bytes) * 8.0 / 1000.0;
+    g.gen_interval = t.source_rate_kbps > 0
+                         ? g.packet_kbit / t.source_rate_kbps * 1000.0
+                         : 0.0;
+    g.words_per_member = (t.num_packets + 63) / 64;
+    g.delivered_bits.assign(g.members.size() * g.words_per_member, 0);
+    g.stats.group = g.id;
+    g.stats.copies_expected =
+        g.members.size() > 1
+            ? static_cast<std::uint64_t>(g.members.size() - 1) *
+                  t.num_packets
+            : 0;
+    g.emit_offset = t.start_ms;
+    for (GroupNode& gn : g.members) {
+      gn.first_arrival_ms = kInf;
+      gn.last_arrival_ms = 0;
+    }
+    active_.push_back(gidx);
+  }
+
+  pool_.reserve(2 * nodes_.size() + 64);
+  heap_.reserve(4 * nodes_.size() + 16);
+  for (Node& n : nodes_) {
+    for (Link& l : n.links) l.queue.reserve(1, 8);
+  }
+
+  for (std::uint32_t gidx : active_) {
+    Group& g = groups_[gidx];
+    if (g.members.size() <= 1 || g.traffic.num_packets == 0) continue;
+    Event first;
+    first.time = g.traffic.start_ms;
+    first.kind = EventKind::kSourceEmit;
+    first.node = g.members[g.source_slot].node;
+    first.dest = gidx;
+    first.aux = 0;
+    push_event(first);
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    switch (e.kind) {
+      case EventKind::kSourceEmit:
+        emit(e.dest, static_cast<std::uint32_t>(e.aux), e.time);
+        break;
+      case EventKind::kArrival:
+        handle_arrival(e);
+        break;
+      case EventKind::kTxFree:
+        nodes_[e.node].tx_busy = false;
+        serve_shared(e.node, e.time);
+        break;
+      case EventKind::kVtxFree:
+        groups_[e.gidx].members[e.dest].vtx_busy = false;
+        serve_group(e.gidx, e.dest, e.time);
+        break;
+      case EventKind::kFlagArrive: {
+        GroupNode& parent = groups_[e.gidx].members[e.dest];
+        if (e.aux != 0) {
+          ++parent.congested_children;
+        } else {
+          assert(parent.congested_children > 0);
+          --parent.congested_children;
+        }
+        update_congestion(e.gidx, e.dest, e.time);
+        break;
+      }
+    }
+  }
+  assert(pool_.in_use() == 0 && "packet leak: refs left at quiesce");
+  assert(live_copies_ == 0);
+
+  finalize(out);
+  return out;
+}
+
+void MultiGroupForwarder::finalize(MultiGroupStats& out) {
+  double all_sum = 0, all_sumsq = 0;
+  std::size_t rated_groups = 0;
+  double goodput_kbit = 0;
+  std::vector<double> all_latencies;
+
+  for (std::uint32_t gidx : active_) {
+    Group& g = groups_[gidx];
+    // Session stats, computed exactly as the legacy FIFO plane does so
+    // single-group runs compare field-for-field.
+    dataplane::SessionStats& s = g.stats.session;
+    double min_rate = kInf;
+    double rate_sum = 0;
+    for (std::uint32_t slot = 0; slot < g.members.size(); ++slot) {
+      if (slot == g.source_slot) continue;
+      const GroupNode& n = g.members[slot];
+      ++s.receivers;
+      if (n.delivered > 0) {
+        if (n.last_arrival_ms > s.completion_ms) {
+          s.completion_ms = n.last_arrival_ms;
+        }
+        if (n.first_arrival_ms > s.max_first_packet_ms) {
+          s.max_first_packet_ms = n.first_arrival_ms;
+        }
+      }
+      double rate;
+      if (n.delivered >= 2 && n.last_arrival_ms > n.first_arrival_ms) {
+        rate = static_cast<double>(n.delivered - 1) * g.packet_kbit /
+               (n.last_arrival_ms - n.first_arrival_ms) * 1000.0;
+      } else {
+        rate = kInf;
+      }
+      if (rate < min_rate) min_rate = rate;
+      rate_sum += rate == kInf ? 0 : rate;
+    }
+    s.session_rate_kbps = min_rate == kInf ? 0 : min_rate;
+    s.mean_rate_kbps =
+        s.receivers > 0 ? rate_sum / static_cast<double>(s.receivers) : 0;
+
+    if (!g.latencies_ms.empty()) {
+      std::vector<double> sorted = g.latencies_ms;
+      std::sort(sorted.begin(), sorted.end());
+      double sum = 0;
+      for (double v : sorted) sum += v;
+      g.stats.mean_latency_ms = sum / static_cast<double>(sorted.size());
+      const std::size_t idx = (sorted.size() * 99 + 99) / 100 - 1;
+      g.stats.p99_latency_ms = sorted[idx];
+      all_latencies.insert(all_latencies.end(), sorted.begin(),
+                           sorted.end());
+    }
+    goodput_kbit +=
+        static_cast<double>(g.stats.copies_delivered) * g.packet_kbit;
+    if (s.receivers > 0) {
+      ++rated_groups;
+      all_sum += s.session_rate_kbps;
+      all_sumsq += s.session_rate_kbps * s.session_rate_kbps;
+    }
+    if (s.completion_ms > out.completion_ms) {
+      out.completion_ms = s.completion_ms;
+    }
+    out.groups.push_back(g.stats);
+  }
+
+  out.aggregate_goodput_kbps =
+      out.completion_ms > 0 ? goodput_kbit / out.completion_ms * 1000.0 : 0;
+  // Jain's index over per-group session rates; degenerate cases (no
+  // rated group, or every rate zero) count as perfectly fair.
+  out.jain_fairness =
+      rated_groups == 0 || all_sumsq == 0
+          ? 1.0
+          : all_sum * all_sum /
+                (static_cast<double>(rated_groups) * all_sumsq);
+  if (!all_latencies.empty()) {
+    std::sort(all_latencies.begin(), all_latencies.end());
+    const std::size_t idx = (all_latencies.size() * 99 + 99) / 100 - 1;
+    out.p99_latency_ms = all_latencies[idx];
+  }
+  out.copies_sent = copies_sent_;
+  out.max_backlog_ms = max_backlog_ms_;
+}
+
+}  // namespace cam::session

@@ -1,0 +1,215 @@
+#include "session/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace cam::session {
+
+const char* join_outcome_name(JoinOutcome o) {
+  switch (o) {
+    case JoinOutcome::kJoined: return "joined";
+    case JoinOutcome::kAlreadyMember: return "already-member";
+    case JoinOutcome::kNoCapacity: return "no-capacity";
+    case JoinOutcome::kNoSuchGroup: return "no-such-group";
+    case JoinOutcome::kUnknownNode: return "unknown-node";
+  }
+  return "?";
+}
+
+SessionLayer::SessionLayer(const FrozenDirectory& dir, exp::System system)
+    : dir_(&dir), system_(system), ledger_(dir) {}
+
+bool SessionLayer::create_group(GroupId g, Id source) {
+  if (!dir_->contains(source) || groups_.contains(g)) return false;
+  groups_.try_emplace(g, std::make_unique<GroupTree>(g, source));
+  ++counters_.groups_created;
+  return true;
+}
+
+bool SessionLayer::destroy_group(GroupId g) {
+  auto it = groups_.find(g);
+  if (it == groups_.end()) return false;
+  const GroupTree& tree = *it->second;
+  for (Id m : tree.sorted_members()) {
+    ledger_.credit(m, g,
+                   static_cast<std::uint32_t>(tree.member(m).children.size()));
+  }
+  groups_.erase(g);
+  ++counters_.groups_destroyed;
+  return true;
+}
+
+Id SessionLayer::place(const GroupTree& tree, Id node,
+                       const std::vector<Id>& exclude,
+                       std::size_t* hops) const {
+  std::vector<Id> banned = exclude;
+  std::sort(banned.begin(), banned.end());
+  auto feasible = [&](Id c) {
+    return c != node &&
+           !std::binary_search(banned.begin(), banned.end(), c) &&
+           ledger_.available(c) > 0;
+  };
+
+  // Locating-first: route a lookup for the joiner's identifier over the
+  // current member overlay; the reverse path walks from the member
+  // closest to the joiner in identifier space back toward the source.
+  if (tree.size() > 1) {
+    NodeDirectory members(dir_->ring());
+    for (Id m : tree.sorted_members()) members.add(m, dir_->info(m));
+    const FrozenDirectory snapshot = members.freeze();
+    const LookupResult lr =
+        exp::run_lookup(system_, snapshot, tree.source(), node);
+    if (hops != nullptr) *hops = lr.ok ? lr.hops() : 0;
+    if (lr.ok) {
+      for (auto it = lr.path.rbegin(); it != lr.path.rend(); ++it) {
+        if (feasible(*it)) return *it;
+      }
+    }
+  } else if (hops != nullptr) {
+    *hops = 0;
+  }
+  // The path is saturated (or trivial): any member slack will do, taken
+  // shallow-first so degraded placements stay close to the source.
+  for (Id c : tree.members_by_depth()) {
+    if (feasible(c)) return c;
+  }
+  return kNoParent;
+}
+
+JoinResult SessionLayer::join(GroupId g, Id node) {
+  JoinResult r;
+  if (!dir_->contains(node)) {
+    r.outcome = JoinOutcome::kUnknownNode;
+    return r;
+  }
+  auto it = groups_.find(g);
+  if (it == groups_.end()) {
+    r.outcome = JoinOutcome::kNoSuchGroup;
+    return r;
+  }
+  GroupTree& tree = *it->second;
+  if (tree.contains(node)) {
+    r.outcome = JoinOutcome::kAlreadyMember;
+    return r;
+  }
+  const Id parent = place(tree, node, {}, &r.lookup_hops);
+  if (parent == kNoParent) {
+    r.outcome = JoinOutcome::kNoCapacity;
+    ++counters_.joins_rejected;
+    return r;
+  }
+  const bool ok = ledger_.debit(parent, g);
+  assert(ok && "place() returned a parent without slack");
+  (void)ok;
+  tree.add(node, parent);
+  r.outcome = JoinOutcome::kJoined;
+  r.parent = parent;
+  r.depth = tree.member(node).depth;
+  ++counters_.joins_ok;
+  return r;
+}
+
+void SessionLayer::remove_member(GroupTree& tree, Id node) {
+  const GroupId g = tree.id();
+  const Id old_parent = tree.member(node).parent;
+  const std::vector<Id> children = tree.member(node).children;  // copy
+  // The departing node's own uplink slot at its parent frees first.
+  ledger_.credit(old_parent, g);
+  for (Id c : children) {
+    // `node` no longer forwards for c either way.
+    ledger_.credit(node, g);
+    // The departing node must not adopt its own orphans: its slots were
+    // just credited, which otherwise makes it the most attractive
+    // candidate on the lookup path.
+    std::vector<Id> exclude = tree.subtree(c);
+    exclude.push_back(node);
+    const Id adopter = place(tree, c, exclude, nullptr);
+    if (adopter != kNoParent) {
+      const bool ok = ledger_.debit(adopter, g);
+      assert(ok && "place() returned a parent without slack");
+      (void)ok;
+      tree.set_parent(c, adopter);
+      ++counters_.reparented;
+    } else {
+      const std::vector<Id> sub = tree.subtree(c);
+      for (Id m : sub) {
+        ledger_.credit(
+            m, g,
+            static_cast<std::uint32_t>(tree.member(m).children.size()));
+      }
+      for (auto it = sub.rbegin(); it != sub.rend(); ++it) {
+        tree.erase_leaf(*it);
+      }
+      counters_.dropped_members += sub.size();
+    }
+  }
+  tree.erase_leaf(node);
+}
+
+bool SessionLayer::leave(GroupId g, Id node) {
+  auto it = groups_.find(g);
+  if (it == groups_.end() || !it->second->contains(node)) return false;
+  ++counters_.leaves;
+  if (node == it->second->source()) return destroy_group(g);
+  remove_member(*it->second, node);
+  return true;
+}
+
+void SessionLayer::fail_node(Id node) {
+  for (GroupId g : group_ids()) {
+    GroupTree& tree = *groups_.at(g);
+    if (!tree.contains(node)) continue;
+    ++counters_.failures;
+    if (node == tree.source()) {
+      destroy_group(g);
+    } else {
+      remove_member(tree, node);
+    }
+  }
+}
+
+const GroupTree* SessionLayer::group(GroupId g) const {
+  auto it = groups_.find(g);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::vector<GroupId> SessionLayer::group_ids() const {
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [g, tree] : groups_) out.push_back(g);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> SessionLayer::check() const {
+  std::vector<std::string> issues;
+  FlatMap<Id, std::uint32_t> expected;
+  for (GroupId g : group_ids()) {
+    const GroupTree& tree = *groups_.at(g);
+    std::vector<std::string> tree_issues = tree.check(ledger_);
+    issues.insert(issues.end(), tree_issues.begin(), tree_issues.end());
+    for (Id m : tree.sorted_members()) {
+      expected[m] +=
+          static_cast<std::uint32_t>(tree.member(m).children.size());
+    }
+  }
+  // Every ledger debit must be backed by a live tree edge — no leaks
+  // from departed members or destroyed groups.
+  for (Id id : dir_->ids()) {
+    auto it = expected.find(id);
+    const std::uint32_t want = it == expected.end() ? 0 : it->second;
+    if (ledger_.used(id) != want) {
+      issues.push_back("node " + std::to_string(id) + ": ledger used " +
+                       std::to_string(ledger_.used(id)) +
+                       " != tree fanout total " + std::to_string(want));
+    }
+  }
+  for (Id id : ledger_.oversubscribed()) {
+    issues.push_back("node " + std::to_string(id) +
+                     ": oversubscribed beyond capacity");
+  }
+  return issues;
+}
+
+}  // namespace cam::session

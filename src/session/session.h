@@ -1,0 +1,129 @@
+// SessionLayer: many concurrent multicast groups over one shared
+// capacity-constrained overlay.
+//
+// Group lifecycle — create / join / leave / fail / destroy — maintains
+// one GroupTree per group plus the global CapacityLedger that charges
+// every accepted child against its parent's shared uplink budget c_x.
+//
+// Join placement is locating-first (Kaafar et al.): the group's source
+// routes a lookup for the joiner's identifier over the *member* overlay
+// (CAM-Chord or CAM-Koorde, the same routing code the figure benches
+// use), and the reverse lookup path — identifier-space locality first,
+// source last — is the candidate-parent order. The first candidate with
+// ledger slack adopts the joiner; when the whole path is saturated, a
+// deterministic (depth asc, id asc) scan over the members finds any
+// remaining slack; when none exists the join is REJECTED rather than
+// oversubscribing anyone — the paper's capacity-aware admission rule
+// generalized to many groups.
+//
+// Leave and fail re-parent each orphaned subtree through the same
+// placement routine (the orphan's own subtree is excluded so re-hanging
+// cannot form a cycle); a subtree with no feasible parent anywhere is
+// dropped from the group and counted. Everything is deterministic:
+// member scans are sorted, lookups are pure functions of the member
+// snapshot, and no RNG is consulted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/systems.h"
+#include "overlay/directory.h"
+#include "session/group_tree.h"
+#include "session/ledger.h"
+#include "util/flat_table.h"
+
+namespace cam::session {
+
+/// "No feasible parent" sentinel. Ring identifiers live in
+/// [0, 2^bits) with bits < 64 everywhere in this repo, so the all-ones
+/// id can never name a member.
+inline constexpr Id kNoParent = ~Id{0};
+
+enum class JoinOutcome : std::uint8_t {
+  kJoined,
+  kAlreadyMember,
+  kNoCapacity,   // every member's shared uplink budget is exhausted
+  kNoSuchGroup,
+  kUnknownNode,  // joiner is not in the overlay directory
+};
+
+const char* join_outcome_name(JoinOutcome o);
+
+struct JoinResult {
+  JoinOutcome outcome = JoinOutcome::kNoSuchGroup;
+  Id parent = 0;             // valid when outcome == kJoined
+  int depth = 0;             // joiner's depth when joined
+  std::size_t lookup_hops = 0;  // overlay hops of the locating lookup
+};
+
+/// Monotonic lifecycle counters (the `camsim groups` scoreboard).
+struct SessionCounters {
+  std::uint64_t groups_created = 0;
+  std::uint64_t groups_destroyed = 0;
+  std::uint64_t joins_ok = 0;
+  std::uint64_t joins_rejected = 0;  // kNoCapacity only
+  std::uint64_t leaves = 0;
+  std::uint64_t failures = 0;        // fail_node() calls that hit a group
+  std::uint64_t reparented = 0;      // orphan subtree roots re-hung
+  std::uint64_t dropped_members = 0; // members lost with their subtree
+};
+
+class SessionLayer {
+ public:
+  /// `dir` is the converged overlay (all joinable nodes); it must
+  /// outlive the layer. `system` picks the member-overlay routing used
+  /// by locating-first placement (kCamChord or kCamKoorde).
+  SessionLayer(const FrozenDirectory& dir, exp::System system);
+
+  const FrozenDirectory& directory() const { return *dir_; }
+  exp::System system() const { return system_; }
+  CapacityLedger& ledger() { return ledger_; }
+  const CapacityLedger& ledger() const { return ledger_; }
+  const SessionCounters& counters() const { return counters_; }
+
+  /// Creates a group rooted at `source`. False if the id is taken or
+  /// the source is unknown.
+  bool create_group(GroupId g, Id source);
+  /// Tears a group down, crediting every ledger debit it held.
+  bool destroy_group(GroupId g);
+
+  JoinResult join(GroupId g, Id node);
+  /// Graceful departure. The source leaving destroys the group.
+  bool leave(GroupId g, Id node);
+  /// Crash: the node vanishes from every group at once (its subtrees
+  /// are re-parented or dropped per group, exactly as on leave).
+  void fail_node(Id node);
+
+  const GroupTree* group(GroupId g) const;
+  /// Live group ids, ascending.
+  std::vector<GroupId> group_ids() const;
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// Cross-group consistency: every tree's check() against the ledger,
+  /// plus no node oversubscribed and no ledger debit without a tree
+  /// edge behind it. One line per defect; empty = converged.
+  std::vector<std::string> check() const;
+
+ private:
+  /// Candidate-parent search for hanging `node` (or an orphan subtree
+  /// rooted at `node`) into `tree`. `exclude` lists members that cannot
+  /// adopt (the orphan's own subtree). Returns kNoParent when no member
+  /// has slack.
+  Id place(const GroupTree& tree, Id node,
+           const std::vector<Id>& exclude, std::size_t* hops) const;
+
+  /// Removes `node` from one group: credits its uplink edge, then
+  /// re-parents or drops each orphaned child subtree.
+  void remove_member(GroupTree& tree, Id node);
+
+  const FrozenDirectory* dir_;
+  exp::System system_;
+  CapacityLedger ledger_;
+  FlatMap<GroupId, std::unique_ptr<GroupTree>> groups_;
+  SessionCounters counters_;
+};
+
+}  // namespace cam::session

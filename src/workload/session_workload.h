@@ -1,0 +1,147 @@
+// Production-shaped session workloads: what "millions of users" does to
+// a group service, compressed into four seed-deterministic generators.
+//
+//   * groups     — a fleet of groups whose sizes follow a zipf law
+//                  (audience sizes are heavy-tailed: a few huge events,
+//                  a long tail of small rooms);
+//   * flash      — a flash-crowd join wave: `joins` arrivals into one
+//                  group at metronome-exact times at, at+spacing, ...
+//                  (the pattern Kaafar et al. argue join placement must
+//                  survive);
+//   * diurnal    — sinusoidally modulated join/leave churn between
+//                  start and end (day/night load swing);
+//   * regionfail — a correlated failure burst: the `n` live nodes
+//                  closest to `center` on the identifier ring fail
+//                  together (a region, pod, or AS going dark).
+//
+// A WorkloadPlan is a list of these items with a FaultPlan-style DSL:
+// to_string() renders the canonical text and parse(to_string(p)) == p,
+// so a failing sweep cell is reproduced from its dumped plan. The plan
+// is pure configuration; generate_events() expands it against an
+// overlay directory into a time-sorted SessionEvent script, all
+// randomness drawn from one seeded Rng — same (plan, dir, seed), same
+// byte-identical script.
+//
+// DSL — one item per line, '#' starts a comment:
+//
+//   groups n=<count> alpha=<a> min=<m> max=<M>
+//   flash group=<g> at=<ms> joins=<n> spacing=<ms>
+//   diurnal start=<ms> end=<ms> period=<ms> amp=<a> join=<r> leave=<r>
+//   regionfail at=<ms> center=<id> radius=<f> n=<k>
+//
+// `join`/`leave` are event rates per virtual millisecond; `radius` is a
+// fraction of the identifier ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "overlay/directory.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace cam::workload {
+
+enum class WorkloadKind : std::uint8_t {
+  kGroups,
+  kFlash,
+  kDiurnal,
+  kRegionFail,
+};
+
+/// Canonical DSL keyword of a kind ("groups", "flash", ...).
+const char* workload_kind_name(WorkloadKind k);
+
+struct WorkloadItem {
+  WorkloadKind kind = WorkloadKind::kGroups;
+  // groups
+  std::uint32_t count = 8;        // number of groups
+  double alpha = 1.0;             // zipf exponent over sizes
+  std::uint32_t min_size = 2;     // smallest group (source included)
+  std::uint32_t max_size = 64;    // largest group
+  // flash
+  std::uint64_t group = 1;        // target group id
+  SimTime at_ms = 0;              // wave start / burst time
+  std::uint32_t joins = 16;       // arrivals in the wave
+  SimTime spacing_ms = 1.0;       // exact inter-arrival gap
+  // diurnal
+  SimTime start_ms = 0;
+  SimTime end_ms = 0;
+  SimTime period_ms = 1000;
+  double amplitude = 0.5;         // rate swing, 0..1
+  double join_rate = 0.01;        // base joins per ms (all groups)
+  double leave_rate = 0.01;       // base leaves per ms
+  // regionfail
+  Id center = 0;
+  double radius = 0.05;           // ring fraction around center
+  std::uint32_t fail_count = 4;
+
+  /// One canonical DSL line (no trailing newline).
+  std::string to_string() const;
+
+  bool operator==(const WorkloadItem&) const = default;
+};
+
+class WorkloadPlan {
+ public:
+  // --- programmatic builder (all return *this for chaining) ------------
+  WorkloadPlan& groups(std::uint32_t count, double alpha,
+                       std::uint32_t min_size, std::uint32_t max_size);
+  WorkloadPlan& flash(std::uint64_t group, SimTime at,
+                      std::uint32_t joins, SimTime spacing_ms);
+  WorkloadPlan& diurnal(SimTime start, SimTime end, SimTime period,
+                        double amplitude, double join_rate,
+                        double leave_rate);
+  WorkloadPlan& region_fail(SimTime at, Id center, double radius,
+                            std::uint32_t count);
+
+  const std::vector<WorkloadItem>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+
+  /// Canonical DSL text; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  /// Parses DSL text. Returns nullopt on the first malformed line and,
+  /// when `error` is non-null, stores a "line N: why" message there.
+  static std::optional<WorkloadPlan> parse(const std::string& text,
+                                           std::string* error = nullptr);
+
+  bool operator==(const WorkloadPlan&) const = default;
+
+ private:
+  std::vector<WorkloadItem> items_;
+};
+
+/// One session-layer operation of the expanded script.
+enum class SessionOp : std::uint8_t { kCreate, kJoin, kLeave, kFail };
+
+struct SessionEvent {
+  SimTime at_ms = 0;
+  SessionOp op = SessionOp::kCreate;
+  std::uint64_t group = 0;  // unused for kFail (the node leaves ALL groups)
+  Id node = 0;              // source / joiner / leaver / failed node
+
+  bool operator==(const SessionEvent&) const = default;
+};
+
+/// Zipf-law sizes: P(s) proportional to 1 / (s - min + 1)^alpha over
+/// [min .. max], `count` independent draws. The chi-squared fit of this
+/// sampler is pinned in tests/session_workload_test.cpp.
+std::vector<std::uint32_t> zipf_group_sizes(std::uint32_t count,
+                                            double alpha,
+                                            std::uint32_t min_size,
+                                            std::uint32_t max_size,
+                                            Rng& rng);
+
+/// Expands a plan against a directory into a time-sorted event script
+/// (stable order on ties). Group ids are 1-based in plan order. The
+/// generator tracks intended membership so leave targets are members at
+/// generation time; a leave whose join was later rejected by capacity
+/// admission simply no-ops at apply time.
+std::vector<SessionEvent> generate_events(const WorkloadPlan& plan,
+                                          const FrozenDirectory& dir,
+                                          std::uint64_t seed);
+
+}  // namespace cam::workload

@@ -64,6 +64,28 @@
 //       is rerun once per seed (cells run in parallel under --jobs) and
 //       one compact line is printed per seed plus a sweep summary; the
 //       exit code is nonzero if ANY seed violated an invariant.
+//
+//   camsim groups     --system=camchord|camkoorde [--n=N] [--bits=B]
+//                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
+//                     [--plan-text=DSL] [--ngroups=G] [--group-max=M]
+//                     [--mode=shared|ledger] [--packets=K]
+//                     [--stream-groups=K] [--chaos] [--seeds=A..B]
+//                     [--jobs=N]
+//       Many-group session layer (src/session): expands a WorkloadPlan
+//       (workload/session_workload.h DSL — zipf group fleets, flash
+//       crowds, diurnal churn, regional failure bursts; default: one
+//       zipf fleet of --ngroups groups) into a membership script,
+//       replays it through capacity-aware admission against the shared
+//       CapacityLedger, then streams the surviving groups concurrently
+//       through the multi-group dataplane and prints the aggregate
+//       scoreboard (goodput, Jain fairness, p99 latency) plus per-group
+//       lines. --mode picks the service discipline (shared FIFO uplink
+//       vs per-group ledger shares). With --chaos the session chaos
+//       harness runs instead: group-level invariants are swept during
+//       the replay and the full deterministic report is printed (exits
+//       nonzero on any violation). --seeds sweeps whole worlds in
+//       parallel, one compact line per seed, byte-identical for any
+//       --jobs.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +103,7 @@
 #include "experiments/table.h"
 #include "experiments/telemetry_report.h"
 #include "fault/chaos_run.h"
+#include "fault/session_chaos.h"
 #include "multicast/metrics.h"
 #include "proto/async_camchord.h"
 #include "proto/async_camkoorde.h"
@@ -130,6 +153,12 @@ struct Args {
   double settle_ms = 240'000;
   bool no_quiesce = false;
   bool repair = true;
+  // groups subcommand
+  std::size_t ngroups = 16;
+  std::uint32_t group_max = 32;
+  std::string mode = "shared";
+  std::size_t stream_groups = 0;
+  bool session_chaos = false;
 };
 
 /// The one flag table every subcommand parses against. Registering all
@@ -182,6 +211,13 @@ runtime::FlagSet make_flags(Args& a) {
   f.add_switch("repair", "enable the delivery-repair layer", &a.repair);
   f.add_switch("no-repair", "disable the delivery-repair layer", &a.repair,
                false);
+  f.add("ngroups", "default workload: zipf fleet size (groups)", &a.ngroups);
+  f.add("group-max", "default workload: largest group size", &a.group_max);
+  f.add("mode", "session scheduling: shared|ledger", &a.mode);
+  f.add("stream-groups", "cap on streamed groups (0 = all)",
+        &a.stream_groups);
+  f.add_switch("chaos", "run the session invariant/chaos harness (groups)",
+               &a.session_chaos);
   return f;
 }
 
@@ -190,7 +226,8 @@ runtime::FlagSet make_flags(Args& a) {
   runtime::FlagSet f = make_flags(defaults);
   if (!detail.empty()) std::fprintf(stderr, "camsim: %s\n", detail.c_str());
   std::fprintf(stderr,
-               "usage: camsim <multicast|lookup|churn|stream|async|chaos> "
+               "usage: camsim <multicast|lookup|churn|stream|async|chaos"
+               "|groups> "
                "[options]\noptions (shared by all subcommands):\n%s",
                f.usage().c_str());
   std::exit(2);
@@ -590,6 +627,189 @@ int cmd_chaos(const Args& a) {
   return bad == 0 ? 0 : 1;
 }
 
+// Many-group session layer runs; see src/session and
+// src/workload/session_workload.h.
+int cmd_groups(const Args& a) {
+  if (a.system != "camchord" && a.system != "camkoorde") {
+    usage("groups needs --system=camchord|camkoorde");
+  }
+
+  workload::WorkloadPlan plan;
+  if (!a.plan_file.empty() || !a.plan_text.empty()) {
+    std::string text = a.plan_text;
+    if (!a.plan_file.empty()) {
+      std::ifstream in(a.plan_file);
+      if (!in) {
+        std::fprintf(stderr, "camsim: cannot open %s\n",
+                     a.plan_file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    std::string error;
+    auto parsed = workload::WorkloadPlan::parse(text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "camsim: bad workload plan: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    plan = std::move(*parsed);
+  } else {
+    plan.groups(static_cast<std::uint32_t>(a.ngroups), 1.0, 2,
+                a.group_max);
+  }
+
+  session::SchedMode mode;
+  if (a.mode == "shared") {
+    mode = session::SchedMode::kShared;
+  } else if (a.mode == "ledger") {
+    mode = session::SchedMode::kLedgerShares;
+  } else {
+    usage("groups needs --mode=shared|ledger");
+  }
+
+  if (a.session_chaos) {
+    fault::SessionChaosConfig cfg;
+    cfg.system = a.system;
+    cfg.n = a.n;
+    cfg.bits = a.bits;
+    cfg.seed = a.seed;
+    cfg.cap_lo = a.cap_lo;
+    cfg.cap_hi = a.cap_hi;
+    cfg.stream_packets = a.packets;
+    cfg.mode = mode;
+    if (a.stream_groups != 0) cfg.stream_groups = a.stream_groups;
+
+    if (!a.sweep) {
+      fault::SessionChaosReport report =
+          fault::run_session_chaos(cfg, plan);
+      std::fputs(report.render().c_str(), stdout);
+      return report.ok ? 0 : 1;
+    }
+    std::vector<fault::SessionChaosCell> cells;
+    for (std::uint64_t s = a.seeds.lo; s <= a.seeds.hi; ++s) {
+      fault::SessionChaosCell cell{cfg, plan};
+      cell.cfg.seed = s;
+      cells.push_back(std::move(cell));
+    }
+    std::vector<fault::SessionChaosReport> reports =
+        fault::run_session_chaos_cells(cells, a.jobs);
+    std::printf("groups chaos sweep system=%s n=%zu seeds=%llu..%llu\n",
+                cfg.system.c_str(), cfg.n,
+                static_cast<unsigned long long>(a.seeds.lo),
+                static_cast<unsigned long long>(a.seeds.hi));
+    std::size_t bad = 0;
+    for (const fault::SessionChaosReport& r : reports) {
+      if (r.ok) {
+        std::printf("seed=%llu ok groups=%zu memberships=%zu dups=%llu\n",
+                    static_cast<unsigned long long>(r.cfg.seed), r.groups,
+                    r.memberships,
+                    static_cast<unsigned long long>(r.dup_copies));
+      } else {
+        ++bad;
+        std::printf("seed=%llu VIOLATIONS n=%zu\n",
+                    static_cast<unsigned long long>(r.cfg.seed),
+                    r.violations.size());
+      }
+    }
+    std::printf("summary: %zu/%zu seeds ok\n", reports.size() - bad,
+                reports.size());
+    return bad == 0 ? 0 : 1;
+  }
+
+  auto cell_for = [&](std::uint64_t seed) {
+    runtime::SessionCellSpec cell;
+    cell.system = system_of(a);
+    cell.population = recipe(a, seed);
+    cell.seed = seed;
+    cell.plan = plan;
+    cell.fwd.mode = mode;
+    cell.stream_packets = a.packets;
+    cell.stream_groups = a.stream_groups;
+    return cell;
+  };
+
+  if (!a.sweep) {
+    const runtime::SessionCellResult r = run_session_cell(cell_for(a.seed));
+    std::printf("groups system=%s n=%zu bits=%d seed=%llu mode=%s\n",
+                a.system.c_str(), a.n, a.bits,
+                static_cast<unsigned long long>(a.seed), a.mode.c_str());
+    std::printf("plan:\n%s", plan.to_string().c_str());
+    std::printf(
+        "apply: creates=%llu joins_ok=%llu joins_rejected=%llu "
+        "leaves=%llu fails=%llu\n",
+        static_cast<unsigned long long>(r.apply.creates),
+        static_cast<unsigned long long>(r.apply.joins_ok),
+        static_cast<unsigned long long>(r.apply.joins_rejected),
+        static_cast<unsigned long long>(r.apply.leaves),
+        static_cast<unsigned long long>(r.apply.fails));
+    const std::string check_str =
+        r.check_violations == 0 ? "ok"
+                                : std::to_string(r.check_violations);
+    std::printf(
+        "session: groups=%zu memberships=%zu reparented=%llu "
+        "dropped=%llu max_util=%.3f check=%s\n",
+        r.groups, r.memberships,
+        static_cast<unsigned long long>(r.counters.reparented),
+        static_cast<unsigned long long>(r.counters.dropped_members),
+        r.max_utilization, check_str.c_str());
+    std::printf(
+        "stream: groups=%zu goodput=%.2f kbps jain=%.4f p99=%.2f ms "
+        "completion=%.2f ms copies=%llu\n",
+        r.stats.groups.size(), r.stats.aggregate_goodput_kbps,
+        r.stats.jain_fairness, r.stats.p99_latency_ms,
+        r.stats.completion_ms,
+        static_cast<unsigned long long>(r.stats.copies_sent));
+    constexpr std::size_t kMaxLines = 24;
+    for (std::size_t i = 0;
+         i < r.stats.groups.size() && i < kMaxLines; ++i) {
+      const session::GroupRunStats& g = r.stats.groups[i];
+      std::printf(
+          "  group %llu: receivers=%zu rate=%.2f kbps p99=%.2f ms "
+          "pauses=%llu dups=%llu\n",
+          static_cast<unsigned long long>(g.group), g.session.receivers,
+          g.session.session_rate_kbps, g.p99_latency_ms,
+          static_cast<unsigned long long>(g.admission_pauses),
+          static_cast<unsigned long long>(g.duplicate_deliveries));
+    }
+    if (r.stats.groups.size() > kMaxLines) {
+      std::printf("  ... %zu more groups\n",
+                  r.stats.groups.size() - kMaxLines);
+    }
+    return r.check_violations == 0 ? 0 : 1;
+  }
+
+  std::vector<runtime::SessionCellSpec> cells;
+  for (std::uint64_t s = a.seeds.lo; s <= a.seeds.hi; ++s) {
+    cells.push_back(cell_for(s));
+  }
+  const std::vector<runtime::SessionCellResult> results =
+      runtime::run_cells(cells, {a.jobs});
+  std::printf("groups sweep system=%s n=%zu mode=%s seeds=%llu..%llu\n",
+              a.system.c_str(), a.n, a.mode.c_str(),
+              static_cast<unsigned long long>(a.seeds.lo),
+              static_cast<unsigned long long>(a.seeds.hi));
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const runtime::SessionCellResult& r = results[i];
+    if (r.check_violations != 0) ++bad;
+    std::printf(
+        "seed=%llu groups=%zu joined=%llu rejected=%llu util=%.3f "
+        "goodput=%.2f jain=%.4f p99=%.2f check=%s\n",
+        static_cast<unsigned long long>(a.seeds.lo + i), r.groups,
+        static_cast<unsigned long long>(r.apply.joins_ok),
+        static_cast<unsigned long long>(r.apply.joins_rejected),
+        r.max_utilization, r.stats.aggregate_goodput_kbps,
+        r.stats.jain_fairness, r.stats.p99_latency_ms,
+        r.check_violations == 0 ? "ok" : "VIOLATIONS");
+  }
+  std::printf("summary: %zu/%zu seeds ok\n", results.size() - bad,
+              results.size());
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -605,5 +825,6 @@ int main(int argc, char** argv) {
   if (a.command == "stream") return cmd_stream(a);
   if (a.command == "async") return cmd_async(a);
   if (a.command == "chaos") return cmd_chaos(a);
+  if (a.command == "groups") return cmd_groups(a);
   usage("unknown subcommand '" + a.command + "'");
 }
