@@ -9,6 +9,9 @@
 #   SEEDS=250 ./scripts/chaos_long.sh    # seeds 1..250
 #   JOBS=8 ./scripts/chaos_long.sh       # sweep-pool workers (default
 #                                        # nproc; results identical)
+#   ./scripts/chaos_long.sh --sessions   # session-layer leg instead:
+#                                        # detection-driven failover
+#                                        # sweep (see below)
 #
 # Exits nonzero if any repair-on run reports a violation.
 set -euo pipefail
@@ -16,10 +19,41 @@ cd "$(dirname "$0")/.."
 
 SEEDS="${SEEDS:-100}"
 JOBS="${JOBS:-$(nproc)}"
+MODE=packet
+[ "${1:-}" = "--sessions" ] && MODE=sessions
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target camsim >/dev/null
 CAMSIM=./build/tools/camsim
+
+# --sessions: long many-group session-chaos sweep with detection-driven
+# failover (ISSUE 8). Every seed replays a zipf fleet with flash crowds,
+# diurnal churn, and regional failure bursts; crashes are discovered by
+# the heartbeat failure detector, orphans re-hang through standby
+# parents (full placement fallback), zero-slack subtrees park, and one
+# interior member of the largest streamed group dies mid-stream to
+# exercise pull gap-repair. camsim exits nonzero if ANY seed violates a
+# session invariant (tree/ledger consistency, exactly-once delivery,
+# completeness), so both legs must be clean.
+if [ "$MODE" = sessions ]; then
+  fail=0
+  for system in camchord camkoorde; do
+    extra=""
+    [ "$system" = camkoorde ] && extra="--mode=ledger"
+    if "$CAMSIM" groups --chaos --detect --stream-crash \
+        --system="$system" --n=64 --bits=12 --packets=16 \
+        --seeds=1.."$SEEDS" --jobs="$JOBS" $extra > /dev/null; then
+      echo "$system: $SEEDS seeds, detection-driven failover clean"
+    else
+      echo "FAIL $system: session invariant violation in sweep"
+      echo "  repro: camsim groups --chaos --detect --stream-crash" \
+           "--system=$system --n=64 --bits=12 --packets=16 $extra" \
+           "--seeds=1..$SEEDS"
+      fail=1
+    fi
+  done
+  exit "$fail"
+fi
 
 chord_plan='at 0 drop p=0.05
 at 1000 crash n=4

@@ -39,6 +39,18 @@ at 6000 clear'
   --plan-text="$CRASH_WAVE_PLAN" > /dev/null
 
 echo
+echo "== tier-1: ASan+UBSan detection-driven failover smoke =="
+# Detection-mode session chaos: crashes discovered by the heartbeat
+# failure detector, standby re-hangs, parked subtrees, and a detected
+# mid-stream crash with pull gap-repair — the whole failover pipeline
+# under ASan. camsim exits nonzero on any session invariant violation.
+./build-asan/tools/camsim groups --chaos --detect --stream-crash \
+  --system=camchord --n=48 --bits=12 --seed=4 --packets=16 > /dev/null
+./build-asan/tools/camsim groups --chaos --detect --stream-crash \
+  --system=camkoorde --n=48 --bits=12 --seed=8 --mode=ledger \
+  --packets=16 > /dev/null
+
+echo
 echo "== tier-1: perf smoke (release preset, calibrated ns/event gate) =="
 # Best-of-3 engine_sweep at reduced scale against the committed
 # BENCH_PR5.json baseline; fails on a >25% load-normalized ns/event
@@ -59,7 +71,7 @@ echo
 echo "== tier-1: TSan engine goldens + dataplane/session sweeps (byte-identity) =="
 cmake --build build-tsan -j --target cam_tests
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'EngineGolden|DataplaneSweep|SessionSweep'
+  -R 'EngineGolden|DataplaneSweep|SessionSweep|DetectionModeSweep'
 
 echo
 echo "tier-1 OK"

@@ -49,6 +49,7 @@ const char* kind_name(FaultKind k) {
     case FaultKind::kCrash: return "crash";
     case FaultKind::kRestart: return "restart";
     case FaultKind::kJoin: return "join";
+    case FaultKind::kRegionFail: return "regionfail";
     case FaultKind::kClear: return "clear";
   }
   return "?";
@@ -84,6 +85,10 @@ std::string FaultEvent::to_string() const {
     case FaultKind::kRestart:
     case FaultKind::kJoin:
       os << " n=" << count;
+      break;
+    case FaultKind::kRegionFail:
+      os << " center=" << a << " radius=" << num(radius)
+         << " n=" << count;
       break;
     case FaultKind::kHeal:
     case FaultKind::kClear:
@@ -194,6 +199,17 @@ FaultPlan& FaultPlan::join(SimTime at, int count) {
   return add(std::move(e));
 }
 
+FaultPlan& FaultPlan::region_fail(SimTime at, Id center, double radius,
+                                  int n) {
+  FaultEvent e;
+  e.at_ms = at;
+  e.kind = FaultKind::kRegionFail;
+  e.a = center;
+  e.radius = radius;
+  e.count = n;
+  return add(std::move(e));
+}
+
 FaultPlan& FaultPlan::clear(SimTime at) {
   FaultEvent e;
   e.at_ms = at;
@@ -249,6 +265,7 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
     // key=value fields after the kind keyword.
     bool saw_p = false, saw_ms = false, saw_n = false, saw_copies = false;
     bool saw_frac = false, saw_ids = false, saw_link = false;
+    bool saw_center = false, saw_radius = false;
     for (std::size_t i = 3; i < tok.size(); ++i) {
       auto eq = tok[i].find('=');
       if (eq == std::string::npos) {
@@ -289,6 +306,19 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
         }
         if (e.hosts.empty()) return fail(lineno, "empty ids list");
         saw_ids = true;
+      } else if (key == "center") {
+        std::uint64_t id = 0;
+        if (!parse_u64(val, id)) {
+          return fail(lineno, "bad center '" + val + "'");
+        }
+        e.a = id;
+        saw_center = true;
+      } else if (key == "radius") {
+        if (!parse_double(val, e.radius) || e.radius <= 0 ||
+            e.radius > 0.5) {
+          return fail(lineno, "bad radius '" + val + "' (need 0<f<=0.5)");
+        }
+        saw_radius = true;
       } else if (key == "link") {
         auto colon = val.find(':');
         std::uint64_t from = 0, to = 0;
@@ -328,6 +358,11 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
       e.kind = kind == "crash"     ? FaultKind::kCrash
                : kind == "restart" ? FaultKind::kRestart
                                    : FaultKind::kJoin;
+    } else if (kind == "regionfail") {
+      if (!saw_center || !saw_radius || !saw_n) {
+        return fail(lineno, "regionfail needs center=, radius= and n=");
+      }
+      e.kind = FaultKind::kRegionFail;
     } else if (kind == "clear") {
       e.kind = FaultKind::kClear;
     } else {
@@ -335,6 +370,9 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
     }
     if (saw_link && e.kind != FaultKind::kDrop) {
       return fail(lineno, "link= is only valid on drop");
+    }
+    if ((saw_center || saw_radius) && e.kind != FaultKind::kRegionFail) {
+      return fail(lineno, "center=/radius= are only valid on regionfail");
     }
     plan.add(std::move(e));
   }

@@ -28,11 +28,16 @@
 //   at <ms> crash n=<k>
 //   at <ms> restart n=<k>
 //   at <ms> join n=<k>
+//   at <ms> regionfail center=<id> radius=<f> n=<k>
 //   at <ms> clear
 //
 // `drop`/`dup`/`delay`/`reorder` *set* the corresponding knob (p=0
 // turns it off); `clear` resets every link-level fault including an
 // active partition. `crash`/`restart`/`join` are one-shot waves.
+// `regionfail` is the correlated-failure wave: the up-to-n live nodes
+// within radius (a fraction of the ring) of `center` crash together —
+// no randomness, the blast region is part of the plan (ISSUE 8
+// satellite, mirroring the workload DSL's regionfail).
 #pragma once
 
 #include <cstdint>
@@ -55,6 +60,7 @@ enum class FaultKind : std::uint8_t {
   kCrash,      // crash `count` random live nodes
   kRestart,    // crash `count` nodes; each rejoins with a fresh id
   kJoin,       // spawn `count` fresh nodes
+  kRegionFail, // crash the <=count live nodes within radius of center
   kClear,      // reset every link-level fault (partition included)
 };
 
@@ -69,8 +75,9 @@ struct FaultEvent {
   int count = 0;          // dup: extra copies; churn: wave size
   double frac = 0;        // partition: fraction of live members on side A
   bool has_link = false;  // drop restricted to the directed link a->b
-  Id a = 0;
+  Id a = 0;               // link source; regionfail: blast center
   Id b = 0;
+  double radius = 0;      // regionfail: blast radius, fraction of ring
   std::vector<Id> hosts;  // partition: explicit side A (overrides frac)
 
   /// One canonical DSL line (no trailing newline).
@@ -93,6 +100,9 @@ class FaultPlan {
   FaultPlan& crash(SimTime at, int count);
   FaultPlan& restart(SimTime at, int count);
   FaultPlan& join(SimTime at, int count);
+  /// Correlated regional crash: the up-to-`n` live nodes within
+  /// `radius` (fraction of the ring, 0 < radius <= 0.5) of `center`.
+  FaultPlan& region_fail(SimTime at, Id center, double radius, int n);
   FaultPlan& clear(SimTime at);
 
   /// Events sorted by time; ties keep insertion order (stable), so a

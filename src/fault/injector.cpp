@@ -168,6 +168,9 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultKind::kJoin:
       join_wave(e.count);
       return;
+    case FaultKind::kRegionFail:
+      region_fail_wave(e.a, e.radius, e.count);
+      return;
     case FaultKind::kClear:
       clear();
       return;
@@ -308,6 +311,36 @@ void FaultInjector::crash_wave(int count) {
     overlay_.crash(victim);
     note("t=" + num(overlay_.sim().now()) + " crash node=" +
          std::to_string(victim));
+  }
+}
+
+void FaultInjector::region_fail_wave(Id center, double radius, int count) {
+  // Correlated regional crash: the up-to-`count` live members nearest
+  // `center` on the ring, capped by the blast radius. Deterministic —
+  // no RNG draw; ties break to the smaller id via stable_sort over the
+  // sorted member list (the same rule as the workload DSL's regionfail).
+  std::vector<Id> ordered = overlay_.members_sorted();
+  const RingSpace& ring = overlay_.ring();
+  const std::uint64_t blast = static_cast<std::uint64_t>(
+      radius * static_cast<double>(ring.size()));
+  std::stable_sort(ordered.begin(), ordered.end(), [&](Id x, Id y) {
+    return ring.distance(x, center) < ring.distance(y, center);
+  });
+  // Keep at least two members alive so the ring stays a ring.
+  const std::size_t live = overlay_.size();
+  const int can = live > 2 ? static_cast<int>(live - 2) : 0;
+  int n = std::min(count, can);
+  if (n < count) {
+    note("t=" + num(overlay_.sim().now()) + " regionfail clamped " +
+         std::to_string(count) + "->" + std::to_string(n));
+  }
+  for (Id victim : ordered) {
+    if (n <= 0) break;
+    if (ring.distance(victim, center) > blast) break;
+    overlay_.crash(victim);
+    note("t=" + num(overlay_.sim().now()) + " regionfail node=" +
+         std::to_string(victim) + " center=" + std::to_string(center));
+    --n;
   }
 }
 

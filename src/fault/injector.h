@@ -78,6 +78,9 @@ class FaultInjector {
   void crash_wave(int count);
   void restart_wave(int count);
   void join_wave(int count);
+  /// Correlated regional crash: up to `count` live members within
+  /// `radius` (fraction of the ring) of `center`, nearest first.
+  void region_fail_wave(Id center, double radius, int count);
 
   bool partitioned() const { return partition_active_; }
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "runtime/sweep_pool.h"
+#include "session/failover.h"
+#include "telemetry/trace.h"
 #include "workload/population.h"
 
 namespace cam::fault {
@@ -43,6 +48,324 @@ void sweep_invariants(const session::SessionLayer& layer,
   }
 }
 
+// ---------------------------------------------------------------------
+// Detection-mode replay (ISSUE 8). Crashes in the script are not applied
+// when they "happen": the victim keeps its tree positions until the
+// first live watcher's suspicion deadline — computed by replaying the
+// deterministic DepthFeed heartbeat timetable (HeartbeatSchedule) into
+// the same FailureDetector the live stack drives — and the layer's
+// failover surgery runs at that announce instant.
+class DetectReplay {
+ public:
+  DetectReplay(const SessionChaosConfig& cfg, session::SessionLayer& layer,
+               SessionChaosReport& rep, telemetry::Tracer& tracer,
+               telemetry::Registry& reg)
+      : cfg_(cfg), layer_(layer), rep_(rep), tracer_(tracer), reg_(reg),
+        det_(make_params(cfg)),
+        sched_(cfg.seed, cfg.hb_period_ms, cfg.hb_jitter) {}
+
+  void run(const std::vector<workload::SessionEvent>& events) {
+    for (const workload::SessionEvent& e : events) {
+      if (e.op == workload::SessionOp::kFail) {
+        crash_at_.try_emplace(e.node, e.at_ms);
+      }
+    }
+    reconcile_edges();
+    std::size_t idx = 0;
+    while (idx < events.size() || !pending_.empty()) {
+      const bool take_announce =
+          !pending_.empty() &&
+          (idx >= events.size() ||
+           pending_.front().at_ms <= events[idx].at_ms);
+      if (take_announce) {
+        const Announce a = pending_.front();
+        pending_.erase(pending_.begin());
+        apply_announce(a);
+      } else {
+        apply_event(events[idx++]);
+      }
+    }
+    sweep_invariants(layer_, applied_, rep_.violations);
+    if (last_ms_ > 0) rep_.degraded_frac = degraded_ms_ / last_ms_;
+  }
+
+ private:
+  struct Announce {
+    SimTime at_ms = 0;
+    SimTime crash_ms = 0;
+    Id victim = 0;
+    Id watcher = 0;
+    bool detected = false;
+  };
+
+  static session::DetectorParams make_params(const SessionChaosConfig& c) {
+    session::DetectorParams p;
+    p.expected_period_ms = c.hb_period_ms;
+    return p;
+  }
+
+  /// Accrues degraded time up to `t` with the CURRENT parked state,
+  /// then moves the replay clock.
+  void advance_clock(SimTime t) {
+    if (t < last_ms_) t = last_ms_;  // announce fallbacks never rewind
+    if (layer_.total_parked_members() > 0) degraded_ms_ += t - last_ms_;
+    last_ms_ = t;
+  }
+
+  void note_parked() {
+    rep_.peak_parked =
+        std::max(rep_.peak_parked, layer_.total_parked_members());
+  }
+
+  /// Rebuilds the watch-edge set from the live trees: every attached
+  /// tree edge is watched from both ends (child heartbeats the parent
+  /// via DepthFeed; data/acks flow back), deduplicated across groups.
+  /// New edges remember their start time so heartbeat replay begins at
+  /// the instant the relationship formed.
+  void reconcile_edges() {
+    std::set<std::pair<Id, Id>> want;
+    for (session::GroupId g : layer_.group_ids()) {
+      const session::GroupTree* tree = layer_.group(g);
+      for (Id m : tree->sorted_members()) {
+        if (m == tree->source()) continue;
+        const Id p = tree->member(m).parent;
+        want.emplace(p, m);
+        want.emplace(m, p);
+      }
+    }
+    for (auto it = edge_since_.begin(); it != edge_since_.end();) {
+      if (!want.contains(it->first)) {
+        det_.untrack(it->first.first, it->first.second);
+        it = edge_since_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& e : want) edge_since_.try_emplace(e, last_ms_);
+  }
+
+  void trace(telemetry::EventType type, SimTime at, Id node, Id peer,
+             std::uint64_t a, std::uint64_t b) {
+    if (tracer_.wants(type)) {
+      tracer_.record(telemetry::TraceEvent{at, type, node, peer, a, b});
+    }
+  }
+
+  /// Drains the layer's failover log, pricing each decision with the
+  /// control-plane cost model and feeding histograms / counters /
+  /// traces. `now` is when the surgery ran; `crash_ms` anchors recovery
+  /// latency (equal to `now` for leave-triggered re-admissions, whose
+  /// latency is anchored at their own park time instead).
+  void harvest(SimTime now, SimTime crash_ms) {
+    using How = session::ReattachRecord::How;
+    for (const session::ReattachRecord& r : layer_.take_failover_log()) {
+      switch (r.how) {
+        case How::kStandby: {
+          const SimTime done = now + cfg_.standby_rtt_ms;
+          reg_.counter("session.failover.reattach.standby").add();
+          reg_.histogram("session.failover.reattach_ms")
+              .record(done - crash_ms);
+          trace(telemetry::EventType::kFailoverReattach, done, r.child,
+                r.parent, r.group, 1);
+          break;
+        }
+        case How::kPlacement: {
+          const SimTime done =
+              now + static_cast<double>(r.lookup_hops + 1) * cfg_.hop_rtt_ms;
+          reg_.counter("session.failover.reattach.full").add();
+          reg_.histogram("session.failover.reattach_ms")
+              .record(done - crash_ms);
+          trace(telemetry::EventType::kFailoverReattach, done, r.child,
+                r.parent, r.group, 0);
+          break;
+        }
+        case How::kParked:
+          park_since_.insert_or_assign({r.group, r.child}, crash_ms);
+          reg_.counter("session.failover.park").add();
+          trace(telemetry::EventType::kFailoverPark, now, r.child, 0,
+                r.group, r.members);
+          break;
+        case How::kDropped:
+          reg_.counter("session.failover.drop").add();
+          break;
+        case How::kReadmitted: {
+          const SimTime done =
+              now + static_cast<double>(r.lookup_hops + 1) * cfg_.hop_rtt_ms;
+          reg_.counter("session.failover.readmit").add();
+          if (auto it = park_since_.find({r.group, r.child});
+              it != park_since_.end()) {
+            reg_.histogram("session.failover.reattach_ms")
+                .record(done - it->second);
+            park_since_.erase(it);
+          }
+          trace(telemetry::EventType::kFailoverReadmit, done, r.child,
+                r.parent, r.group, r.members);
+          break;
+        }
+      }
+    }
+  }
+
+  void after_op() {
+    ++applied_;
+    note_parked();
+    reconcile_edges();
+    if (step_ != 0 && applied_ % step_ == 0) {
+      sweep_invariants(layer_, applied_, rep_.violations);
+    }
+  }
+
+  /// A script crash: replay the victim's watcher edges' heartbeats up to
+  /// the crash instant and queue the failover announce at the earliest
+  /// suspicion deadline among watchers that outlive it.
+  void on_crash(const workload::SessionEvent& e) {
+    ++rep_.crash_victims;
+    SimTime best = 0;
+    Id best_watcher = 0;
+    bool found = false;
+    for (const auto& [edge, since] : edge_since_) {
+      if (edge.second != e.node) continue;
+      const Id w = edge.first;
+      det_.track(w, e.node, since);
+      for (std::uint64_t i = 0;; ++i) {
+        const SimTime at = since + sched_.arrival_offset(w, e.node, i);
+        if (at > e.at_ms) break;
+        det_.heartbeat(w, e.node, at);
+      }
+      const SimTime deadline =
+          std::max(det_.suspect_deadline(w, e.node), e.at_ms);
+      // A watcher that dies before its own windows close never reports.
+      if (auto it = crash_at_.find(w);
+          it != crash_at_.end() && it->second <= deadline) {
+        continue;
+      }
+      if (!found || deadline < best ||
+          (deadline == best && w < best_watcher)) {
+        best = deadline;
+        best_watcher = w;
+        found = true;
+      }
+    }
+    // Nobody watches (not a member, or the whole neighborhood died
+    // together): fall back to the oracle instant so state stays sane.
+    Announce a;
+    a.at_ms = found ? best : e.at_ms;
+    a.crash_ms = e.at_ms;
+    a.victim = e.node;
+    a.watcher = best_watcher;
+    a.detected = found;
+    const auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), a,
+        [](const Announce& x, const Announce& y) {
+          return x.at_ms != y.at_ms ? x.at_ms < y.at_ms
+                                    : x.victim < y.victim;
+        });
+    pending_.insert(pos, a);
+  }
+
+  void apply_announce(const Announce& a) {
+    advance_clock(a.at_ms);
+    if (a.detected) {
+      ++rep_.detected_crashes;
+      reg_.counter("session.failover.detect").add();
+      reg_.histogram("session.failover.detect_ms")
+          .record(a.at_ms - a.crash_ms);
+      trace(telemetry::EventType::kFailoverDetect, a.at_ms, a.watcher,
+            a.victim, static_cast<std::uint64_t>(a.at_ms),
+            static_cast<std::uint64_t>(a.crash_ms));
+    }
+    layer_.fail_node(a.victim);
+    ++rep_.apply.fails;
+    harvest(a.at_ms, a.crash_ms);
+    after_op();
+  }
+
+  void apply_event(const workload::SessionEvent& e) {
+    if (e.op == workload::SessionOp::kFail) {
+      advance_clock(e.at_ms);
+      on_crash(e);
+      return;  // surgery (and after_op) runs at the announce instant
+    }
+    advance_clock(e.at_ms);
+    switch (e.op) {
+      case workload::SessionOp::kCreate:
+        if (layer_.create_group(e.group, e.node)) ++rep_.apply.creates;
+        break;
+      case workload::SessionOp::kJoin: {
+        const session::JoinResult r = layer_.join(e.group, e.node);
+        if (r.outcome == session::JoinOutcome::kJoined) {
+          ++rep_.apply.joins_ok;
+        } else if (r.outcome == session::JoinOutcome::kNoCapacity) {
+          ++rep_.apply.joins_rejected;
+        }
+        break;
+      }
+      case workload::SessionOp::kLeave:
+        if (layer_.leave(e.group, e.node)) {
+          ++rep_.apply.leaves;
+        } else {
+          ++rep_.apply.noop_leaves;
+        }
+        break;
+      case workload::SessionOp::kFail:
+        break;  // handled above
+    }
+    // A leave can free capacity and re-admit parked subtrees.
+    harvest(e.at_ms, e.at_ms);
+    after_op();
+  }
+
+  const SessionChaosConfig& cfg_;
+  session::SessionLayer& layer_;
+  SessionChaosReport& rep_;
+  telemetry::Tracer& tracer_;
+  telemetry::Registry& reg_;
+  session::FailureDetector det_;
+  session::HeartbeatSchedule sched_;
+  std::map<std::pair<Id, Id>, SimTime> edge_since_;  // (watcher, peer)
+  std::map<Id, SimTime> crash_at_;    // script crash time per victim
+  std::vector<Announce> pending_;     // sorted (at_ms, victim)
+  std::map<std::pair<session::GroupId, Id>, SimTime> park_since_;
+  const std::size_t step_ = cfg_.check_every;
+  std::size_t applied_ = 0;
+  SimTime last_ms_ = 0;
+  double degraded_ms_ = 0;
+};
+
+/// Picks the mid-stream crash victim: the deepest interior (has
+/// children) non-source member of the largest streamed group that is not
+/// the source of any streamed group; ties break to the smaller id.
+/// Returns false when every streamed tree is a pure star.
+bool pick_stream_victim(const session::SessionLayer& layer,
+                        const std::vector<session::GroupTraffic>& traffic,
+                        Id& victim_out) {
+  const session::GroupTree* largest = nullptr;
+  for (const session::GroupTraffic& t : traffic) {
+    const session::GroupTree* g = layer.group(t.group);
+    if (largest == nullptr || g->size() > largest->size()) largest = g;
+  }
+  if (largest == nullptr) return false;
+  std::set<Id> sources;
+  for (const session::GroupTraffic& t : traffic) {
+    sources.insert(layer.group(t.group)->source());
+  }
+  bool found = false;
+  int best_depth = 0;
+  Id best = 0;
+  for (Id m : largest->sorted_members()) {
+    const session::GroupTree::Member& mem = largest->member(m);
+    if (mem.depth < 1 || mem.children.empty()) continue;
+    if (sources.contains(m)) continue;
+    if (!found || mem.depth > best_depth) {
+      best = m;
+      best_depth = mem.depth;
+      found = true;
+    }
+  }
+  if (found) victim_out = best;
+  return found;
+}
+
 }  // namespace
 
 SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
@@ -62,24 +385,36 @@ SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
   const FrozenDirectory dir = ndir.freeze();
 
   session::SessionLayer layer(dir, parse_system(cfg.system));
+  if (cfg.detect) {
+    layer.set_failover_policy(
+        session::FailoverPolicy{cfg.standby, cfg.park});
+  }
+  telemetry::Tracer tracer(1 << 12);
+  telemetry::Registry registry;
 
   const std::vector<workload::SessionEvent> events =
       workload::generate_events(plan, dir, cfg.seed);
   rep.events = events.size();
 
-  // Replay in invariant-swept chunks: membership chaos is only chaos if
-  // the ledger/tree cross-checks hold WHILE it happens, not just after.
-  const std::size_t step = cfg.check_every == 0 ? events.size() + 1
-                                                : cfg.check_every;
-  for (std::size_t off = 0; off < events.size(); off += step) {
-    const std::size_t end = std::min(events.size(), off + step);
-    const std::vector<workload::SessionEvent> chunk(
-        events.begin() + static_cast<std::ptrdiff_t>(off),
-        events.begin() + static_cast<std::ptrdiff_t>(end));
-    merge(rep.apply, session::apply_events(layer, chunk));
-    sweep_invariants(layer, end, rep.violations);
+  if (cfg.detect) {
+    // Detection-driven replay: crashes surface at suspicion deadlines.
+    DetectReplay(cfg, layer, rep, tracer, registry).run(events);
+  } else {
+    // Replay in invariant-swept chunks: membership chaos is only chaos
+    // if the ledger/tree cross-checks hold WHILE it happens, not just
+    // after.
+    const std::size_t step = cfg.check_every == 0 ? events.size() + 1
+                                                  : cfg.check_every;
+    for (std::size_t off = 0; off < events.size(); off += step) {
+      const std::size_t end = std::min(events.size(), off + step);
+      const std::vector<workload::SessionEvent> chunk(
+          events.begin() + static_cast<std::ptrdiff_t>(off),
+          events.begin() + static_cast<std::ptrdiff_t>(end));
+      merge(rep.apply, session::apply_events(layer, chunk));
+      sweep_invariants(layer, end, rep.violations);
+    }
+    if (events.empty()) sweep_invariants(layer, 0, rep.violations);
   }
-  if (events.empty()) sweep_invariants(layer, 0, rep.violations);
 
   rep.counters = layer.counters();
   rep.groups = layer.group_count();
@@ -101,14 +436,124 @@ SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
   }
   if (!traffic.empty()) {
     const ConstantLatency latency(1.0);
-    session::MultiGroupForwarder fwd(layer, latency,
-                                     session::MultiGroupConfig{cfg.mode});
-    const session::MultiGroupStats stats = fwd.run(traffic);
+    session::MultiGroupConfig mcfg{cfg.mode};
+    mcfg.repair_deadline_ms = cfg.repair_deadline_ms;
+    // The forwarder snapshots the trees NOW — before any mid-stream
+    // crash surgery below — so it streams the pre-crash topology and
+    // learns about the failure only through the FailoverScript, exactly
+    // like a data plane whose control plane lags detection.
+    session::MultiGroupForwarder fwd(layer, latency, mcfg);
+
+    session::FailoverScript script;
+    if (cfg.detect && cfg.stream_crash &&
+        pick_stream_victim(layer, traffic, rep.stream_victim)) {
+      rep.stream_crashed = true;
+      const Id victim = rep.stream_victim;
+      const SimTime t_crash = cfg.stream_crash_ms;
+      script.crashes.push_back({t_crash, victim});
+
+      // Per-watcher detection spread from the heartbeat timetable: each
+      // watcher's strike windows close after
+      //   strikes * max(floor, period * (1 + jitter * (u - 0.5)))
+      // with u the edge's schedule hash — deterministic, no RNG state.
+      const session::HeartbeatSchedule sched(cfg.seed, cfg.hb_period_ms,
+                                             cfg.hb_jitter);
+      const session::DetectorParams dp;
+      const auto detect_delay = [&](Id w) {
+        const double u =
+            sched.hash_uniform(w, victim, 0x9E3779B97F4A7C15ull);
+        const double window = std::max(
+            dp.floor_ms, cfg.hb_period_ms * (1 + cfg.hb_jitter * (u - 0.5)));
+        return static_cast<double>(dp.strikes) * window;
+      };
+      SimTime announce = t_crash;
+      Id first_watcher = 0;
+      bool watched = false;
+      for (const session::GroupTraffic& t : traffic) {
+        const session::GroupTree* tree = layer.group(t.group);
+        if (!tree->contains(victim)) continue;
+        const session::GroupTree::Member& mem = tree->member(victim);
+        std::vector<Id> watchers = mem.children;
+        watchers.push_back(mem.parent);
+        for (Id w : watchers) {
+          const SimTime at = t_crash + detect_delay(w);
+          script.prunes.push_back(
+              {at, t.group,
+               w == mem.parent ? mem.parent : victim,
+               w == mem.parent ? victim : w});
+          if (!watched || at < announce ||
+              (at == announce && w < first_watcher)) {
+            announce = at;
+            first_watcher = w;
+            watched = true;
+          }
+        }
+      }
+      rep.stream_announce_ms = announce;
+      if (tracer.wants(telemetry::EventType::kFailoverDetect)) {
+        tracer.record(telemetry::TraceEvent{
+            announce, telemetry::EventType::kFailoverDetect, first_watcher,
+            victim, static_cast<std::uint64_t>(announce),
+            static_cast<std::uint64_t>(t_crash)});
+      }
+      registry.counter("session.failover.detect").add();
+
+      // Control-plane surgery at announce time: the layer re-hangs the
+      // orphans and tells us where, pricing each reattach for the data
+      // plane. Parked subtrees stay detached for the rest of the run.
+      std::set<session::GroupId> streamed_ids;
+      for (const session::GroupTraffic& t : traffic) {
+        streamed_ids.insert(t.group);
+      }
+      layer.fail_node(victim);
+      using How = session::ReattachRecord::How;
+      for (const session::ReattachRecord& r : layer.take_failover_log()) {
+        if (r.how != How::kStandby && r.how != How::kPlacement) continue;
+        const SimTime done =
+            r.how == How::kStandby
+                ? announce + cfg.standby_rtt_ms
+                : announce +
+                      static_cast<double>(r.lookup_hops + 1) * cfg.hop_rtt_ms;
+        // Surgery reattaches are crash recoveries like any other: they
+        // feed the same latency histogram the workload-replay harvest
+        // does, so counters and histogram agree on what "a reattach" is.
+        registry.histogram("session.failover.reattach_ms")
+            .record(done - t_crash);
+        if (!streamed_ids.contains(r.group)) continue;
+        script.reattaches.push_back({done, r.group, r.child, r.parent});
+      }
+      // Parked members throttle their sources instead of being dropped.
+      for (session::GroupTraffic& t : traffic) {
+        t.throttle = layer.throttle(t.group);
+      }
+      for (const std::string& line : layer.check()) {
+        rep.violations.push_back(
+            Violation{"session.consistency", 0,
+                      "after stream crash: " + line});
+      }
+      // The surgery is part of the run: refresh the rendered state.
+      rep.counters = layer.counters();
+      rep.groups = layer.group_count();
+      rep.memberships = 0;
+      for (session::GroupId g : layer.group_ids()) {
+        rep.memberships += layer.group(g)->size();
+      }
+      rep.max_utilization = layer.ledger().max_utilization();
+    }
+
+    const session::MultiGroupStats stats = fwd.run(traffic, script);
     rep.streamed = stats.groups.size();
     for (const session::GroupRunStats& g : stats.groups) {
       rep.copies_delivered += g.copies_delivered;
       rep.copies_expected += g.copies_expected;
       rep.dup_copies += g.duplicate_deliveries;
+      rep.stream_reattaches += g.reattaches;
+      rep.stream_repaired += g.repaired_copies;
+      rep.stream_gap_total += g.gap_packets_total;
+      rep.stream_gap_max = std::max(rep.stream_gap_max, g.gap_packets_max);
+      rep.stream_zombie_lost += g.zombie_lost_deliveries;
+      rep.stream_copies_lost += g.copies_lost;
+      rep.stream_suppressed += g.suppressed_relays;
       if (g.duplicate_deliveries != 0) {
         rep.violations.push_back(Violation{
             "session.exactly_once", 0,
@@ -126,6 +571,19 @@ SessionChaosReport run_session_chaos(const SessionChaosConfig& cfg,
     }
   }
 
+  if (cfg.detect) {
+    if (const telemetry::Histogram* h =
+            registry.find_histogram("session.failover.detect_ms")) {
+      rep.detect_latency = *h;
+    }
+    if (const telemetry::Histogram* h =
+            registry.find_histogram("session.failover.reattach_ms")) {
+      rep.reattach_latency = *h;
+    }
+    rep.failover_trace_events =
+        tracer.size() + static_cast<std::size_t>(tracer.dropped());
+  }
+
   rep.ok = rep.violations.empty();
   return rep;
 }
@@ -136,8 +594,13 @@ std::string SessionChaosReport::render() const {
      << " bits=" << cfg.bits << " seed=" << cfg.seed
      << " mode=" << (cfg.mode == session::SchedMode::kShared
                          ? "shared"
-                         : "ledger-shares")
-     << "\n";
+                         : "ledger-shares");
+  if (cfg.detect) {
+    os << " detect=1 standby=" << (cfg.standby ? 1 : 0)
+       << " park=" << (cfg.park ? 1 : 0)
+       << " hb=" << num(cfg.hb_period_ms);
+  }
+  os << "\n";
   os << "plan:\n" << plan_text;
   os << "apply: events=" << events << " creates=" << apply.creates
      << " joins_ok=" << apply.joins_ok
@@ -154,8 +617,39 @@ std::string SessionChaosReport::render() const {
      << " dropped=" << counters.dropped_members << "\n";
   os << "state: groups=" << groups << " memberships=" << memberships
      << " max_util=" << num(max_utilization) << "\n";
+  if (cfg.detect) {
+    os << "failover: crashes=" << crash_victims
+       << " detected=" << detected_crashes
+       << " standby=" << counters.reattach_standby
+       << " full=" << counters.reattach_full
+       << " parked=" << counters.parked_subtrees
+       << " readmitted=" << counters.readmitted_subtrees
+       << " detect_p50=" << num(detect_latency.quantile(0.5))
+       << " detect_max=" << num(detect_latency.max())
+       << " reattach_p50=" << num(reattach_latency.quantile(0.5))
+       << " reattach_max=" << num(reattach_latency.max()) << "\n";
+    os << "degraded: frac=" << num(degraded_frac)
+       << " peak_parked=" << peak_parked
+       << " trace_events=" << failover_trace_events << "\n";
+  }
   os << "stream: groups=" << streamed << " delivered=" << copies_delivered
      << "/" << copies_expected << " dups=" << dup_copies << "\n";
+  if (cfg.detect && cfg.stream_crash) {
+    os << "stream-failover: ";
+    if (stream_crashed) {
+      os << "victim=" << stream_victim
+         << " announce=" << num(stream_announce_ms)
+         << " reattaches=" << stream_reattaches
+         << " repaired=" << stream_repaired
+         << " gaps=" << stream_gap_total << "/" << stream_gap_max
+         << " zombie_lost=" << stream_zombie_lost
+         << " lost=" << stream_copies_lost
+         << " suppressed=" << stream_suppressed;
+    } else {
+      os << "victim=none";
+    }
+    os << "\n";
+  }
   os << "violations=" << violations.size() << "\n";
   os << render_violations(violations);
   os << "ok=" << (ok ? "true" : "false") << "\n";

@@ -14,6 +14,20 @@
 // is byte-identical across repeats with the same inputs, so a failing
 // seed IS the reproduction recipe (the property tests/session_chaos_test
 // sweeps across 64+ seeds).
+//
+// Detection mode (cfg.detect, ISSUE 8): workload crashes are no longer
+// announced by the oracle. Each victim keeps its place in every tree
+// until the first live watcher's adaptive suspicion window closes — the
+// same session::FailureDetector the live stack drives through the
+// proto::DepthFeed heartbeat piggyback, replayed here against the
+// deterministic HeartbeatSchedule timetable — and only then does the
+// layer run failover surgery (standby re-hang, full placement, park).
+// The harness times crash -> announce and crash -> reattached into
+// histograms, tracks the degraded-time fraction, and can additionally
+// crash one interior member mid-stream, driving the dataplane's
+// FailoverScript (prunes at per-watcher detection instants, reattaches
+// with pull gap-repair at announce + control cost) from the same
+// detector arithmetic. Detector-off runs are byte-identical to PR 7.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +38,7 @@
 #include "session/apply.h"
 #include "session/multi_forwarder.h"
 #include "session/session.h"
+#include "telemetry/metrics.h"
 #include "workload/session_workload.h"
 
 namespace cam::fault {
@@ -45,6 +60,30 @@ struct SessionChaosConfig {
   std::size_t stream_groups = 4;
   std::uint32_t stream_packets = 16;
   session::SchedMode mode = session::SchedMode::kShared;
+
+  // --- detection-driven failover (ISSUE 8; all ignored when !detect) ---
+  /// Crashes are discovered by the heartbeat failure detector instead of
+  /// applied the instant the script says they happened.
+  bool detect = false;
+  /// Failover policy while detecting: standby parents and parked
+  /// subtrees (session::FailoverPolicy).
+  bool standby = true;
+  bool park = true;
+  /// Heartbeat cadence and schedule jitter driving the detector.
+  double hb_period_ms = 2.0;
+  double hb_jitter = 0.5;
+  /// Reattach cost model: a standby re-hang costs one control RTT; full
+  /// placement costs (lookup_hops + 1) * hop_rtt_ms.
+  double standby_rtt_ms = 2.0;
+  double hop_rtt_ms = 2.0;
+  /// Also crash the deepest interior member of the largest streamed
+  /// group `stream_crash_ms` into the stream, with detector-derived
+  /// prune/reattach times feeding the dataplane FailoverScript.
+  bool stream_crash = false;
+  SimTime stream_crash_ms = 40;
+  /// Dataplane zombie deadline for mid-stream pull repair (0 = repair
+  /// everything, however late).
+  double repair_deadline_ms = 0;
 };
 
 struct SessionChaosReport {
@@ -63,6 +102,26 @@ struct SessionChaosReport {
   std::uint64_t copies_delivered = 0;
   std::uint64_t copies_expected = 0;
   std::uint64_t dup_copies = 0;  // exactly-once: must be 0
+
+  // Detection-mode recovery scoreboard (all zero when !cfg.detect).
+  std::size_t crash_victims = 0;     // workload crashes replayed
+  std::size_t detected_crashes = 0;  // victims with a live watcher
+  telemetry::Histogram detect_latency;    // crash -> announce, ms
+  telemetry::Histogram reattach_latency;  // crash -> re-hung/readmitted
+  double degraded_frac = 0;   // fraction of script time with parked > 0
+  std::size_t peak_parked = 0;        // worst total parked member count
+  std::size_t failover_trace_events = 0;  // kFailover* events recorded
+  // Mid-stream detected crash (cfg.detect && cfg.stream_crash).
+  bool stream_crashed = false;        // an eligible victim existed
+  Id stream_victim = 0;
+  SimTime stream_announce_ms = 0;     // first-watcher announce instant
+  std::uint64_t stream_reattaches = 0;
+  std::uint64_t stream_repaired = 0;  // pull-repair copies enqueued
+  std::uint64_t stream_gap_total = 0;
+  std::uint64_t stream_gap_max = 0;
+  std::uint64_t stream_zombie_lost = 0;
+  std::uint64_t stream_copies_lost = 0;
+  std::uint64_t stream_suppressed = 0;  // bitmap-suppressed relays
 
   /// The full deterministic report (same run inputs ⇒ same bytes).
   std::string render() const;

@@ -16,6 +16,9 @@ void DepthFeed::register_edge(Id child, Id parent) {
   heard_.try_emplace(parent);
   bus_->attach(parent, [this, parent](Id from, Message) {
     heard_.at(parent).insert(from);
+    if (observer_ != nullptr) {
+      observer_->on_heartbeat(parent, from, bus_->sim().now());
+    }
   });
 }
 

@@ -26,6 +26,17 @@
 
 namespace cam::proto {
 
+/// Receives every *delivered* heartbeat, stamped with the bus's virtual
+/// time — the raw signal a failure detector accrues suspicion from
+/// (session/failover.h). The observer sees only what the parent
+/// actually heard: a heartbeat the bus dropped or delayed reaches the
+/// observer late or never, exactly like the depth snapshot it carries.
+class HeartbeatObserver {
+ public:
+  virtual ~HeartbeatObserver() = default;
+  virtual void on_heartbeat(Id parent, Id child, SimTime now) = 0;
+};
+
 class DepthFeed {
  public:
   explicit DepthFeed(HostBus& bus) : bus_(&bus) {}
@@ -38,6 +49,10 @@ class DepthFeed {
   /// forwarder run that uses it.
   dataplane::DepthFeedHooks hooks();
 
+  /// Mirrors every delivered heartbeat to `obs` (nullptr detaches). The
+  /// observer must outlive the feed's bus activity.
+  void set_heartbeat_observer(HeartbeatObserver* obs) { observer_ = obs; }
+
   std::uint64_t heartbeats_sent() const { return heartbeats_; }
 
  private:
@@ -45,6 +60,7 @@ class DepthFeed {
   double sample(Id observer, Id peer) const;
 
   HostBus* bus_;
+  HeartbeatObserver* observer_ = nullptr;
   FlatMap<Id, Id> parent_of_;
   // (parent, child) pairs with at least one delivered heartbeat — the
   // bus cannot distinguish "never heard" from "advertised 0 ms".

@@ -5,7 +5,11 @@
 namespace cam::session {
 
 CapacityLedger::CapacityLedger(const FrozenDirectory& dir)
-    : dir_(&dir), used_(dir.size(), 0), by_group_(dir.size()) {}
+    : dir_(&dir),
+      used_(dir.size(), 0),
+      by_group_(dir.size()),
+      reserved_(dir.size(), 0),
+      reserved_by_group_(dir.size()) {}
 
 bool CapacityLedger::debit(Id node, GroupId g) {
   const std::size_t idx = dir_->index_of(node);
@@ -66,6 +70,40 @@ double CapacityLedger::max_utilization() const {
     if (u > worst) worst = u;
   }
   return worst;
+}
+
+void CapacityLedger::reserve(Id node, GroupId g) {
+  const std::size_t idx = dir_->index_of(node);
+  ++reserved_[idx];
+  ++reserved_by_group_[idx][g];
+}
+
+void CapacityLedger::unreserve(Id node, GroupId g) {
+  const std::size_t idx = dir_->index_of(node);
+  auto it = reserved_by_group_[idx].find(g);
+  assert(it != reserved_by_group_[idx].end() && it->second > 0 &&
+         "unreserve without a matching reservation");
+  assert(reserved_[idx] > 0);
+  --it->second;
+  if (it->second == 0) reserved_by_group_[idx].erase(g);
+  --reserved_[idx];
+}
+
+std::uint32_t CapacityLedger::reserved(Id node) const {
+  return reserved_[dir_->index_of(node)];
+}
+
+std::uint32_t CapacityLedger::reserved(Id node, GroupId g) const {
+  const auto& groups = reserved_by_group_[dir_->index_of(node)];
+  auto it = groups.find(g);
+  return it == groups.end() ? 0 : it->second;
+}
+
+std::uint32_t CapacityLedger::unreserved_headroom(Id node) const {
+  const std::size_t idx = dir_->index_of(node);
+  const std::uint32_t cap = dir_->info_at(idx).capacity;
+  const std::uint32_t committed = used_[idx] + reserved_[idx];
+  return committed >= cap ? 0 : cap - committed;
 }
 
 std::vector<Id> CapacityLedger::oversubscribed() const {

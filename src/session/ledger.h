@@ -76,12 +76,34 @@ class CapacityLedger {
   /// bypassed debit(); the invariant pass and the bench assert on it.
   std::vector<Id> oversubscribed() const;
 
+  // --- soft standby reservations (ISSUE 8) ----------------------------
+  // A standby parent holds a *soft* claim on one of its free slots: the
+  // reservation never blocks debit() (admission stays capacity-only, the
+  // paper's rule), it only records intent so failover can prefer slots
+  // that were set aside and the invariant pass can cross-check the
+  // session layer's standby map against the ledger.
+
+  /// Marks one soft slot at `node` for group `g`'s standby use.
+  void reserve(Id node, GroupId g);
+  /// Releases one reservation made by reserve(). Releasing more than
+  /// was reserved is a session-layer bug (asserted).
+  void unreserve(Id node, GroupId g);
+  /// Soft slots reserved at `node` across all groups.
+  std::uint32_t reserved(Id node) const;
+  /// Soft slots reserved at `node` by group `g`.
+  std::uint32_t reserved(Id node, GroupId g) const;
+  /// Slack net of soft reservations, floored at zero: the headroom a
+  /// *new* standby should prefer so standbys spread out.
+  std::uint32_t unreserved_headroom(Id node) const;
+
   const FrozenDirectory& directory() const { return *dir_; }
 
  private:
   const FrozenDirectory* dir_;
   std::vector<std::uint32_t> used_;                    // by dir index
   std::vector<FlatMap<GroupId, std::uint32_t>> by_group_;  // by dir index
+  std::vector<std::uint32_t> reserved_;                // by dir index
+  std::vector<FlatMap<GroupId, std::uint32_t>> reserved_by_group_;
 };
 
 }  // namespace cam::session

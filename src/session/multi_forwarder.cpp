@@ -33,6 +33,7 @@ MultiGroupForwarder::MultiGroupForwarder(const SessionLayer& session,
     index.emplace(ids_[i], static_cast<std::uint32_t>(i));
   }
   nodes_.resize(ids_.size());
+  dead_.assign(ids_.size(), 0);
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     nodes_[i].kbps = session.ledger().uplink_kbps(ids_[i]);
   }
@@ -125,6 +126,12 @@ double MultiGroupForwarder::node_backlog_ms(const Node& n) const {
   return static_cast<double>(bytes) * 8.0 / n.kbps;
 }
 
+std::uint32_t MultiGroupForwarder::dense_index(Id id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  assert(it != ids_.end() && *it == id && "script id not in any tree");
+  return static_cast<std::uint32_t>(it - ids_.begin());
+}
+
 double MultiGroupForwarder::group_backlog_ms(const Group& g,
                                              const GroupNode& gn) const {
   std::uint64_t bytes = 0;
@@ -145,9 +152,23 @@ void MultiGroupForwarder::relay_to_children(std::uint32_t gidx,
   Node& n = nodes_[gn.node];
   // Round-robin rotation by sequence number over THIS group's children
   // — with one group this is exactly the legacy rotation.
-  const std::size_t rot = pool_.get(pkt).seq % gn.links.size();
+  const std::uint32_t seq = pool_.get(pkt).seq;
+  const std::size_t rot = seq % gn.links.size();
   for (std::size_t j = 0; j < gn.links.size(); ++j) {
     Link& l = n.links[gn.links[(j + rot) % gn.links.size()]];
+    // Bitmap-aware relay: a reattached child may already hold packets
+    // this parent has yet to see (delivered along its pre-failover
+    // path). The child's bitmap arrived with the reattach handshake, so
+    // the parent suppresses those relays instead of double-delivering.
+    // Off the failover path the bit can never be set before the relay —
+    // tree delivery is single-path — so this changes nothing there.
+    const std::uint32_t cslot = g.slot_of.at(l.child);
+    if ((g.delivered_bits[cslot * g.words_per_member + seq / 64] >>
+         (seq % 64)) &
+        1) {
+      ++g.stats.suppressed_relays;
+      continue;
+    }
     pool_.add_ref(pkt);
     const std::uint32_t bytes = pool_.get(pkt).bytes;
     dataplane::QueuedCopy copy{pkt, l.child, next_order_++, now, false};
@@ -163,6 +184,7 @@ void MultiGroupForwarder::relay_to_children(std::uint32_t gidx,
 }
 
 void MultiGroupForwarder::serve_shared(std::uint32_t node, SimTime now) {
+  if (dead_[node]) return;
   Node& n = nodes_[node];
   // Global FIFO head across every group's bins on every link — the one
   // place where groups contend for the uplink under kShared.
@@ -201,6 +223,7 @@ void MultiGroupForwarder::serve_shared(std::uint32_t node, SimTime now) {
   arr.node = copy.dest;
   arr.gidx = gidx;
   arr.pkt = copy.pkt;  // the queued ref rides the transmission
+  arr.aux = node;      // sender: arrivals from the dead are discarded
   push_event(arr);
   update_congestion(gidx, groups_[gidx].slot_of.at(node), now);
 }
@@ -209,6 +232,7 @@ void MultiGroupForwarder::serve_group(std::uint32_t gidx,
                                       std::uint32_t slot, SimTime now) {
   Group& g = groups_[gidx];
   GroupNode& gn = g.members[slot];
+  if (dead_[gn.node]) return;
   Node& n = nodes_[gn.node];
   // FIFO head among THIS group's bins only: the virtual transmitter
   // never sees other groups' queued bytes.
@@ -247,12 +271,23 @@ void MultiGroupForwarder::serve_group(std::uint32_t gidx,
   arr.node = copy.dest;
   arr.gidx = gidx;
   arr.pkt = copy.pkt;
+  arr.aux = gn.node;  // sender: arrivals from the dead are discarded
   push_event(arr);
   update_congestion(gidx, slot, now);
 }
 
 void MultiGroupForwarder::handle_arrival(const Event& e) {
   Group& g = groups_[e.gidx];
+  // A copy to or from a crashed node evaporates: the dead can't
+  // receive, and late frames from a dead sender must not land after the
+  // child's reattach bitmap was diffed (that would double-deliver what
+  // gap repair already backfilled) — exactly-once leans on this.
+  if (dead_[e.node] || dead_[static_cast<std::uint32_t>(e.aux)]) {
+    ++g.stats.copies_lost;
+    pool_.release(e.pkt);
+    --live_copies_;
+    return;
+  }
   const std::uint32_t slot = g.slot_of.at(e.node);
   GroupNode& gn = g.members[slot];
   const dataplane::Packet& pkt = pool_.get(e.pkt);
@@ -276,6 +311,7 @@ void MultiGroupForwarder::update_congestion(std::uint32_t gidx,
   if (cfg_.admission_high_ms <= 0) return;
   Group& g = groups_[gidx];
   GroupNode& gn = g.members[slot];
+  if (dead_[gn.node]) return;  // the dead raise no flags
   const double b = group_backlog_ms(g, gn);
   if (!gn.own_congested && b > cfg_.admission_high_ms) {
     gn.own_congested = true;
@@ -334,6 +370,7 @@ void MultiGroupForwarder::emit(std::uint32_t gidx, std::uint32_t seq,
       g.id, seq, static_cast<std::uint32_t>(g.traffic.packet_bytes), now);
   g.delivered_bits[g.source_slot * g.words_per_member + seq / 64] |=
       std::uint64_t{1} << (seq % 64);
+  g.emit_ms[seq] = now;
   ++g.stats.packets_emitted;
   relay_to_children(gidx, g.source_slot, pkt, now);
   pool_.release(pkt);
@@ -351,9 +388,11 @@ void MultiGroupForwarder::emit(std::uint32_t gidx, std::uint32_t seq,
 }
 
 MultiGroupStats MultiGroupForwarder::run(
-    const std::vector<GroupTraffic>& traffic) {
+    const std::vector<GroupTraffic>& traffic,
+    const FailoverScript& script) {
   assert(!ran_ && "MultiGroupForwarder is single-shot");
   ran_ = true;
+  failover_active_ = !script.empty();
   MultiGroupStats out;
 
   for (const GroupTraffic& t : traffic) {
@@ -362,14 +401,27 @@ MultiGroupStats MultiGroupForwarder::run(
     const std::uint32_t gidx = it->second;
     Group& g = groups_[gidx];
     assert(g.words_per_member == 0 && "one traffic entry per group");
+    assert(t.throttle > 0 && t.throttle <= 1.0);
     g.traffic = t;
     g.packet_kbit =
         static_cast<double>(t.packet_bytes) * 8.0 / 1000.0;
-    g.gen_interval = t.source_rate_kbps > 0
-                         ? g.packet_kbit / t.source_rate_kbps * 1000.0
-                         : 0.0;
+    if (t.throttle < 1.0) {
+      // Degraded source: pace at throttle * the nominal rate. A
+      // back-to-back source throttles against its own uplink B_src —
+      // the fastest it could have emitted.
+      const double nominal =
+          t.source_rate_kbps > 0
+              ? t.source_rate_kbps
+              : nodes_[g.members[g.source_slot].node].kbps;
+      g.gen_interval = g.packet_kbit / (nominal * t.throttle) * 1000.0;
+    } else {
+      g.gen_interval = t.source_rate_kbps > 0
+                           ? g.packet_kbit / t.source_rate_kbps * 1000.0
+                           : 0.0;
+    }
     g.words_per_member = (t.num_packets + 63) / 64;
     g.delivered_bits.assign(g.members.size() * g.words_per_member, 0);
+    g.emit_ms.assign(t.num_packets, 0);
     g.stats.group = g.id;
     g.stats.copies_expected =
         g.members.size() > 1
@@ -402,6 +454,35 @@ MultiGroupStats MultiGroupForwarder::run(
     push_event(first);
   }
 
+  // Failover surgery rides the same heap. Crashes are pushed first so a
+  // same-instant tie resolves crash-before-consequence; prunes before
+  // reattaches for the same reason.
+  for (const FailoverScript::Crash& c : script.crashes) {
+    Event e;
+    e.time = c.at_ms;
+    e.kind = EventKind::kCrash;
+    e.node = dense_index(c.node);
+    push_event(e);
+  }
+  for (const FailoverScript::Prune& p : script.prunes) {
+    Event e;
+    e.time = p.at_ms;
+    e.kind = EventKind::kPrune;
+    e.node = dense_index(p.parent);
+    e.dest = dense_index(p.child);
+    e.gidx = group_index_.at(p.group);
+    push_event(e);
+  }
+  for (const FailoverScript::Reattach& r : script.reattaches) {
+    Event e;
+    e.time = r.at_ms;
+    e.kind = EventKind::kReattach;
+    e.node = dense_index(r.child);
+    e.dest = dense_index(r.parent);
+    e.gidx = group_index_.at(r.group);
+    push_event(e);
+  }
+
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
     const Event e = heap_.back();
@@ -422,7 +503,18 @@ MultiGroupStats MultiGroupForwarder::run(
         serve_group(e.gidx, e.dest, e.time);
         break;
       case EventKind::kFlagArrive: {
-        GroupNode& parent = groups_[e.gidx].members[e.dest];
+        Group& g = groups_[e.gidx];
+        GroupNode& parent = g.members[e.dest];
+        GroupNode& sender = g.members[g.slot_of.at(e.node)];
+        // Stale control traffic around failover: flags from (or to) the
+        // dead are void, as is a flag aimed at a parent the sender has
+        // since been re-hung away from — reattach already synthesized
+        // the sender's standing contribution at the new parent.
+        if (dead_[e.node] || dead_[parent.node] || sender.pruned ||
+            sender.parent_slot != e.dest) {
+          break;
+        }
+        sender.flag_landed = e.aux != 0;
         if (e.aux != 0) {
           ++parent.congested_children;
         } else {
@@ -432,6 +524,15 @@ MultiGroupStats MultiGroupForwarder::run(
         update_congestion(e.gidx, e.dest, e.time);
         break;
       }
+      case EventKind::kCrash:
+        crash_node(e.node, e.time);
+        break;
+      case EventKind::kPrune:
+        prune_link(e.gidx, e.node, e.dest, e.time);
+        break;
+      case EventKind::kReattach:
+        reattach(e.gidx, e.node, e.dest, e.time);
+        break;
     }
   }
   assert(pool_.in_use() == 0 && "packet leak: refs left at quiesce");
@@ -439,6 +540,182 @@ MultiGroupStats MultiGroupForwarder::run(
 
   finalize(out);
   return out;
+}
+
+void MultiGroupForwarder::crash_node(std::uint32_t node, SimTime now) {
+  (void)now;
+  assert(!dead_[node] && "node crashed twice");
+  dead_[node] = 1;
+  // Everything queued at the dead node's uplink evaporates with it.
+  Node& n = nodes_[node];
+  for (Link& l : n.links) {
+    while (const dataplane::QueuedCopy* c = l.queue.peek_fifo()) {
+      const std::uint32_t bytes = pool_.get(c->pkt).bytes;
+      const std::uint32_t gidx =
+          group_index_.at(pool_.get(c->pkt).stream);
+      const dataplane::QueuedCopy copy = l.queue.pop_fifo(bytes);
+      ++groups_[gidx].stats.copies_lost;
+      pool_.release(copy.pkt);
+      --live_copies_;
+    }
+  }
+  // The member can never deliver more than it had: freeze expectation
+  // at the crash-time count (finalize swaps it in for dead members).
+  for (std::uint32_t gidx : active_) {
+    Group& g = groups_[gidx];
+    const auto it = g.slot_of.find(node);
+    if (it == g.slot_of.end()) continue;
+    assert(it->second != g.source_slot &&
+           "script crashed a streamed group's source");
+    g.members[it->second].frozen_delivered = g.members[it->second].delivered;
+  }
+}
+
+void MultiGroupForwarder::mark_detached(Group& g, std::uint32_t slot,
+                                        bool detached) {
+  std::vector<std::uint32_t> stack{slot};
+  while (!stack.empty()) {
+    const std::uint32_t s = stack.back();
+    stack.pop_back();
+    GroupNode& gn = g.members[s];
+    gn.detached = detached;
+    const Node& n = nodes_[gn.node];
+    for (std::uint32_t li : gn.links) {
+      stack.push_back(g.slot_of.at(n.links[li].child));
+    }
+  }
+}
+
+void MultiGroupForwarder::prune_link(std::uint32_t gidx,
+                                     std::uint32_t parent,
+                                     std::uint32_t child, SimTime now) {
+  Group& g = groups_[gidx];
+  GroupNode& pn = g.members[g.slot_of.at(parent)];
+  GroupNode& cn = g.members[g.slot_of.at(child)];
+  // The whole limb below the dead child is cut off until each orphan's
+  // reattach lands (expectation accounting for members still detached
+  // at the end of the run).
+  mark_detached(g, g.slot_of.at(child), true);
+  cn.pruned = true;
+  // Copies already queued on the pruned link still drain — the parent
+  // spent that uplink before detection — and evaporate on arrival at
+  // the dead child. Only future relays skip the edge.
+  for (auto it = pn.links.begin(); it != pn.links.end(); ++it) {
+    if (nodes_[pn.node].links[*it].child == child) {
+      pn.links.erase(it);
+      break;
+    }
+  }
+  // Retract the dead child's standing congestion vote so the parent's
+  // subtree flag (and ultimately the source pause) can clear.
+  if (cn.flag_landed) {
+    cn.flag_landed = false;
+    assert(pn.congested_children > 0);
+    --pn.congested_children;
+  }
+  update_congestion(gidx, g.slot_of.at(parent), now);
+}
+
+void MultiGroupForwarder::reattach(std::uint32_t gidx, std::uint32_t child,
+                                   std::uint32_t parent, SimTime now) {
+  Group& g = groups_[gidx];
+  // A cascade can kill either end between the announce and this event;
+  // the next detection round re-hangs the orphan elsewhere.
+  if (dead_[child] || dead_[parent]) return;
+  const std::uint32_t cslot = g.slot_of.at(child);
+  const std::uint32_t pslot = g.slot_of.at(parent);
+  GroupNode& cn = g.members[cslot];
+  GroupNode& pn = g.members[pslot];
+  Node& n = nodes_[pn.node];
+
+  // Find-or-create the node-level link (two groups sharing the new edge
+  // share its BinQueue, same as at construction). Appending keeps every
+  // stored link index valid. Latency argument order mirrors the ctor.
+  std::uint32_t li = static_cast<std::uint32_t>(n.links.size());
+  for (std::uint32_t i = 0; i < n.links.size(); ++i) {
+    if (n.links[i].child == child) {
+      li = i;
+      break;
+    }
+  }
+  if (li == n.links.size()) {
+    n.links.push_back(
+        Link{child, latency_.latency(ids_[child], ids_[parent]), {}});
+    n.links[li].queue.reserve(1, 8);
+  }
+  pn.links.push_back(li);
+  cn.parent_slot = pslot;
+  cn.parent_latency_ms = latency_.latency(ids_[parent], ids_[child]);
+  cn.pruned = false;
+  mark_detached(g, cslot, false);
+  ++g.stats.reattaches;
+  // Transfer the child's standing congestion vote to the new parent:
+  // flag_sent is what the child believes it has raised; any flag still
+  // in flight toward the old (dead) parent is void.
+  cn.flag_landed = cn.flag_sent;
+  if (cn.flag_sent) ++pn.congested_children;
+
+  // Pull gap repair: the child reports its delivery bitmap; the parent
+  // backfills every packet it has that the child lacks, oldest first,
+  // unless the packet is past the zombie deadline (a repair nobody
+  // would play out). Repairs re-enter the ordinary queues, so they
+  // contend with live traffic and relay onward through the child's
+  // subtree like any other copy.
+  std::uint64_t gap = 0;
+  Link& l = n.links[li];
+  for (std::size_t w = 0; w < g.words_per_member; ++w) {
+    std::uint64_t missing =
+        g.delivered_bits[pslot * g.words_per_member + w] &
+        ~g.delivered_bits[cslot * g.words_per_member + w];
+    while (missing != 0) {
+      const std::uint32_t bit =
+          static_cast<std::uint32_t>(__builtin_ctzll(missing));
+      missing &= missing - 1;
+      const std::uint32_t seq = static_cast<std::uint32_t>(w * 64 + bit);
+      if (cfg_.repair_deadline_ms > 0 &&
+          now - g.emit_ms[seq] > cfg_.repair_deadline_ms) {
+        ++g.stats.repair_zombies;
+        // Count every subtree member that will now never see this seq.
+        std::vector<std::uint32_t> stack{cslot};
+        while (!stack.empty()) {
+          const std::uint32_t s = stack.back();
+          stack.pop_back();
+          const GroupNode& sn = g.members[s];
+          const std::uint64_t word =
+              g.delivered_bits[s * g.words_per_member + seq / 64];
+          if (((word >> (seq % 64)) & 1) == 0) {
+            ++g.stats.zombie_lost_deliveries;
+          }
+          for (std::uint32_t sli : sn.links) {
+            stack.push_back(
+                g.slot_of.at(nodes_[sn.node].links[sli].child));
+          }
+        }
+        continue;
+      }
+      // Re-materialize the packet with its ORIGINAL emission time so
+      // latency and any later zombie checks measure from the source
+      // emit, not the repair.
+      dataplane::PacketRef pkt = pool_.alloc(
+          g.id, seq, static_cast<std::uint32_t>(g.traffic.packet_bytes),
+          g.emit_ms[seq]);
+      const dataplane::QueuedCopy copy{pkt, child, next_order_++, now,
+                                       false};
+      l.queue.push(g.id, copy, static_cast<std::uint32_t>(
+                                   g.traffic.packet_bytes));
+      ++live_copies_;
+      ++g.stats.repaired_copies;
+      ++gap;
+    }
+  }
+  g.stats.gap_packets_total += gap;
+  if (gap > g.stats.gap_packets_max) g.stats.gap_packets_max = gap;
+  if (cfg_.mode == SchedMode::kShared) {
+    if (!n.tx_busy) serve_shared(pn.node, now);
+  } else {
+    if (!pn.vtx_busy) serve_group(gidx, pslot, now);
+  }
+  update_congestion(gidx, pslot, now);
 }
 
 void MultiGroupForwarder::finalize(MultiGroupStats& out) {
@@ -449,6 +726,28 @@ void MultiGroupForwarder::finalize(MultiGroupStats& out) {
 
   for (std::uint32_t gidx : active_) {
     Group& g = groups_[gidx];
+    // Under failover the flat (members-1) * packets expectation no
+    // longer holds: dead members are owed only what they had at the
+    // crash, members still detached at quiesce only what actually
+    // reached them, and zombie-skipped repairs are deliveries the run
+    // deliberately abandoned.
+    if (failover_active_) {
+      std::uint64_t expected = 0;
+      for (std::uint32_t slot = 0; slot < g.members.size(); ++slot) {
+        if (slot == g.source_slot) continue;
+        const GroupNode& gn = g.members[slot];
+        if (dead_[gn.node]) {
+          expected += gn.frozen_delivered;
+        } else if (gn.detached) {
+          expected += gn.delivered;
+        } else {
+          expected += g.traffic.num_packets;
+        }
+      }
+      expected -= std::min<std::uint64_t>(expected,
+                                          g.stats.zombie_lost_deliveries);
+      g.stats.copies_expected = expected;
+    }
     // Session stats, computed exactly as the legacy FIFO plane does so
     // single-group runs compare field-for-field.
     dataplane::SessionStats& s = g.stats.session;

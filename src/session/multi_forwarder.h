@@ -56,6 +56,10 @@ struct MultiGroupConfig {
   /// node, against its serving rate). 0 disables admission control.
   double admission_high_ms = 0;
   double admission_low_ms = 0;
+  /// Gap repair gives up on packets older than this at reattach time
+  /// (the zombie deadline): a repair that would arrive later than any
+  /// playout point is wasted uplink. 0 = repair everything.
+  double repair_deadline_ms = 0;
 };
 
 /// One group's stream for a run.
@@ -65,6 +69,43 @@ struct GroupTraffic {
   std::uint32_t num_packets = 64;
   double source_rate_kbps = 0;  // 0 = back-to-back
   SimTime start_ms = 0;         // emission start offset
+  /// Source admission throttle in (0, 1] — SessionLayer::throttle(g)
+  /// under graceful degradation. Below 1.0 the source spaces emissions
+  /// at throttle * the nominal rate (back-to-back becomes paced at
+  /// throttle * B_src) instead of dropping the parked subtree's share.
+  double throttle = 1.0;
+};
+
+/// Mid-stream failover surgery, replayed by the event loop: oracle (or
+/// detector-derived) crash instants plus the per-edge consequences the
+/// control plane worked out — parent-side prunes at each watcher's
+/// detection time and child reattaches (with pull gap-repair) once the
+/// session layer re-hung the orphan. Ids are overlay ids; groups must
+/// be streamed groups.
+struct FailoverScript {
+  struct Crash {
+    SimTime at_ms = 0;
+    Id node = 0;
+  };
+  struct Prune {  // `parent` stops forwarding group `group` to `child`
+    SimTime at_ms = 0;
+    GroupId group = 0;
+    Id parent = 0;
+    Id child = 0;
+  };
+  struct Reattach {  // `child` re-hangs under `parent`, then backfills
+    SimTime at_ms = 0;
+    GroupId group = 0;
+    Id child = 0;
+    Id parent = 0;
+  };
+  std::vector<Crash> crashes;
+  std::vector<Prune> prunes;
+  std::vector<Reattach> reattaches;
+
+  bool empty() const {
+    return crashes.empty() && prunes.empty() && reattaches.empty();
+  }
 };
 
 /// Per-group results. `session` uses the exact arithmetic of the legacy
@@ -81,6 +122,17 @@ struct GroupRunStats {
   SimTime admission_paused_ms = 0;
   double p99_latency_ms = 0;   // per-copy (arrival - emit), 99th pct
   double mean_latency_ms = 0;
+  // Failover accounting (all zero when the run had no FailoverScript).
+  std::uint64_t copies_lost = 0;       // flushed at crashes / dead drops
+  std::uint64_t reattaches = 0;        // applied reattach events
+  std::uint64_t repaired_copies = 0;   // pull-repair copies enqueued
+  std::uint64_t repair_zombies = 0;    // missing seqs past the deadline
+  std::uint64_t zombie_lost_deliveries = 0;  // deliveries abandoned
+  std::uint64_t gap_packets_total = 0;  // sum of reattach bitmap gaps
+  std::uint64_t gap_packets_max = 0;    // worst single reattach gap
+  /// Relays skipped because the (reattached) child's bitmap already
+  /// held the sequence — the exactly-once guard on the failover path.
+  std::uint64_t suppressed_relays = 0;
 };
 
 struct MultiGroupStats {
@@ -105,7 +157,12 @@ class MultiGroupForwarder {
 
   /// Streams every group in `traffic` (each group at most once; groups
   /// must exist in the session). Returns per-group and aggregate stats.
-  MultiGroupStats run(const std::vector<GroupTraffic>& traffic);
+  /// A non-empty `script` injects mid-stream failover: crashed nodes
+  /// flush their queues and stop delivering, pruned edges stop
+  /// forwarding, and reattached children backfill their delivery-bitmap
+  /// gap from the new parent (pull repair, zombie deadline permitting).
+  MultiGroupStats run(const std::vector<GroupTraffic>& traffic,
+                      const FailoverScript& script = {});
 
  private:
   struct Link {
@@ -132,10 +189,17 @@ class MultiGroupForwarder {
     bool own_congested = false;
     std::uint32_t congested_children = 0;
     bool flag_sent = false;
+    /// What the parent last heard from this member (set/clear), so a
+    /// prune can retract exactly the standing contribution and a
+    /// reattach can transfer it to the new parent.
+    bool flag_landed = false;
+    bool pruned = false;    // parent stopped forwarding (member is dead)
+    bool detached = false;  // upstream edge severed, reattach pending
     // Measurement.
     SimTime first_arrival_ms = 0;
     SimTime last_arrival_ms = 0;
     std::uint32_t delivered = 0;
+    std::uint32_t frozen_delivered = 0;  // delivered count at crash time
   };
 
   struct Group {
@@ -148,6 +212,7 @@ class MultiGroupForwarder {
     FlatMap<std::uint32_t, std::uint32_t> slot_of;  // node idx -> slot
     std::vector<std::uint64_t> delivered_bits;
     std::size_t words_per_member = 0;
+    std::vector<SimTime> emit_ms;  // source emission time per seq
     // Emission state.
     SimTime emit_offset = 0;
     std::uint32_t next_emit = 0;
@@ -159,10 +224,13 @@ class MultiGroupForwarder {
 
   enum class EventKind : std::uint8_t {
     kSourceEmit,  // dest = group index, aux = packet seq
-    kArrival,     // copy lands at node (group from the packet's stream)
+    kArrival,     // copy lands at node; aux = sender's dense index
     kTxFree,      // kShared: node transmitter idle
     kVtxFree,     // kLedgerShares: (node, group) transmitter idle
     kFlagArrive,  // per-group congestion flag at member slot `dest`
+    kCrash,       // node dies: flush queues, freeze delivery expectation
+    kPrune,       // node (parent) stops forwarding gidx to dest (child)
+    kReattach,    // node (child) re-hangs under dest (parent) in gidx
   };
 
   struct Event {
@@ -185,6 +253,16 @@ class MultiGroupForwarder {
   void push_event(Event e);
   double node_backlog_ms(const Node& n) const;
   double group_backlog_ms(const Group& g, const GroupNode& gn) const;
+  std::uint32_t dense_index(Id id) const;
+
+  void crash_node(std::uint32_t node, SimTime now);
+  void prune_link(std::uint32_t gidx, std::uint32_t parent,
+                  std::uint32_t child, SimTime now);
+  void reattach(std::uint32_t gidx, std::uint32_t child,
+                std::uint32_t parent, SimTime now);
+  /// Flips `detached` on the subtree currently hanging from `slot`
+  /// (link-reachable members), `slot` included.
+  void mark_detached(Group& g, std::uint32_t slot, bool detached);
 
   void emit(std::uint32_t gidx, std::uint32_t seq, SimTime now);
   void relay_to_children(std::uint32_t gidx, std::uint32_t slot,
@@ -212,6 +290,8 @@ class MultiGroupForwarder {
   std::uint64_t next_order_ = 0;
   std::uint64_t live_copies_ = 0;
   bool ran_ = false;
+  bool failover_active_ = false;
+  std::vector<std::uint8_t> dead_;  // by dense node index
 
   std::uint64_t copies_sent_ = 0;
   double max_backlog_ms_ = 0;

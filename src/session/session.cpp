@@ -6,6 +6,22 @@
 
 namespace cam::session {
 
+namespace {
+
+/// True when `anc` lies on the parent chain from `n` to the source —
+/// i.e. `n` is inside `anc`'s subtree. Climbing parents is depth-bound
+/// and allocation-free, which keeps the standby validity check cheap.
+bool in_subtree_of(const GroupTree& tree, Id n, Id anc) {
+  Id cur = n;
+  for (;;) {
+    if (cur == anc) return true;
+    if (cur == tree.source()) return false;
+    cur = tree.member(cur).parent;
+  }
+}
+
+}  // namespace
+
 const char* join_outcome_name(JoinOutcome o) {
   switch (o) {
     case JoinOutcome::kJoined: return "joined";
@@ -35,6 +51,20 @@ bool SessionLayer::destroy_group(GroupId g) {
     ledger_.credit(m, g,
                    static_cast<std::uint32_t>(tree.member(m).children.size()));
   }
+  // Standby reservations and parked subtrees die with the group; parked
+  // members never got re-attached, so they count as dropped.
+  if (auto st = standby_.find(g); st != standby_.end()) {
+    for (const auto& [node, target] : st->second) {
+      ledger_.unreserve(target, g);
+    }
+    standby_.erase(g);
+  }
+  if (auto pk = parked_.find(g); pk != parked_.end()) {
+    for (const ParkedSubtree& ps : pk->second) {
+      counters_.dropped_members += ps.shape.size();
+    }
+    parked_.erase(g);
+  }
   groups_.erase(g);
   ++counters_.groups_destroyed;
   return true;
@@ -42,7 +72,7 @@ bool SessionLayer::destroy_group(GroupId g) {
 
 Id SessionLayer::place(const GroupTree& tree, Id node,
                        const std::vector<Id>& exclude,
-                       std::size_t* hops) const {
+                       std::size_t* hops, Id* standby_out) const {
   std::vector<Id> banned = exclude;
   std::sort(banned.begin(), banned.end());
   auto feasible = [&](Id c) {
@@ -51,9 +81,33 @@ Id SessionLayer::place(const GroupTree& tree, Id node,
            ledger_.available(c) > 0;
   };
 
+  Id parent = kNoParent;
+  Id standby = kNoParent;      // next feasible with unreserved headroom
+  Id standby_any = kNoParent;  // next feasible at all (fallback)
+  // Returns true once the search is complete: parent found and (when a
+  // standby was requested) a headroom-backed standby found too.
+  auto consider = [&](Id c) {
+    if (!feasible(c)) return false;
+    if (parent == kNoParent) {
+      parent = c;
+      return standby_out == nullptr;
+    }
+    if (c == parent) return false;
+    if (standby_any == kNoParent) standby_any = c;
+    if (ledger_.unreserved_headroom(c) > 0) {
+      standby = c;
+      return true;
+    }
+    return false;
+  };
+
   // Locating-first: route a lookup for the joiner's identifier over the
   // current member overlay; the reverse path walks from the member
   // closest to the joiner in identifier space back toward the source.
+  // The standby (when requested) is simply the NEXT feasible candidate
+  // on this same join-time path — the node that would have adopted the
+  // joiner had the chosen parent been full.
+  bool done = false;
   if (tree.size() > 1) {
     NodeDirectory members(dir_->ring());
     for (Id m : tree.sorted_members()) members.add(m, dir_->info(m));
@@ -62,8 +116,9 @@ Id SessionLayer::place(const GroupTree& tree, Id node,
         exp::run_lookup(system_, snapshot, tree.source(), node);
     if (hops != nullptr) *hops = lr.ok ? lr.hops() : 0;
     if (lr.ok) {
-      for (auto it = lr.path.rbegin(); it != lr.path.rend(); ++it) {
-        if (feasible(*it)) return *it;
+      for (auto it = lr.path.rbegin(); it != lr.path.rend() && !done;
+           ++it) {
+        done = consider(*it);
       }
     }
   } else if (hops != nullptr) {
@@ -71,10 +126,66 @@ Id SessionLayer::place(const GroupTree& tree, Id node,
   }
   // The path is saturated (or trivial): any member slack will do, taken
   // shallow-first so degraded placements stay close to the source.
-  for (Id c : tree.members_by_depth()) {
-    if (feasible(c)) return c;
+  if (!done) {
+    for (Id c : tree.members_by_depth()) {
+      if (consider(c)) break;
+    }
   }
-  return kNoParent;
+  if (standby_out != nullptr) {
+    *standby_out = standby != kNoParent ? standby : standby_any;
+  }
+  return parent;
+}
+
+Id SessionLayer::scan_standby(const GroupTree& tree, Id node,
+                              Id avoid) const {
+  const Id cur_parent = tree.member(node).parent;
+  Id any = kNoParent;
+  for (Id c : tree.members_by_depth()) {
+    if (c == node || c == cur_parent || c == avoid ||
+        ledger_.available(c) == 0) {
+      continue;
+    }
+    if (in_subtree_of(tree, c, node)) continue;  // would form a cycle
+    if (ledger_.unreserved_headroom(c) > 0) return c;
+    if (any == kNoParent) any = c;
+  }
+  return any;
+}
+
+Id SessionLayer::standby_of(GroupId g, Id node) const {
+  auto it = standby_.find(g);
+  if (it == standby_.end()) return kNoParent;
+  auto jt = it->second.find(node);
+  return jt == it->second.end() ? kNoParent : jt->second;
+}
+
+void SessionLayer::set_standby(GroupId g, Id node, Id standby) {
+  const Id old = standby_of(g, node);
+  if (old == standby) return;
+  if (old != kNoParent) {
+    ledger_.unreserve(old, g);
+    standby_.at(g).erase(node);
+  }
+  if (standby != kNoParent) {
+    ledger_.reserve(standby, g);
+    standby_[g][node] = standby;
+  }
+}
+
+void SessionLayer::clear_standby(GroupId g, Id node) {
+  set_standby(g, node, kNoParent);
+}
+
+void SessionLayer::clear_standbys_targeting(GroupId g, Id target) {
+  auto it = standby_.find(g);
+  if (it == standby_.end()) return;
+  std::vector<Id> stale;
+  for (const auto& [node, s] : it->second) {
+    if (s == target) stale.push_back(node);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (Id node : stale) clear_standby(g, node);
 }
 
 JoinResult SessionLayer::join(GroupId g, Id node) {
@@ -89,11 +200,14 @@ JoinResult SessionLayer::join(GroupId g, Id node) {
     return r;
   }
   GroupTree& tree = *it->second;
-  if (tree.contains(node)) {
+  if (tree.contains(node) || is_parked(g, node)) {
     r.outcome = JoinOutcome::kAlreadyMember;
     return r;
   }
-  const Id parent = place(tree, node, {}, &r.lookup_hops);
+  Id standby = kNoParent;
+  const Id parent =
+      place(tree, node, {}, &r.lookup_hops,
+            policy_.standby ? &standby : nullptr);
   if (parent == kNoParent) {
     r.outcome = JoinOutcome::kNoCapacity;
     ++counters_.joins_rejected;
@@ -103,6 +217,7 @@ JoinResult SessionLayer::join(GroupId g, Id node) {
   assert(ok && "place() returned a parent without slack");
   (void)ok;
   tree.add(node, parent);
+  if (policy_.standby) set_standby(g, node, standby);
   r.outcome = JoinOutcome::kJoined;
   r.parent = parent;
   r.depth = tree.member(node).depth;
@@ -110,63 +225,343 @@ JoinResult SessionLayer::join(GroupId g, Id node) {
   return r;
 }
 
-void SessionLayer::remove_member(GroupTree& tree, Id node) {
+void SessionLayer::remove_member(GroupTree& tree, Id node, bool failure) {
   const GroupId g = tree.id();
   const Id old_parent = tree.member(node).parent;
   const std::vector<Id> children = tree.member(node).children;  // copy
-  // The departing node's own uplink slot at its parent frees first.
+  // The departing node's own uplink slot at its parent frees first; its
+  // standby claim and any claims pointing at it are void.
   ledger_.credit(old_parent, g);
+  clear_standby(g, node);
+  clear_standbys_targeting(g, node);
   for (Id c : children) {
     // `node` no longer forwards for c either way.
     ledger_.credit(node, g);
-    // The departing node must not adopt its own orphans: its slots were
-    // just credited, which otherwise makes it the most attractive
-    // candidate on the lookup path.
-    std::vector<Id> exclude = tree.subtree(c);
-    exclude.push_back(node);
-    const Id adopter = place(tree, c, exclude, nullptr);
-    if (adopter != kNoParent) {
-      const bool ok = ledger_.debit(adopter, g);
-      assert(ok && "place() returned a parent without slack");
-      (void)ok;
-      tree.set_parent(c, adopter);
-      ++counters_.reparented;
-    } else {
-      const std::vector<Id> sub = tree.subtree(c);
-      for (Id m : sub) {
-        ledger_.credit(
-            m, g,
-            static_cast<std::uint32_t>(tree.member(m).children.size()));
+    bool handled = false;
+    if (failure && policy_.standby) {
+      // O(1) local re-hang: the precomputed standby adopts the orphan
+      // without any placement scan — the failover fast path. The
+      // reservation was soft, so the slot must be re-validated here;
+      // stale standbys (gone, saturated, or now inside the orphan's own
+      // subtree) fall through to full placement.
+      const Id s = standby_of(g, c);
+      if (s != kNoParent) {
+        clear_standby(g, c);  // consumed or stale either way
+        if (tree.contains(s) && s != node && ledger_.available(s) > 0 &&
+            !in_subtree_of(tree, s, c)) {
+          const bool ok = ledger_.debit(s, g);
+          assert(ok);
+          (void)ok;
+          tree.set_parent(c, s);
+          ++counters_.reparented;
+          ++counters_.reparented_fail;
+          ++counters_.reattach_standby;
+          failover_log_.push_back(ReattachRecord{
+              g, c, s, ReattachRecord::How::kStandby, 0, 1});
+          set_standby(g, c, scan_standby(tree, c, node));
+          handled = true;
+        }
       }
-      for (auto it = sub.rbegin(); it != sub.rend(); ++it) {
-        tree.erase_leaf(*it);
+    }
+    if (!handled) {
+      // The departing node must not adopt its own orphans: its slots
+      // were just credited, which otherwise makes it the most
+      // attractive candidate on the lookup path.
+      std::vector<Id> exclude = tree.subtree(c);
+      exclude.push_back(node);
+      Id standby = kNoParent;
+      std::size_t hops = 0;
+      const Id adopter = place(tree, c, exclude, &hops,
+                               policy_.standby ? &standby : nullptr);
+      if (adopter != kNoParent) {
+        const bool ok = ledger_.debit(adopter, g);
+        assert(ok && "place() returned a parent without slack");
+        (void)ok;
+        tree.set_parent(c, adopter);
+        ++counters_.reparented;
+        if (failure) {
+          ++counters_.reparented_fail;
+          ++counters_.reattach_full;
+          failover_log_.push_back(ReattachRecord{
+              g, c, adopter, ReattachRecord::How::kPlacement, hops, 1});
+        } else {
+          ++counters_.reparented_leave;
+        }
+        if (policy_.standby) set_standby(g, c, standby);
+      } else if (failure && policy_.park) {
+        const std::size_t members = tree.subtree(c).size();
+        park_subtree(tree, c);
+        failover_log_.push_back(ReattachRecord{
+            g, c, kNoParent, ReattachRecord::How::kParked, 0, members});
+      } else {
+        const std::vector<Id> sub = tree.subtree(c);
+        for (Id m : sub) {
+          ledger_.credit(
+              m, g,
+              static_cast<std::uint32_t>(tree.member(m).children.size()));
+          clear_standby(g, m);
+          clear_standbys_targeting(g, m);
+        }
+        for (auto it = sub.rbegin(); it != sub.rend(); ++it) {
+          tree.erase_leaf(*it);
+        }
+        counters_.dropped_members += sub.size();
+        if (failure) {
+          failover_log_.push_back(ReattachRecord{
+              g, c, kNoParent, ReattachRecord::How::kDropped, 0,
+              sub.size()});
+        }
       }
-      counters_.dropped_members += sub.size();
     }
   }
   tree.erase_leaf(node);
 }
 
+void SessionLayer::park_subtree(GroupTree& tree, Id child) {
+  const GroupId g = tree.id();
+  const std::vector<Id> sub = tree.subtree(child);  // BFS, root first
+  ParkedSubtree ps;
+  ps.root = child;
+  ps.shape.reserve(sub.size());
+  for (Id m : sub) {
+    ps.shape.emplace_back(
+        m, m == child ? kNoParent : tree.member(m).parent);
+  }
+  for (Id m : sub) {
+    ledger_.credit(
+        m, g, static_cast<std::uint32_t>(tree.member(m).children.size()));
+    clear_standby(g, m);
+    clear_standbys_targeting(g, m);
+  }
+  for (auto it = sub.rbegin(); it != sub.rend(); ++it) {
+    tree.erase_leaf(*it);
+  }
+  parked_[g].push_back(std::move(ps));
+  ++counters_.parked_subtrees;
+}
+
+bool SessionLayer::readmit_one(GroupTree& tree, const ParkedSubtree& ps) {
+  const GroupId g = tree.id();
+  std::size_t hops = 0;
+  Id standby = kNoParent;
+  const Id parent = place(tree, ps.root, {}, &hops,
+                          policy_.standby ? &standby : nullptr);
+  if (parent == kNoParent) return false;
+  // Transactional rebuild: every internal edge must re-debit (other
+  // groups may have claimed the subtree's capacity while it waited), or
+  // the whole subtree stays parked.
+  const bool ok = ledger_.debit(parent, g);
+  assert(ok && "place() returned a parent without slack");
+  (void)ok;
+  tree.add(ps.root, parent);
+  std::size_t added = 1;
+  bool complete = true;
+  for (std::size_t i = 1; i < ps.shape.size(); ++i) {
+    const auto& [m, p] = ps.shape[i];
+    if (!ledger_.debit(p, g)) {
+      complete = false;
+      break;
+    }
+    tree.add(m, p);
+    ++added;
+  }
+  if (!complete) {
+    for (std::size_t i = added; i-- > 0;) {
+      const auto& [m, p] = ps.shape[i];
+      tree.erase_leaf(m);
+      ledger_.credit(i == 0 ? parent : p, g);
+    }
+    return false;
+  }
+  ++counters_.readmitted_subtrees;
+  failover_log_.push_back(ReattachRecord{g, ps.root, parent,
+                                         ReattachRecord::How::kReadmitted,
+                                         hops, ps.shape.size()});
+  if (policy_.standby) {
+    set_standby(g, ps.root, standby);
+    for (std::size_t i = 1; i < ps.shape.size(); ++i) {
+      const Id m = ps.shape[i].first;
+      set_standby(g, m, scan_standby(tree, m));
+    }
+  }
+  return true;
+}
+
+void SessionLayer::try_readmit() {
+  if (!policy_.park) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<GroupId> gids;
+    gids.reserve(parked_.size());
+    for (const auto& [g, list] : parked_) {
+      if (!list.empty()) gids.push_back(g);
+    }
+    std::sort(gids.begin(), gids.end());
+    for (GroupId g : gids) {
+      auto git = groups_.find(g);
+      assert(git != groups_.end() && "parked list for a destroyed group");
+      auto& list = parked_.at(g);
+      // Strict FIFO per group: the head blocks the rest, so waiting
+      // subtrees re-admit in the order they parked — deterministic and
+      // starvation-free as capacity frees.
+      while (!list.empty() && readmit_one(*git->second, list.front())) {
+        list.erase(list.begin());
+        progress = true;
+      }
+    }
+  }
+  parked_.erase_if([](const auto& kv) { return kv.second.empty(); });
+}
+
+void SessionLayer::remove_parked_member(GroupId g, Id node) {
+  auto it = parked_.find(g);
+  assert(it != parked_.end());
+  auto& list = it->second;
+  for (std::size_t si = 0; si < list.size(); ++si) {
+    ParkedSubtree& ps = list[si];
+    auto me = std::find_if(
+        ps.shape.begin(), ps.shape.end(),
+        [&](const std::pair<Id, Id>& e) { return e.first == node; });
+    if (me == ps.shape.end()) continue;
+    if (node == ps.root) {
+      // The root leaves: each of its direct children seeds its own
+      // parked subtree, queued in place of the original (child order),
+      // so the remaining members keep their FIFO position.
+      std::vector<ParkedSubtree> pieces;
+      for (std::size_t i = 1; i < ps.shape.size(); ++i) {
+        if (ps.shape[i].second != node) continue;
+        pieces.push_back(ParkedSubtree{ps.shape[i].first, {}});
+        pieces.back().shape.emplace_back(ps.shape[i].first, kNoParent);
+      }
+      // BFS order of the original shape keeps each piece's shape BFS.
+      for (std::size_t i = 1; i < ps.shape.size(); ++i) {
+        const auto& [m, p] = ps.shape[i];
+        if (p == node) continue;
+        for (ParkedSubtree& piece : pieces) {
+          if (std::any_of(piece.shape.begin(), piece.shape.end(),
+                          [&](const std::pair<Id, Id>& e) {
+                            return e.first == p;
+                          })) {
+            piece.shape.emplace_back(m, p);
+            break;
+          }
+        }
+      }
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(si));
+      list.insert(list.begin() + static_cast<std::ptrdiff_t>(si),
+                  pieces.begin(), pieces.end());
+    } else {
+      // Interior splice: the member's children re-hang onto its parent
+      // within the shape.
+      const Id up = me->second;
+      for (auto& [m, p] : ps.shape) {
+        if (p == node) p = up;
+      }
+      ps.shape.erase(std::find_if(
+          ps.shape.begin(), ps.shape.end(),
+          [&](const std::pair<Id, Id>& e) { return e.first == node; }));
+    }
+    if (auto empty_it = std::find_if(
+            list.begin(), list.end(),
+            [](const ParkedSubtree& p) { return p.shape.empty(); });
+        empty_it != list.end()) {
+      list.erase(empty_it);
+    }
+    if (list.empty()) parked_.erase(g);
+    return;
+  }
+  assert(false && "remove_parked_member: node not parked in this group");
+}
+
 bool SessionLayer::leave(GroupId g, Id node) {
   auto it = groups_.find(g);
-  if (it == groups_.end() || !it->second->contains(node)) return false;
-  ++counters_.leaves;
-  if (node == it->second->source()) return destroy_group(g);
-  remove_member(*it->second, node);
-  return true;
+  if (it == groups_.end()) return false;
+  if (it->second->contains(node)) {
+    ++counters_.leaves;
+    if (node == it->second->source()) {
+      const bool ok = destroy_group(g);
+      try_readmit();
+      return ok;
+    }
+    remove_member(*it->second, node, /*failure=*/false);
+    try_readmit();
+    return true;
+  }
+  if (is_parked(g, node)) {
+    // A parked member departing holds no ledger debits; it just leaves
+    // the wait list (still a graceful leave from the group's view).
+    ++counters_.leaves;
+    remove_parked_member(g, node);
+    return true;
+  }
+  return false;
 }
 
 void SessionLayer::fail_node(Id node) {
   for (GroupId g : group_ids()) {
     GroupTree& tree = *groups_.at(g);
-    if (!tree.contains(node)) continue;
-    ++counters_.failures;
-    if (node == tree.source()) {
-      destroy_group(g);
-    } else {
-      remove_member(tree, node);
+    if (tree.contains(node)) {
+      ++counters_.failures;
+      if (node == tree.source()) {
+        destroy_group(g);
+      } else {
+        remove_member(tree, node, /*failure=*/true);
+      }
+    } else if (is_parked(g, node)) {
+      ++counters_.failures;
+      remove_parked_member(g, node);
     }
   }
+  try_readmit();
+}
+
+bool SessionLayer::is_parked(GroupId g, Id node) const {
+  auto it = parked_.find(g);
+  if (it == parked_.end()) return false;
+  for (const ParkedSubtree& ps : it->second) {
+    for (const auto& [m, p] : ps.shape) {
+      if (m == node) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SessionLayer::parked_count(GroupId g) const {
+  auto it = parked_.find(g);
+  return it == parked_.end() ? 0 : it->second.size();
+}
+
+std::size_t SessionLayer::parked_member_count(GroupId g) const {
+  auto it = parked_.find(g);
+  if (it == parked_.end()) return 0;
+  std::size_t n = 0;
+  for (const ParkedSubtree& ps : it->second) n += ps.shape.size();
+  return n;
+}
+
+std::size_t SessionLayer::total_parked_members() const {
+  std::size_t n = 0;
+  for (const auto& [g, list] : parked_) {
+    for (const ParkedSubtree& ps : list) n += ps.shape.size();
+  }
+  return n;
+}
+
+double SessionLayer::throttle(GroupId g) const {
+  const std::size_t waiting = parked_member_count(g);
+  if (waiting == 0) return 1.0;
+  auto it = groups_.find(g);
+  const std::size_t attached = it == groups_.end() ? 0 : it->second->size();
+  if (attached == 0) return 1.0;
+  return static_cast<double>(attached) /
+         static_cast<double>(attached + waiting);
+}
+
+std::vector<ReattachRecord> SessionLayer::take_failover_log() {
+  std::vector<ReattachRecord> out;
+  out.swap(failover_log_);
+  return out;
 }
 
 const GroupTree* SessionLayer::group(GroupId g) const {
@@ -208,6 +603,59 @@ std::vector<std::string> SessionLayer::check() const {
   for (Id id : ledger_.oversubscribed()) {
     issues.push_back("node " + std::to_string(id) +
                      ": oversubscribed beyond capacity");
+  }
+  // Every soft reservation must be backed by a live standby entry whose
+  // member AND target are still attached members of the group.
+  FlatMap<Id, std::uint32_t> expected_reserved;
+  for (const auto& [g, row] : standby_) {
+    const GroupTree* tree = group(g);
+    if (tree == nullptr) {
+      issues.push_back("group " + std::to_string(g) +
+                       ": standby entries for a destroyed group");
+      continue;
+    }
+    for (const auto& [node, target] : row) {
+      if (!tree->contains(node)) {
+        issues.push_back("group " + std::to_string(g) + ": member " +
+                         std::to_string(node) +
+                         " holds a standby but is not in the tree");
+      }
+      if (!tree->contains(target)) {
+        issues.push_back("group " + std::to_string(g) + ": standby " +
+                         std::to_string(target) + " of member " +
+                         std::to_string(node) + " is not in the tree");
+      }
+      ++expected_reserved[target];
+    }
+  }
+  for (Id id : dir_->ids()) {
+    auto it = expected_reserved.find(id);
+    const std::uint32_t want = it == expected_reserved.end() ? 0 : it->second;
+    if (ledger_.reserved(id) != want) {
+      issues.push_back("node " + std::to_string(id) +
+                       ": ledger reserved " +
+                       std::to_string(ledger_.reserved(id)) +
+                       " != standby map total " + std::to_string(want));
+    }
+  }
+  // Parked members are detached: no debits (checked above via the edge
+  // accounting) and never simultaneously in the tree.
+  for (const auto& [g, list] : parked_) {
+    const GroupTree* tree = group(g);
+    if (tree == nullptr) {
+      issues.push_back("group " + std::to_string(g) +
+                       ": parked subtrees for a destroyed group");
+      continue;
+    }
+    for (const ParkedSubtree& ps : list) {
+      for (const auto& [m, p] : ps.shape) {
+        if (tree->contains(m)) {
+          issues.push_back("group " + std::to_string(g) + ": member " +
+                           std::to_string(m) +
+                           " is both parked and in the tree");
+        }
+      }
+    }
   }
   return issues;
 }

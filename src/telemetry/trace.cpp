@@ -15,6 +15,8 @@ constexpr const char* kEventNames[kNumEventTypes] = {
     "fault_drop",     "fault_dup",  "fault_delay", "fault_partition",
     "fault_heal",     "repair_give_up", "repair_redelegate",
     "repair_digest",  "repair_pull", "packet_zombie", "admission_gate",
+    "failover_detect", "failover_reattach", "failover_park",
+    "failover_readmit",
 };
 
 }  // namespace

@@ -64,6 +64,15 @@ namespace cam::telemetry {
 ///                     b=packet seq
 ///   kAdmissionGate    source emission gated: node=source, a=1 pause /
 ///                     0 resume, b=next packet seq held back
+///   kFailoverDetect   overlay detected a crash: node=first detecting
+///                     watcher, peer=dead node, a=detection time (ms,
+///                     truncated), b=crash time (ms, truncated)
+///   kFailoverReattach orphan re-hung: node=orphan, peer=new parent,
+///                     a=group id, b=1 standby / 0 full placement
+///   kFailoverPark     orphan subtree parked (degraded): node=subtree
+///                     root, a=group id, b=subtree member count
+///   kFailoverReadmit  parked subtree re-admitted: node=subtree root,
+///                     peer=new parent, a=group id, b=member count
 enum class EventType : std::uint8_t {
   kJoinStart = 0,
   kJoinDone,
@@ -96,8 +105,12 @@ enum class EventType : std::uint8_t {
   kRepairPull,
   kPacketZombie,
   kAdmissionGate,
+  kFailoverDetect,
+  kFailoverReattach,
+  kFailoverPark,
+  kFailoverReadmit,
 };
-inline constexpr int kNumEventTypes = 31;
+inline constexpr int kNumEventTypes = 35;
 
 const char* event_name(EventType t);
 /// Inverse of event_name; returns false if `name` is unknown.
@@ -116,8 +129,9 @@ struct TraceEvent {
 
 /// Bitmask over EventType. Maintenance ticks and RPC issues fire orders
 /// of magnitude more often than protocol milestones; masking them keeps
-/// the milestones in the bounded buffer for long runs.
-using EventMask = std::uint32_t;
+/// the milestones in the bounded buffer for long runs. 64-bit since
+/// ISSUE 8 pushed the event-type count past 32.
+using EventMask = std::uint64_t;
 inline constexpr EventMask event_bit(EventType t) {
   return EventMask{1} << static_cast<int>(t);
 }

@@ -88,6 +88,46 @@ TEST(FaultPlan, ParseErrorsNameTheLineAndCause) {
   EXPECT_EQ(error, "line 1: crash needs n=");
 }
 
+TEST(FaultPlan, RegionFailRoundTripsExactly) {
+  FaultPlan plan;
+  plan.region_fail(240, 1024, 0.1, 3).region_fail(500, 0, 0.5, 1);
+  EXPECT_EQ(plan.to_string(),
+            "at 240 regionfail center=1024 radius=0.1 n=3\n"
+            "at 500 regionfail center=0 radius=0.5 n=1\n");
+  const auto parsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, plan);
+  const auto& ev = parsed->events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kRegionFail);
+  EXPECT_EQ(ev[0].a, 1024u);
+  EXPECT_DOUBLE_EQ(ev[0].radius, 0.1);
+  EXPECT_EQ(ev[0].count, 3);
+}
+
+TEST(FaultPlan, RegionFailParseDiagnostics) {
+  std::string error;
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0 regionfail center=1 radius=0.6 n=2", &error));
+  EXPECT_EQ(error, "line 1: bad radius '0.6' (need 0<f<=0.5)");
+
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0 regionfail center=1 radius=0 n=2", &error));
+  EXPECT_EQ(error, "line 1: bad radius '0' (need 0<f<=0.5)");
+
+  EXPECT_FALSE(FaultPlan::parse("at 0 regionfail center=1 n=2", &error));
+  EXPECT_EQ(error, "line 1: regionfail needs center=, radius= and n=");
+
+  EXPECT_FALSE(FaultPlan::parse("at 0 regionfail radius=0.2 n=2", &error));
+  EXPECT_EQ(error, "line 1: regionfail needs center=, radius= and n=");
+
+  EXPECT_FALSE(FaultPlan::parse("at 0 crash n=2 center=5", &error));
+  EXPECT_EQ(error, "line 1: center=/radius= are only valid on regionfail");
+
+  EXPECT_FALSE(FaultPlan::parse("at 0 drop p=0.1 radius=0.2", &error));
+  EXPECT_EQ(error, "line 1: center=/radius= are only valid on regionfail");
+}
+
 TEST(FaultPlan, MissingRequiredFieldsRejected) {
   EXPECT_FALSE(FaultPlan::parse("at 0 delay p=0.5"));   // no ms=
   EXPECT_FALSE(FaultPlan::parse("at 0 reorder ms=10"));  // no p=
@@ -108,7 +148,7 @@ FaultPlan random_plan(std::uint64_t seed) {
   for (int i = 0; i < events; ++i) {
     t += static_cast<SimTime>(rng.next_below(2'000));
     double p = rng.next_below(100) / 100.0;  // two decimals: %g-exact
-    switch (rng.next_below(10)) {
+    switch (rng.next_below(11)) {
       case 0: plan.drop(t, p); break;
       case 1:
         plan.drop_link(t, rng.next_below(1'000), rng.next_below(1'000), p);
@@ -120,6 +160,11 @@ FaultPlan random_plan(std::uint64_t seed) {
       case 6: plan.heal(t); break;
       case 7: plan.crash(t, 1 + static_cast<int>(rng.next_below(4))); break;
       case 8: plan.join(t, 1 + static_cast<int>(rng.next_below(4))); break;
+      case 9:
+        plan.region_fail(t, rng.next_below(4'096),
+                         (1 + rng.next_below(50)) / 100.0,
+                         1 + static_cast<int>(rng.next_below(4)));
+        break;
       default: plan.clear(t); break;
     }
   }

@@ -69,8 +69,9 @@
 //                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
 //                     [--plan-text=DSL] [--ngroups=G] [--group-max=M]
 //                     [--mode=shared|ledger] [--packets=K]
-//                     [--stream-groups=K] [--chaos] [--seeds=A..B]
-//                     [--jobs=N]
+//                     [--stream-groups=K] [--chaos] [--detect]
+//                     [--no-standby] [--no-park] [--hb=MS]
+//                     [--stream-crash] [--seeds=A..B] [--jobs=N]
 //       Many-group session layer (src/session): expands a WorkloadPlan
 //       (workload/session_workload.h DSL — zipf group fleets, flash
 //       crowds, diurnal churn, regional failure bursts; default: one
@@ -83,9 +84,16 @@
 //       vs per-group ledger shares). With --chaos the session chaos
 //       harness runs instead: group-level invariants are swept during
 //       the replay and the full deterministic report is printed (exits
-//       nonzero on any violation). --seeds sweeps whole worlds in
-//       parallel, one compact line per seed, byte-identical for any
-//       --jobs.
+//       nonzero on any violation). --detect switches the chaos harness
+//       to detection-driven failover: workload crashes are discovered
+//       by the heartbeat failure detector (announce at the first live
+//       watcher's suspicion deadline) instead of applied by the oracle,
+//       with standby re-hangs and graceful degradation on by default
+//       (--no-standby / --no-park turn them off, --hb sets the
+//       heartbeat period, --stream-crash also kills one interior member
+//       mid-stream and drives the dataplane FailoverScript from the
+//       detector). --seeds sweeps whole worlds in parallel, one compact
+//       line per seed, byte-identical for any --jobs.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -159,6 +167,11 @@ struct Args {
   std::string mode = "shared";
   std::size_t stream_groups = 0;
   bool session_chaos = false;
+  bool detect = false;
+  bool standby = true;
+  bool park = true;
+  double hb_period_ms = 2.0;
+  bool stream_crash = false;
 };
 
 /// The one flag table every subcommand parses against. Registering all
@@ -218,6 +231,15 @@ runtime::FlagSet make_flags(Args& a) {
         &a.stream_groups);
   f.add_switch("chaos", "run the session invariant/chaos harness (groups)",
                &a.session_chaos);
+  f.add_switch("detect", "detection-driven failover (groups --chaos)",
+               &a.detect);
+  f.add_switch("no-standby", "disable standby parents (--detect)",
+               &a.standby, false);
+  f.add_switch("no-park", "disable graceful degradation (--detect)",
+               &a.park, false);
+  f.add("hb", "heartbeat period ms (--detect)", &a.hb_period_ms);
+  f.add_switch("stream-crash", "mid-stream detected crash (--detect)",
+               &a.stream_crash);
   return f;
 }
 
@@ -681,6 +703,11 @@ int cmd_groups(const Args& a) {
     cfg.stream_packets = a.packets;
     cfg.mode = mode;
     if (a.stream_groups != 0) cfg.stream_groups = a.stream_groups;
+    cfg.detect = a.detect;
+    cfg.standby = a.standby;
+    cfg.park = a.park;
+    cfg.hb_period_ms = a.hb_period_ms;
+    cfg.stream_crash = a.stream_crash;
 
     if (!a.sweep) {
       fault::SessionChaosReport report =
@@ -703,10 +730,23 @@ int cmd_groups(const Args& a) {
     std::size_t bad = 0;
     for (const fault::SessionChaosReport& r : reports) {
       if (r.ok) {
-        std::printf("seed=%llu ok groups=%zu memberships=%zu dups=%llu\n",
+        std::printf("seed=%llu ok groups=%zu memberships=%zu dups=%llu",
                     static_cast<unsigned long long>(r.cfg.seed), r.groups,
                     r.memberships,
                     static_cast<unsigned long long>(r.dup_copies));
+        if (r.cfg.detect) {
+          std::printf(" detected=%zu/%zu detect_p50=%.3g standby=%llu"
+                      " full=%llu parked=%llu",
+                      r.detected_crashes, r.crash_victims,
+                      r.detect_latency.quantile(0.5),
+                      static_cast<unsigned long long>(
+                          r.counters.reattach_standby),
+                      static_cast<unsigned long long>(
+                          r.counters.reattach_full),
+                      static_cast<unsigned long long>(
+                          r.counters.parked_subtrees));
+        }
+        std::printf("\n");
       } else {
         ++bad;
         std::printf("seed=%llu VIOLATIONS n=%zu\n",
