@@ -58,15 +58,15 @@ int main(int argc, char** argv) {
     bool backpressure;
   };
   const Mode modes[] = {{"fifo", false}, {"backpressure", true}};
-  const System systems[] = {System::kCamChord, System::kCamKoorde};
+  const char* strategies[] = {"camchord", "camkoorde"};
   const double hotspots[] = {1.0, 0.25};
 
   std::vector<StreamCellSpec> cells;
-  for (System sys : systems) {
+  for (const char* key : strategies) {
     for (double h : hotspots) {
       for (const Mode& m : modes) {
         StreamCellSpec cell;
-        cell.system = sys;
+        cell.strategy = key;
         cell.prebuilt = &dir;
         cell.seed = scale.seed;
         cell.traffic = traffic;
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
       const StreamCellResult& r = results[i];
       const char* mode = cells[i].fwd.backpressure ? "backpressure" : "fifo";
       if (i > 0) std::cout << ",";
-      std::cout << "{\"system\":\"" << system_name(cells[i].system)
+      std::cout << "{\"system\":\"" << strategy::registry().display_name(cells[i].strategy)
                 << "\",\"hotspot\":" << cells[i].hotspot_factor
                 << ",\"mode\":\"" << mode
                 << "\",\"session_kbps\":" << r.stats.session.session_rate_kbps
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
            "delegated", "zombies", "pauses", "complete_ms"});
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const StreamCellResult& r = results[i];
-    t.add_row({system_name(cells[i].system),
+    t.add_row({strategy::registry().display_name(cells[i].strategy),
                fmt(cells[i].hotspot_factor, 2),
                cells[i].fwd.backpressure ? "backpressure" : "fifo",
                fmt(r.stats.session.session_rate_kbps, 1),

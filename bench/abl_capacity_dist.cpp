@@ -53,9 +53,9 @@ int main(int argc, char** argv) {
 
   std::vector<cam::runtime::CellSpec> cells;
   for (const FrozenDirectory& dir : dirs) {
-    for (System sys : {System::kCamChord, System::kCamKoorde}) {
+    for (const char* key : {"camchord", "camkoorde"}) {
       cam::runtime::CellSpec cell;
-      cell.system = sys;
+      cell.strategy = key;
       cell.prebuilt = &dir;
       cell.sources = scale.sources;
       cell.seed = scale.seed;
@@ -81,8 +81,9 @@ int main(int argc, char** argv) {
     for (std::size_t si = 0; si < 2; ++si) {
       const AveragedRun& r = runs[2 * pi + si];
       t.add_row({pops[pi].name, fmt(mean, 1), fmt(bound, 2),
-                 system_name(cells[2 * pi + si].system), fmt(r.avg_path, 2),
-                 fmt(r.max_depth, 1)});
+                 strategy::registry().display_name(
+                     cells[2 * pi + si].strategy),
+                 fmt(r.avg_path, 2), fmt(r.max_depth, 1)});
     }
   }
   t.print(std::cout);

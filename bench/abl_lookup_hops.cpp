@@ -45,14 +45,15 @@ int main(int argc, char** argv) {
         const FrozenDirectory& dir =
             benchfix::shared_constant_directory(spec, c);
         std::vector<std::vector<std::string>> rows;
-        for (System sys : {System::kCamChord, System::kCamKoorde}) {
+        for (const char* key : {"camchord", "camkoorde"}) {
+          const auto& strat = strategy::registry().make(key);
           Rng rng(scale.seed ^ 0xABCD);
           std::vector<std::size_t> hops;
           hops.reserve(500);
           for (int i = 0; i < 500; ++i) {
             Id from = dir.ids()[rng.next_below(dir.size())];
             Id k = rng.next_below(dir.ring().size());
-            LookupResult r = run_lookup(sys, dir, from, k);
+            LookupResult r = strat.lookup(dir, from, k, {});
             if (r.ok) hops.push_back(r.hops());
           }
           std::sort(hops.begin(), hops.end());
@@ -61,7 +62,8 @@ int main(int argc, char** argv) {
           mean /= static_cast<double>(hops.size());
           std::size_t p99 = hops[hops.size() * 99 / 100];
           rows.push_back(
-              {system_name(sys), std::to_string(n), std::to_string(c),
+              {std::string(strat.display_name()), std::to_string(n),
+               std::to_string(c),
                fmt(mean, 2), std::to_string(p99),
                fmt(std::log(static_cast<double>(n)) / std::log(c), 2)});
         }

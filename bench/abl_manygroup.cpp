@@ -64,13 +64,13 @@ int main(int argc, char** argv) {
   };
   const Mode modes[] = {{"shared", session::SchedMode::kShared},
                         {"ledger-shares", session::SchedMode::kLedgerShares}};
-  const System systems[] = {System::kCamChord, System::kCamKoorde};
+  const char* strategies[] = {"camchord", "camkoorde"};
 
   std::vector<SessionCellSpec> cells;
-  for (System sys : systems) {
+  for (const char* key : strategies) {
     for (const Mode& m : modes) {
       SessionCellSpec cell;
-      cell.system = sys;
+      cell.strategy = key;
       cell.prebuilt = &dir;
       cell.seed = scale.seed;
       cell.plan = plan;
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "abl_manygroup: INVARIANT VIOLATION in cell %zu "
                    "(%s): %zu check defects, max_util=%f\n",
-                   i, system_name(cells[i].system).c_str(),
+                   i, strategy::registry().display_name(cells[i].strategy).c_str(),
                    r.check_violations, r.max_utilization);
       return 1;
     }
@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const SessionCellResult& r = results[i];
       if (i > 0) std::cout << ",";
-      std::cout << "{\"system\":\"" << system_name(cells[i].system)
+      std::cout << "{\"system\":\""
+                << strategy::registry().display_name(cells[i].strategy)
                 << "\",\"mode\":\"" << mode_name(i)
                 << "\",\"groups\":" << r.groups
                 << ",\"streamed\":" << r.stats.groups.size()
@@ -137,7 +138,8 @@ int main(int argc, char** argv) {
            "max_util", "goodput_kbps", "jain", "p99_ms"});
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SessionCellResult& r = results[i];
-    t.add_row({system_name(cells[i].system), mode_name(i),
+    t.add_row({strategy::registry().display_name(cells[i].strategy),
+               mode_name(i),
                std::to_string(r.groups),
                std::to_string(r.stats.groups.size()),
                std::to_string(r.memberships),

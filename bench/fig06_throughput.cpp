@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   Table t({"system", "param", "avg_degree", "avg_children",
            "throughput_kbps"});
   for (const Fig6Row& r : figure6(scale)) {
-    t.add_row({system_name(r.system), fmt(r.param, 1), fmt(r.avg_degree, 2),
-               fmt(r.avg_children, 2), fmt(r.throughput_kbps, 1)});
+    t.add_row({cam::strategy::registry().display_name(r.strategy),
+               fmt(r.param, 1), fmt(r.avg_degree, 2), fmt(r.avg_children, 2),
+               fmt(r.throughput_kbps, 1)});
   }
   t.print(std::cout);
   return 0;

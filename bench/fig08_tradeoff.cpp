@@ -16,8 +16,9 @@ int main(int argc, char** argv) {
             << ")\n";
   Table t({"system", "p_kbps", "throughput_kbps", "avg_path_hops"});
   for (const Fig8Row& r : figure8(scale)) {
-    t.add_row({system_name(r.system), fmt(r.per_link_kbps, 0),
-               fmt(r.throughput_kbps, 1), fmt(r.avg_path, 2)});
+    t.add_row({cam::strategy::registry().display_name(r.strategy),
+               fmt(r.per_link_kbps, 0), fmt(r.throughput_kbps, 1),
+               fmt(r.avg_path, 2)});
   }
   t.print(std::cout);
   return 0;

@@ -349,3 +349,61 @@ if not ok:
     sys.exit(1)
 print(f"bench: wrote {path}")
 EOF
+
+# ---------------------------------------------------------------------
+# Strategy phase (BENCH_PR9.json): the Ablation A15 head-to-head grid —
+# all six registered strategies (CAMs, DHT baselines, and the
+# geo-coords / bounded-degree rivals) over bandwidth-derived and uniform
+# populations. Rows are deterministic in --seed. Two gates, enforced by
+# the bench's own exit status and re-checked here: the CAMs must beat
+# both rivals on provisioned throughput on the bandwidth-derived
+# population (the paper's capacity-aware provisioning claim), and the
+# seam's output must be bit-identical to the deprecated exp::System
+# enum path for the four legacy systems.
+SR_OUT=BENCH_PR9.json
+echo "== bench: abl_strategy_rivals (strategy seam head-to-head, A15) =="
+cmake --build "$BUILD" -j --target abl_strategy_rivals >/dev/null
+SR_JSON=$($PIN "./$BUILD/bench/abl_strategy_rivals" --json --jobs=4)
+
+python3 - "$SR_OUT" <<'EOF' "$SR_JSON"
+import json, sys
+path, doc_in = sys.argv[1], json.loads(sys.argv[2])
+rows, gates = doc_in["rows"], doc_in["gates"]
+history = {}
+try:
+    history = json.load(open(path)).get("history", {})
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+summary = {}
+for scen in sorted({r["scenario"] for r in rows}):
+    sr = [r for r in rows if r["scenario"] == scen]
+    cams = [r for r in sr if r["key"] in ("camchord", "camkoorde")]
+    rivals = [r for r in sr if r["key"] in ("geo-coords", "bounded-degree")]
+    summary[scen] = {
+        "cam_worst_provisioned_kbps":
+            min(r["provisioned_kbps"] for r in cams),
+        "rival_best_provisioned_kbps":
+            max(r["provisioned_kbps"] for r in rivals),
+        "capacity_violations":
+            {r["strategy"]: r["cap_violations"] for r in sr},
+        "chaos_delivery":
+            {r["strategy"]: r["chaos_delivery"] for r in sr},
+    }
+doc = {
+    "schema": "cam-bench-v1",
+    "generated_by": "scripts/bench.sh (release preset, abl_strategy_rivals "
+                    "--json --jobs=4, n=2000 seed=7)",
+    "strategy_rivals": {"rows": rows, "summary": summary, "gates": gates},
+    "history": history,
+}
+json.dump(doc, open(path, "w"), indent=2)
+open(path, "a").write("\n")
+for scen, s in summary.items():
+    print(f"{scen}: CAM worst provisioned "
+          f"{s['cam_worst_provisioned_kbps']:.1f} kbps vs rival best "
+          f"{s['rival_best_provisioned_kbps']:.1f} kbps")
+if not all(gates.values()):
+    print(f"bench: STRATEGY GATE FAILED: {gates}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench: wrote {path}")
+EOF

@@ -41,13 +41,13 @@ if [ "$MODE" = sessions ]; then
     extra=""
     [ "$system" = camkoorde ] && extra="--mode=ledger"
     if "$CAMSIM" groups --chaos --detect --stream-crash \
-        --system="$system" --n=64 --bits=12 --packets=16 \
+        --strategy="$system" --n=64 --bits=12 --packets=16 \
         --seeds=1.."$SEEDS" --jobs="$JOBS" $extra > /dev/null; then
       echo "$system: $SEEDS seeds, detection-driven failover clean"
     else
       echo "FAIL $system: session invariant violation in sweep"
       echo "  repro: camsim groups --chaos --detect --stream-crash" \
-           "--system=$system --n=64 --bits=12 --packets=16 $extra" \
+           "--strategy=$system --n=64 --bits=12 --packets=16 $extra" \
            "--seeds=1..$SEEDS"
       fail=1
     fi
@@ -75,7 +75,7 @@ for system in camchord camkoorde; do
 
   # Repair on: every seed must be invariant-clean (camsim exits nonzero
   # if any is not). Capture the output so failing seeds get a repro line.
-  on_report=$("$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
+  on_report=$("$CAMSIM" chaos --strategy="$system" --n=12 --bits=10 \
       --seeds=1.."$SEEDS" --jobs="$JOBS" --plan-text="$plan" 2>/dev/null) \
     || true
   bad=$(grep -c 'VIOLATIONS' <<< "$on_report" || true)
@@ -84,7 +84,7 @@ for system in camchord camkoorde; do
       seed="${line#seed=}"
       seed="${seed%% *}"
       echo "FAIL $system seed=$seed (repair on): invariant violation"
-      echo "  repro: camsim chaos --system=$system --n=12 --bits=10" \
+      echo "  repro: camsim chaos --strategy=$system --n=12 --bits=10" \
            "--seed=$seed --plan-text='$plan'"
     done
   fi
@@ -92,7 +92,7 @@ for system in camchord camkoorde; do
   # Repair off: eventual-delivery violations are EXPECTED; count the
   # seeds that lost a region (their line carries the mcast.eventual
   # kind). camsim exits nonzero here by design.
-  off_report=$("$CAMSIM" chaos --system="$system" --n=12 --bits=10 \
+  off_report=$("$CAMSIM" chaos --strategy="$system" --n=12 --bits=10 \
       --seeds=1.."$SEEDS" --jobs="$JOBS" --plan-text="$plan" --no-repair \
       2>/dev/null) || true
   flagged=$(grep -c 'mcast.eventual' <<< "$off_report" || true)

@@ -15,15 +15,25 @@ echo "== tier-1: ASan+UBSan build, telemetry + protocol + dataplane + session te
 cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target cam_tests dataplane_alloc_probe
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue|Session|Zipf|FlashWave|WorkloadPlan|GenerateEvents|CapacityLedger|GroupTree|Piggyback'
+  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue|Session|Zipf|FlashWave|WorkloadPlan|GenerateEvents|CapacityLedger|GroupTree|Piggyback|Strategy'
 
 echo
 echo "== tier-1: ASan+UBSan chaos smoke (camsim chaos) =="
 cmake --build build-asan -j --target camsim
-./build-asan/tools/camsim chaos --system=camchord --n=12 --bits=10 --seed=7 \
+./build-asan/tools/camsim chaos --strategy=camchord --n=12 --bits=10 --seed=7 \
   > /dev/null
-./build-asan/tools/camsim chaos --system=camkoorde --n=12 --bits=10 --seed=7 \
+./build-asan/tools/camsim chaos --strategy=camkoorde --n=12 --bits=10 --seed=7 \
   > /dev/null
+
+echo
+echo "== tier-1: ASan+UBSan strategy seam smoke (head-to-head multicast) =="
+# The full registry through the camsim seam: one comma-list grid over
+# every registered strategy, plus oracle chaos for the two rivals.
+./build-asan/tools/camsim multicast \
+  --strategy=camchord,camkoorde,chord,koorde,geo-coords,bounded-degree \
+  --n=200 --bits=12 --seeds=1..2 > /dev/null
+./build-asan/tools/camsim chaos --strategy=geo-coords,bounded-degree \
+  --n=100 --bits=12 --seed=5 > /dev/null
 
 echo
 echo "== tier-1: ASan+UBSan repair-enabled crash-wave smoke =="
@@ -33,9 +43,9 @@ echo "== tier-1: ASan+UBSan repair-enabled crash-wave smoke =="
 CRASH_WAVE_PLAN='at 0 drop p=0.05
 at 1000 crash n=4
 at 6000 clear'
-./build-asan/tools/camsim chaos --system=camchord --n=12 --bits=10 --seed=6 \
+./build-asan/tools/camsim chaos --strategy=camchord --n=12 --bits=10 --seed=6 \
   --plan-text="$CRASH_WAVE_PLAN" > /dev/null
-./build-asan/tools/camsim chaos --system=camkoorde --n=12 --bits=10 --seed=6 \
+./build-asan/tools/camsim chaos --strategy=camkoorde --n=12 --bits=10 --seed=6 \
   --plan-text="$CRASH_WAVE_PLAN" > /dev/null
 
 echo
@@ -45,9 +55,9 @@ echo "== tier-1: ASan+UBSan detection-driven failover smoke =="
 # mid-stream crash with pull gap-repair — the whole failover pipeline
 # under ASan. camsim exits nonzero on any session invariant violation.
 ./build-asan/tools/camsim groups --chaos --detect --stream-crash \
-  --system=camchord --n=48 --bits=12 --seed=4 --packets=16 > /dev/null
+  --strategy=camchord --n=48 --bits=12 --seed=4 --packets=16 > /dev/null
 ./build-asan/tools/camsim groups --chaos --detect --stream-crash \
-  --system=camkoorde --n=48 --bits=12 --seed=8 --mode=ledger \
+  --strategy=camkoorde --n=48 --bits=12 --seed=8 --mode=ledger \
   --packets=16 > /dev/null
 
 echo
@@ -64,14 +74,20 @@ echo "== tier-1: TSan parallel sweep smoke (4-job chaos sweep) =="
 # a shared Registry) shows up here as a data race, not a flaky sweep.
 cmake -B build-tsan -S . -DCAM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target camsim
-./build-tsan/tools/camsim chaos --system=camchord --n=12 --bits=10 \
+./build-tsan/tools/camsim chaos --strategy=camchord --n=12 --bits=10 \
   --seeds=1..4 --jobs=4 --plan-text="$CRASH_WAVE_PLAN" > /dev/null
+# Registry reads from four workers at once: a head-to-head strategy grid
+# (6 strategies x 2 seeds) on the sweep pool — any mutable state behind
+# strategy::registry() is a TSan race here.
+./build-tsan/tools/camsim multicast \
+  --strategy=camchord,camkoorde,chord,koorde,geo-coords,bounded-degree \
+  --n=150 --bits=12 --seeds=1..2 --jobs=4 > /dev/null
 
 echo
 echo "== tier-1: TSan engine goldens + dataplane/session sweeps (byte-identity) =="
 cmake --build build-tsan -j --target cam_tests
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'EngineGolden|DataplaneSweep|SessionSweep|DetectionModeSweep'
+  -R 'EngineGolden|DataplaneSweep|SessionSweep|DetectionModeSweep|StrategyGolden'
 
 echo
 echo "tier-1 OK"

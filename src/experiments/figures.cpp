@@ -64,17 +64,20 @@ std::vector<Fig6Row> figure6(const FigureScale& scale) {
         FrozenDirectory cam_pop =
             workload::bandwidth_derived_population(spec_of(scale), p, 4)
                 .freeze();
+        const auto& reg = strategy::registry();
         std::vector<Fig6Row> chunk;
-        for (System sys : {System::kCamChord, System::kCamKoorde}) {
-          AveragedRun r =
-              run_sources(sys, cam_pop, scale.sources, scale.seed);
-          chunk.push_back(Fig6Row{sys, p, r.avg_degree, r.avg_children,
+        for (const char* key : {"camchord", "camkoorde"}) {
+          AveragedRun r = run_sources(reg.make(key), cam_pop, scale.sources,
+                                      scale.seed);
+          chunk.push_back(Fig6Row{key, p, r.avg_degree, r.avg_children,
                                   r.provisioned_kbps});
         }
-        for (System sys : {System::kChord, System::kKoorde}) {
-          AveragedRun r =
-              run_sources(sys, base_pop, scale.sources, scale.seed, c);
-          chunk.push_back(Fig6Row{sys, static_cast<double>(c), r.avg_degree,
+        strategy::StrategyParams params;
+        params.uniform_degree = c;
+        for (const char* key : {"chord", "koorde"}) {
+          AveragedRun r = run_sources(reg.make(key), base_pop, scale.sources,
+                                      scale.seed, params);
+          chunk.push_back(Fig6Row{key, static_cast<double>(c), r.avg_degree,
                                   r.avg_children, r.provisioned_kbps});
         }
         return chunk;
@@ -105,14 +108,19 @@ std::vector<Fig7Row> figure7(const FigureScale& scale) {
             .freeze();
     auto c = static_cast<std::uint32_t>(std::lround((a + b) / 2 / p));
 
-    AveragedRun cam_chord =
-        run_sources(System::kCamChord, cam_pop, scale.sources, scale.seed);
-    AveragedRun cam_koorde =
-        run_sources(System::kCamKoorde, cam_pop, scale.sources, scale.seed);
-    AveragedRun chord =
-        run_sources(System::kChord, base_pop, scale.sources, scale.seed, c);
-    AveragedRun koorde = run_sources(System::kKoorde, base_pop, scale.sources,
-                                     scale.seed, std::max(c, 4u));
+    const auto& reg = strategy::registry();
+    AveragedRun cam_chord = run_sources(reg.make("camchord"), cam_pop,
+                                        scale.sources, scale.seed);
+    AveragedRun cam_koorde = run_sources(reg.make("camkoorde"), cam_pop,
+                                         scale.sources, scale.seed);
+    strategy::StrategyParams chord_p;
+    chord_p.uniform_degree = c;
+    AveragedRun chord = run_sources(reg.make("chord"), base_pop,
+                                    scale.sources, scale.seed, chord_p);
+    strategy::StrategyParams koorde_p;
+    koorde_p.uniform_degree = std::max(c, 4u);
+    AveragedRun koorde = run_sources(reg.make("koorde"), base_pop,
+                                     scale.sources, scale.seed, koorde_p);
 
     Fig7Row row;
     row.bw_hi = b;
@@ -135,9 +143,10 @@ std::vector<Fig8Row> figure8(const FigureScale& scale) {
             workload::bandwidth_derived_population(spec_of(scale), p, 4)
                 .freeze();
         std::vector<Fig8Row> chunk;
-        for (System sys : {System::kCamChord, System::kCamKoorde}) {
-          AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
-          chunk.push_back(Fig8Row{sys, p, r.provisioned_kbps, r.avg_path});
+        for (const char* key : {"camchord", "camkoorde"}) {
+          AveragedRun r = run_sources(strategy::registry().make(key), pop,
+                                      scale.sources, scale.seed);
+          chunk.push_back(Fig8Row{key, p, r.provisioned_kbps, r.avg_path});
         }
         return chunk;
       });
@@ -150,17 +159,16 @@ std::vector<Fig8Row> figure8(const FigureScale& scale) {
 
 namespace {
 
-std::vector<PathDistRow> path_distribution(System sys,
-                                           const FigureScale& scale,
-                                           const std::vector<std::uint32_t>&
-                                               cap_highs) {
+std::vector<PathDistRow> path_distribution(
+    const strategy::MulticastStrategy& strat, const FigureScale& scale,
+    const std::vector<std::uint32_t>& cap_highs) {
   return runtime::map_ordered(
       cap_highs.size(), scale.jobs, [&](std::size_t i) {
         const std::uint32_t hi = cap_highs[i];
         FrozenDirectory pop =
             workload::uniform_capacity_population(spec_of(scale), 4, hi)
                 .freeze();
-        AveragedRun r = run_sources(sys, pop, scale.sources, scale.seed);
+        AveragedRun r = run_sources(strat, pop, scale.sources, scale.seed);
         PathDistRow row;
         row.cap_lo = 4;
         row.cap_hi = hi;
@@ -175,13 +183,13 @@ std::vector<PathDistRow> path_distribution(System sys,
 std::vector<PathDistRow> figure9(const FigureScale& scale) {
   // Legend of Figure 9: 4, [4..6], [4..8], [4..10], [4..20], [4..40],
   // [4..60], [4..100], [4..200].
-  return path_distribution(System::kCamChord, scale,
+  return path_distribution(strategy::registry().make("camchord"), scale,
                            {4, 6, 8, 10, 20, 40, 60, 100, 200});
 }
 
 std::vector<PathDistRow> figure10(const FigureScale& scale) {
   // Legend of Figure 10 (no [4..60] series in the paper).
-  return path_distribution(System::kCamKoorde, scale,
+  return path_distribution(strategy::registry().make("camkoorde"), scale,
                            {4, 6, 8, 10, 20, 40, 100, 200});
 }
 
@@ -195,10 +203,10 @@ std::vector<Fig11Row> figure11(const FigureScale& scale) {
     FrozenDirectory pop =
         workload::uniform_capacity_population(spec_of(scale), 4, hi).freeze();
     double avg_c = (4.0 + hi) / 2.0;
-    AveragedRun chord =
-        run_sources(System::kCamChord, pop, scale.sources, scale.seed);
-    AveragedRun koorde =
-        run_sources(System::kCamKoorde, pop, scale.sources, scale.seed);
+    AveragedRun chord = run_sources(strategy::registry().make("camchord"),
+                                    pop, scale.sources, scale.seed);
+    AveragedRun koorde = run_sources(strategy::registry().make("camkoorde"),
+                                     pop, scale.sources, scale.seed);
     Fig11Row row;
     row.avg_capacity = avg_c;
     row.camchord_path = chord.avg_path;

@@ -10,10 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "experiments/runner.h"
-#include "experiments/systems.h"
+#include "strategy/strategy.h"
 
 namespace cam::exp {
 
@@ -41,7 +42,7 @@ FigureScale parse_scale(int argc, char** argv, FigureScale defaults = {});
 // fanout for reference. Throughput follows the per-link provisioning
 // model (see multicast/metrics.h).
 struct Fig6Row {
-  System system;
+  std::string strategy;    // registry key ("camchord", ...)
   double param = 0;        // p (CAMs) or base/degree (baselines)
   double avg_degree = 0;   // x-axis
   double avg_children = 0; // realized children per non-leaf (reference)
@@ -60,7 +61,7 @@ std::vector<Fig7Row> figure7(const FigureScale& scale);
 
 // --- Figure 8: throughput vs. average path length (tradeoff) -----------
 struct Fig8Row {
-  System system;
+  std::string strategy;      // registry key
   double per_link_kbps = 0;  // p
   double throughput_kbps = 0;
   double avg_path = 0;

@@ -7,48 +7,44 @@
 
 namespace cam::exp {
 
-namespace {
-
-/// Provisioned forwarding links of a node: its capacity for the CAMs,
-/// the uniform structural parameter for the baselines.
-LinksFn links_fn(const FrozenDirectory& dir, System system,
-                 std::uint32_t uniform_param) {
-  if (system == System::kCamChord || system == System::kCamKoorde) {
-    return [&dir](Id x) { return dir.info(x).capacity; };
-  }
-  return [uniform_param](Id) { return uniform_param; };
-}
-
-}  // namespace
-
 TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
-                      System system, std::uint32_t uniform_param) {
+                      const strategy::MulticastStrategy& strat,
+                      const strategy::StrategyParams& params) {
   TreeSummary s;
   s.metrics = compute_metrics(tree);
   auto bw = [&dir](Id x) { return dir.info(x).bandwidth_kbps; };
   s.throughput_kbps = tree_throughput_kbps(tree, bw);
   s.provisioned_kbps = tree_throughput_provisioned_kbps(
-      tree, bw, links_fn(dir, system, uniform_param));
+      tree, bw,
+      [&](Id x) { return strat.provisioned_links(dir, x, params); });
   return s;
 }
 
-AveragedRun run_sources(System system, const FrozenDirectory& dir,
-                        std::size_t num_sources, std::uint64_t seed,
-                        std::uint32_t uniform_param, std::size_t jobs) {
+TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
+                      System system, std::uint32_t uniform_param) {
+  strategy::StrategyParams params;
+  params.uniform_degree = uniform_param;
+  return summarize(dir, tree, to_strategy(system), params);
+}
+
+AveragedRun run_sources(const strategy::MulticastStrategy& strat,
+                        const FrozenDirectory& dir, std::size_t num_sources,
+                        std::uint64_t seed,
+                        const strategy::StrategyParams& params,
+                        std::size_t jobs) {
   AveragedRun agg;
   agg.expected = dir.size();
   agg.reached = dir.size();
   if (num_sources == 0 || dir.size() == 0) return agg;
 
-  LinksFn links = links_fn(dir, system, uniform_param);
   double degree_sum = 0;
-  for (Id id : dir.ids()) degree_sum += links(id);
+  for (Id id : dir.ids()) degree_sum += strat.provisioned_links(dir, id, params);
   agg.avg_degree = degree_sum / static_cast<double>(dir.size());
 
   // Sources are drawn serially (the rng touches nothing else), then the
-  // trees — pure functions of (dir, source) — run as parallel cells.
-  // The reduction below consumes summaries in source order, so the
-  // aggregate is byte-identical for every jobs value.
+  // trees — pure functions of (dir, source, params) — run as parallel
+  // cells. The reduction below consumes summaries in source order, so
+  // the aggregate is byte-identical for every jobs value.
   Rng rng(seed);
   std::vector<Id> sources(num_sources);
   for (std::size_t s = 0; s < num_sources; ++s) {
@@ -56,9 +52,8 @@ AveragedRun run_sources(System system, const FrozenDirectory& dir,
   }
   std::vector<TreeSummary> summaries =
       runtime::map_ordered(num_sources, jobs, [&](std::size_t s) {
-        MulticastTree tree =
-            run_multicast(system, dir, sources[s], uniform_param);
-        return summarize(dir, tree, system, uniform_param);
+        MulticastTree tree = strat.build_tree(dir, sources[s], params);
+        return summarize(dir, tree, strat, params);
       });
 
   for (const TreeSummary& sum : summaries) {
@@ -83,6 +78,15 @@ AveragedRun run_sources(System system, const FrozenDirectory& dir,
   agg.avg_path /= k;
   agg.max_depth /= k;
   return agg;
+}
+
+AveragedRun run_sources(System system, const FrozenDirectory& dir,
+                        std::size_t num_sources, std::uint64_t seed,
+                        std::uint32_t uniform_param, std::size_t jobs) {
+  strategy::StrategyParams params;
+  params.uniform_degree = uniform_param;
+  return run_sources(to_strategy(system), dir, num_sources, seed, params,
+                     jobs);
 }
 
 }  // namespace cam::exp

@@ -1,7 +1,8 @@
 // Multicast measurement runner: executes one or more multicasts from
 // random sources over a frozen population and aggregates the paper's
 // metrics (throughput, average children, average path length, path-length
-// histogram).
+// histogram). Runs over any registered MulticastStrategy; the System
+// overloads are the deprecated enum spelling and delegate.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include "experiments/systems.h"
 #include "multicast/metrics.h"
 #include "overlay/directory.h"
+#include "strategy/strategy.h"
 
 namespace cam::exp {
 
@@ -23,6 +25,11 @@ struct TreeSummary {
   double provisioned_kbps = 0;
 };
 
+TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
+                      const strategy::MulticastStrategy& strat,
+                      const strategy::StrategyParams& params = {});
+
+// deprecated: enum spelling of summarize().
 TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
                       System system, std::uint32_t uniform_param = 0);
 
@@ -44,6 +51,14 @@ struct AveragedRun {
   std::vector<std::uint64_t> depth_histogram;  // summed over trees
 };
 
+AveragedRun run_sources(const strategy::MulticastStrategy& strat,
+                        const FrozenDirectory& dir, std::size_t num_sources,
+                        std::uint64_t seed,
+                        const strategy::StrategyParams& params = {},
+                        std::size_t jobs = 1);
+
+// deprecated: enum spelling of run_sources(); `uniform_param` feeds
+// StrategyParams::uniform_degree verbatim.
 AveragedRun run_sources(System system, const FrozenDirectory& dir,
                         std::size_t num_sources, std::uint64_t seed,
                         std::uint32_t uniform_param = 0,

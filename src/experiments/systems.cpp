@@ -2,71 +2,52 @@
 
 #include <stdexcept>
 
-#include "camchord/oracle.h"
-#include "camkoorde/oracle.h"
-#include "chord/el_ansary.h"
-#include "koorde/koorde.h"
-
 namespace cam::exp {
 
-std::string system_name(System s) {
+std::string_view strategy_key(System s) {
   switch (s) {
     case System::kCamChord:
-      return "CAM-Chord";
+      return "camchord";
     case System::kCamKoorde:
-      return "CAM-Koorde";
+      return "camkoorde";
     case System::kChord:
-      return "Chord";
+      return "chord";
     case System::kKoorde:
-      return "Koorde";
+      return "koorde";
   }
-  return "?";
+  throw std::logic_error("unknown system");
+}
+
+const strategy::MulticastStrategy& to_strategy(System s) {
+  return strategy::registry().make(strategy_key(s));
+}
+
+std::string system_name(System s) {
+  return strategy::registry().display_name(strategy_key(s));
 }
 
 namespace {
 
-camchord::CapacityOf capacity_of(const FrozenDirectory& dir) {
-  return [&dir](Id x) { return dir.info(x).capacity; };
+// The legacy free functions threaded a single `uniform_param` (default
+// 0) instead of named params; forward it verbatim — including 0 — so
+// the old "Chord base >= 2" / "Koorde degree >= 4" throws still fire.
+strategy::StrategyParams params_of(std::uint32_t uniform_param) {
+  strategy::StrategyParams p;
+  p.uniform_degree = uniform_param;
+  return p;
 }
 
 }  // namespace
 
 MulticastTree run_multicast(System system, const FrozenDirectory& dir,
                             Id source, std::uint32_t uniform_param) {
-  const RingSpace& ring = dir.ring();
-  switch (system) {
-    case System::kCamChord:
-      return camchord::multicast(ring, dir, capacity_of(dir), source);
-    case System::kCamKoorde:
-      return camkoorde::multicast(ring, dir, capacity_of(dir), source);
-    case System::kChord:
-      if (uniform_param < 2) throw std::invalid_argument("Chord base >= 2");
-      return chord::broadcast(ring, dir, uniform_param, source);
-    case System::kKoorde:
-      if (uniform_param < koorde::kMinDegree)
-        throw std::invalid_argument("Koorde degree >= 4");
-      return koorde::multicast(ring, dir, uniform_param, source);
-  }
-  throw std::logic_error("unknown system");
+  return to_strategy(system).build_tree(dir, source, params_of(uniform_param));
 }
 
 LookupResult run_lookup(System system, const FrozenDirectory& dir, Id from,
                         Id target, std::uint32_t uniform_param) {
-  const RingSpace& ring = dir.ring();
-  switch (system) {
-    case System::kCamChord:
-      return camchord::lookup(ring, dir, capacity_of(dir), from, target);
-    case System::kCamKoorde:
-      return camkoorde::lookup(ring, dir, capacity_of(dir), from, target);
-    case System::kChord:
-      // Generalized Chord lookup == CAM-Chord lookup at uniform capacity.
-      return camchord::lookup(
-          ring, dir, [uniform_param](Id) { return uniform_param; }, from,
-          target);
-    case System::kKoorde:
-      return koorde::lookup(ring, dir, uniform_param, from, target);
-  }
-  throw std::logic_error("unknown system");
+  return to_strategy(system).lookup(dir, from, target,
+                                    params_of(uniform_param));
 }
 
 }  // namespace cam::exp

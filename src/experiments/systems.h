@@ -1,14 +1,12 @@
-// Uniform driver over the four multicast systems the paper evaluates
-// (Section 6: "We simulate multicast algorithms on top of CAM-Chord,
-// Chord, CAM-Koorde, and Koorde").
+// deprecated: thin compatibility shim over the strategy seam.
 //
-//   * CAM-Chord / CAM-Koorde read each node's capacity c_x from the
-//     population (bandwidth-derived or range-drawn).
-//   * The Chord baseline is the generalized base-B Chord with El-Ansary
-//     broadcast; the Koorde baseline is uniform-degree left-shift Koorde
-//     with flooding. Both use one structural parameter for every node
-//     regardless of its bandwidth — the capacity-unawareness the CAMs
-//     are measured against.
+// The enum-switch driver this header used to define moved behind the
+// registry-based cam::strategy::MulticastStrategy interface
+// (src/strategy/strategy.h). The System enum, system_name(), and the
+// run_multicast()/run_lookup() free functions survive for one PR so
+// downstream code migrates incrementally; they delegate verbatim to
+// the registered legacy strategies. New code should hold a
+// `const strategy::MulticastStrategy&` from strategy::registry().
 #pragma once
 
 #include <cstdint>
@@ -17,9 +15,12 @@
 #include "multicast/tree.h"
 #include "overlay/directory.h"
 #include "overlay/types.h"
+#include "strategy/strategy.h"
 
 namespace cam::exp {
 
+// deprecated: use strategy registry keys ("camchord", "camkoorde",
+// "chord", "koorde") instead.
 enum class System {
   kCamChord,
   kCamKoorde,
@@ -27,14 +28,22 @@ enum class System {
   kKoorde,  // baseline: uniform-degree left-shift Koorde + flooding
 };
 
+/// Registry key of a legacy enum value ("camchord", ...).
+std::string_view strategy_key(System s);
+
+/// The registered strategy behind a legacy enum value.
+const strategy::MulticastStrategy& to_strategy(System s);
+
+// deprecated: display name, now served by the registry.
 std::string system_name(System s);
 
-/// One full multicast from `source` over the converged (frozen) overlay.
-/// `uniform_param` is the Chord base / Koorde degree; ignored by the CAMs.
+// deprecated: one full multicast from `source` over the converged
+// (frozen) overlay; `uniform_param` is the Chord base / Koorde degree,
+// ignored by the CAMs. Delegates to to_strategy(system).build_tree().
 MulticastTree run_multicast(System system, const FrozenDirectory& dir,
                             Id source, std::uint32_t uniform_param = 0);
 
-/// One lookup from `from` for identifier `target`.
+// deprecated: one lookup from `from` for identifier `target`.
 LookupResult run_lookup(System system, const FrozenDirectory& dir, Id from,
                         Id target, std::uint32_t uniform_param = 0);
 

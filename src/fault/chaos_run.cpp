@@ -8,6 +8,7 @@
 #include "proto/async_camchord.h"
 #include "proto/async_camkoorde.h"
 #include "runtime/sweep_pool.h"
+#include "strategy/strategy.h"
 #include "telemetry/export.h"
 #include "util/rng.h"
 
@@ -90,7 +91,9 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
         std::make_unique<proto::AsyncCamKoordeNet>(ring, bus, cfg.async);
   } else {
     report.violations.push_back(
-        {"config", 0, "unknown system '" + cfg.system + "'"});
+        {"config", 0,
+         "no protocol-mode stack for strategy '" + cfg.system +
+             "' (registered: " + strategy::registry().joined_names() + ")"});
     return report;
   }
 

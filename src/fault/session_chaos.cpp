@@ -9,6 +9,7 @@
 
 #include "runtime/sweep_pool.h"
 #include "session/failover.h"
+#include "strategy/strategy.h"
 #include "telemetry/trace.h"
 #include "workload/population.h"
 
@@ -22,9 +23,11 @@ std::string num(double v) {
   return buf;
 }
 
-exp::System parse_system(const std::string& s) {
-  return s == "camkoorde" ? exp::System::kCamKoorde
-                          : exp::System::kCamChord;
+const strategy::MulticastStrategy& parse_system(const std::string& s) {
+  // Session placement needs lookup routing; anything but the CAMs falls
+  // back to CAM-Chord (the historical default for unknown names).
+  return strategy::registry().make(s == "camkoorde" ? "camkoorde"
+                                                    : "camchord");
 }
 
 void merge(session::ApplyStats& into, const session::ApplyStats& part) {

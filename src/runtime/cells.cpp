@@ -89,13 +89,13 @@ FrozenDirectory PopulationRecipe::build() const {
 }
 
 exp::AveragedRun run_cell(const CellSpec& cell) {
+  const auto& strat = strategy::registry().make(cell.strategy);
   if (cell.prebuilt != nullptr) {
-    return exp::run_sources(cell.system, *cell.prebuilt, cell.sources,
-                            cell.seed, cell.uniform_param);
+    return exp::run_sources(strat, *cell.prebuilt, cell.sources, cell.seed,
+                            cell.params);
   }
   FrozenDirectory dir = cell.population.build();
-  return exp::run_sources(cell.system, dir, cell.sources, cell.seed,
-                          cell.uniform_param);
+  return exp::run_sources(strat, dir, cell.sources, cell.seed, cell.params);
 }
 
 std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
@@ -112,8 +112,9 @@ StreamCellResult stream_cell_on(const FrozenDirectory& dir,
   if (dir.size() == 0) return out;
   Rng rng(cell.seed);
   const Id source = dir.ids()[rng.next_below(dir.size())];
-  const MulticastTree tree =
-      exp::run_multicast(cell.system, dir, source, cell.uniform_param);
+  const MulticastTree tree = strategy::registry()
+                                 .make(cell.strategy)
+                                 .build_tree(dir, source, cell.params);
 
   // The hotspot is the busiest relay: most children among non-source
   // interior nodes, ties to the smallest id. Counted through a FlatMap
@@ -174,7 +175,7 @@ SessionCellResult session_cell_on(const FrozenDirectory& dir,
   SessionCellResult out;
   if (dir.size() == 0) return out;
 
-  session::SessionLayer layer(dir, cell.system);
+  session::SessionLayer layer(dir, strategy::registry().make(cell.strategy));
   const std::vector<workload::SessionEvent> events =
       workload::generate_events(cell.plan, dir, cell.seed);
   out.apply = session::apply_events(layer, events);

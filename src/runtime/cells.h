@@ -1,6 +1,6 @@
 // The unified cell-run API: every oracle-mode measurement in the repo —
 // figure benches, ablations, camsim sweeps — is some grid of
-// (population, system, seed) cells, each executing build-population →
+// (population, strategy, seed) cells, each executing build-population →
 // run-multicasts → aggregate. CellSpec captures one cell declaratively;
 // run_cells() executes a whole grid on a SweepPool and returns results
 // in cell order, byte-identical for any --jobs value.
@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dataplane/forwarder.h"
@@ -21,6 +22,7 @@
 #include "runtime/sweep_pool.h"
 #include "session/apply.h"
 #include "session/multi_forwarder.h"
+#include "strategy/strategy.h"
 #include "workload/population.h"
 #include "workload/session_workload.h"
 
@@ -63,12 +65,12 @@ struct PopulationRecipe {
 /// recipe — FrozenDirectory is immutable, so one snapshot may back many
 /// concurrent cells; the caller keeps it alive across run_cells().
 struct CellSpec {
-  exp::System system = exp::System::kCamChord;
+  std::string strategy = "camchord";  // registry key
   PopulationRecipe population;
   const FrozenDirectory* prebuilt = nullptr;
-  std::size_t sources = 3;          // multicast trees averaged
-  std::uint64_t seed = 1;           // source-draw seed
-  std::uint32_t uniform_param = 0;  // Chord base / Koorde degree
+  std::size_t sources = 3;            // multicast trees averaged
+  std::uint64_t seed = 1;             // source-draw seed
+  strategy::StrategyParams params;    // Chord base / Koorde degree / rivals
 };
 
 /// Executes one cell on the calling thread.
@@ -89,11 +91,11 @@ std::vector<exp::AveragedRun> run_cells(const std::vector<CellSpec>& cells,
 /// non-source interior node with the most children; ties break to the
 /// smallest id) — the hotspot-link experiment of abl_backpressure.
 struct StreamCellSpec {
-  exp::System system = exp::System::kCamChord;
+  std::string strategy = "camchord";  // registry key
   PopulationRecipe population;
   const FrozenDirectory* prebuilt = nullptr;
-  std::uint64_t seed = 1;           // source-draw seed
-  std::uint32_t uniform_param = 0;  // Chord base / Koorde degree
+  std::uint64_t seed = 1;             // source-draw seed
+  strategy::StrategyParams params;    // structural knobs per strategy
   dataplane::ForwarderConfig fwd;
   dataplane::TrafficSpec traffic;
   double latency_ms = 10.0;         // constant per-link propagation
@@ -125,7 +127,7 @@ std::vector<StreamCellResult> run_cells(
 /// StreamCellSpec — `camsim groups` and bench/abl_manygroup are grids
 /// of these.
 struct SessionCellSpec {
-  exp::System system = exp::System::kCamChord;
+  std::string strategy = "camchord";  // registry key (needs lookup support)
   PopulationRecipe population;
   const FrozenDirectory* prebuilt = nullptr;
   std::uint64_t seed = 1;            // workload expansion seed

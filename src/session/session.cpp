@@ -33,8 +33,12 @@ const char* join_outcome_name(JoinOutcome o) {
   return "?";
 }
 
+SessionLayer::SessionLayer(const FrozenDirectory& dir,
+                           const strategy::MulticastStrategy& strat)
+    : dir_(&dir), strategy_(&strat), ledger_(dir) {}
+
 SessionLayer::SessionLayer(const FrozenDirectory& dir, exp::System system)
-    : dir_(&dir), system_(system), ledger_(dir) {}
+    : SessionLayer(dir, exp::to_strategy(system)) {}
 
 bool SessionLayer::create_group(GroupId g, Id source) {
   if (!dir_->contains(source) || groups_.contains(g)) return false;
@@ -108,12 +112,12 @@ Id SessionLayer::place(const GroupTree& tree, Id node,
   // on this same join-time path — the node that would have adopted the
   // joiner had the chosen parent been full.
   bool done = false;
-  if (tree.size() > 1) {
+  if (tree.size() > 1 && strategy_->supports_lookup()) {
     NodeDirectory members(dir_->ring());
     for (Id m : tree.sorted_members()) members.add(m, dir_->info(m));
     const FrozenDirectory snapshot = members.freeze();
     const LookupResult lr =
-        exp::run_lookup(system_, snapshot, tree.source(), node);
+        strategy_->lookup(snapshot, tree.source(), node, {});
     if (hops != nullptr) *hops = lr.ok ? lr.hops() : 0;
     if (lr.ok) {
       for (auto it = lr.path.rbegin(); it != lr.path.rend() && !done;

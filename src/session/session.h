@@ -34,6 +34,7 @@
 #include "overlay/directory.h"
 #include "session/group_tree.h"
 #include "session/ledger.h"
+#include "strategy/strategy.h"
 #include "util/flat_table.h"
 
 namespace cam::session {
@@ -120,13 +121,19 @@ struct ReattachRecord {
 
 class SessionLayer {
  public:
-  /// `dir` is the converged overlay (all joinable nodes); it must
-  /// outlive the layer. `system` picks the member-overlay routing used
-  /// by locating-first placement (kCamChord or kCamKoorde).
+  /// `dir` is the converged overlay (all joinable nodes); both `dir`
+  /// and `strat` must outlive the layer. `strat` picks the member-
+  /// overlay routing used by locating-first placement; strategies
+  /// without lookup support fall back to the deterministic
+  /// shallow-first member scan.
+  SessionLayer(const FrozenDirectory& dir,
+               const strategy::MulticastStrategy& strat);
+
+  // deprecated: enum spelling; delegates to the registered strategy.
   SessionLayer(const FrozenDirectory& dir, exp::System system);
 
   const FrozenDirectory& directory() const { return *dir_; }
-  exp::System system() const { return system_; }
+  const strategy::MulticastStrategy& strategy() const { return *strategy_; }
   CapacityLedger& ledger() { return ledger_; }
   const CapacityLedger& ledger() const { return ledger_; }
   const SessionCounters& counters() const { return counters_; }
@@ -235,7 +242,7 @@ class SessionLayer {
   void remove_parked_member(GroupId g, Id node);
 
   const FrozenDirectory* dir_;
-  exp::System system_;
+  const strategy::MulticastStrategy* strategy_;
   CapacityLedger ledger_;
   FlatMap<GroupId, std::unique_ptr<GroupTree>> groups_;
   SessionCounters counters_;

@@ -1,0 +1,62 @@
+#include "strategy/bounded_degree.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace cam::strategy {
+
+MulticastTree build_bounded_degree_tree(const FrozenDirectory& dir, Id source,
+                                        const StrategyParams& params) {
+  if (params.degree_bound < 1) {
+    throw std::invalid_argument("bounded-degree bound >= 1");
+  }
+  const std::vector<Id>& ids = dir.ids();
+  const std::size_t n = ids.size();
+  MulticastTree tree(source);
+  if (n <= 1) return tree;
+
+  auto fanout = [&](std::size_t i) {
+    return std::min(dir.info_at(i).capacity, params.degree_bound);
+  };
+
+  // Unattached members, widest forwarders first so they land near the
+  // root; id ascending breaks ties deterministically.
+  const std::size_t src_idx = dir.index_of(source);
+  std::vector<std::size_t> pending;
+  pending.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != src_idx) pending.push_back(i);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [&](std::size_t a, std::size_t b) {
+              const std::uint32_t da = fanout(a);
+              const std::uint32_t db = fanout(b);
+              if (da != db) return da > db;
+              return ids[a] < ids[b];
+            });
+
+  std::deque<std::pair<std::size_t, int>> frontier;  // (index, depth)
+  frontier.emplace_back(src_idx, 0);
+  std::size_t next = 0;
+  while (next < pending.size()) {
+    if (frontier.empty()) {
+      throw std::invalid_argument(
+          "bounded-degree: aggregate fanout exhausted before every member "
+          "attached");
+    }
+    const auto [parent, d] = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t budget = fanout(parent);
+    for (std::uint32_t k = 0; k < budget && next < pending.size(); ++k) {
+      const std::size_t child = pending[next++];
+      tree.record(ids[parent], ids[child], d + 1);
+      frontier.emplace_back(child, d + 1);
+    }
+  }
+  return tree;
+}
+
+}  // namespace cam::strategy

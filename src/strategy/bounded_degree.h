@@ -1,0 +1,47 @@
+// Rival strategy: small-diameter multicast trees under per-node degree
+// bounds, after Andreica & Tapus, "Constrained Content Distribution and
+// Communication Scheduling" (arXiv:0906.0379).
+//
+// Each node x may forward to at most d_x = min(c_x, D) children, where
+// D is the uniform structure-degree bound the overlay is built with.
+// The builder greedily minimizes depth: a BFS frontier grows from the
+// source, and every frontier node adopts the highest-degree unattached
+// members first, so the widest forwarders sit nearest the root and the
+// tree stays shallow (the paper's depth-greedy heuristic).
+//
+// Like geo-coords, the *tree* respects capacities (fanout never exceeds
+// c_x) but the *overlay* is provisioned uniformly: every node maintains
+// D structure links regardless of bandwidth, and D is what the per-link
+// throughput model charges.
+#pragma once
+
+#include "strategy/strategy.h"
+
+namespace cam::strategy {
+
+/// Builds the depth-greedy bounded-degree tree from `source` over the
+/// full membership. Deterministic in (dir, source, params); throws
+/// std::invalid_argument when params.degree_bound is zero or aggregate
+/// fanout cannot cover the membership.
+MulticastTree build_bounded_degree_tree(const FrozenDirectory& dir, Id source,
+                                        const StrategyParams& params);
+
+class BoundedDegreeStrategy final : public MulticastStrategy {
+ public:
+  std::string_view name() const override { return "bounded-degree"; }
+  std::string_view display_name() const override { return "Bounded-Degree"; }
+  bool capacity_aware() const override { return true; }
+
+  MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                           const StrategyParams& params) const override {
+    return build_bounded_degree_tree(dir, source, params);
+  }
+
+  std::uint32_t provisioned_links(const FrozenDirectory&, Id,
+                                  const StrategyParams& params)
+      const override {
+    return params.degree_bound;
+  }
+};
+
+}  // namespace cam::strategy

@@ -1,0 +1,103 @@
+#include "strategy/chaos.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cam::strategy {
+
+OracleChaosReport run_oracle_chaos(const MulticastStrategy& strat,
+                                   const FrozenDirectory& dir, Id source,
+                                   const StrategyParams& params,
+                                   const OracleChaosConfig& config) {
+  const MulticastTree tree = strat.build_tree(dir, source, params);
+
+  OracleChaosReport report;
+  std::vector<Id> members;  // non-source, ascending (ids() is sorted)
+  members.reserve(dir.size());
+  for (Id id : dir.ids()) {
+    if (id != source) members.push_back(id);
+  }
+  report.members = members.size();
+  if (members.empty()) return report;
+
+  // Seeded victim selection: Fisher-Yates prefix over the member list.
+  std::vector<Id> pool = members;
+  Rng rng(config.seed);
+  report.killed = std::min<std::size_t>(
+      members.size(),
+      static_cast<std::size_t>(static_cast<double>(members.size()) *
+                               config.kill_fraction));
+  std::unordered_set<Id> dead;
+  dead.reserve(report.killed);
+  for (std::size_t k = 0; k < report.killed; ++k) {
+    const std::size_t j =
+        k + static_cast<std::size_t>(rng.next_below(pool.size() - k));
+    std::swap(pool[k], pool[j]);
+    dead.insert(pool[k]);
+  }
+  report.live = report.members - report.killed;
+  if (report.live == 0) return report;
+
+  // A survivor is delivered iff every ancestor up to the source is
+  // alive. Memoize chain liveness: 0 unknown, 1 delivered, 2 severed.
+  std::unordered_map<Id, int> state;
+  state.reserve(dir.size());
+  state[source] = 1;
+  auto chain_alive = [&](Id node) {
+    std::vector<Id> path;
+    Id cur = node;
+    int verdict = 0;
+    while (true) {
+      if (auto it = state.find(cur); it != state.end()) {
+        verdict = it->second;
+        break;
+      }
+      if (dead.contains(cur)) {
+        verdict = 2;
+        break;
+      }
+      path.push_back(cur);
+      const auto rec = tree.record_of(cur);
+      if (!rec || rec->parent == cur) {  // undelivered or orphaned
+        verdict = 2;
+        break;
+      }
+      cur = rec->parent;
+    }
+    for (Id x : path) state[x] = verdict;
+    return verdict == 1;
+  };
+  for (Id id : members) {
+    if (!dead.contains(id) && chain_alive(id)) ++report.delivered;
+  }
+  report.delivery_ratio = static_cast<double>(report.delivered) /
+                          static_cast<double>(report.live);
+
+  // Post-heal: rebuild over the survivor set and count coverage.
+  std::vector<Id> live_ids;
+  std::vector<NodeInfo> live_info;
+  live_ids.reserve(report.live + 1);
+  live_info.reserve(report.live + 1);
+  for (Id id : dir.ids()) {
+    if (id == source || !dead.contains(id)) {
+      live_ids.push_back(id);
+      live_info.push_back(dir.info(id));
+    }
+  }
+  const FrozenDirectory healed(dir.ring(), std::move(live_ids),
+                               std::move(live_info));
+  const MulticastTree rebuilt = strat.build_tree(healed, source, params);
+  for (Id id : members) {
+    if (!dead.contains(id) && rebuilt.delivered(id)) ++report.rebuilt;
+  }
+  report.rebuilt_ratio = static_cast<double>(report.rebuilt) /
+                         static_cast<double>(report.live);
+  return report;
+}
+
+}  // namespace cam::strategy

@@ -1,0 +1,38 @@
+// Oracle-mode chaos for tree-building strategies. The protocol-mode
+// chaos harness (fault::run_chaos) drives the async CAM stacks and is
+// limited to strategies with has_protocol_mode(); this harness answers
+// the same resilience question for *any* registered strategy, at the
+// oracle level: build the tree, kill a seeded fraction of non-source
+// members, and count how many survivors the frozen tree still reaches
+// (a survivor is delivered iff its whole ancestor chain survived).
+// A post-heal rebuild over the survivor set then shows recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "strategy/strategy.h"
+
+namespace cam::strategy {
+
+struct OracleChaosConfig {
+  double kill_fraction = 0.3;  // fraction of non-source members killed
+  std::uint64_t seed = 1;      // selects the victims
+};
+
+struct OracleChaosReport {
+  std::size_t members = 0;    // non-source members before the kill
+  std::size_t killed = 0;
+  std::size_t live = 0;       // surviving non-source members
+  std::size_t delivered = 0;  // survivors with a fully-live ancestor chain
+  std::size_t rebuilt = 0;    // survivors reached by the post-heal rebuild
+  double delivery_ratio = 1.0;  // delivered / live (1.0 when live == 0)
+  double rebuilt_ratio = 1.0;   // rebuilt / live
+};
+
+/// Runs one kill/rebuild round. Deterministic in every argument.
+OracleChaosReport run_oracle_chaos(const MulticastStrategy& strat,
+                                   const FrozenDirectory& dir, Id source,
+                                   const StrategyParams& params,
+                                   const OracleChaosConfig& config);
+
+}  // namespace cam::strategy

@@ -1,0 +1,138 @@
+#include "strategy/geo_coords.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace cam::strategy {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double dist2(const GeoPoint& a, const GeoPoint& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+GeoPoint virtual_coordinate(Id id, std::uint64_t salt) {
+  const std::uint64_t hx = splitmix64(id ^ salt);
+  const std::uint64_t hy = splitmix64(hx);
+  constexpr double kInv64 = 1.0 / 18446744073709551616.0;  // 2^-64
+  return {static_cast<double>(hx) * kInv64, static_cast<double>(hy) * kInv64};
+}
+
+MulticastTree build_geo_tree(const FrozenDirectory& dir, Id source,
+                             const StrategyParams& params) {
+  const std::vector<Id>& ids = dir.ids();
+  const std::size_t n = ids.size();
+  MulticastTree tree(source);
+  if (n <= 1) return tree;
+
+  std::vector<GeoPoint> pt(n);
+  std::vector<std::uint32_t> cap(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pt[i] = virtual_coordinate(ids[i], params.geo_salt);
+    cap[i] = dir.info(ids[i]).capacity;
+  }
+  const std::size_t src_idx = dir.index_of(source);
+  const GeoPoint src_pt = pt[src_idx];
+
+  // Members attach in increasing coordinate distance from the source.
+  std::vector<std::size_t> order;
+  order.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != src_idx) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double da = dist2(pt[a], src_pt);
+              const double db = dist2(pt[b], src_pt);
+              if (da != db) return da < db;
+              return ids[a] < ids[b];
+            });
+
+  // Uniform grid over the unit square (~1 node per cell) so the
+  // nearest-attached-parent query is an expanding ring scan instead of
+  // a linear pass over every attached node.
+  const std::size_t g =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(
+                                   static_cast<double>(n))));
+  const double cell_w = 1.0 / static_cast<double>(g);
+  auto cell_of = [&](double v) {
+    auto c = static_cast<std::size_t>(v * static_cast<double>(g));
+    return c >= g ? g - 1 : c;
+  };
+  std::vector<std::vector<std::size_t>> grid(g * g);
+  std::vector<std::uint32_t> children(n, 0);
+  std::vector<int> depth(n, 0);
+
+  auto insert_attached = [&](std::size_t i) {
+    grid[cell_of(pt[i].y) * g + cell_of(pt[i].x)].push_back(i);
+  };
+  insert_attached(src_idx);
+
+  // Nearest attached node with spare fanout (children < c_x), ties on
+  // (distance^2, id). Any cell in Chebyshev ring r+1 is at least
+  // r*cell_w away, so the scan stops once that bound exceeds the best
+  // distance found.
+  auto nearest_open = [&](const GeoPoint& p) -> std::size_t {
+    const std::ptrdiff_t pcx = static_cast<std::ptrdiff_t>(cell_of(p.x));
+    const std::ptrdiff_t pcy = static_cast<std::ptrdiff_t>(cell_of(p.y));
+    const std::ptrdiff_t gs = static_cast<std::ptrdiff_t>(g);
+    std::size_t best = n;
+    double best_d2 = 0;
+    for (std::ptrdiff_t r = 0; r < gs; ++r) {
+      if (best != n) {
+        const double ring_min = static_cast<double>(r - 1) * cell_w;
+        if (ring_min > 0 && ring_min * ring_min > best_d2) break;
+      }
+      for (std::ptrdiff_t cy = pcy - r; cy <= pcy + r; ++cy) {
+        if (cy < 0 || cy >= gs) continue;
+        for (std::ptrdiff_t cx = pcx - r; cx <= pcx + r; ++cx) {
+          if (cx < 0 || cx >= gs) continue;
+          const bool on_ring =
+              cy == pcy - r || cy == pcy + r || cx == pcx - r || cx == pcx + r;
+          if (!on_ring) continue;
+          for (std::size_t i : grid[static_cast<std::size_t>(cy) * g +
+                                    static_cast<std::size_t>(cx)]) {
+            if (children[i] >= cap[i]) continue;
+            const double d2 = dist2(pt[i], p);
+            if (best == n || d2 < best_d2 ||
+                (d2 == best_d2 && ids[i] < ids[best])) {
+              best = i;
+              best_d2 = d2;
+            }
+          }
+        }
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t i : order) {
+    const std::size_t parent = nearest_open(pt[i]);
+    if (parent == n) {
+      throw std::invalid_argument(
+          "geo-coords: aggregate capacity exhausted before every member "
+          "attached");
+    }
+    ++children[parent];
+    depth[i] = depth[parent] + 1;
+    tree.record(ids[parent], ids[i], depth[i]);
+    insert_attached(i);
+  }
+  return tree;
+}
+
+}  // namespace cam::strategy

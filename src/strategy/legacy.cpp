@@ -1,0 +1,137 @@
+// Adapters porting the paper's four systems onto the MulticastStrategy
+// seam. Each adapter calls the exact oracle-mode free functions the
+// pre-seam exp::run_multicast / exp::run_lookup enum switch called, with
+// identical arguments — tests/strategy_golden_test pins the output
+// byte-identical to those direct calls across seeds.
+#include <stdexcept>
+
+#include "camchord/oracle.h"
+#include "camkoorde/oracle.h"
+#include "chord/el_ansary.h"
+#include "koorde/koorde.h"
+#include "strategy/strategy.h"
+
+namespace cam::strategy {
+
+namespace {
+
+camchord::CapacityOf capacity_of(const FrozenDirectory& dir) {
+  return [&dir](Id x) { return dir.info(x).capacity; };
+}
+
+class CamChordStrategy final : public MulticastStrategy {
+ public:
+  std::string_view name() const override { return "camchord"; }
+  std::string_view display_name() const override { return "CAM-Chord"; }
+  bool capacity_aware() const override { return true; }
+  bool has_protocol_mode() const override { return true; }
+
+  MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                           const StrategyParams&) const override {
+    return camchord::multicast(dir.ring(), dir, capacity_of(dir), source);
+  }
+
+  bool supports_lookup() const override { return true; }
+  LookupResult lookup(const FrozenDirectory& dir, Id from, Id target,
+                      const StrategyParams&) const override {
+    return camchord::lookup(dir.ring(), dir, capacity_of(dir), from, target);
+  }
+
+  std::uint32_t provisioned_links(const FrozenDirectory& dir, Id x,
+                                  const StrategyParams&) const override {
+    return dir.info(x).capacity;
+  }
+};
+
+class CamKoordeStrategy final : public MulticastStrategy {
+ public:
+  std::string_view name() const override { return "camkoorde"; }
+  std::string_view display_name() const override { return "CAM-Koorde"; }
+  bool capacity_aware() const override { return true; }
+  bool has_protocol_mode() const override { return true; }
+
+  MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                           const StrategyParams&) const override {
+    return camkoorde::multicast(dir.ring(), dir, capacity_of(dir), source);
+  }
+
+  bool supports_lookup() const override { return true; }
+  LookupResult lookup(const FrozenDirectory& dir, Id from, Id target,
+                      const StrategyParams&) const override {
+    return camkoorde::lookup(dir.ring(), dir, capacity_of(dir), from, target);
+  }
+
+  std::uint32_t provisioned_links(const FrozenDirectory& dir, Id x,
+                                  const StrategyParams&) const override {
+    return dir.info(x).capacity;
+  }
+};
+
+class ChordStrategy final : public MulticastStrategy {
+ public:
+  std::string_view name() const override { return "chord"; }
+  std::string_view display_name() const override { return "Chord"; }
+  bool capacity_aware() const override { return false; }
+
+  MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                           const StrategyParams& params) const override {
+    if (params.uniform_degree < 2) {
+      throw std::invalid_argument("Chord base >= 2");
+    }
+    return chord::broadcast(dir.ring(), dir, params.uniform_degree, source);
+  }
+
+  bool supports_lookup() const override { return true; }
+  LookupResult lookup(const FrozenDirectory& dir, Id from, Id target,
+                      const StrategyParams& params) const override {
+    // Generalized Chord lookup == CAM-Chord lookup at uniform capacity.
+    const std::uint32_t base = params.uniform_degree;
+    return camchord::lookup(
+        dir.ring(), dir, [base](Id) { return base; }, from, target);
+  }
+
+  std::uint32_t provisioned_links(const FrozenDirectory&, Id,
+                                  const StrategyParams& params)
+      const override {
+    return params.uniform_degree;
+  }
+};
+
+class KoordeStrategy final : public MulticastStrategy {
+ public:
+  std::string_view name() const override { return "koorde"; }
+  std::string_view display_name() const override { return "Koorde"; }
+  bool capacity_aware() const override { return false; }
+
+  MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                           const StrategyParams& params) const override {
+    if (params.uniform_degree < koorde::kMinDegree) {
+      throw std::invalid_argument("Koorde degree >= 4");
+    }
+    return koorde::multicast(dir.ring(), dir, params.uniform_degree, source);
+  }
+
+  bool supports_lookup() const override { return true; }
+  LookupResult lookup(const FrozenDirectory& dir, Id from, Id target,
+                      const StrategyParams& params) const override {
+    return koorde::lookup(dir.ring(), dir, params.uniform_degree, from,
+                          target);
+  }
+
+  std::uint32_t provisioned_links(const FrozenDirectory&, Id,
+                                  const StrategyParams& params)
+      const override {
+    return params.uniform_degree;
+  }
+};
+
+}  // namespace
+
+void register_legacy_strategies(Registry& r) {
+  r.add(std::make_unique<CamChordStrategy>());
+  r.add(std::make_unique<CamKoordeStrategy>());
+  r.add(std::make_unique<ChordStrategy>());
+  r.add(std::make_unique<KoordeStrategy>());
+}
+
+}  // namespace cam::strategy

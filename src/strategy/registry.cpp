@@ -1,0 +1,73 @@
+#include "strategy/strategy.h"
+
+#include <stdexcept>
+
+#include "strategy/bounded_degree.h"
+#include "strategy/geo_coords.h"
+
+namespace cam::strategy {
+
+LookupResult MulticastStrategy::lookup(const FrozenDirectory&, Id, Id,
+                                       const StrategyParams&) const {
+  throw std::logic_error("strategy '" + std::string(name()) +
+                         "' does not support lookup");
+}
+
+bool Registry::add(std::unique_ptr<MulticastStrategy> s) {
+  if (s == nullptr || find(s->name()) != nullptr) return false;
+  strategies_.push_back(std::move(s));
+  return true;
+}
+
+const MulticastStrategy* Registry::find(std::string_view name) const {
+  for (const auto& s : strategies_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+const MulticastStrategy& Registry::make(std::string_view name) const {
+  const MulticastStrategy* s = find(name);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown strategy '" + std::string(name) +
+                                "' (registered: " + joined_names() + ")");
+  }
+  return *s;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(strategies_.size());
+  for (const auto& s : strategies_) out.emplace_back(s->name());
+  return out;
+}
+
+std::string Registry::display_name(std::string_view name) const {
+  return std::string(make(name).display_name());
+}
+
+std::string Registry::joined_names() const {
+  std::string out;
+  for (const auto& s : strategies_) {
+    if (!out.empty()) out += ", ";
+    out += s->name();
+  }
+  return out;
+}
+
+void register_rival_strategies(Registry& r) {
+  r.add(std::make_unique<GeoCoordsStrategy>());
+  r.add(std::make_unique<BoundedDegreeStrategy>());
+}
+
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry();
+    register_legacy_strategies(*r);
+    register_rival_strategies(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace cam::strategy

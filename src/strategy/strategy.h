@@ -1,0 +1,131 @@
+// The MulticastStrategy seam: every tree builder the repo can evaluate —
+// the paper's four systems (CAM-Chord, CAM-Koorde, and the capacity-
+// oblivious Chord/Koorde baselines) plus the modern rivals from related
+// work — behind one registry-keyed interface, so the scenario matrix
+// (capacity distributions, throughput models, chaos sweeps) runs over
+// any registered strategy without enum switches.
+//
+// A strategy is a *stateless* oracle-mode algorithm over a converged
+// FrozenDirectory: build_tree() produces one recorded multicast tree,
+// lookup() (where supported) routes one query. Protocol-mode stacks
+// (src/proto) exist only for the CAMs; has_protocol_mode() tells the
+// chaos/groups harnesses which strategies they can drive end-to-end.
+//
+// Lookup by key: strategy::registry().make("camchord"). Unknown keys
+// throw with the full registry listing in the message, so CLI errors
+// are self-documenting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "multicast/tree.h"
+#include "overlay/directory.h"
+#include "overlay/types.h"
+
+namespace cam::strategy {
+
+/// Per-run knobs, shared by all strategies. Replaces the loose
+/// `uniform_param` argument the pre-seam free functions threaded around:
+/// every parameter is a named field with a sensible default, and each
+/// strategy reads only the fields it documents.
+struct StrategyParams {
+  /// Structural parameter of the capacity-oblivious DHT baselines:
+  /// generalized Chord base (>= 2) / uniform Koorde degree (>= 4).
+  std::uint32_t uniform_degree = 8;
+
+  /// geo-coords: size of the virtual-coordinate neighbor table every
+  /// node provisions (capacity-blind — the geometric overlay maintains
+  /// the same table regardless of upload bandwidth), and the salt of
+  /// the deterministic id -> coordinate embedding.
+  std::uint32_t geo_neighbors = 8;
+  std::uint64_t geo_salt = 0x9e3779b97f4a7c15ull;
+
+  /// bounded-degree: the uniform structure-degree bound D. Tree fanout
+  /// at node x is min(c_x, D); the overlay provisions D links per node.
+  std::uint32_t degree_bound = 8;
+};
+
+/// One tree-construction algorithm over a converged membership view.
+class MulticastStrategy {
+ public:
+  virtual ~MulticastStrategy() = default;
+
+  /// Registry key ("camchord", "geo-coords", ...). Stable, lowercase.
+  virtual std::string_view name() const = 0;
+
+  /// Human label for tables and reports ("CAM-Chord", "Geo-Coords").
+  virtual std::string_view display_name() const = 0;
+
+  /// Whether tree construction reads per-node capacities c_x.
+  virtual bool capacity_aware() const = 0;
+
+  /// Whether an asynchronous protocol-mode implementation exists
+  /// (src/proto) — required by the chaos/groups/async harnesses.
+  virtual bool has_protocol_mode() const { return false; }
+
+  /// One full multicast from `source`: every member delivered, the
+  /// implicit tree recorded. Deterministic in (dir, source, params).
+  virtual MulticastTree build_tree(const FrozenDirectory& dir, Id source,
+                                   const StrategyParams& params) const = 0;
+
+  /// Whether lookup() routes queries (the pure tree builders do not).
+  virtual bool supports_lookup() const { return false; }
+
+  /// One lookup from `from` for identifier `target`. Default throws
+  /// std::logic_error for strategies without routing.
+  virtual LookupResult lookup(const FrozenDirectory& dir, Id from, Id target,
+                              const StrategyParams& params) const;
+
+  /// Forwarding links node x provisions for any-source duty — the
+  /// denominator of the paper's per-link throughput model: c_x for the
+  /// capacity-aware systems, the uniform structural parameter for the
+  /// capacity-oblivious ones.
+  virtual std::uint32_t provisioned_links(const FrozenDirectory& dir, Id x,
+                                          const StrategyParams& params)
+      const = 0;
+};
+
+/// String-keyed strategy registry. Registration happens at startup
+/// (registry() self-populates with the built-ins); lookups are
+/// read-only and safe from concurrent sweep cells.
+class Registry {
+ public:
+  /// Registers a strategy under its name(). Returns false — and takes
+  /// no ownership action beyond destroying the argument — if the key is
+  /// already taken; duplicate registration is never silent replacement.
+  bool add(std::unique_ptr<MulticastStrategy> s);
+
+  /// Key lookup; nullptr when unknown.
+  const MulticastStrategy* find(std::string_view name) const;
+
+  /// Key lookup; throws std::invalid_argument listing every registered
+  /// key when unknown.
+  const MulticastStrategy& make(std::string_view name) const;
+
+  /// Registered keys, in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+  /// Display name for a key; throws like make() when unknown. The one
+  /// accessor every table/report prints through.
+  std::string display_name(std::string_view name) const;
+
+  /// "a, b, c" — for error messages and CLI usage text.
+  std::string joined_names() const;
+
+ private:
+  std::vector<std::unique_ptr<MulticastStrategy>> strategies_;
+};
+
+/// The process-wide registry, pre-populated with the four legacy
+/// systems and the rival strategies.
+Registry& registry();
+
+/// Built-in registration hooks (called once by registry()).
+void register_legacy_strategies(Registry& r);
+void register_rival_strategies(Registry& r);
+
+}  // namespace cam::strategy

@@ -385,11 +385,11 @@ TEST(DataplaneSweep, StreamCellsDeterministicAcrossJobs) {
   traffic.source_rate_kbps = 50.0;
 
   std::vector<runtime::StreamCellSpec> cells;
-  for (exp::System sys : {exp::System::kCamChord, exp::System::kCamKoorde}) {
+  for (const char* key : {"camchord", "camkoorde"}) {
     for (double h : {1.0, 0.25}) {
       for (bool bp : {false, true}) {
         runtime::StreamCellSpec cell;
-        cell.system = sys;
+        cell.strategy = key;
         cell.prebuilt = &dir;
         cell.seed = 5;
         cell.traffic = traffic;

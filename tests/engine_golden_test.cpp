@@ -30,7 +30,6 @@ namespace cam {
 namespace {
 
 using exp::AveragedRun;
-using exp::System;
 
 std::string golden_path(const std::string& name) {
   return std::string(CAM_GOLDEN_DIR) + "/" + name;
@@ -80,11 +79,9 @@ void render_run(std::ostringstream& out, const AveragedRun& r) {
 TEST(EngineGolden, SerialMulticastSweep) {
   std::vector<runtime::CellSpec> cells;
   for (std::uint64_t seed = 1; seed <= 2; ++seed) {
-    for (System sys :
-         {System::kCamChord, System::kCamKoorde, System::kChord,
-          System::kKoorde}) {
+    for (const char* key : {"camchord", "camkoorde", "chord", "koorde"}) {
       runtime::CellSpec cell;
-      cell.system = sys;
+      cell.strategy = key;
       workload::PopulationSpec spec;
       spec.n = 300;
       spec.ring_bits = 12;
@@ -92,7 +89,7 @@ TEST(EngineGolden, SerialMulticastSweep) {
       cell.population = runtime::PopulationRecipe::uniform(spec, 4, 10);
       cell.sources = 2;
       cell.seed = seed;
-      cell.uniform_param = 8;
+      cell.params.uniform_degree = 8;
       cells.push_back(cell);
     }
   }

@@ -141,11 +141,11 @@ TEST(Figures, SmallScaleFigure8TradeoffSlopes) {
   ASSERT_FALSE(rows.empty());
   // Throughput tracks p for both CAMs, and path length grows with p
   // (compare the endpoints of each system's sweep).
-  for (System sys : {System::kCamChord, System::kCamKoorde}) {
+  for (const char* key : {"camchord", "camkoorde"}) {
     const Fig8Row* first = nullptr;
     const Fig8Row* last = nullptr;
     for (const auto& r : rows) {
-      if (r.system != sys) continue;
+      if (r.strategy != key) continue;
       if (first == nullptr) first = &r;
       last = &r;
       EXPECT_GE(r.throughput_kbps, r.per_link_kbps - 1e-9);
@@ -191,8 +191,8 @@ TEST(Figures, SmallScaleFigure6CamBeatsBaselinesAtMatchedDegree) {
     const Fig6Row& cam_koorde = rows[i + 1];
     const Fig6Row& chord = rows[i + 2];
     const Fig6Row& koorde = rows[i + 3];
-    ASSERT_EQ(cam_chord.system, System::kCamChord);
-    ASSERT_EQ(koorde.system, System::kKoorde);
+    ASSERT_EQ(cam_chord.strategy, "camchord");
+    ASSERT_EQ(koorde.strategy, "koorde");
     // The CAMs never fall below the uniform baselines at matched degree
     // (above the capacity clamp they are strictly better).
     // (2% tolerance: at the capacity clamp both sit at ~a/c_min and the

@@ -42,10 +42,9 @@ void expect_identical(const AveragedRun& a, const AveragedRun& b,
 std::vector<runtime::CellSpec> sample_grid() {
   std::vector<runtime::CellSpec> cells;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    for (System sys : {System::kCamChord, System::kCamKoorde,
-                       System::kChord}) {
+    for (const char* key : {"camchord", "camkoorde", "chord"}) {
       runtime::CellSpec cell;
-      cell.system = sys;
+      cell.strategy = key;
       workload::PopulationSpec spec;
       spec.n = 300;
       spec.ring_bits = 12;
@@ -53,7 +52,7 @@ std::vector<runtime::CellSpec> sample_grid() {
       cell.population = runtime::PopulationRecipe::uniform(spec, 4, 10);
       cell.sources = 2;
       cell.seed = seed;
-      cell.uniform_param = 8;
+      cell.params.uniform_degree = 8;
       cells.push_back(cell);
     }
   }
@@ -108,7 +107,7 @@ TEST(ParallelDeterminism, SharedFrozenDirectoryAcrossConcurrentCells) {
   std::vector<runtime::CellSpec> cells;
   for (int i = 0; i < 8; ++i) {
     runtime::CellSpec cell;
-    cell.system = i % 2 == 0 ? System::kCamChord : System::kCamKoorde;
+    cell.strategy = i % 2 == 0 ? "camchord" : "camkoorde";
     cell.prebuilt = &dir;
     cell.sources = 2;
     cell.seed = 5;

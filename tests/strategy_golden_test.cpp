@@ -1,0 +1,185 @@
+// Byte-identity goldens for the MulticastStrategy seam.
+//
+// The seam promises that porting the four paper systems from the
+// exp::System enum switch onto registry adapters changes NOTHING about
+// the trees they build. Two pins enforce that:
+//
+//  1. Entry-for-entry equality between the seam (`registry().make(key)
+//     .build_tree(...)`) and a direct call to the legacy oracle free
+//     function with the same arguments, for every node in the directory.
+//  2. A committed golden signature file capturing each tree's full
+//     delivery table (id, parent, depth, time) in sorted id order,
+//     across 4 systems x 3 seeds x 2 sources — so a later "refactor"
+//     of an adapter that perturbs any delivery shows up as a golden
+//     diff even if it perturbs both paths of pin 1 identically.
+//
+// Regenerating (only legitimate when a legacy *protocol* intentionally
+// changes):
+//   CAM_REGEN_GOLDENS=1 ./build/tests/cam_tests --gtest_filter='StrategyGolden*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "camchord/oracle.h"
+#include "camkoorde/oracle.h"
+#include "chord/el_ansary.h"
+#include "koorde/koorde.h"
+#include "strategy/strategy.h"
+#include "workload/population.h"
+
+namespace cam {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(CAM_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void expect_golden(const std::string& name, const std::string& text) {
+  const std::string path = golden_path(name);
+  if (std::getenv("CAM_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    FAIL() << "regenerated " << path << " (" << text.size() << " bytes)";
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing golden " << path;
+  EXPECT_EQ(text, want) << "seam output diverged from pinned golden "
+                        << name;
+}
+
+FrozenDirectory population(std::uint64_t seed) {
+  workload::PopulationSpec spec;
+  spec.n = 300;
+  spec.ring_bits = 12;
+  spec.seed = seed;
+  return workload::uniform_capacity_population(spec, 4, 10).freeze();
+}
+
+// FNV-1a over each node's delivery record in sorted id order; collapses
+// a full tree into one pinned line without a 300-line golden per tree.
+std::uint64_t tree_signature(const FrozenDirectory& dir,
+                             const MulticastTree& tree) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (Id id : dir.ids()) {
+    auto rec = tree.record_of(id);
+    if (!rec) continue;
+    mix(id);
+    mix(rec->parent);
+    mix(static_cast<std::uint64_t>(rec->depth));
+    mix(static_cast<std::uint64_t>(rec->time));
+  }
+  return h;
+}
+
+void render_tree(std::ostringstream& out, const char* key,
+                 std::uint64_t seed, Id source,
+                 const FrozenDirectory& dir, const MulticastTree& tree) {
+  int max_depth = 0;
+  long long depth_sum = 0;
+  for (Id id : dir.ids()) {
+    if (auto rec = tree.record_of(id)) {
+      depth_sum += rec->depth;
+      if (rec->depth > max_depth) max_depth = rec->depth;
+    }
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "strategy=%s seed=%llu source=%llu size=%zu dups=%llu "
+                "maxdepth=%d depthsum=%lld sig=%016llx\n",
+                key, static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(source), tree.size(),
+                static_cast<unsigned long long>(tree.duplicate_deliveries()),
+                max_depth, depth_sum,
+                static_cast<unsigned long long>(tree_signature(dir, tree)));
+  out << buf;
+}
+
+// Direct call to the pre-seam oracle free function — the exact call the
+// old exp::run_multicast enum switch made for this system.
+MulticastTree legacy_tree(const std::string& key,
+                          const FrozenDirectory& dir, Id source) {
+  auto cap = [&dir](Id x) { return dir.info(x).capacity; };
+  if (key == "camchord") {
+    return camchord::multicast(dir.ring(), dir, cap, source);
+  }
+  if (key == "camkoorde") {
+    return camkoorde::multicast(dir.ring(), dir, cap, source);
+  }
+  if (key == "chord") return chord::broadcast(dir.ring(), dir, 8, source);
+  return koorde::multicast(dir.ring(), dir, 8, source);
+}
+
+void expect_same_tree(const std::string& label, const FrozenDirectory& dir,
+                      const MulticastTree& got, const MulticastTree& want) {
+  ASSERT_EQ(got.source(), want.source()) << label;
+  ASSERT_EQ(got.size(), want.size()) << label;
+  ASSERT_EQ(got.duplicate_deliveries(), want.duplicate_deliveries()) << label;
+  for (Id id : dir.ids()) {
+    auto g = got.record_of(id);
+    auto w = want.record_of(id);
+    ASSERT_EQ(g.has_value(), w.has_value()) << label << " node " << id;
+    if (!g) continue;
+    EXPECT_EQ(g->parent, w->parent) << label << " node " << id;
+    EXPECT_EQ(g->depth, w->depth) << label << " node " << id;
+    EXPECT_EQ(g->time, w->time) << label << " node " << id;
+  }
+}
+
+constexpr const char* kLegacyKeys[] = {"camchord", "camkoorde", "chord",
+                                       "koorde"};
+
+TEST(StrategyGolden, AdaptersMatchLegacyFreeFunctions) {
+  strategy::StrategyParams params;
+  params.uniform_degree = 8;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const FrozenDirectory dir = population(seed);
+    const Id sources[] = {dir.ids().front(), dir.ids()[dir.size() / 2]};
+    for (const char* key : kLegacyKeys) {
+      const auto& strat = strategy::registry().make(key);
+      for (Id source : sources) {
+        MulticastTree seam = strat.build_tree(dir, source, params);
+        MulticastTree direct = legacy_tree(key, dir, source);
+        expect_same_tree(std::string(key) + "/seed" + std::to_string(seed),
+                         dir, seam, direct);
+      }
+    }
+  }
+}
+
+TEST(StrategyGolden, PinnedTreeSignatures) {
+  strategy::StrategyParams params;
+  params.uniform_degree = 8;
+  std::ostringstream out;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const FrozenDirectory dir = population(seed);
+    const Id sources[] = {dir.ids().front(), dir.ids()[dir.size() / 2]};
+    for (const char* key : kLegacyKeys) {
+      const auto& strat = strategy::registry().make(key);
+      for (Id source : sources) {
+        MulticastTree tree = strat.build_tree(dir, source, params);
+        render_tree(out, key, seed, source, dir, tree);
+      }
+    }
+  }
+  expect_golden("strategy_trees.txt", out.str());
+}
+
+}  // namespace
+}  // namespace cam

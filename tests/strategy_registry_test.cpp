@@ -1,0 +1,147 @@
+// Registry contract for the MulticastStrategy seam: lookup by key,
+// duplicate rejection, self-documenting unknown-key errors, and the
+// deprecated exp::System shim delegating to the registered strategies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "experiments/systems.h"
+#include "strategy/strategy.h"
+#include "workload/population.h"
+
+namespace cam {
+namespace {
+
+FrozenDirectory small_world(std::uint64_t seed = 3) {
+  workload::PopulationSpec spec;
+  spec.n = 120;
+  spec.ring_bits = 12;
+  spec.seed = seed;
+  return workload::uniform_capacity_population(spec, 4, 10).freeze();
+}
+
+TEST(StrategyRegistry, BuiltinsRegisteredInOrder) {
+  const auto names = strategy::registry().names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "camchord");
+  EXPECT_EQ(names[1], "camkoorde");
+  EXPECT_EQ(names[2], "chord");
+  EXPECT_EQ(names[3], "koorde");
+  EXPECT_EQ(names[4], "geo-coords");
+  EXPECT_EQ(names[5], "bounded-degree");
+}
+
+TEST(StrategyRegistry, MakeAndFindAgree) {
+  for (const std::string& name : strategy::registry().names()) {
+    const strategy::MulticastStrategy* found =
+        strategy::registry().find(name);
+    ASSERT_NE(found, nullptr) << name;
+    EXPECT_EQ(&strategy::registry().make(name), found);
+    EXPECT_EQ(found->name(), name);
+  }
+  EXPECT_EQ(strategy::registry().find("nope"), nullptr);
+}
+
+TEST(StrategyRegistry, UnknownNameListsRegistry) {
+  try {
+    strategy::registry().make("does-not-exist");
+    FAIL() << "make() should throw for unknown keys";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos);
+    EXPECT_NE(msg.find("camchord"), std::string::npos);
+    EXPECT_NE(msg.find("bounded-degree"), std::string::npos);
+  }
+}
+
+class FakeStrategy final : public strategy::MulticastStrategy {
+ public:
+  explicit FakeStrategy(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  std::string_view display_name() const override { return "Fake"; }
+  bool capacity_aware() const override { return false; }
+  MulticastTree build_tree(const FrozenDirectory&, Id source,
+                           const strategy::StrategyParams&) const override {
+    return MulticastTree(source);
+  }
+  std::uint32_t provisioned_links(
+      const FrozenDirectory&, Id,
+      const strategy::StrategyParams&) const override {
+    return 1;
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(StrategyRegistry, DuplicateRegistrationRejected) {
+  strategy::Registry r;
+  EXPECT_TRUE(r.add(std::make_unique<FakeStrategy>("fake")));
+  EXPECT_FALSE(r.add(std::make_unique<FakeStrategy>("fake")));
+  EXPECT_EQ(r.names().size(), 1u);
+  EXPECT_FALSE(r.add(nullptr));
+}
+
+TEST(StrategyRegistry, DisplayNamesServeEveryTable) {
+  const auto& reg = strategy::registry();
+  EXPECT_EQ(reg.display_name("camchord"), "CAM-Chord");
+  EXPECT_EQ(reg.display_name("camkoorde"), "CAM-Koorde");
+  EXPECT_EQ(reg.display_name("chord"), "Chord");
+  EXPECT_EQ(reg.display_name("koorde"), "Koorde");
+  EXPECT_EQ(reg.display_name("geo-coords"), "Geo-Coords");
+  EXPECT_EQ(reg.display_name("bounded-degree"), "Bounded-Degree");
+  EXPECT_EQ(reg.joined_names(),
+            "camchord, camkoorde, chord, koorde, geo-coords, "
+            "bounded-degree");
+}
+
+TEST(StrategyRegistry, LookupUnsupportedThrows) {
+  const FrozenDirectory dir = small_world();
+  for (const char* key : {"geo-coords", "bounded-degree"}) {
+    const auto& strat = strategy::registry().make(key);
+    EXPECT_FALSE(strat.supports_lookup());
+    EXPECT_THROW(strat.lookup(dir, dir.ids()[0], dir.ids()[1], {}),
+                 std::logic_error);
+  }
+  for (const char* key : {"camchord", "camkoorde", "chord", "koorde"}) {
+    EXPECT_TRUE(strategy::registry().make(key).supports_lookup()) << key;
+  }
+}
+
+TEST(StrategyRegistry, CapabilityFlags) {
+  const auto& reg = strategy::registry();
+  EXPECT_TRUE(reg.make("camchord").has_protocol_mode());
+  EXPECT_TRUE(reg.make("camkoorde").has_protocol_mode());
+  for (const char* key : {"chord", "koorde", "geo-coords",
+                          "bounded-degree"}) {
+    EXPECT_FALSE(reg.make(key).has_protocol_mode()) << key;
+  }
+  for (const char* key : {"camchord", "camkoorde", "geo-coords",
+                          "bounded-degree"}) {
+    EXPECT_TRUE(reg.make(key).capacity_aware()) << key;
+  }
+  EXPECT_FALSE(reg.make("chord").capacity_aware());
+  EXPECT_FALSE(reg.make("koorde").capacity_aware());
+}
+
+// The deprecated enum shim must route through the registry, not keep a
+// parallel implementation.
+TEST(StrategyRegistry, DeprecatedSystemShimDelegates) {
+  EXPECT_EQ(&exp::to_strategy(exp::System::kCamChord),
+            strategy::registry().find("camchord"));
+  EXPECT_EQ(&exp::to_strategy(exp::System::kKoorde),
+            strategy::registry().find("koorde"));
+  EXPECT_EQ(exp::strategy_key(exp::System::kCamKoorde), "camkoorde");
+  EXPECT_EQ(exp::system_name(exp::System::kChord), "Chord");
+
+  // The legacy degenerate-parameter throws still fire through the shim.
+  const FrozenDirectory dir = small_world();
+  EXPECT_THROW(exp::run_multicast(exp::System::kChord, dir, dir.ids()[0], 1),
+               std::invalid_argument);
+  EXPECT_THROW(exp::run_multicast(exp::System::kKoorde, dir, dir.ids()[0], 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cam

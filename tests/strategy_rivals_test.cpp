@@ -1,0 +1,201 @@
+// Behavioral contracts for the two rival tree builders behind the
+// MulticastStrategy seam: geo-coords (virtual-coordinate trees,
+// arXiv:1009.0862) and bounded-degree (small-diameter degree-bounded
+// trees, arXiv:0906.0379). Both cap fanout by node capacity — the
+// contrast with the CAMs lives in *provisioning*, which stays a
+// uniform-size table (capacity-blind), exercised by abl_strategy_rivals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "strategy/bounded_degree.h"
+#include "strategy/chaos.h"
+#include "strategy/geo_coords.h"
+#include "strategy/strategy.h"
+#include "workload/population.h"
+
+namespace cam {
+namespace {
+
+FrozenDirectory population(std::size_t n, std::uint64_t seed,
+                           std::uint32_t lo = 4, std::uint32_t hi = 10) {
+  workload::PopulationSpec spec;
+  spec.n = n;
+  spec.ring_bits = 14;
+  spec.seed = seed;
+  return workload::uniform_capacity_population(spec, lo, hi).freeze();
+}
+
+// Every member delivered exactly once, every parent delivered at one
+// depth less, and no node adopts more children than its capacity.
+void check_tree_invariants(const std::string& label,
+                           const FrozenDirectory& dir,
+                           const MulticastTree& tree,
+                           std::uint32_t hard_bound = 0) {
+  EXPECT_EQ(tree.size(), dir.size()) << label << ": incomplete coverage";
+  EXPECT_EQ(tree.duplicate_deliveries(), 0u) << label;
+  for (Id id : dir.ids()) {
+    auto rec = tree.record_of(id);
+    ASSERT_TRUE(rec.has_value()) << label << ": " << id << " unreached";
+    if (id == tree.source()) {
+      EXPECT_EQ(rec->depth, 0) << label;
+      continue;
+    }
+    EXPECT_GT(rec->depth, 0) << label << ": " << id;
+    auto parent = tree.record_of(rec->parent);
+    ASSERT_TRUE(parent.has_value()) << label << ": orphan " << id;
+    EXPECT_EQ(parent->depth, rec->depth - 1) << label << ": " << id;
+  }
+  for (const auto& [id, kids] : tree.children_counts()) {
+    std::uint32_t cap = dir.info(id).capacity;
+    if (hard_bound > 0) cap = std::min(cap, hard_bound);
+    EXPECT_LE(kids, cap) << label << ": " << id
+                         << " over fanout budget";
+  }
+}
+
+TEST(StrategyRivals, GeoCoordsBuildsValidTrees) {
+  const auto& strat = strategy::registry().make("geo-coords");
+  for (std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    const FrozenDirectory dir = population(400, seed);
+    const Id source = dir.ids()[seed % dir.size()];
+    MulticastTree tree = strat.build_tree(dir, source, {});
+    check_tree_invariants("geo seed " + std::to_string(seed), dir, tree);
+  }
+}
+
+TEST(StrategyRivals, BoundedDegreeBuildsValidTrees) {
+  const auto& strat = strategy::registry().make("bounded-degree");
+  strategy::StrategyParams params;
+  for (std::uint32_t bound : {2u, 4u, 8u}) {
+    params.degree_bound = bound;
+    const FrozenDirectory dir = population(400, 11);
+    const Id source = dir.ids().front();
+    MulticastTree tree = strat.build_tree(dir, source, params);
+    check_tree_invariants("bound " + std::to_string(bound), dir, tree,
+                          bound);
+  }
+}
+
+TEST(StrategyRivals, BuildsAreDeterministic) {
+  const FrozenDirectory dir = population(350, 21);
+  const Id source = dir.ids()[17];
+  for (const char* key : {"geo-coords", "bounded-degree"}) {
+    const auto& strat = strategy::registry().make(key);
+    MulticastTree a = strat.build_tree(dir, source, {});
+    MulticastTree b = strat.build_tree(dir, source, {});
+    ASSERT_EQ(a.size(), b.size()) << key;
+    for (Id id : dir.ids()) {
+      auto ra = a.record_of(id);
+      auto rb = b.record_of(id);
+      ASSERT_TRUE(ra && rb) << key;
+      EXPECT_EQ(ra->parent, rb->parent) << key << ": " << id;
+      EXPECT_EQ(ra->depth, rb->depth) << key << ": " << id;
+    }
+  }
+}
+
+TEST(StrategyRivals, GeoSaltReshapesTheTree) {
+  const FrozenDirectory dir = population(400, 31);
+  const Id source = dir.ids().front();
+  const auto& strat = strategy::registry().make("geo-coords");
+  strategy::StrategyParams alt;
+  alt.geo_salt = 0xDEADBEEFull;
+  MulticastTree base = strat.build_tree(dir, source, {});
+  MulticastTree salted = strat.build_tree(dir, source, alt);
+  std::size_t moved = 0;
+  for (Id id : dir.ids()) {
+    if (base.record_of(id)->parent != salted.record_of(id)->parent) ++moved;
+  }
+  EXPECT_GT(moved, dir.size() / 4)
+      << "salt should relocate coordinates, not nudge a node or two";
+}
+
+TEST(StrategyRivals, DegenerateParamsThrow) {
+  const FrozenDirectory dir = population(50, 41);
+  strategy::StrategyParams params;
+  params.degree_bound = 0;
+  EXPECT_THROW(strategy::registry().make("bounded-degree")
+                   .build_tree(dir, dir.ids().front(), params),
+               std::invalid_argument);
+  EXPECT_THROW(strategy::build_bounded_degree_tree(dir, dir.ids().front(),
+                                                   params),
+               std::invalid_argument);
+}
+
+TEST(StrategyRivals, CapacityOneDegeneratesToChain) {
+  // With c_x = 1 everywhere both rivals must still cover the group —
+  // the only legal tree shape is a chain of depth n-1.
+  const FrozenDirectory dir = population(40, 51, 1, 1);
+  for (const char* key : {"geo-coords", "bounded-degree"}) {
+    const auto& strat = strategy::registry().make(key);
+    MulticastTree tree = strat.build_tree(dir, dir.ids().front(), {});
+    check_tree_invariants(key, dir, tree, 1);
+    int max_depth = 0;
+    for (Id id : dir.ids()) {
+      max_depth = std::max(max_depth, tree.record_of(id)->depth);
+    }
+    EXPECT_EQ(max_depth, static_cast<int>(dir.size()) - 1) << key;
+  }
+}
+
+TEST(StrategyRivals, OracleChaosRecoversForAllStrategies) {
+  const FrozenDirectory dir = population(300, 61);
+  const Id source = dir.ids().front();
+  strategy::OracleChaosConfig cfg;
+  cfg.kill_fraction = 0.3;
+  cfg.seed = 9;
+  for (const std::string& key : strategy::registry().names()) {
+    const auto& strat = strategy::registry().make(key);
+    strategy::OracleChaosReport rep =
+        strategy::run_oracle_chaos(strat, dir, source, {}, cfg);
+    EXPECT_EQ(rep.members, dir.size() - 1) << key;  // source is exempt
+    EXPECT_EQ(rep.killed, (dir.size() - 1) * 3 / 10) << key;
+    EXPECT_EQ(rep.live, rep.members - rep.killed) << key;
+    EXPECT_GE(rep.delivery_ratio, 0.0) << key;
+    EXPECT_LE(rep.delivery_ratio, 1.0) << key;
+    EXPECT_LT(rep.delivery_ratio, 1.0)
+        << key << ": killing 30% must sever someone";
+    // Oracle rebuild over the survivor directory always recovers fully.
+    EXPECT_EQ(rep.rebuilt, rep.live) << key;
+    EXPECT_DOUBLE_EQ(rep.rebuilt_ratio, 1.0) << key;
+  }
+}
+
+TEST(StrategyRivals, OracleChaosTotalLossGracefully) {
+  // kill_fraction = 1.0 removes every non-source member; the report
+  // must degrade to zeros rather than divide by the empty survivor set.
+  const FrozenDirectory dir = population(50, 71);
+  strategy::OracleChaosConfig cfg;
+  cfg.kill_fraction = 1.0;
+  cfg.seed = 3;
+  const auto& strat = strategy::registry().make("geo-coords");
+  strategy::OracleChaosReport rep =
+      strategy::run_oracle_chaos(strat, dir, dir.ids().front(), {}, cfg);
+  EXPECT_EQ(rep.live, 0u);
+  EXPECT_EQ(rep.delivered, 0u);
+  EXPECT_EQ(rep.rebuilt, 0u);
+}
+
+TEST(StrategyRivals, ProvisionedLinksAreCapacityBlind) {
+  // The seam's provisioning contrast: CAMs provision c_x links; rivals
+  // provision a uniform-size table regardless of capacity.
+  const FrozenDirectory dir = population(100, 81, 4, 40);
+  strategy::StrategyParams params;
+  params.geo_neighbors = 6;
+  params.degree_bound = 5;
+  const auto& geo = strategy::registry().make("geo-coords");
+  const auto& bd = strategy::registry().make("bounded-degree");
+  const auto& cam = strategy::registry().make("camchord");
+  for (Id id : dir.ids()) {
+    EXPECT_EQ(geo.provisioned_links(dir, id, params), 6u);
+    EXPECT_EQ(bd.provisioned_links(dir, id, params), 5u);
+    EXPECT_EQ(cam.provisioned_links(dir, id, params),
+              dir.info(id).capacity);
+  }
+}
+
+}  // namespace
+}  // namespace cam

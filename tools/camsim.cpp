@@ -12,19 +12,22 @@
 //   --out=FILE     redirect stdout to FILE
 //
 // Subcommands:
-//   camsim multicast  --system=camchord|camkoorde|chord|koorde
-//                     [--n=N] [--bits=B] [--cap=LO:HI | --p=KBPS]
-//                     [--param=C] [--sources=K] [--seed=S] [--histogram]
-//                     [--seeds=A..B] [--jobs=N]
+//   camsim multicast  --strategy=KEY[,KEY...] (see `camsim multicast
+//                     --strategy=?` for the registry; --system is a
+//                     deprecated alias) [--n=N] [--bits=B]
+//                     [--cap=LO:HI | --p=KBPS] [--param=C] [--sources=K]
+//                     [--seed=S] [--histogram] [--seeds=A..B] [--jobs=N]
 //       Runs K multicasts over a converged overlay and prints tree
 //       metrics (throughput, path lengths, children, optional
 //       histogram). With --seeds, runs one independent world per seed
 //       (population + sources reseeded) in parallel and prints a
-//       per-seed table plus the mean row.
+//       per-seed table plus the mean row. A comma list runs every
+//       named strategy over the same worlds — the head-to-head grid.
 //
-//   camsim lookup     --system=... [--n=N] [--bits=B] [--cap=LO:HI]
-//                     [--queries=Q] [--seed=S] [--param=C]
-//       Runs Q random lookups and prints hop statistics.
+//   camsim lookup     --strategy=KEY[,KEY...] [--n=N] [--bits=B]
+//                     [--cap=LO:HI] [--queries=Q] [--seed=S] [--param=C]
+//       Runs Q random lookups per routing-capable strategy and prints
+//       hop statistics, one row per strategy.
 //
 //   camsim churn      [--n=N] [--fail=FRAC] [--seed=S]
 //       Protocol-mode churn scenario: delivery before/after repair.
@@ -32,7 +35,7 @@
 //   camsim stream     [--n=N] [--p=KBPS] [--packets=K] [--seed=S]
 //       Packet-level streaming over a CAM-Chord tree.
 //
-//   camsim async      --system=camchord|camkoorde [--n=N] [--bits=B]
+//   camsim async      --strategy=camchord|camkoorde [--n=N] [--bits=B]
 //                     [--cap=LO:HI] [--loss=P] [--retries=K] [--seed=S]
 //                     [--trace=FILE] [--timeline=FILE] [--metrics=FILE]
 //                     [--metrics-csv=FILE] [--trace-all]
@@ -42,7 +45,7 @@
 //       telemetry summary, and dumps the JSON Lines trace / timeline /
 //       metrics snapshot to the given files.
 //
-//   camsim chaos      --system=camchord|camkoorde [--n=N] [--bits=B]
+//   camsim chaos      --strategy=KEY[,KEY...] [--n=N] [--bits=B]
 //                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
 //                     [--plan-text=DSL] [--settle=MS] [--no-quiesce]
 //                     [--repair|--no-repair] [--seeds=A..B] [--jobs=N]
@@ -65,7 +68,7 @@
 //       one compact line is printed per seed plus a sweep summary; the
 //       exit code is nonzero if ANY seed violated an invariant.
 //
-//   camsim groups     --system=camchord|camkoorde [--n=N] [--bits=B]
+//   camsim groups     --strategy=camchord|camkoorde [--n=N] [--bits=B]
 //                     [--cap=LO:HI] [--seed=S] [--plan=FILE]
 //                     [--plan-text=DSL] [--ngroups=G] [--group-max=M]
 //                     [--mode=shared|ledger] [--packets=K]
@@ -117,6 +120,8 @@
 #include "proto/async_camkoorde.h"
 #include "runtime/cells.h"
 #include "runtime/flags.h"
+#include "strategy/chaos.h"
+#include "strategy/strategy.h"
 #include "stream/streaming.h"
 #include "telemetry/export.h"
 #include "util/rng.h"
@@ -130,7 +135,7 @@ using namespace cam::exp;
 
 struct Args {
   std::string command;
-  std::string system = "camchord";
+  std::string strategy = "camchord";  // registry key, or comma list
   std::size_t n = 10'000;
   int bits = 19;
   std::uint32_t cap_lo = 4, cap_hi = 10;
@@ -179,7 +184,19 @@ struct Args {
 /// true by construction and makes usage() self-maintaining.
 runtime::FlagSet make_flags(Args& a) {
   runtime::FlagSet f;
-  f.add("system", "camchord|camkoorde|chord|koorde", &a.system);
+  f.add("strategy",
+        "tree strategy key (comma list for head-to-head): " +
+            strategy::registry().joined_names(),
+        &a.strategy);
+  f.add_parsed("system", "deprecated alias for --strategy",
+               [&a](const std::string& v, std::string*) {
+                 std::fprintf(stderr,
+                              "camsim: --system is deprecated, use "
+                              "--strategy=%s\n",
+                              v.c_str());
+                 a.strategy = v;
+                 return true;
+               });
   f.add("n", "group size", &a.n);
   f.add("bits", "ring identifier bits", &a.bits);
   f.add_parsed("cap", "capacity range LO:HI (uniform population)",
@@ -266,12 +283,36 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
-System system_of(const Args& a) {
-  if (a.system == "camchord") return System::kCamChord;
-  if (a.system == "camkoorde") return System::kCamKoorde;
-  if (a.system == "chord") return System::kChord;
-  if (a.system == "koorde") return System::kKoorde;
-  usage("unknown system '" + a.system + "'");
+/// Splits --strategy's comma list and validates every key against the
+/// registry; unknown names list the registered keys in the error.
+std::vector<std::string> strategies_of(const Args& a) {
+  std::vector<std::string> keys;
+  std::size_t pos = 0;
+  while (pos <= a.strategy.size()) {
+    std::size_t comma = a.strategy.find(',', pos);
+    if (comma == std::string::npos) comma = a.strategy.size();
+    std::string key = a.strategy.substr(pos, comma - pos);
+    if (!key.empty()) keys.push_back(std::move(key));
+    pos = comma + 1;
+  }
+  if (keys.empty()) usage("--strategy needs at least one name");
+  for (const std::string& key : keys) {
+    if (strategy::registry().find(key) == nullptr) {
+      usage("unknown strategy '" + key + "' (registered: " +
+            strategy::registry().joined_names() + ")");
+    }
+  }
+  return keys;
+}
+
+/// Structural knobs shared by every subcommand: --param feeds the
+/// Chord base / Koorde degree and the rivals' uniform provisioning.
+strategy::StrategyParams params_of(const Args& a) {
+  strategy::StrategyParams p;
+  p.uniform_degree = a.param;
+  p.geo_neighbors = a.param;
+  p.degree_bound = a.param;
+  return p;
 }
 
 /// The population recipe one cell materializes: seeded per cell so a
@@ -288,57 +329,70 @@ runtime::PopulationRecipe recipe(const Args& a, std::uint64_t seed) {
 }
 
 int cmd_multicast(const Args& a) {
-  System sys = system_of(a);
-  if (a.sweep) {
-    // One cell per seed, executed on the sweep pool. The per-seed rows
-    // and the mean are identical for any --jobs value.
+  const std::vector<std::string> keys = strategies_of(a);
+  const strategy::StrategyParams params = params_of(a);
+  if (a.sweep || keys.size() > 1) {
+    // One cell per (strategy, seed), executed on the sweep pool. With a
+    // comma list this is the head-to-head grid: same populations, same
+    // source draws, one row per cell plus a mean row per strategy. The
+    // rows and the means are identical for any --jobs value.
     std::vector<runtime::CellSpec> cells;
-    for (std::uint64_t s = a.seeds.lo; s <= a.seeds.hi; ++s) {
-      runtime::CellSpec cell;
-      cell.system = sys;
-      cell.population = recipe(a, s);
-      cell.sources = a.sources;
-      cell.seed = s;
-      cell.uniform_param = a.param;
-      cells.push_back(cell);
+    const std::uint64_t seed_lo = a.sweep ? a.seeds.lo : a.seed;
+    const std::uint64_t seed_hi = a.sweep ? a.seeds.hi : a.seed;
+    for (const std::string& key : keys) {
+      for (std::uint64_t s = seed_lo; s <= seed_hi; ++s) {
+        runtime::CellSpec cell;
+        cell.strategy = key;
+        cell.population = recipe(a, s);
+        cell.sources = a.sources;
+        cell.seed = s;
+        cell.params = params;
+        cells.push_back(cell);
+      }
     }
     std::vector<AveragedRun> runs =
         runtime::run_cells(cells, {.jobs = a.jobs});
 
-    std::printf("system            %s\n", system_name(sys).c_str());
+    std::printf("strategies        %s\n", a.strategy.c_str());
     std::printf("seeds             %llu..%llu (%zu cells, %zu trees each)\n",
-                static_cast<unsigned long long>(a.seeds.lo),
-                static_cast<unsigned long long>(a.seeds.hi), runs.size(),
+                static_cast<unsigned long long>(seed_lo),
+                static_cast<unsigned long long>(seed_hi), runs.size(),
                 a.sources);
-    Table table({"seed", "reached", "children", "degree", "kbps",
+    Table table({"strategy", "seed", "reached", "children", "degree", "kbps",
                  "provisioned", "path", "maxdepth"});
-    double children = 0, degree = 0, kbps = 0, prov = 0, path = 0, depth = 0;
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const AveragedRun& r = runs[i];
-      table.add_row({std::to_string(cells[i].seed),
-                     std::to_string(r.reached) + "/" +
-                         std::to_string(r.expected),
-                     fmt(r.avg_children), fmt(r.avg_degree),
-                     fmt(r.throughput_kbps, 1), fmt(r.provisioned_kbps, 1),
-                     fmt(r.avg_path), fmt(r.max_depth, 1)});
-      children += r.avg_children;
-      degree += r.avg_degree;
-      kbps += r.throughput_kbps;
-      prov += r.provisioned_kbps;
-      path += r.avg_path;
-      depth += r.max_depth;
+    const std::size_t per = seed_hi - seed_lo + 1;
+    for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+      double children = 0, degree = 0, kbps = 0, prov = 0, path = 0,
+             depth = 0;
+      for (std::size_t i = ki * per; i < (ki + 1) * per; ++i) {
+        const AveragedRun& r = runs[i];
+        table.add_row({keys[ki], std::to_string(cells[i].seed),
+                       std::to_string(r.reached) + "/" +
+                           std::to_string(r.expected),
+                       fmt(r.avg_children), fmt(r.avg_degree),
+                       fmt(r.throughput_kbps, 1), fmt(r.provisioned_kbps, 1),
+                       fmt(r.avg_path), fmt(r.max_depth, 1)});
+        children += r.avg_children;
+        degree += r.avg_degree;
+        kbps += r.throughput_kbps;
+        prov += r.provisioned_kbps;
+        path += r.avg_path;
+        depth += r.max_depth;
+      }
+      auto k = static_cast<double>(per);
+      table.add_row({keys[ki], "mean", "-", fmt(children / k),
+                     fmt(degree / k), fmt(kbps / k, 1), fmt(prov / k, 1),
+                     fmt(path / k), fmt(depth / k, 1)});
     }
-    auto k = static_cast<double>(runs.size());
-    table.add_row({"mean", "-", fmt(children / k), fmt(degree / k),
-                   fmt(kbps / k, 1), fmt(prov / k, 1), fmt(path / k),
-                   fmt(depth / k, 1)});
     table.print(std::cout);
     return 0;
   }
 
+  const auto& strat = strategy::registry().make(keys.front());
   FrozenDirectory dir = recipe(a, a.seed).build();
-  AveragedRun r = run_sources(sys, dir, a.sources, a.seed, a.param);
-  std::printf("system            %s\n", system_name(sys).c_str());
+  AveragedRun r = run_sources(strat, dir, a.sources, a.seed, params);
+  std::printf("strategy          %s\n",
+              std::string(strat.display_name()).c_str());
   std::printf("members           %zu (reached %zu)\n", r.expected, r.reached);
   std::printf("avg children      %.2f (provisioned degree %.2f)\n",
               r.avg_children, r.avg_degree);
@@ -357,26 +411,40 @@ int cmd_multicast(const Args& a) {
 }
 
 int cmd_lookup(const Args& a) {
+  const std::vector<std::string> keys = strategies_of(a);
+  const strategy::StrategyParams params = params_of(a);
   FrozenDirectory dir = recipe(a, a.seed).build();
-  System sys = system_of(a);
-  Rng rng(a.seed ^ 0x1001);
-  double total = 0;
-  std::size_t max_hops = 0, failed = 0;
-  for (std::size_t q = 0; q < a.queries; ++q) {
-    Id from = dir.ids()[rng.next_below(dir.size())];
-    Id k = rng.next_below(dir.ring().size());
-    LookupResult r = run_lookup(sys, dir, from, k, a.param);
-    if (!r.ok) {
-      ++failed;
+  Table table({"strategy", "queries", "failed", "mean_hops", "max_hops"});
+  for (const std::string& key : keys) {
+    const auto& strat = strategy::registry().make(key);
+    if (!strat.supports_lookup()) {
+      std::fprintf(stderr,
+                   "camsim: strategy '%s' does not support lookup "
+                   "(pure tree builder)\n",
+                   key.c_str());
+      if (keys.size() == 1) return 2;
       continue;
     }
-    total += static_cast<double>(r.hops());
-    max_hops = std::max(max_hops, r.hops());
+    Rng rng(a.seed ^ 0x1001);
+    double total = 0;
+    std::size_t max_hops = 0, failed = 0;
+    for (std::size_t q = 0; q < a.queries; ++q) {
+      Id from = dir.ids()[rng.next_below(dir.size())];
+      Id k = rng.next_below(dir.ring().size());
+      LookupResult r = strat.lookup(dir, from, k, params);
+      if (!r.ok) {
+        ++failed;
+        continue;
+      }
+      total += static_cast<double>(r.hops());
+      max_hops = std::max(max_hops, r.hops());
+    }
+    table.add_row(
+        {key, std::to_string(a.queries), std::to_string(failed),
+         fmt(total / static_cast<double>(a.queries - failed), 2),
+         std::to_string(max_hops)});
   }
-  std::printf("system    %s\n", system_name(sys).c_str());
-  std::printf("queries   %zu (%zu failed)\n", a.queries, failed);
-  std::printf("hops      %.2f mean, %zu max\n",
-              total / static_cast<double>(a.queries - failed), max_hops);
+  table.print(std::cout);
   return 0;
 }
 
@@ -451,12 +519,13 @@ int cmd_async(const Args& a) {
                                             : telemetry::kMilestoneEvents);
 
   std::unique_ptr<proto::AsyncOverlayNet> overlay;
-  if (a.system == "camchord") {
+  if (a.strategy == "camchord") {
     overlay = std::make_unique<proto::AsyncCamChordNet>(ring, bus, cfg);
-  } else if (a.system == "camkoorde") {
+  } else if (a.strategy == "camkoorde") {
     overlay = std::make_unique<proto::AsyncCamKoordeNet>(ring, bus, cfg);
   } else {
-    usage("async needs --system=camchord|camkoorde");
+    usage("async needs --strategy=camchord|camkoorde (protocol-mode "
+          "stacks exist only for the CAMs)");
   }
 
   overlay->set_telemetry({&reg, nullptr});
@@ -573,8 +642,49 @@ int cmd_chaos(const Args& a) {
     plan = std::move(*parsed);
   }
 
+  const std::vector<std::string> keys = strategies_of(a);
+  bool all_protocol = true;
+  for (const std::string& key : keys) {
+    if (!strategy::registry().make(key).has_protocol_mode()) {
+      all_protocol = false;
+    }
+  }
+  // Strategies without an async protocol stack (and comma-list
+  // head-to-heads) run the oracle chaos harness instead: build the
+  // tree, kill --fail of the non-source members, count survivors the
+  // frozen tree still reaches, then rebuild over the healed membership.
+  if (!all_protocol || keys.size() > 1) {
+    const strategy::StrategyParams params = params_of(a);
+    const std::uint64_t seed_lo = a.sweep ? a.seeds.lo : a.seed;
+    const std::uint64_t seed_hi = a.sweep ? a.seeds.hi : a.seed;
+    std::printf("oracle chaos strategies=%s fail=%.2f seeds=%llu..%llu\n",
+                a.strategy.c_str(), a.fail,
+                static_cast<unsigned long long>(seed_lo),
+                static_cast<unsigned long long>(seed_hi));
+    Table t({"strategy", "seed", "members", "killed", "delivered",
+             "delivery", "rebuilt"});
+    for (const std::string& key : keys) {
+      const auto& strat = strategy::registry().make(key);
+      for (std::uint64_t s = seed_lo; s <= seed_hi; ++s) {
+        FrozenDirectory dir = recipe(a, s).build();
+        Rng rng(s);
+        const Id source = dir.ids()[rng.next_below(dir.size())];
+        strategy::OracleChaosConfig ccfg;
+        ccfg.kill_fraction = a.fail;
+        ccfg.seed = s ^ 0xC4A05;
+        const strategy::OracleChaosReport r =
+            strategy::run_oracle_chaos(strat, dir, source, params, ccfg);
+        t.add_row({key, std::to_string(s), std::to_string(r.members),
+                   std::to_string(r.killed), std::to_string(r.delivered),
+                   fmt(r.delivery_ratio, 3), fmt(r.rebuilt_ratio, 3)});
+      }
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
   fault::ChaosConfig cfg;
-  cfg.system = a.system;
+  cfg.system = keys.front();
   cfg.n = a.n;
   cfg.bits = a.bits;
   cfg.seed = a.seed;
@@ -583,9 +693,6 @@ int cmd_chaos(const Args& a) {
   cfg.quiesce_budget_ms = a.settle_ms;
   cfg.force_quiescence = !a.no_quiesce;
   cfg.async.repair = a.repair;
-  if (cfg.system != "camchord" && cfg.system != "camkoorde") {
-    usage("chaos needs --system=camchord|camkoorde");
-  }
 
   if (!a.sweep) {
     fault::ChaosReport report = fault::run_chaos(cfg, plan);
@@ -652,8 +759,9 @@ int cmd_chaos(const Args& a) {
 // Many-group session layer runs; see src/session and
 // src/workload/session_workload.h.
 int cmd_groups(const Args& a) {
-  if (a.system != "camchord" && a.system != "camkoorde") {
-    usage("groups needs --system=camchord|camkoorde");
+  if (a.strategy != "camchord" && a.strategy != "camkoorde") {
+    usage("groups needs --strategy=camchord|camkoorde (session placement "
+          "routes lookups over the member overlay)");
   }
 
   workload::WorkloadPlan plan;
@@ -694,7 +802,7 @@ int cmd_groups(const Args& a) {
 
   if (a.session_chaos) {
     fault::SessionChaosConfig cfg;
-    cfg.system = a.system;
+    cfg.system = a.strategy;
     cfg.n = a.n;
     cfg.bits = a.bits;
     cfg.seed = a.seed;
@@ -761,7 +869,7 @@ int cmd_groups(const Args& a) {
 
   auto cell_for = [&](std::uint64_t seed) {
     runtime::SessionCellSpec cell;
-    cell.system = system_of(a);
+    cell.strategy = a.strategy;
     cell.population = recipe(a, seed);
     cell.seed = seed;
     cell.plan = plan;
@@ -774,7 +882,7 @@ int cmd_groups(const Args& a) {
   if (!a.sweep) {
     const runtime::SessionCellResult r = run_session_cell(cell_for(a.seed));
     std::printf("groups system=%s n=%zu bits=%d seed=%llu mode=%s\n",
-                a.system.c_str(), a.n, a.bits,
+                a.strategy.c_str(), a.n, a.bits,
                 static_cast<unsigned long long>(a.seed), a.mode.c_str());
     std::printf("plan:\n%s", plan.to_string().c_str());
     std::printf(
@@ -828,7 +936,7 @@ int cmd_groups(const Args& a) {
   const std::vector<runtime::SessionCellResult> results =
       runtime::run_cells(cells, {a.jobs});
   std::printf("groups sweep system=%s n=%zu mode=%s seeds=%llu..%llu\n",
-              a.system.c_str(), a.n, a.mode.c_str(),
+              a.strategy.c_str(), a.n, a.mode.c_str(),
               static_cast<unsigned long long>(a.seeds.lo),
               static_cast<unsigned long long>(a.seeds.hi));
   std::size_t bad = 0;
