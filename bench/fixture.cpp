@@ -13,7 +13,12 @@ namespace cam::benchfix {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x43414d464958'01ULL;  // "CAMFIX" + v1
+// "CAMFIX" + v2. v2 stores the population as three contiguous arrays
+// (ids, capacities, bandwidths) read/written with one fread/fwrite
+// each — the per-record loop of v1 dominated load time once the
+// engine_scale bench pushed fixtures to 200k..1M nodes. v1 files fail
+// the magic check and fall back to a rebuild, which rewrites them as v2.
+constexpr std::uint64_t kMagic = 0x43414d464958'02ULL;
 
 struct CacheKey {
   workload::PopulationSpec spec;
@@ -58,9 +63,9 @@ std::filesystem::path cache_path(const CacheKey& key) {
   return cache_dir() / name;
 }
 
-// On-disk layout: magic, ring_bits, count, then count records of
-// (id, capacity, bandwidth_kbps). Any read failure or shape mismatch
-// falls back to a rebuild.
+// On-disk layout (v2): magic, ring_bits, count, then three bulk
+// arrays — count ids, count u32 capacities, count f64 bandwidths.
+// Any read failure or shape mismatch falls back to a rebuild.
 bool load_cached(const CacheKey& key, std::vector<Id>* ids,
                  std::vector<NodeInfo>* infos) {
   std::FILE* f = std::fopen(cache_path(key).c_str(), "rb");
@@ -72,19 +77,18 @@ bool load_cached(const CacheKey& key, std::vector<Id>* ids,
       std::fread(&bits, sizeof bits, 1, f) == 1 &&
       bits == static_cast<std::uint32_t>(key.spec.ring_bits) &&
       std::fread(&count, sizeof count, 1, f) == 1 &&
-      count == key.spec.n) {
+      count == key.spec.n && count > 0) {
     ids->resize(count);
-    infos->resize(count);
-    ok = true;
-    for (std::uint64_t i = 0; i < count && ok; ++i) {
-      NodeInfo info;
-      Id id = 0;
-      ok = std::fread(&id, sizeof id, 1, f) == 1 &&
-           std::fread(&info.capacity, sizeof info.capacity, 1, f) == 1 &&
-           std::fread(&info.bandwidth_kbps, sizeof info.bandwidth_kbps, 1,
-                      f) == 1;
-      (*ids)[i] = id;
-      (*infos)[i] = info;
+    std::vector<std::uint32_t> caps(count);
+    std::vector<double> bws(count);
+    ok = std::fread(ids->data(), sizeof(Id), count, f) == count &&
+         std::fread(caps.data(), sizeof(std::uint32_t), count, f) == count &&
+         std::fread(bws.data(), sizeof(double), count, f) == count;
+    if (ok) {
+      infos->resize(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        (*infos)[i] = NodeInfo{caps[i], bws[i]};
+      }
     }
   }
   std::fclose(f);
@@ -104,17 +108,19 @@ void store_cached(const CacheKey& key, const FrozenDirectory& dir) {
   if (f == nullptr) return;
   const std::uint64_t count = dir.size();
   const auto bits = static_cast<std::uint32_t>(key.spec.ring_bits);
+  std::vector<std::uint32_t> caps(count);
+  std::vector<double> bws(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    caps[i] = dir.info_at(i).capacity;
+    bws[i] = dir.info_at(i).bandwidth_kbps;
+  }
   bool ok = std::fwrite(&kMagic, sizeof kMagic, 1, f) == 1 &&
             std::fwrite(&bits, sizeof bits, 1, f) == 1 &&
-            std::fwrite(&count, sizeof count, 1, f) == 1;
-  for (std::uint64_t i = 0; i < count && ok; ++i) {
-    Id id = dir.ids()[i];
-    const NodeInfo& info = dir.info_at(i);
-    ok = std::fwrite(&id, sizeof id, 1, f) == 1 &&
-         std::fwrite(&info.capacity, sizeof info.capacity, 1, f) == 1 &&
-         std::fwrite(&info.bandwidth_kbps, sizeof info.bandwidth_kbps, 1,
-                     f) == 1;
-  }
+            std::fwrite(&count, sizeof count, 1, f) == 1 &&
+            std::fwrite(dir.ids().data(), sizeof(Id), count, f) == count &&
+            std::fwrite(caps.data(), sizeof(std::uint32_t), count, f) ==
+                count &&
+            std::fwrite(bws.data(), sizeof(double), count, f) == count;
   ok = std::fclose(f) == 0 && ok;
   if (ok) {
     std::filesystem::rename(tmp_path, final_path, ec);
@@ -170,5 +176,20 @@ const FrozenDirectory& paper_directory_20k() {
   spec.seed = 5;
   return shared_directory(spec, 4, 10);
 }
+
+const FrozenDirectory& paper_directory(std::size_t n) {
+  if (n == 20000) return paper_directory_20k();  // keep the v1-era key
+  workload::PopulationSpec spec;
+  spec.n = n;
+  // Keep the ring at least 32x the population so random ids rarely
+  // collide; 19 bits matches the paper setup for every n <= 16k..20k.
+  int bits = 19;
+  while ((1ULL << bits) < 32ULL * n) ++bits;
+  spec.ring_bits = bits;
+  spec.seed = 5;
+  return shared_directory(spec, 4, 10);
+}
+
+const FrozenDirectory& paper_directory_200k() { return paper_directory(200'000); }
 
 }  // namespace cam::benchfix

@@ -34,4 +34,12 @@ const FrozenDirectory& shared_constant_directory(
 /// n = 20'000, 19 ring bits, capacities U[4..10], seed 5.
 const FrozenDirectory& paper_directory_20k();
 
+/// The same population family at arbitrary scale (engine_scale sweeps
+/// 20k / 200k / 1M). Ring bits grow with n to keep the id space at
+/// least 32x the population; capacities stay U[4..10], seed 5.
+const FrozenDirectory& paper_directory(std::size_t n);
+
+/// Shorthand for paper_directory(200'000).
+const FrozenDirectory& paper_directory_200k();
+
 }  // namespace cam::benchfix

@@ -15,7 +15,16 @@ echo "== tier-1: ASan+UBSan build, telemetry + protocol + dataplane + session te
 cmake -B build-asan -S . -DCAM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target cam_tests dataplane_alloc_probe
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue|Session|Zipf|FlashWave|WorkloadPlan|GenerateEvents|CapacityLedger|GroupTree|Piggyback|Strategy'
+  -R 'Telemetry|Async|HostBus|Proto|Fault|Chaos|EngineGolden|Dataplane|PacketPool|BinQueue|Session|Zipf|FlashWave|WorkloadPlan|GenerateEvents|CapacityLedger|GroupTree|Piggyback|Strategy|Shard'
+
+echo
+echo "== tier-1: ASan+UBSan 2-shard serial-equivalence smoke =="
+# The sharded engine's determinism contract under ASan: the ShardedAsync
+# suite above already replays serial == 1-shard == 2-shard == 4-shard on
+# the full async stack; this re-runs the chord equivalence case alone so
+# a contract break fails fast with its own banner.
+ctest --test-dir build-asan --output-on-failure \
+  -R 'ShardedAsync.CamChordSerialEquivalenceAcrossShardCounts'
 
 echo
 echo "== tier-1: ASan+UBSan chaos smoke (camsim chaos) =="
@@ -88,6 +97,16 @@ echo "== tier-1: TSan engine goldens + dataplane/session sweeps (byte-identity) 
 cmake --build build-tsan -j --target cam_tests
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   -R 'EngineGolden|DataplaneSweep|SessionSweep|DetectionModeSweep|StrategyGolden'
+
+echo
+echo "== tier-1: TSan sharded engine (cross-shard message passing) =="
+# Worker lanes + barrier hand-offs under ThreadSanitizer: the ShardGroup
+# window loop, the sharded oracle casts, and the sharded async stack all
+# push events across shard boundaries here. An outbox touched outside
+# the barrier, or any cross-lane state not separated by the generation
+# protocol, is a TSan race on this grid.
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ShardTeam|ShardGroup|ShardedCast|ShardedAsync'
 
 echo
 echo "tier-1 OK"

@@ -58,12 +58,19 @@ std::vector<Id> neighbor_identifiers(const RingSpace& ring, std::uint32_t c,
 
 std::vector<ChildAssignment> select_children(const RingSpace& ring,
                                              std::uint32_t c, Id x, Id k) {
+  std::vector<ChildAssignment> out;
+  select_children_into(ring, c, x, k, out);
+  return out;
+}
+
+void select_children_into(const RingSpace& ring, std::uint32_t c, Id x, Id k,
+                          std::vector<ChildAssignment>& out) {
   assert(c >= kMinCapacity);
   std::uint64_t d = ring.clockwise(x, k);
   assert(d >= 1 && "select_children requires a non-empty region (x, k]");
 
   const auto [i, j] = level_seq(ring, c, x, k);
-  std::vector<ChildAssignment> out;
+  out.clear();
   out.reserve(c);
 
   Id bound = k;
@@ -79,7 +86,7 @@ std::vector<ChildAssignment> select_children(const RingSpace& ring,
   if (i == 0) {
     // The level-0 loop above already assigned one child per identifier in
     // (x, k]; lines 10-15 would address level -1 / re-select x_{0,1}.
-    return out;
+    return;
   }
 
   // Lines 10-14: c - j - 1 level-(i-1) neighbors, evenly spaced over the
@@ -102,7 +109,6 @@ std::vector<ChildAssignment> select_children(const RingSpace& ring,
 
   // Line 15: the successor handles what remains of (x, bound].
   out.push_back(ChildAssignment{ring.add(x, 1), bound});
-  return out;
 }
 
 }  // namespace cam::camchord

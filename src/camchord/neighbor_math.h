@@ -78,4 +78,10 @@ struct ChildAssignment {
 std::vector<ChildAssignment> select_children(const RingSpace& ring,
                                              std::uint32_t c, Id x, Id k);
 
+/// select_children into a caller-owned buffer (cleared first): the
+/// multicast hot path calls this once per forwarding event with a
+/// reusable scratch vector, so steady state allocates nothing.
+void select_children_into(const RingSpace& ring, std::uint32_t c, Id x, Id k,
+                          std::vector<ChildAssignment>& out);
+
 }  // namespace cam::camchord

@@ -5,55 +5,79 @@
 
 namespace cam::camchord {
 
-const CamChordNet::Table& CamChordNet::table_at(Id id) const {
-  auto it = tables_.find(id);
-  assert(it != tables_.end());
-  return it->second;
-}
-
-CamChordNet::Table& CamChordNet::table_at(Id id) {
-  auto it = tables_.find(id);
-  assert(it != tables_.end());
-  return it->second;
+std::uint32_t CamChordNet::row_at(Id id) const {
+  std::uint32_t row = tindex_.find(id);
+  assert(row != FlatIndex<Id>::kNoRow);
+  return row;
 }
 
 void CamChordNet::init_entries(Id id, Id initial_owner) {
-  Table t;
-  for (Id ident : neighbor_identifiers(ring_, info(id).capacity, id)) {
-    t.offsets.push_back(ring_.clockwise(id, ident));
-    t.entries.push_back(initial_owner);
+  const std::uint32_t cap = info(id).capacity;
+  auto [it, fresh_cap] = offset_set_by_cap_.try_emplace(cap, 0u);
+  if (fresh_cap) {
+    // First node of this capacity class: materialize the offset ladder
+    // (identical for every node with capacity `cap` on this ring).
+    std::vector<std::uint64_t> offs;
+    for (Id ident : neighbor_identifiers(ring_, cap, id)) {
+      offs.push_back(ring_.clockwise(id, ident));
+    }
+    it->second = static_cast<std::uint32_t>(offset_sets_.size());
+    offset_sets_.push_back(std::move(offs));
   }
-  tables_[id] = std::move(t);
+  const std::uint32_t set_idx = it->second;
+
+  auto [row, inserted] = tindex_.insert(id);
+  if (inserted) {
+    spans_.emplace_back();
+    offset_set_.emplace_back();
+  }
+  offset_set_[row] = set_idx;
+  spans_[row] = entries_arena_.append_fill(offset_sets_[set_idx].size(),
+                                           initial_owner);
+}
+
+void CamChordNet::drop_entries(Id id) {
+  auto [erased, moved] = tindex_.erase(id);
+  if (erased == FlatIndex<Id>::kNoRow) return;
+  if (moved != FlatIndex<Id>::kNoRow) {
+    spans_[erased] = spans_[moved];
+    offset_set_[erased] = offset_set_[moved];
+  }
+  spans_.pop_back();
+  offset_set_.pop_back();
 }
 
 void CamChordNet::fix_entries(Id id) {
-  Table& t = table_at(id);
-  for (std::size_t idx = 0; idx < t.offsets.size(); ++idx) {
-    Id ident = ring_.add(id, t.offsets[idx]);
+  const std::uint32_t row = row_at(id);
+  const std::vector<std::uint64_t>& offs = offsets_of(row);
+  Id* entries = entries_arena_.begin(spans_[row]);
+  for (std::size_t idx = 0; idx < offs.size(); ++idx) {
+    Id ident = ring_.add(id, offs[idx]);
     LookupResult r = lookup(id, ident);
-    if (r.ok) t.entries[idx] = r.owner;
+    if (r.ok) entries[idx] = r.owner;
     net_.send(id, r.ok ? r.owner : id, 64, [] {}, MsgClass::kMaintenance);
   }
 }
 
 void CamChordNet::oracle_fill_entries(Id id, const NodeDirectory& dir) {
-  Table& t = table_at(id);
-  for (std::size_t idx = 0; idx < t.offsets.size(); ++idx) {
-    t.entries[idx] = *dir.responsible(ring_.add(id, t.offsets[idx]));
+  const std::uint32_t row = row_at(id);
+  const std::vector<std::uint64_t>& offs = offsets_of(row);
+  Id* entries = entries_arena_.begin(spans_[row]);
+  for (std::size_t idx = 0; idx < offs.size(); ++idx) {
+    entries[idx] = *dir.responsible(ring_.add(id, offs[idx]));
   }
 }
 
 std::uint64_t CamChordNet::entries_digest(Id id) const {
   std::uint64_t h = 1469598103934665603ULL;
-  for (Id e : table_at(id).entries) h = h * 1099511628211ULL + e;
+  for (Id e : entries(id)) h = h * 1099511628211ULL + e;
   return h;
 }
 
 std::optional<Id> CamChordNet::closest_live_entry_after(Id id) const {
-  const Table& t = table_at(id);
   std::optional<Id> best;
   std::uint64_t best_d = UINT64_MAX;
-  for (Id e : t.entries) {
+  for (Id e : entries(id)) {
     if (e == id || !alive(e)) continue;
     std::uint64_t d = ring_.clockwise(id, e);
     if (d < best_d) {
@@ -65,21 +89,22 @@ std::optional<Id> CamChordNet::closest_live_entry_after(Id id) const {
 }
 
 std::optional<Id> CamChordNet::table_resolve(Id x, Id ident) const {
-  const Table& t = table_at(x);
+  const std::uint32_t row = row_at(x);
+  const std::vector<std::uint64_t>& offs = offsets_of(row);
   std::uint64_t off = ring_.clockwise(x, ident);
-  auto it = std::lower_bound(t.offsets.begin(), t.offsets.end(), off);
-  if (it == t.offsets.end() || *it != off) return std::nullopt;
-  Id entry = t.entries[static_cast<std::size_t>(it - t.offsets.begin())];
+  auto it = std::lower_bound(offs.begin(), offs.end(), off);
+  if (it == offs.end() || *it != off) return std::nullopt;
+  Id entry = entries_arena_.begin(
+      spans_[row])[static_cast<std::size_t>(it - offs.begin())];
   if (!alive(entry)) return std::nullopt;
   return entry;
 }
 
 std::optional<Id> CamChordNet::best_preceding_live(Id x, Id target) const {
-  const Table& t = table_at(x);
   std::uint64_t dt = ring_.clockwise(x, target);
   std::optional<Id> best;
   std::uint64_t best_d = 0;
-  for (Id e : t.entries) {
+  for (Id e : entries(x)) {
     if (!alive(e)) continue;
     std::uint64_t de = ring_.clockwise(x, e);
     if (de == 0 || de >= dt) continue;  // not strictly inside (x, target)
@@ -144,25 +169,16 @@ LookupResult CamChordNet::lookup(Id from, Id target) const {
 MulticastTree CamChordNet::multicast(Id source) {
   MulticastTree tree(source);
   if (!alive(source)) return tree;
+  tree.reserve(size());
 
-  // Event-driven recursive execution of x.MULTICAST(msg, k).
-  auto run_at = [this, &tree](auto&& self, Id x, Id k, int depth) -> void {
+  // Event-driven recursive execution of x.MULTICAST(msg, k). `scratch`
+  // lives in this frame (which outlives sim().run()), so the per-hop
+  // child selection reuses one buffer instead of allocating per event.
+  std::vector<ChildAssignment> scratch;
+  auto run_at = [this, &tree, &scratch](auto&& self, Id x, Id k,
+                                        int depth) -> void {
     if (!alive(x) || k == x) return;
-    const BaseState& st = base(x);
-    for (const ChildAssignment& a :
-         select_children(ring_, st.info.capacity, x, k)) {
-      std::optional<Id> child;
-      if (ring_.clockwise(x, a.identifier) == 1) {
-        // The successor child x_{0,1}: served from the stabilized
-        // successor list so ring coverage survives table staleness.
-        Id s = live_successor(st);
-        if (s != x) child = s;
-      } else {
-        child = table_resolve(x, a.identifier);
-      }
-      if (!child || !ring_.in_oc(*child, x, a.bound)) continue;
-      Id ch = *child;
-      Id bound = a.bound;
+    multicast_children(x, k, scratch, [&](Id ch, Id bound) {
       net_.send(
           x, ch, cfg_.multicast_payload_bytes,
           [this, &tree, &self, x, ch, bound, depth] {
@@ -171,7 +187,7 @@ MulticastTree CamChordNet::multicast(Id source) {
             self(self, ch, bound, depth + 1);
           },
           MsgClass::kData);
-    }
+    });
   };
 
   net_.sim().after(0, [&] { run_at(run_at, source, ring_.sub(source, 1), 0); });

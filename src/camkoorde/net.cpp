@@ -5,52 +5,61 @@
 
 namespace cam::camkoorde {
 
-const CamKoordeNet::Table& CamKoordeNet::table_at(Id id) const {
-  auto it = tables_.find(id);
-  assert(it != tables_.end());
-  return it->second;
-}
-
-CamKoordeNet::Table& CamKoordeNet::table_at(Id id) {
-  auto it = tables_.find(id);
-  assert(it != tables_.end());
-  return it->second;
+std::uint32_t CamKoordeNet::row_at(Id id) const {
+  std::uint32_t row = tindex_.find(id);
+  assert(row != FlatIndex<Id>::kNoRow);
+  return row;
 }
 
 void CamKoordeNet::init_entries(Id id, Id initial_owner) {
-  Table t;
-  t.idents = shift_identifiers(ring_, info(id).capacity, id);
-  t.entries.assign(t.idents.size(), initial_owner);
-  tables_[id] = std::move(t);
+  std::vector<Id> idents = shift_identifiers(ring_, info(id).capacity, id);
+  auto [row, inserted] = tindex_.insert(id);
+  if (inserted) spans_.emplace_back();
+  Span s = idents_arena_.append(idents.begin(), idents.end());
+  Span e = entries_arena_.append_fill(idents.size(), initial_owner);
+  assert(s.off == e.off && s.len == e.len);  // lockstep arenas
+  (void)e;
+  spans_[row] = s;
+}
+
+void CamKoordeNet::drop_entries(Id id) {
+  auto [erased, moved] = tindex_.erase(id);
+  if (erased == FlatIndex<Id>::kNoRow) return;
+  if (moved != FlatIndex<Id>::kNoRow) spans_[erased] = spans_[moved];
+  spans_.pop_back();
 }
 
 void CamKoordeNet::fix_entries(Id id) {
-  Table& t = table_at(id);
-  for (std::size_t idx = 0; idx < t.idents.size(); ++idx) {
-    LookupResult r = lookup(id, t.idents[idx]);
-    if (r.ok) t.entries[idx] = r.owner;
+  const std::uint32_t row = row_at(id);
+  const Span& s = spans_[row];
+  const Id* idents = idents_arena_.begin(s);
+  Id* entries = entries_arena_.begin(s);
+  for (std::size_t idx = 0; idx < s.len; ++idx) {
+    LookupResult r = lookup(id, idents[idx]);
+    if (r.ok) entries[idx] = r.owner;
     net_.send(id, r.ok ? r.owner : id, 64, [] {}, MsgClass::kMaintenance);
   }
 }
 
 void CamKoordeNet::oracle_fill_entries(Id id, const NodeDirectory& dir) {
-  Table& t = table_at(id);
-  for (std::size_t idx = 0; idx < t.idents.size(); ++idx) {
-    t.entries[idx] = *dir.responsible(t.idents[idx]);
+  const Span& s = spans_[row_at(id)];
+  const Id* idents = idents_arena_.begin(s);
+  Id* entries = entries_arena_.begin(s);
+  for (std::size_t idx = 0; idx < s.len; ++idx) {
+    entries[idx] = *dir.responsible(idents[idx]);
   }
 }
 
 std::uint64_t CamKoordeNet::entries_digest(Id id) const {
   std::uint64_t h = 1469598103934665603ULL;
-  for (Id e : table_at(id).entries) h = h * 1099511628211ULL + e;
+  for (Id e : entries(id)) h = h * 1099511628211ULL + e;
   return h;
 }
 
 std::optional<Id> CamKoordeNet::closest_live_entry_after(Id id) const {
-  const Table& t = table_at(id);
   std::optional<Id> best;
   std::uint64_t best_d = UINT64_MAX;
-  for (Id e : t.entries) {
+  for (Id e : entries(id)) {
     if (e == id || !alive(e)) continue;
     std::uint64_t d = ring_.clockwise(id, e);
     if (d < best_d) {
@@ -62,18 +71,23 @@ std::optional<Id> CamKoordeNet::closest_live_entry_after(Id id) const {
 }
 
 std::vector<Id> CamKoordeNet::neighbors_of(Id id) const {
-  const BaseState& st = base(id);
-  const Table& t = table_at(id);
   std::vector<Id> out;
-  out.reserve(t.entries.size() + 2);
+  neighbors_into(id, out);
+  return out;
+}
+
+void CamKoordeNet::neighbors_into(Id id, std::vector<Id>& out) const {
+  const BaseState& st = base(id);
+  std::span<const Id> es = entries(id);
+  out.clear();
+  out.reserve(es.size() + 2);
   auto push = [&](Id n) {
     if (n == id || !alive(n)) return;
     if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
   };
   if (st.pred && alive(*st.pred)) push(*st.pred);
   push(live_successor(st));
-  for (Id e : t.entries) push(e);
-  return out;
+  for (Id e : es) push(e);
 }
 
 LookupResult CamKoordeNet::lookup(Id from, Id target) const {
@@ -122,11 +136,13 @@ LookupResult CamKoordeNet::lookup(Id from, Id target) const {
     Id next_cursor = apply_derivation(ring_, cursor, d);
     // The node's own link for this derivation.
     Id own_ident = ring_.shift_in_high(x, d.shift, d.high);
-    const Table& t = table_at(x);
+    const Span& span = spans_[row_at(x)];
+    const Id* xidents = idents_arena_.begin(span);
+    const Id* xentries = entries_arena_.begin(span);
     std::optional<Id> next;
-    for (std::size_t idx = 0; idx < t.idents.size(); ++idx) {
-      if (t.idents[idx] == own_ident) {
-        if (alive(t.entries[idx])) next = t.entries[idx];
+    for (std::size_t idx = 0; idx < span.len; ++idx) {
+      if (xidents[idx] == own_ident) {
+        if (alive(xentries[idx])) next = xentries[idx];
         break;
       }
     }
@@ -161,25 +177,32 @@ LookupResult CamKoordeNet::lookup(Id from, Id target) const {
 MulticastTree CamKoordeNet::multicast(Id source) {
   MulticastTree tree(source);
   if (!alive(source)) return tree;
+  tree.reserve(size());
 
   // "Is receiving" check support: targets with an in-flight delivery.
-  auto in_flight = std::make_shared<std::unordered_set<Id>>();
+  // Frame-local (the frame outlives sim().run()), so event closures hold
+  // plain references — no shared_ptr churn, no per-event allocation; the
+  // neighbor scan reuses one scratch buffer the same way.
+  FlatSet<Id> in_flight;
+  in_flight.reserve(size());
+  std::vector<Id> scratch;
 
-  auto forward_from = [this, &tree, in_flight](auto&& self, Id x,
-                                               int depth) -> void {
+  auto forward_from = [this, &tree, &in_flight, &scratch](auto&& self, Id x,
+                                                          int depth) -> void {
     if (!alive(x)) return;
-    for (Id y : neighbors_of(x)) {
-      if (tree.delivered(y) || in_flight->contains(y)) {
+    neighbors_into(x, scratch);
+    for (Id y : scratch) {
+      if (tree.delivered(y) || in_flight.contains(y)) {
         tree.note_suppressed();
         // The check itself costs a short control packet (Section 4.3).
         net_.send(x, y, 16, [] {}, MsgClass::kControl);
         continue;
       }
-      in_flight->insert(y);
+      in_flight.insert(y);
       net_.send(
           x, y, cfg_.multicast_payload_bytes,
-          [this, &tree, &self, in_flight, x, y, depth] {
-            in_flight->erase(y);
+          [this, &tree, &in_flight, &self, x, y, depth] {
+            in_flight.erase(y);
             if (!alive(y)) return;
             if (!tree.record(x, y, depth + 1, net_.sim().now())) return;
             self(self, y, depth + 1);

@@ -20,13 +20,6 @@ TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
   return s;
 }
 
-TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
-                      System system, std::uint32_t uniform_param) {
-  strategy::StrategyParams params;
-  params.uniform_degree = uniform_param;
-  return summarize(dir, tree, to_strategy(system), params);
-}
-
 AveragedRun run_sources(const strategy::MulticastStrategy& strat,
                         const FrozenDirectory& dir, std::size_t num_sources,
                         std::uint64_t seed,
@@ -78,15 +71,6 @@ AveragedRun run_sources(const strategy::MulticastStrategy& strat,
   agg.avg_path /= k;
   agg.max_depth /= k;
   return agg;
-}
-
-AveragedRun run_sources(System system, const FrozenDirectory& dir,
-                        std::size_t num_sources, std::uint64_t seed,
-                        std::uint32_t uniform_param, std::size_t jobs) {
-  strategy::StrategyParams params;
-  params.uniform_degree = uniform_param;
-  return run_sources(to_strategy(system), dir, num_sources, seed, params,
-                     jobs);
 }
 
 }  // namespace cam::exp

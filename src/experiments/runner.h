@@ -1,14 +1,13 @@
 // Multicast measurement runner: executes one or more multicasts from
 // random sources over a frozen population and aggregates the paper's
 // metrics (throughput, average children, average path length, path-length
-// histogram). Runs over any registered MulticastStrategy; the System
-// overloads are the deprecated enum spelling and delegate.
+// histogram). Runs over any registered MulticastStrategy
+// (strategy::registry().make(key)).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "experiments/systems.h"
 #include "multicast/metrics.h"
 #include "overlay/directory.h"
 #include "strategy/strategy.h"
@@ -28,10 +27,6 @@ struct TreeSummary {
 TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
                       const strategy::MulticastStrategy& strat,
                       const strategy::StrategyParams& params = {});
-
-// deprecated: enum spelling of summarize().
-TreeSummary summarize(const FrozenDirectory& dir, const MulticastTree& tree,
-                      System system, std::uint32_t uniform_param = 0);
 
 /// Aggregates over several source nodes (uniformly sampled, seeded).
 /// With jobs > 1 the per-source trees are built concurrently on a
@@ -55,13 +50,6 @@ AveragedRun run_sources(const strategy::MulticastStrategy& strat,
                         const FrozenDirectory& dir, std::size_t num_sources,
                         std::uint64_t seed,
                         const strategy::StrategyParams& params = {},
-                        std::size_t jobs = 1);
-
-// deprecated: enum spelling of run_sources(); `uniform_param` feeds
-// StrategyParams::uniform_degree verbatim.
-AveragedRun run_sources(System system, const FrozenDirectory& dir,
-                        std::size_t num_sources, std::uint64_t seed,
-                        std::uint32_t uniform_param = 0,
                         std::size_t jobs = 1);
 
 }  // namespace cam::exp

@@ -1,9 +1,11 @@
 #include "multicast/tree.h"
 
+#include <bit>
+
 namespace cam {
 
 MulticastTree::MulticastTree(Id source) : source_(source) {
-  entries_.emplace(source, DeliveryRecord{source, 0, 0});
+  entries_.try_emplace(source, DeliveryRecord{source, 0, 0});
 }
 
 bool MulticastTree::record(Id parent, Id child, int depth, SimTime time) {
@@ -17,20 +19,69 @@ bool MulticastTree::record(Id parent, Id child, int depth, SimTime time) {
   return true;
 }
 
+bool MulticastTree::record_min(Id parent, Id child, int depth, SimTime time) {
+  auto [it, inserted] =
+      entries_.try_emplace(child, DeliveryRecord{parent, depth, time});
+  if (inserted) return true;
+  ++duplicate_deliveries_;
+  DeliveryRecord& rec = it->second;
+  if (child != source_ &&
+      (time < rec.time || (time == rec.time && parent < rec.parent))) {
+    rec = DeliveryRecord{parent, depth, time};
+  }
+  return false;
+}
+
 std::optional<DeliveryRecord> MulticastTree::record_of(Id node) const {
   auto it = entries_.find(node);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
-std::unordered_map<Id, std::uint32_t> MulticastTree::children_counts() const {
-  std::unordered_map<Id, std::uint32_t> counts;
+FlatMap<Id, std::uint32_t> MulticastTree::children_counts() const {
+  FlatMap<Id, std::uint32_t> counts;
   counts.reserve(entries_.size() / 2);
   for (const auto& [node, rec] : entries_) {
     if (node == source_) continue;  // the source has no parent edge
     ++counts[rec.parent];
   }
   return counts;
+}
+
+void MulticastTree::merge_min(const MulticastTree& other) {
+  for (const auto& [node, rec] : other.entries_) {
+    if (node == other.source_) continue;  // implicit source self-record
+    auto [it, inserted] = entries_.try_emplace(node, rec);
+    if (inserted) continue;
+    DeliveryRecord& mine = it->second;
+    if (node != source_ &&
+        (rec.time < mine.time ||
+         (rec.time == mine.time && rec.parent < mine.parent))) {
+      mine = rec;
+    }
+  }
+  duplicate_deliveries_ += other.duplicate_deliveries_;
+  suppressed_forwards_ += other.suppressed_forwards_;
+}
+
+std::uint64_t MulticastTree::delivery_signature() const {
+  // Commutative fold (sum + xor of per-record mixes) so the digest is
+  // independent of dense-array order; each record is mixed well enough
+  // that swapping fields between records cannot cancel.
+  std::uint64_t sum = 0;
+  std::uint64_t x = 0;
+  for (const auto& [node, rec] : entries_) {
+    std::uint64_t h = flat_mix64(node);
+    h = flat_mix64(h ^ (0x9E37u + rec.parent));
+    h = flat_mix64(h ^ static_cast<std::uint64_t>(rec.depth));
+    h = flat_mix64(h ^ std::bit_cast<std::uint64_t>(rec.time));
+    sum += h;
+    x ^= h;
+  }
+  std::uint64_t sig = flat_mix64(source_ ^ flat_mix64(entries_.size()));
+  sig = flat_mix64(sig ^ sum);
+  sig = flat_mix64(sig ^ x);
+  return sig;
 }
 
 }  // namespace cam

@@ -5,15 +5,21 @@
 // deliveries produced by the distributed MULTICAST routines. This class
 // records those deliveries so the evaluation layer can reconstruct the
 // tree and measure it (path lengths, children counts, throughput).
+//
+// Storage is FlatMap (dense insertion-order vector + open-addressed
+// index): a tree is written once per delivery on the multicast hot path
+// and scanned whole by every metric, so the node-per-entry layout of
+// unordered_map paid an allocation per delivery and a pointer chase per
+// scanned record for nothing. With reserve() the recording phase is
+// allocation-free.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "ids/ring.h"
 #include "sim/simulator.h"
+#include "util/flat_table.h"
 
 namespace cam {
 
@@ -31,6 +37,10 @@ class MulticastTree {
 
   Id source() const { return source_; }
 
+  /// Pre-sizes the delivery table (recording stays allocation-free up to
+  /// `n` deliveries).
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   /// Records delivery of the message to `child` from `parent` at hop
   /// `depth`. Returns true if this is the first delivery to `child`;
   /// a repeat delivery only bumps the duplicate counter (the paper's
@@ -39,9 +49,18 @@ class MulticastTree {
   /// forwarding).
   bool record(Id parent, Id child, int depth, SimTime time = 0);
 
+  /// record() variant that keeps the *earliest* delivery rather than the
+  /// first-processed one: a repeat with a smaller time (or equal time
+  /// and smaller parent id) replaces the stored record and still counts
+  /// as a duplicate. The sharded engine uses this so the recorded tree
+  /// is a pure function of arrival times — independent of the order in
+  /// which shards happen to process same-time copies.
+  bool record_min(Id parent, Id child, int depth, SimTime time);
+
   /// Counts a forwarding suppressed by CAM-Koorde's "has received or is
   /// receiving" check (a short control packet in the paper).
   void note_suppressed() { ++suppressed_forwards_; }
+  void note_suppressed(std::uint64_t n) { suppressed_forwards_ += n; }
 
   bool delivered(Id node) const { return entries_.contains(node); }
   std::optional<DeliveryRecord> record_of(Id node) const;
@@ -54,15 +73,25 @@ class MulticastTree {
 
   /// Children count per forwarding node (nodes with zero children — the
   /// leaves — are absent from the map).
-  std::unordered_map<Id, std::uint32_t> children_counts() const;
+  FlatMap<Id, std::uint32_t> children_counts() const;
 
-  const std::unordered_map<Id, DeliveryRecord>& entries() const {
-    return entries_;
-  }
+  const FlatMap<Id, DeliveryRecord>& entries() const { return entries_; }
+
+  /// Merges `other`'s records into this tree (used to combine per-shard
+  /// partial trees): per child the earliest record wins as in
+  /// record_min(); duplicate and suppression counters are summed.
+  void merge_min(const MulticastTree& other);
+
+  /// Order-independent digest of the delivered tree: every (child,
+  /// parent, depth, time) record folded with a commutative mix, plus the
+  /// source and size. Two trees with identical delivery sets compare
+  /// equal no matter what order deliveries were recorded in — the
+  /// serial==sharded gate compares exactly this.
+  std::uint64_t delivery_signature() const;
 
  private:
   Id source_;
-  std::unordered_map<Id, DeliveryRecord> entries_;
+  FlatMap<Id, DeliveryRecord> entries_;
   std::uint64_t duplicate_deliveries_ = 0;
   std::uint64_t suppressed_forwards_ = 0;
 };

@@ -68,8 +68,9 @@ ClosestStepRep AsyncCamChordNode::closest_step(
 void AsyncCamChordNode::forward_multicast(const MulticastData& msg) {
   const RingSpace& ring = net_.ring();
   if (msg.bound == self_) return;
-  for (const camchord::ChildAssignment& a :
-       camchord::select_children(ring, info_.capacity, self_, msg.bound)) {
+  camchord::select_children_into(ring, info_.capacity, self_, msg.bound,
+                                 scratch_children_);
+  for (const camchord::ChildAssignment& a : scratch_children_) {
     std::optional<Id> child;
     if (ring.clockwise(self_, a.identifier) == 1) {
       if (auto s = successor(); s && *s != self_) child = s;

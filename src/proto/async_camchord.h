@@ -5,6 +5,7 @@
 // timeouts, suspicion, and ring maintenance come from the base.
 #pragma once
 
+#include "camchord/neighbor_math.h"
 #include "proto/async_node.h"
 
 namespace cam::proto {
@@ -24,6 +25,11 @@ class AsyncCamChordNode final : public AsyncNodeBase {
   void repair_orphan(Id dead, const MulticastData& msg) override {
     redelegate_region(dead, msg, /*bounded=*/true);
   }
+
+ private:
+  /// Reused per forwarding event (never live across a scheduling
+  /// boundary): the region split allocates nothing in steady state.
+  std::vector<camchord::ChildAssignment> scratch_children_;
 };
 
 /// Harness preconfigured with CAM-Chord nodes.

@@ -69,8 +69,9 @@ ClosestStepRep AsyncCamKoordeNode::closest_step(
   return ring_step();
 }
 
-std::vector<Id> AsyncCamKoordeNode::flood_neighbors() const {
-  std::vector<Id> out;
+void AsyncCamKoordeNode::flood_neighbors() {
+  auto& out = scratch_neighbors_;
+  out.clear();
   out.reserve(entries_.size() + 2);
   auto push = [&](Id n) {
     if (n == self_ || suspected(n)) return;
@@ -79,7 +80,6 @@ std::vector<Id> AsyncCamKoordeNode::flood_neighbors() const {
   if (pred_) push(*pred_);
   if (auto s = successor()) push(*s);
   for (Id e : entries_) push(e);
-  return out;
 }
 
 void AsyncCamKoordeNode::forward_multicast(const MulticastData& msg) {
@@ -88,7 +88,8 @@ void AsyncCamKoordeNode::forward_multicast(const MulticastData& msg) {
   // before shipping the payload.
   MulticastData fwd{msg.stream_id, 0, msg.depth + 1,
                     net_.config().multicast_payload_bytes};
-  for (Id y : flood_neighbors()) {
+  flood_neighbors();
+  for (Id y : scratch_neighbors_) {
     call(
         y, DupCheckReq{msg.stream_id},
         [this, y, fwd](const ReplyPayload& payload) {

@@ -26,9 +26,12 @@ class AsyncCamKoordeNode final : public AsyncNodeBase {
   }
 
  private:
-  /// The current out-neighbor set: predecessor, successor, and the live
-  /// de Bruijn entries; deduplicated, self and suspects excluded.
-  std::vector<Id> flood_neighbors() const;
+  /// Fills `scratch_neighbors_` with the current out-neighbor set:
+  /// predecessor, successor, and the live de Bruijn entries;
+  /// deduplicated, self and suspects excluded. The buffer is reused per
+  /// forwarding event, so steady-state flooding allocates nothing.
+  void flood_neighbors();
+  std::vector<Id> scratch_neighbors_;
 };
 
 /// Harness preconfigured with CAM-Koorde nodes.

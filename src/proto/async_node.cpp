@@ -98,7 +98,7 @@ void AsyncNodeBase::boot_via(Id contact) {
           if (alive_ && !joined_) boot_via(join_contact_);
         });
   };
-  start_lookup(contact, self_, [this, retry](LookupResult r) {
+  start_lookup(contact, self_, [this, retry](LookupResult& r) {
     if (!alive_ || joined_) return;
     // A node not yet in the ring cannot be its own successor: that
     // answer means the lookup fell back to our empty local state.
@@ -184,8 +184,10 @@ void AsyncNodeBase::handle(Id from, Message msg) {
   if (auto* rep = std::get_if<RpcReply>(&msg)) {
     auto it = pending_.find(rep->id);
     if (it == pending_.end()) return;  // late reply after timeout
-    auto on_reply = std::move(it->second.on_reply);
+    const Id to = it->second.to;
+    ReplyFn on_reply = std::move(it->second.on_reply);
     pending_.erase(it);
+    absolve(to);  // the peer answered — drop any stale suspicion
     on_reply(rep->payload);
     return;
   }
@@ -252,26 +254,20 @@ void AsyncNodeBase::evict_seen_streams() {
   });
 }
 
-void AsyncNodeBase::call(Id to, RequestPayload req,
-                         std::function<void(const ReplyPayload&)> on_reply,
-                         std::function<void()> on_timeout, std::size_t bytes,
+void AsyncNodeBase::call(Id to, RequestPayload req, ReplyFn on_reply,
+                         TimeoutFn on_timeout, std::size_t bytes,
                          MsgClass cls) {
   RpcId id = next_rpc_++;
   tel().trace(EventType::kRpcIssue, net_.sim().now(), self_, to, id,
               static_cast<std::uint64_t>(cls));
   tel().count_node("rpc.issued", self_);
-  auto wrapped_reply = [this, to,
-                        fn = std::move(on_reply)](const ReplyPayload& p) {
-    absolve(to);  // the peer answered — drop any stale suspicion
-    fn(p);
-  };
   pending_.emplace(id,
-                   Pending{std::move(wrapped_reply), std::move(on_timeout)});
+                   Pending{to, std::move(on_reply), std::move(on_timeout)});
   net_.bus().post(self_, to, RpcRequest{id, std::move(req)}, bytes, cls);
   net_.sim().after(net_.config().rpc_timeout_ms, [this, id, to] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;  // answered in time
-    auto on_to = std::move(it->second.on_timeout);
+    TimeoutFn on_to = std::move(it->second.on_timeout);
     pending_.erase(it);
     if (!alive_) return;
     // Trace the timeout before strike() so a kSuspect it triggers is
@@ -296,7 +292,9 @@ ReplyPayload AsyncNodeBase::answer(Id from, const RequestPayload& req) {
     return rep;
   }
   if (std::get_if<GetSuccListReq>(&req)) {
-    return GetSuccListRep{succ_list_};
+    GetSuccListRep rep;
+    rep.succs.assign(succ_list_.begin(), succ_list_.end());
+    return rep;
   }
   if (auto* dup = std::get_if<DupCheckReq>(&req)) {
     return DupCheckRep{seen_stream(dup->stream_id)};
@@ -312,7 +310,9 @@ ReplyPayload AsyncNodeBase::answer(Id from, const RequestPayload& req) {
   if (auto* dig = std::get_if<RepairDigestReq>(&req)) {
     // Bidirectional anti-entropy: pull what the offerer has that we
     // miss, and hand back our own digest so it can do the same.
-    handle_repair_digest(from, dig->streams);
+    handle_repair_digest(
+        from, std::span<const std::uint64_t>(dig->streams.data(),
+                                             dig->streams.size()));
     return RepairDigestRep{repair_digest()};
   }
   if (auto* pull = std::get_if<StreamPullReq>(&req)) {
@@ -335,41 +335,42 @@ void AsyncNodeBase::send_multicast(Id to, const MulticastData& data) {
     net_.bus().post(self_, to, data, data.payload_bytes, MsgClass::kData);
     return;
   }
-  // Acknowledged transfer with bounded retransmission. As with the
-  // timers, the function object must hold itself only weakly; the
-  // pending timeout closure carries the strong reference.
-  auto attempt = std::make_shared<std::function<void(int)>>();
-  std::weak_ptr<std::function<void(int)>> weak = attempt;
-  MulticastDataReq req{data.stream_id, data.bound, data.depth,
-                      data.payload_bytes};
-  *attempt = [this, to, req, weak, retries](int left) {
-    auto strong = weak.lock();
-    call(
-        to, req, [](const ReplyPayload&) {},
-        [this, to, req, strong, left, retries] {
-          if (!alive_ || !strong) return;
-          if (left <= 0) {
-            // All retransmissions exhausted: the link is down or the
-            // child is dead — hand the orphaned region to the repair
-            // layer instead of dropping it on the floor.
-            give_up_multicast(to, MulticastData{req.stream_id, req.bound,
-                                                req.depth,
-                                                req.payload_bytes});
-            return;
-          }
-          tel().trace(EventType::kRetransmit, net_.sim().now(), self_, to,
-                      req.stream_id, static_cast<std::uint64_t>(left));
-          tel().count_node("mc.retransmits", self_);
-          // Jittered exponential backoff between attempts (attempt index
-          // counts completed tries) so post-heal retries desynchronize.
-          net_.sim().after(
-              retry_backoff_ms(net_.config(), self_, req.stream_id + to,
-                               retries - left),
-              [strong, left] { (*strong)(left - 1); });
-        },
-        req.payload_bytes, MsgClass::kData);
-  };
-  (*attempt)(retries);
+  // Acknowledged transfer with bounded retransmission: a plain member-
+  // method chain (each timeout reschedules multicast_attempt with one
+  // fewer try), so the whole retry state is the closure's 48 inline
+  // bytes — no shared_ptr keep-alive, no allocation per attempt.
+  multicast_attempt(to,
+                    MulticastDataReq{data.stream_id, data.bound, data.depth,
+                                     data.payload_bytes},
+                    retries);
+}
+
+void AsyncNodeBase::multicast_attempt(Id to, const MulticastDataReq& req,
+                                      int left) {
+  const int retries = net_.config().multicast_retries;
+  call(
+      to, req, [](const ReplyPayload&) {},
+      [this, to, req, left, retries] {
+        if (!alive_) return;
+        if (left <= 0) {
+          // All retransmissions exhausted: the link is down or the
+          // child is dead — hand the orphaned region to the repair
+          // layer instead of dropping it on the floor.
+          give_up_multicast(to, MulticastData{req.stream_id, req.bound,
+                                              req.depth, req.payload_bytes});
+          return;
+        }
+        tel().trace(EventType::kRetransmit, net_.sim().now(), self_, to,
+                    req.stream_id, static_cast<std::uint64_t>(left));
+        tel().count_node("mc.retransmits", self_);
+        // Jittered exponential backoff between attempts (attempt index
+        // counts completed tries) so post-heal retries desynchronize.
+        net_.sim().after(
+            retry_backoff_ms(net_.config(), self_, req.stream_id + to,
+                             retries - left),
+            [this, to, req, left] { multicast_attempt(to, req, left - 1); });
+      },
+      req.payload_bytes, MsgClass::kData);
 }
 
 void AsyncNodeBase::give_up_multicast(Id to, const MulticastData& msg) {
@@ -401,7 +402,7 @@ void AsyncNodeBase::redelegate_region(Id dead, const MulticastData& msg,
   // own lookup machinery (which excludes dead hops as it goes).
   start_lookup(
       self_, net_.ring().add(dead, 1),
-      [this, dead, msg, bounded](LookupResult r) {
+      [this, dead, msg, bounded](LookupResult& r) {
         if (!alive_) return;
         const bool usable =
             r.ok && r.owner != self_ && r.owner != dead &&
@@ -429,7 +430,7 @@ void AsyncNodeBase::redelegate_region(Id dead, const MulticastData& msg,
       });
 }
 
-std::vector<std::uint64_t> AsyncNodeBase::repair_digest() const {
+SmallVec<std::uint64_t, 8> AsyncNodeBase::repair_digest() const {
   const AsyncConfig& cfg = net_.config();
   const SimTime horizon =
       std::max(cfg.stream_seen_ttl_ms, retransmit_tail_ms(cfg));
@@ -438,7 +439,8 @@ std::vector<std::uint64_t> AsyncNodeBase::repair_digest() const {
   // re-pull would chase each other forever.
   const SimTime window = std::min(cfg.repair_digest_window_ms, horizon / 2);
   const SimTime now = net_.sim().now();
-  std::vector<std::pair<SimTime, std::uint64_t>> recent;
+  auto& recent = scratch_recent_;
+  recent.clear();
   for (const auto& [id, meta] : seen_streams_) {
     if (now - meta.last_seen <= window) recent.emplace_back(meta.last_seen, id);
   }
@@ -451,7 +453,7 @@ std::vector<std::uint64_t> AsyncNodeBase::repair_digest() const {
               });
     recent.resize(cfg.repair_digest_max);
   }
-  std::vector<std::uint64_t> out;
+  SmallVec<std::uint64_t, 8> out;
   out.reserve(recent.size());
   for (const auto& [t, id] : recent) out.push_back(id);
   std::sort(out.begin(), out.end());
@@ -474,7 +476,7 @@ void AsyncNodeBase::repair_exchange_tick() {
     peers.push_back(*pred_);
   }
   if (peers.empty()) return;
-  std::vector<std::uint64_t> digest = repair_digest();
+  SmallVec<std::uint64_t, 8> digest = repair_digest();
   for (Id p : peers) {
     tel().trace(EventType::kRepairDigest, net_.sim().now(), self_, p,
                 digest.size());
@@ -490,7 +492,7 @@ void AsyncNodeBase::repair_exchange_tick() {
 }
 
 void AsyncNodeBase::handle_repair_digest(
-    Id peer, const std::vector<std::uint64_t>& ids) {
+    Id peer, std::span<const std::uint64_t> ids) {
   for (std::uint64_t id : ids) {
     if (!seen_stream(id)) pull_stream(peer, id);
   }
@@ -651,7 +653,9 @@ void AsyncNodeBase::stabilize_tick() {
             [this, next](const ReplyPayload& pl) {
               if (!alive_) return;
               const auto& lst = std::get<GetSuccListRep>(pl);
-              std::vector<Id> fresh{next};
+              auto& fresh = scratch_succs_;
+              fresh.clear();
+              fresh.push_back(next);
               for (Id e : lst.succs) {
                 if (fresh.size() >= net_.config().successor_list_len) break;
                 if (e == self_) break;  // lapped the ring
@@ -659,7 +663,7 @@ void AsyncNodeBase::stabilize_tick() {
                   fresh.push_back(e);
                 }
               }
-              succ_list_ = std::move(fresh);
+              succ_list_.assign(fresh.begin(), fresh.end());
             },
             [this, next] {
               if (suspected(next)) drop_successor(next);
@@ -679,7 +683,7 @@ void AsyncNodeBase::fix_tick() {
   tel().count_node("maint.fix_ticks", self_);
   fix_idx_ = (fix_idx_ + 1) % idents_.size();
   const std::size_t idx = fix_idx_;
-  start_lookup(self_, idents_[idx], [this, idx](LookupResult r) {
+  start_lookup(self_, idents_[idx], [this, idx](LookupResult& r) {
     if (!alive_ || !r.ok) return;
     entries_[idx] = r.owner;
   });
@@ -708,22 +712,57 @@ void AsyncNodeBase::on_notify(Id candidate) {
   // it and the next notify lands.
 }
 
-void AsyncNodeBase::start_lookup(Id first_hop, Id target,
-                                 std::function<void(LookupResult)> done) {
+AsyncNodeBase::LookupOp* AsyncNodeBase::acquire_lookup() {
+  if (lookup_free_.empty()) {
+    lookup_ops_.push_back(std::make_unique<LookupOp>());
+    return lookup_ops_.back().get();
+  }
+  LookupOp* op = lookup_free_.back();
+  lookup_free_.pop_back();
+  return op;
+}
+
+void AsyncNodeBase::release_lookup(LookupOp* op) {
+  op->excluded.clear();
+  op->path.clear();  // keeps capacity: the next lookup reuses the buffer
+  op->restarts = 0;
+  op->done = {};
+  lookup_free_.push_back(op);
+}
+
+void AsyncNodeBase::finish_lookup(LookupOp* op, bool ok, Id owner) {
+  LookupResult res;
+  if (ok) {
+    res.ok = true;
+    res.owner = owner;
+    // Hand the accumulated path over by move; reclaim the buffer after
+    // the continuation returns (unless it moved the path out, in which
+    // case the pool op simply regrows on some later walk).
+    res.path = std::move(op->path);
+  }
+  LookupDone done = std::move(op->done);
+  done(res);
+  if (ok) op->path = std::move(res.path);
+  release_lookup(op);
+}
+
+void AsyncNodeBase::start_lookup(Id first_hop, Id target, LookupDone done) {
   tel().trace(EventType::kLookupStart, net_.sim().now(), self_, first_hop,
               target);
   tel().count_node("lookup.started", self_);
-  auto op = std::make_shared<LookupOp>();
+  LookupOp* op = acquire_lookup();
   op->target = target;
   op->cursor = first_hop;
   op->anchor = first_hop;
   op->path.push_back(first_hop);
   // Every completion path funnels through op->done, so the completion
   // trace wraps the user callback instead of repeating at each exit.
-  // Only wrap when a sink is attached: lookups are frequent enough that
-  // the extra std::function indirection is worth skipping otherwise.
+  // Only wrap when a sink is attached: the wrapper's capture (this +
+  // the wrapped continuation) exceeds the inline capacity, and lookups
+  // are frequent enough that the heap fallback is worth skipping when
+  // nothing is tracing.
   if (tel().active()) {
-    op->done = [this, user = std::move(done)](LookupResult r) {
+    op->done = [this, user = std::move(done)](LookupResult& r) mutable {
       tel().trace(EventType::kLookupDone, net_.sim().now(), self_, r.owner,
                   r.hops(), r.ok ? 1 : 0);
       if (r.ok) {
@@ -732,7 +771,7 @@ void AsyncNodeBase::start_lookup(Id first_hop, Id target,
       } else {
         tel().count_node("lookup.failed", self_);
       }
-      user(std::move(r));
+      user(r);
     };
   } else {
     op->done = std::move(done);
@@ -742,11 +781,7 @@ void AsyncNodeBase::start_lookup(Id first_hop, Id target,
     ClosestStepRep rep =
         closest_step(ClosestStepReq{target, op->cursor, {}});
     if (rep.final) {
-      LookupResult res;
-      res.ok = true;
-      res.owner = rep.node;
-      res.path = op->path;
-      op->done(res);
+      finish_lookup(op, true, rep.node);
       return;
     }
     op->cursor = rep.next_cursor;
@@ -757,24 +792,24 @@ void AsyncNodeBase::start_lookup(Id first_hop, Id target,
   lookup_step(op, first_hop);
 }
 
-void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
+void AsyncNodeBase::lookup_step(LookupOp* op, Id hop) {
   if (op->path.size() > net_.config().max_lookup_hops) {
-    op->done(LookupResult{});
+    finish_lookup(op, false, 0);
     return;
   }
   tel().trace(EventType::kLookupHop, net_.sim().now(), self_, hop,
               op->target, op->path.size());
+  // Exactly one of the two continuations below fires (the pending-RPC
+  // table guarantees it), so the raw op pointer has a single owner at
+  // every point of the walk. A crash mid-walk abandons the op to the
+  // node's op arena — reclaimed at teardown, never leaked.
   call(
       hop, ClosestStepReq{op->target, op->cursor, op->excluded},
       [this, op, hop](const ReplyPayload& payload) {
         if (!alive_) return;
         const auto& rep = std::get<ClosestStepRep>(payload);
         if (rep.final) {
-          LookupResult res;
-          res.ok = true;
-          res.owner = rep.node;
-          res.path = op->path;
-          op->done(res);
+          finish_lookup(op, true, rep.node);
           return;
         }
         op->anchor = hop;
@@ -786,7 +821,7 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
         if (!alive_) return;
         op->excluded.push_back(hop);
         if (++op->restarts > net_.config().lookup_restarts) {
-          op->done(LookupResult{});
+          finish_lookup(op, false, 0);
           return;
         }
         tel().trace(EventType::kLookupRestart, net_.sim().now(), self_, hop,
@@ -800,11 +835,7 @@ void AsyncNodeBase::lookup_step(const std::shared_ptr<LookupOp>& op, Id hop) {
               closest_step(ClosestStepReq{op->target, op->cursor,
                                           op->excluded});
           if (rep.final) {
-            LookupResult res;
-            res.ok = true;
-            res.owner = rep.node;
-            res.path = op->path;
-            op->done(res);
+            finish_lookup(op, true, rep.node);
             return;
           }
           op->cursor = rep.next_cursor;
@@ -929,7 +960,9 @@ void AsyncOverlayNet::lookup(Id from, Id target,
     done(LookupResult{});
     return;
   }
-  it->second->start_lookup(from, target, std::move(done));
+  it->second->start_lookup(
+      from, target,
+      [user = std::move(done)](LookupResult& r) { user(std::move(r)); });
 }
 
 LookupResult AsyncOverlayNet::lookup_blocking(Id from, Id target) {
@@ -946,32 +979,44 @@ LookupResult AsyncOverlayNet::lookup_blocking(Id from, Id target) {
   return out;
 }
 
-MulticastTree AsyncOverlayNet::multicast(Id source) {
-  MulticastTree tree(source);
+bool AsyncOverlayNet::start_multicast(Id source, std::uint64_t stream) {
   auto it = nodes_.find(source);
-  if (it == nodes_.end() || !it->second->alive()) return tree;
-
-  active_tree_ = &tree;
-  const std::uint64_t sid = next_stream();
-  active_stream_ = sid;
-  deliveries_ = 0;
+  if (it == nodes_.end() || !it->second->alive()) return false;
   tel_.count("mc.multicasts");
   it->second->on_multicast(
-      source, MulticastData{sid, ring_.sub(source, 1), 0,
+      source, MulticastData{stream, ring_.sub(source, 1), 0,
                             cfg_.multicast_payload_bytes});
-  // Run until deliveries go quiet (poll slices sized above one hop +
-  // dup-check round trip). With repair on, "quiet" must outlast the
-  // slowest silent path — a full retransmission tail (give-up +
-  // re-delegation) or one stabilize round of anti-entropy — or the tree
-  // would be snapshotted while a repair is still in flight.
-  const SimTime slice = cfg_.rpc_timeout_ms * 2;
+  return true;
+}
+
+SimTime AsyncOverlayNet::quiesce_slice_ms() const {
+  // Poll slices sized above one hop + dup-check round trip.
+  return cfg_.rpc_timeout_ms * 2;
+}
+
+int AsyncOverlayNet::quiesce_rounds() const {
+  // With repair on, "quiet" must outlast the slowest silent path — a
+  // full retransmission tail (give-up + re-delegation) or one stabilize
+  // round of anti-entropy — or the tree would be snapshotted while a
+  // repair is still in flight.
   int quiet_needed = 3;
   if (cfg_.repair) {
+    const SimTime slice = quiesce_slice_ms();
     const SimTime tail = retransmit_tail_ms(cfg_) + cfg_.stabilize_period_ms +
                          cfg_.timer_jitter_ms;
     quiet_needed =
         std::max<int>(quiet_needed, static_cast<int>((tail + slice - 1) / slice));
   }
+  return quiet_needed;
+}
+
+MulticastTree AsyncOverlayNet::multicast(Id source) {
+  MulticastTree tree(source);
+  if (!running(source)) return tree;  // no stream id consumed
+  begin_capture(&tree, next_stream());
+  start_multicast(source, active_stream_);
+  const SimTime slice = quiesce_slice_ms();
+  const int quiet_needed = quiesce_rounds();
   std::uint64_t last = deliveries_;
   int quiet = 0;
   while (quiet < quiet_needed) {
@@ -983,8 +1028,7 @@ MulticastTree AsyncOverlayNet::multicast(Id source) {
       last = deliveries_;
     }
   }
-  active_tree_ = nullptr;
-  active_stream_ = 0;
+  begin_capture(nullptr, 0);
   return tree;
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "multicast/tree.h"
@@ -26,6 +27,8 @@
 #include "proto/host_bus.h"
 #include "telemetry/sink.h"
 #include "util/flat_table.h"
+#include "util/inline_func.h"
+#include "util/small_vec.h"
 
 namespace cam::proto {
 
@@ -135,14 +138,26 @@ class AsyncNodeBase {
  protected:
   friend class AsyncOverlayNet;
 
+  // RPC continuations are InlineFunc (util/inline_func.h): every
+  // capture the protocol registers fits the inline capacity, so a
+  // pending RPC costs zero heap traffic. 56 bytes covers the largest
+  // hot closure (the retransmission timeout: this + peer + request +
+  // two ints = 48); anything bigger still works via the heap fallback.
+  using ReplyFn = InlineFunc<void(const ReplyPayload&), 56>;
+  using TimeoutFn = InlineFunc<void(), 56>;
+  /// Lookup completion. Takes the result by mutable reference so the
+  /// engine can reclaim the path buffer after the continuation returns
+  /// (a callee that wants to keep the path moves it out).
+  using LookupDone = InlineFunc<void(LookupResult&), 64>;
+
   struct LookupOp {
     Id target = 0;
     Id cursor = 0;
-    std::vector<Id> excluded;
+    SmallVec<Id, 4> excluded;
     std::vector<Id> path;
     int restarts = 0;
     Id anchor = 0;  // last responsive hop to fall back to
-    std::function<void(LookupResult)> done;
+    LookupDone done;
   };
 
   // --- subclass hooks --------------------------------------------------
@@ -170,9 +185,8 @@ class AsyncNodeBase {
   // --- message plumbing ------------------------------------------------
   void handle(Id from, Message msg);
   virtual ReplyPayload answer(Id from, const RequestPayload& req);
-  void call(Id to, RequestPayload req,
-            std::function<void(const ReplyPayload&)> on_reply,
-            std::function<void()> on_timeout, std::size_t bytes = 64,
+  void call(Id to, RequestPayload req, ReplyFn on_reply,
+            TimeoutFn on_timeout, std::size_t bytes = 64,
             MsgClass cls = MsgClass::kControl);
 
   // --- shared protocol steps -------------------------------------------
@@ -182,14 +196,21 @@ class AsyncNodeBase {
   void on_notify(Id candidate);
   void adopt_successor(Id candidate);
   void drop_successor(Id dead);
-  void start_lookup(Id first_hop, Id target,
-                    std::function<void(LookupResult)> done);
-  void lookup_step(const std::shared_ptr<LookupOp>& op, Id hop);
+  void start_lookup(Id first_hop, Id target, LookupDone done);
+  void lookup_step(LookupOp* op, Id hop);
+  /// Completes a lookup: invokes op->done (moving the accumulated path
+  /// into the result on success) and returns the op to the pool.
+  void finish_lookup(LookupOp* op, bool ok, Id owner);
+  LookupOp* acquire_lookup();
+  void release_lookup(LookupOp* op);
   void on_multicast(Id from, const MulticastData& msg);
 
   /// Ships a multicast payload to `to`: acknowledged + retransmitted
   /// when config().multicast_retries > 0, plain datagram otherwise.
   void send_multicast(Id to, const MulticastData& data);
+  /// One attempt of the acknowledged transfer; reschedules itself with
+  /// `left - 1` on timeout and hands the region to repair at zero.
+  void multicast_attempt(Id to, const MulticastDataReq& req, int left);
 
   bool suspected(Id peer) const;
   void strike(Id peer);
@@ -217,9 +238,9 @@ class AsyncNodeBase {
   void repair_exchange_tick();
   /// Recently seen stream ids, sorted ascending, newest-first truncation
   /// to config().repair_digest_max.
-  std::vector<std::uint64_t> repair_digest() const;
+  SmallVec<std::uint64_t, 8> repair_digest() const;
   /// Pulls streams from `peer`'s digest that this node has not seen.
-  void handle_repair_digest(Id peer, const std::vector<std::uint64_t>& ids);
+  void handle_repair_digest(Id peer, std::span<const std::uint64_t> ids);
   void pull_stream(Id peer, std::uint64_t stream_id);
   /// Consumes one unit of the per-stream re-delegation budget; false
   /// once config().repair_redelegate_budget is exhausted.
@@ -244,10 +265,22 @@ class AsyncNodeBase {
 
   RpcId next_rpc_ = 1;
   struct Pending {
-    std::function<void(const ReplyPayload&)> on_reply;
-    std::function<void()> on_timeout;
+    Id to = 0;  // peer, for the absolve-on-reply bookkeeping
+    ReplyFn on_reply;
+    TimeoutFn on_timeout;
   };
   FlatMap<RpcId, Pending> pending_;
+  /// Lookup-op pool: `lookup_ops_` owns every op ever allocated (an op
+  /// abandoned by a crash stays owned — no leak, reclaimed at node
+  /// teardown); `lookup_free_` is the recycle list. Steady-state lookups
+  /// reuse ops and their path buffers without touching the heap.
+  std::vector<std::unique_ptr<LookupOp>> lookup_ops_;
+  std::vector<LookupOp*> lookup_free_;
+  /// Scratch for the stabilize-round successor-list rebuild (reused
+  /// across rounds; never live across a scheduling boundary).
+  std::vector<Id> scratch_succs_;
+  /// Scratch for repair_digest()'s (last_seen, id) sort.
+  mutable std::vector<std::pair<SimTime, std::uint64_t>> scratch_recent_;
   /// What a node remembers about a seen stream: the dedupe timestamp
   /// plus enough payload metadata to serve anti-entropy pulls and a
   /// counter bounding re-delegation recursion.
@@ -335,6 +368,32 @@ class AsyncOverlayNet {
   /// Stream id used by the most recent multicast() — the key to pull its
   /// events out of a trace (telemetry::replay_multicast).
   std::uint64_t last_stream_id() const { return stream_seq_ - 1; }
+
+  // --- sharded-harness hooks (proto/sharded_async.h) -------------------
+  // The sharded wrapper owns stream-id allocation (ids must be globally
+  // unique across shard-nets) and the quiesce loop (time advances
+  // through the shard group, not this net's simulator); each shard-net
+  // just records its own nodes' deliveries into a caller-owned tree.
+
+  /// Directs delivery recording into `tree` for `stream` and resets the
+  /// delivery counter. Pass nullptr to stop capturing.
+  void begin_capture(MulticastTree* tree, std::uint64_t stream) {
+    active_tree_ = tree;
+    active_stream_ = tree == nullptr ? 0 : stream;
+    deliveries_ = 0;
+  }
+  /// Deliveries recorded since begin_capture().
+  std::uint64_t deliveries() const { return deliveries_; }
+
+  /// Injects the initial MULTICAST at `source` (which must be a live
+  /// local member; returns false otherwise) under stream id `stream`.
+  bool start_multicast(Id source, std::uint64_t stream);
+
+  /// The quiesce-poll geometry multicast() uses: slice length and the
+  /// number of consecutive delivery-free slices that count as "done"
+  /// (sized to outlast the slowest silent repair path).
+  SimTime quiesce_slice_ms() const;
+  int quiesce_rounds() const;
 
   /// Fraction of members whose successor pointer matches ground truth —
   /// the harness's omniscient convergence probe for tests. Recorded as

@@ -61,6 +61,17 @@ double HostBus::advertised_depth(Id observer, Id peer) const {
   return jt == it->second.end() ? 0 : jt->second;
 }
 
+std::uint32_t HostBus::acquire_slot(Message&& msg) {
+  if (slot_free_.empty()) {
+    slots_.push_back(std::move(msg));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t s = slot_free_.back();
+  slot_free_.pop_back();
+  slots_[s] = std::move(msg);
+  return s;
+}
+
 void HostBus::deliver(Id from, Id to, Message msg, std::size_t bytes,
                       MsgClass cls, SimTime extra_delay_ms, double depth) {
   if (msgs_total_ != nullptr) {
@@ -70,19 +81,45 @@ void HostBus::deliver(Id from, Id to, Message msg, std::size_t bytes,
     bytes_total_->add(bytes);
     bytes_[idx]->add(bytes);
   }
+  if (remote_local_ && !remote_local_(to)) {
+    // The destination lives on another shard: book the traffic here
+    // (sender-side, identical to a local send) and hand the datagram
+    // plus its arrival time to the owning shard's bus.
+    const SimTime delay = net_.delay_of(from, to, extra_delay_ms);
+    net_.record_send(bytes, cls, delay);
+    remote_forward_(from, to, std::move(msg), net_.sim().now() + delay,
+                    depth);
+    return;
+  }
+  const std::uint32_t slot = acquire_slot(std::move(msg));
   net_.send(
       from, to, bytes,
-      [this, from, to, depth, m = std::move(msg)]() mutable {
-        auto it = handlers_.find(to);
-        if (it == handlers_.end()) {  // crashed before delivery
-          ++detached_drops_;
-          if (detached_ctr_ != nullptr) detached_ctr_->add();
-          return;
-        }
-        if (!std::isnan(depth)) advertised_[to][from] = depth;
-        it->second(from, std::move(m));
-      },
+      [this, from, to, depth, slot] { deliver_now(from, to, depth, slot); },
       cls, extra_delay_ms);
+}
+
+void HostBus::inject_at(Id from, Id to, Message msg, SimTime deliver_at,
+                        double depth) {
+  const std::uint32_t slot = acquire_slot(std::move(msg));
+  net_.sim().at(deliver_at, [this, from, to, depth, slot] {
+    deliver_now(from, to, depth, slot);
+  });
+}
+
+void HostBus::deliver_now(Id from, Id to, double depth, std::uint32_t slot) {
+  // Move out before releasing: the handler may post() and recycle
+  // (or grow) the pool, so no reference into slots_ may survive past
+  // this line.
+  Message m = std::move(slots_[slot]);
+  slot_free_.push_back(slot);
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {  // crashed before delivery
+    ++detached_drops_;
+    if (detached_ctr_ != nullptr) detached_ctr_->add();
+    return;
+  }
+  if (!std::isnan(depth)) advertised_[to][from] = depth;
+  it->second(from, std::move(m));
 }
 
 void HostBus::set_loss(double p, std::uint64_t seed) {

@@ -88,6 +88,29 @@ class HostBus {
   /// no carrying datagram has been delivered).
   double advertised_depth(Id observer, Id peer) const;
 
+  /// Sharded operation (proto/sharded_async.h): when a destination host
+  /// lives on another shard's bus, the datagram cannot be scheduled on
+  /// this shard's simulator. `local` says whether this bus owns a host;
+  /// `forward` ships a non-local datagram (with its already-computed
+  /// absolute arrival time — sender-side counters and Network traffic
+  /// are booked here, exactly as for a local send) to the owning shard,
+  /// which re-enters it through inject_at(). Pass empty functions to
+  /// return to single-shard operation.
+  using RemoteForward = std::function<void(
+      Id from, Id to, Message msg, SimTime deliver_at, double depth)>;
+  void set_remote(std::function<bool(Id host)> local, RemoteForward forward) {
+    remote_local_ = std::move(local);
+    remote_forward_ = std::move(forward);
+  }
+
+  /// Destination-side re-entry for a datagram forwarded from another
+  /// shard: schedules the normal delivery path (handler lookup, depth
+  /// piggyback, detached-drop accounting) at absolute simulator time
+  /// `deliver_at`, which must be in this shard's strict future — the
+  /// sharded engine's lookahead window guarantees it.
+  void inject_at(Id from, Id to, Message msg, SimTime deliver_at,
+                 double depth);
+
   /// Attaches telemetry; per-class message/byte counters and the drop
   /// counters are resolved once so posting stays one pointer test per
   /// metric when metrics are on and a single null test when off.
@@ -106,6 +129,19 @@ class HostBus {
   void deliver(Id from, Id to, Message msg, std::size_t bytes, MsgClass cls,
                SimTime extra_delay_ms, double depth);
 
+  /// The delivery moment of one datagram copy: handler lookup, depth
+  /// recording, drop accounting. Runs at arrival time on this bus's
+  /// simulator; `slot` is released back to the pool here.
+  void deliver_now(Id from, Id to, double depth, std::uint32_t slot);
+
+  /// Parks `msg` in the slot pool and returns its index. The delivery
+  /// closure captures the index (4 bytes) instead of the Message itself,
+  /// so the scheduled event stays far inside InlineAction's inline
+  /// buffer no matter how large Message grows — the pool, not the
+  /// closure, is the in-flight datagram store. Slots recycle through a
+  /// free list; steady state allocates nothing.
+  std::uint32_t acquire_slot(Message&& msg);
+
   Network& net_;
   FlatMap<Id, Handler> handlers_;
   double loss_ = 0;
@@ -116,6 +152,16 @@ class HostBus {
   std::uint64_t detached_drops_ = 0;
   Shaper shaper_;
   std::vector<SimTime> shape_delays_;  // reused per post()
+
+  // Sharded-mode hooks (empty in single-shard operation).
+  std::function<bool(Id)> remote_local_;
+  RemoteForward remote_forward_;
+
+  // In-flight datagram pool (see acquire_slot). High-water-mark sized:
+  // capacity tracks the peak number of simultaneously in-flight
+  // messages, then recycles.
+  std::vector<Message> slots_;
+  std::vector<std::uint32_t> slot_free_;
 
   // Queue-depth piggyback state: published depths by host, and per
   // (observer, peer) the last depth delivered to the observer.

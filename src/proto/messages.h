@@ -8,9 +8,9 @@
 
 #include <cstdint>
 #include <variant>
-#include <vector>
 
 #include "ids/ring.h"
+#include "util/small_vec.h"
 
 namespace cam::proto {
 
@@ -27,7 +27,9 @@ using RpcId = std::uint64_t;
 struct ClosestStepReq {
   Id target = 0;
   Id cursor = 0;
-  std::vector<Id> excluded;
+  /// Inline up to the common case (a handful of dead hops per walk);
+  /// SmallVec keeps the request heap-free on the RPC hot path.
+  SmallVec<Id, 4> excluded;
 };
 
 /// Stabilization: ask a successor for its current predecessor.
@@ -63,7 +65,7 @@ struct MulticastDataReq {
 /// The receiver pulls what it misses and replies with its own digest so
 /// one exchange repairs both directions.
 struct RepairDigestReq {
-  std::vector<std::uint64_t> streams;
+  SmallVec<std::uint64_t, 8> streams;
 };
 
 /// Pull one missed stream's payload from a node that advertised it.
@@ -92,14 +94,16 @@ struct GetPredRep {
 };
 
 struct GetSuccListRep {
-  std::vector<Id> succs;
+  /// Inline capacity matches AsyncConfig::successor_list_len's default,
+  /// so a stabilize round trip never allocates.
+  SmallVec<Id, 8> succs;
 };
 
 struct PingRep {};
 
 /// Responder's half of the digest exchange (same format as the request).
 struct RepairDigestRep {
-  std::vector<std::uint64_t> streams;
+  SmallVec<std::uint64_t, 8> streams;
 };
 
 /// Serve (or decline) a StreamPullReq. `found` is false when the

@@ -1,0 +1,203 @@
+// ShardedAsyncNet: the full asynchronous protocol stack (timers, RPC,
+// retransmission, repair) partitioned across the sharded event engine.
+//
+// Each shard owns a complete vertical slice — Simulator, Network,
+// HostBus, and one AsyncOverlayNet holding the nodes of its ShardMap
+// id-region. Every cross-node interaction in the async stack is a
+// datagram, so sharding needs exactly one seam: HostBus::set_remote
+// routes datagrams whose destination lives elsewhere into per-(src,dst)
+// single-writer cells (the arena for in-flight cross-shard payloads);
+// the ShardGroup barrier hook drains the cells — destination-major,
+// source ascending, emission order — through HostBus::inject_at, which
+// re-enters the normal delivery path at the precomputed arrival time.
+// The conservative window width is the latency floor, so an injected
+// arrival is always in the destination's strict future.
+//
+// Determinism: fixed shard count => fixed execution. With one shard the
+// wrapper is event-for-event identical to a plain AsyncOverlayNet run
+// (the remote hook never fires and window slicing is pure cursor
+// motion); tests/sharded_async_test.cpp pins both that identity and the
+// cross-shard-count agreement of membership and delivery trees.
+//
+// Stream ids are allocated by the wrapper (globally unique across
+// shard-nets); per-shard trees record home-node deliveries only and
+// merge disjointly.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/async_node.h"
+#include "runtime/shard_team.h"
+#include "sim/shard_group.h"
+
+namespace cam::proto {
+
+template <typename Net>
+class ShardedAsyncNet {
+ public:
+  ShardedAsyncNet(RingSpace ring, const LatencyModel& lat, ShardMap map,
+                  AsyncConfig cfg = {})
+      : ring_(ring),
+        map_(map),
+        team_(map.shards),
+        group_(map.shards, lat.min_latency()) {
+    const std::size_t s_count = map_.shards;
+    cells_.resize(s_count * s_count);
+    nets_.reserve(s_count);
+    buses_.reserve(s_count);
+    overlays_.reserve(s_count);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      nets_.push_back(std::make_unique<Network>(group_.sim(s), lat));
+      buses_.push_back(std::make_unique<HostBus>(*nets_[s]));
+      overlays_.push_back(std::make_unique<Net>(ring, *buses_[s], cfg));
+    }
+    for (std::size_t s = 0; s < s_count; ++s) {
+      buses_[s]->set_remote(
+          [this, s](Id to) { return map_.of(to) == s; },
+          [this, s](Id from, Id to, Message msg, SimTime at, double depth) {
+            cells_[s * overlays_.size() + map_.of(to)].items.push_back(
+                XMsg{at, from, to, depth, std::move(msg)});
+          });
+    }
+    group_.set_barrier_hook([this] { drain_cells(); });
+  }
+
+  std::size_t shards() const { return overlays_.size(); }
+  const ShardMap& map() const { return map_; }
+  Net& shard_net(std::size_t s) { return *overlays_[s]; }
+  AsyncOverlayNet& home(Id id) { return *overlays_[map_.of(id)]; }
+  const AsyncOverlayNet& home(Id id) const { return *overlays_[map_.of(id)]; }
+  SimTime now() const { return now_; }
+  std::uint64_t events_executed() const { return group_.events_executed(); }
+
+  void bootstrap(Id id, NodeInfo info) { home(id).bootstrap(id, info); }
+  void spawn(Id id, NodeInfo info, Id via) { home(id).spawn(id, info, via); }
+  void crash(Id id) { home(id).crash(id); }
+  bool running(Id id) const { return home(id).running(id); }
+  bool known(Id id) const { return home(id).known(id); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& o : overlays_) n += o->size();
+    return n;
+  }
+
+  std::vector<Id> members_sorted() const {
+    std::vector<Id> ids;
+    ids.reserve(size());
+    // Shards own ascending id-regions, so per-shard sorted lists
+    // concatenate into one sorted list.
+    for (const auto& o : overlays_) {
+      std::vector<Id> part = o->members_sorted();
+      ids.insert(ids.end(), part.begin(), part.end());
+    }
+    return ids;
+  }
+
+  /// Advances all shards by `ms` through conservative windows.
+  void run_for(SimTime ms) {
+    now_ += ms;
+    group_.run_until(team_, now_);
+  }
+
+  /// Global successor-consistency probe (the sharded analogue of
+  /// AsyncOverlayNet::ring_consistency, computed over all shards).
+  double ring_consistency() const {
+    std::vector<Id> ids = members_sorted();
+    if (ids.empty()) return 1.0;
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Id want = ids[(i + 1) % ids.size()];
+      auto got = home(ids[i]).node(ids[i]).successor();
+      if (ids.size() == 1) {
+        ok += !got || *got == ids[i];
+      } else {
+        ok += got && *got == want;
+      }
+    }
+    return static_cast<double>(ok) / static_cast<double>(ids.size());
+  }
+
+  /// Starts a multicast at `source`, runs windows until deliveries go
+  /// quiet on every shard, and returns the merged implicit tree.
+  MulticastTree multicast(Id source) {
+    MulticastTree tree(source);
+    if (!running(source)) return tree;
+    const std::uint64_t sid = stream_seq_++;
+    std::vector<MulticastTree> parts;
+    parts.reserve(overlays_.size());
+    for (auto& o : overlays_) {
+      parts.emplace_back(source);
+      o->begin_capture(&parts.back(), sid);
+    }
+    home(source).start_multicast(source, sid);
+    const SimTime slice = overlays_[0]->quiesce_slice_ms();
+    const int quiet_needed = overlays_[0]->quiesce_rounds();
+    std::uint64_t last = total_deliveries();
+    int quiet = 0;
+    while (quiet < quiet_needed) {
+      run_for(slice);
+      const std::uint64_t cur = total_deliveries();
+      if (cur == last) {
+        ++quiet;
+      } else {
+        quiet = 0;
+        last = cur;
+      }
+    }
+    for (auto& o : overlays_) o->begin_capture(nullptr, 0);
+    for (const MulticastTree& part : parts) tree.merge_min(part);
+    return tree;
+  }
+
+  std::uint64_t last_stream_id() const { return stream_seq_ - 1; }
+
+ private:
+  struct XMsg {
+    SimTime at;
+    Id from;
+    Id to;
+    double depth;
+    Message msg;
+  };
+  struct alignas(64) XCell {
+    std::vector<XMsg> items;
+  };
+
+  std::uint64_t total_deliveries() const {
+    std::uint64_t n = 0;
+    for (const auto& o : overlays_) n += o->deliveries();
+    return n;
+  }
+
+  void drain_cells() {
+    const std::size_t s_count = overlays_.size();
+    for (std::size_t dst = 0; dst < s_count; ++dst) {
+      HostBus& bus = *buses_[dst];
+      for (std::size_t src = 0; src < s_count; ++src) {
+        std::vector<XMsg>& cell = cells_[src * s_count + dst].items;
+        for (XMsg& m : cell) {
+          bus.inject_at(m.from, m.to, std::move(m.msg), m.at, m.depth);
+        }
+        cell.clear();
+      }
+    }
+  }
+
+  RingSpace ring_;
+  ShardMap map_;
+  runtime::ShardTeam team_;
+  ShardGroup group_;
+  std::vector<std::unique_ptr<Network>> nets_;
+  std::vector<std::unique_ptr<HostBus>> buses_;
+  std::vector<std::unique_ptr<Net>> overlays_;
+  std::vector<XCell> cells_;
+  SimTime now_ = 0;
+  std::uint64_t stream_seq_ = 1;
+};
+
+}  // namespace cam::proto

@@ -1,0 +1,57 @@
+#include "runtime/shard_team.h"
+
+#include <cassert>
+
+namespace cam::runtime {
+
+ShardTeam::ShardTeam(std::size_t size) : size_(size == 0 ? 1 : size) {
+  threads_.reserve(size_ - 1);
+  for (std::size_t lane = 1; lane < size_; ++lane) {
+    threads_.emplace_back([this, lane] { worker(lane); });
+  }
+}
+
+ShardTeam::~ShardTeam() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardTeam::run(const Task& task) {
+  if (size_ == 1) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(task_ == nullptr && "ShardTeam::run is not reentrant");
+    task_ = &task;
+    done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  task(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return done_ == size_ - 1; });
+  task_ = nullptr;
+}
+
+void ShardTeam::worker(std::size_t lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const Task* task = task_;
+    lk.unlock();
+    (*task)(lane);
+    lk.lock();
+    if (++done_ == size_ - 1) done_cv_.notify_one();
+  }
+}
+
+}  // namespace cam::runtime

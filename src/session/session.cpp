@@ -37,9 +37,6 @@ SessionLayer::SessionLayer(const FrozenDirectory& dir,
                            const strategy::MulticastStrategy& strat)
     : dir_(&dir), strategy_(&strat), ledger_(dir) {}
 
-SessionLayer::SessionLayer(const FrozenDirectory& dir, exp::System system)
-    : SessionLayer(dir, exp::to_strategy(system)) {}
-
 bool SessionLayer::create_group(GroupId g, Id source) {
   if (!dir_->contains(source) || groups_.contains(g)) return false;
   groups_.try_emplace(g, std::make_unique<GroupTree>(g, source));

@@ -30,7 +30,6 @@
 #include <utility>
 #include <vector>
 
-#include "experiments/systems.h"
 #include "overlay/directory.h"
 #include "session/group_tree.h"
 #include "session/ledger.h"
@@ -128,9 +127,6 @@ class SessionLayer {
   /// shallow-first member scan.
   SessionLayer(const FrozenDirectory& dir,
                const strategy::MulticastStrategy& strat);
-
-  // deprecated: enum spelling; delegates to the registered strategy.
-  SessionLayer(const FrozenDirectory& dir, exp::System system);
 
   const FrozenDirectory& directory() const { return *dir_; }
   const strategy::MulticastStrategy& strategy() const { return *strategy_; }

@@ -23,6 +23,13 @@ class LatencyModel {
   /// One-way latency (ms) from `a` to `b`. Must be symmetric and
   /// deterministic for a given model instance.
   virtual SimTime latency(Id a, Id b) const = 0;
+
+  /// Lower bound (ms) on latency(a, b) over all pairs with a != b (the
+  /// a == b self-latency of 0 is exempt: a host never crosses the
+  /// network to itself, nor a shard boundary). The sharded engine
+  /// derives its conservative lookahead window from this floor; the
+  /// default of 0 marks a model as unshardable.
+  virtual SimTime min_latency() const { return 0.0; }
 };
 
 /// Every link has the same fixed latency (default 1 ms). Hop counts and
@@ -32,6 +39,7 @@ class ConstantLatency final : public LatencyModel {
  public:
   explicit ConstantLatency(SimTime ms = 1.0) : ms_(ms) {}
   SimTime latency(Id, Id) const override { return ms_; }
+  SimTime min_latency() const override { return ms_; }
 
  private:
   SimTime ms_;
@@ -43,6 +51,7 @@ class UniformLatency final : public LatencyModel {
   UniformLatency(SimTime lo, SimTime hi, std::uint64_t seed)
       : lo_(lo), hi_(hi), seed_(seed) {}
   SimTime latency(Id a, Id b) const override;
+  SimTime min_latency() const override { return lo_; }
 
  private:
   SimTime lo_, hi_;
@@ -57,6 +66,7 @@ class TorusLatency final : public LatencyModel {
   TorusLatency(SimTime base_ms, SimTime scale_ms, std::uint64_t seed)
       : base_(base_ms), scale_(scale_ms), seed_(seed) {}
   SimTime latency(Id a, Id b) const override;
+  SimTime min_latency() const override { return base_; }
 
  private:
   SimTime base_, scale_;

@@ -153,6 +153,12 @@ SimTime Simulator::next_time() const {
   return order_[head_].time;
 }
 
+SimTime Simulator::peek_next_time() {
+  assert(pending_ > 0);
+  ensure_current();
+  return next_time();
+}
+
 bool Simulator::step() {
   if (pending_ == 0) return false;
   ensure_current();

@@ -81,6 +81,11 @@ class Simulator {
   std::size_t pending() const { return pending_; }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Exact time of the earliest pending event; requires !empty(). Pure
+  /// cursor motion (may cascade wheel levels) — never executes anything.
+  /// The sharded engine uses it to size conservative time windows.
+  SimTime peek_next_time();
+
  private:
   // Wheel geometry: 1 ms ticks, 1024-tick chunks (level 0), 512-chunk
   // superchunks (level 1). All three constants are powers of two so the

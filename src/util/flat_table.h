@@ -264,4 +264,200 @@ class FlatSet {
   FlatMap<K, Unit, Hash> map_;
 };
 
+/// FlatIndex: the column-store variant of FlatMap. It owns only the
+/// key→dense-row mapping; callers keep any number of parallel value
+/// vectors ("columns") sized to rows() and indexed by the row numbers
+/// this class hands out. Splitting the key index from the payload turns
+/// a struct-per-node table into struct-of-arrays: scans touch only the
+/// columns they need, and wide rarely-read state stops polluting the
+/// cache lines of hot fields. Used by the SoA node tables (overlay nets,
+/// HostBus) that have to hold 1M+ rows in RAM.
+///
+/// Same probing scheme and determinism contract as FlatMap: insertion-
+/// order dense keys, swap-with-last erase (the displaced row index is
+/// returned so every column can mirror the swap), power-of-two uint32
+/// slot table, backshift deletion, max load 0.7.
+template <typename K, typename Hash = FlatHash<K>>
+class FlatIndex {
+ public:
+  static constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+
+  std::size_t rows() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  const std::vector<K>& keys() const { return keys_; }
+  const K& key_of(std::uint32_t row) const { return keys_[row]; }
+
+  void clear() {
+    keys_.clear();
+    slots_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    keys_.reserve(n);
+    if (slot_count_for(n) > slots_.size()) rehash(slot_count_for(n));
+  }
+
+  /// Row of `key`, or kNoRow.
+  std::uint32_t find(const K& key) const {
+    if (slots_.empty()) return kNoRow;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t s = Hash{}(key) & mask;
+    while (true) {
+      std::uint32_t row = slots_[s];
+      if (row == kNoRow) return kNoRow;
+      if (keys_[row] == key) return row;
+      s = (s + 1) & mask;
+    }
+  }
+
+  bool contains(const K& key) const { return find(key) != kNoRow; }
+
+  /// Row of `key`, inserting a fresh tail row if absent. `.second` is
+  /// true on insertion — the caller must then emplace_back one value in
+  /// every parallel column before the next index operation.
+  std::pair<std::uint32_t, bool> insert(const K& key) {
+    grow_if_needed();
+    std::size_t mask = slots_.size() - 1;
+    std::size_t s = Hash{}(key) & mask;
+    while (true) {
+      std::uint32_t row = slots_[s];
+      if (row == kNoRow) {
+        row = static_cast<std::uint32_t>(keys_.size());
+        keys_.push_back(key);
+        slots_[s] = row;
+        return {row, true};
+      }
+      if (keys_[row] == key) return {row, false};
+      s = (s + 1) & mask;
+    }
+  }
+
+  /// Erases `key` by swapping its row with the last row. Returns
+  /// {erased_row, moved_row}: the caller must replay the same swap on
+  /// every column (move column[moved_row] into column[erased_row], then
+  /// pop). moved_row == kNoRow when the erased row was already last (or
+  /// the key was absent — then erased_row is kNoRow too).
+  std::pair<std::uint32_t, std::uint32_t> erase(const K& key) {
+    if (slots_.empty()) return {kNoRow, kNoRow};
+    std::size_t mask = slots_.size() - 1;
+    std::size_t s = Hash{}(key) & mask;
+    while (true) {
+      std::uint32_t row = slots_[s];
+      if (row == kNoRow) return {kNoRow, kNoRow};
+      if (keys_[row] == key) break;
+      s = (s + 1) & mask;
+    }
+    std::uint32_t row = slots_[s];
+    std::uint32_t last = static_cast<std::uint32_t>(keys_.size() - 1);
+    std::uint32_t moved = kNoRow;
+    if (row != last) {
+      keys_[row] = std::move(keys_[last]);
+      // Redirect the slot of the displaced (previously last) key.
+      std::size_t t = Hash{}(keys_[row]) & mask;
+      while (slots_[t] != last) t = (t + 1) & mask;
+      slots_[t] = row;
+      moved = last;
+    }
+    keys_.pop_back();
+    // Backshift deletion from the erased key's slot.
+    std::size_t hole = s;
+    std::size_t probe = (s + 1) & mask;
+    while (true) {
+      std::uint32_t r = slots_[probe];
+      if (r == kNoRow) break;
+      std::size_t home = Hash{}(keys_[r]) & mask;
+      bool movable = ((probe - home) & mask) >= ((probe - hole) & mask);
+      if (movable) {
+        slots_[hole] = r;
+        hole = probe;
+      }
+      probe = (probe + 1) & mask;
+    }
+    slots_[hole] = kNoRow;
+    return {row, moved};
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 16;
+
+  static std::size_t slot_count_for(std::size_t n) {
+    std::size_t want = kMinSlots;
+    // Max load 0.7: slots >= n / 0.7.
+    while (want * 7 < n * 10) want <<= 1;
+    return want;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty() || (keys_.size() + 1) * 10 > slots_.size() * 7) {
+      std::size_t want = slot_count_for(keys_.size() + 1);
+      rehash(want < 2 * slots_.size() ? 2 * slots_.size() : want);
+    }
+  }
+
+  void rehash(std::size_t count) {
+    if (count < kMinSlots) count = kMinSlots;
+    slots_.assign(count, kNoRow);
+    std::size_t mask = count - 1;
+    for (std::uint32_t row = 0; row < keys_.size(); ++row) {
+      std::size_t s = Hash{}(keys_[row]) & mask;
+      while (slots_[s] != kNoRow) s = (s + 1) & mask;
+      slots_[s] = row;
+    }
+  }
+
+  std::vector<K> keys_;               // dense, insertion order
+  std::vector<std::uint32_t> slots_;  // row index, or kNoRow
+};
+
+/// SpanArena: bump storage for the per-node neighbor tables. A 1M-node
+/// oracle overlay holds one entries array per node; as individual
+/// std::vectors that is a million small heap blocks plus allocator
+/// metadata. The arena packs them into one contiguous buffer and hands
+/// out {offset, len} spans. Rewriting a node's table allocates a fresh
+/// span and abandons the old one — tables rewrite rarely (join/fix
+/// epochs), so the slack stays bounded while lookups get a flat, cache-
+/// dense layout. compact() squeezes the slack out via a caller-driven
+/// re-append pass when churn accumulates.
+template <typename T>
+class SpanArena {
+ public:
+  struct Span {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t live(const Span& s) const { return s.len; }
+
+  /// Appends n copies of `v`; returns the span.
+  Span append_fill(std::size_t n, const T& v) {
+    Span s;
+    s.off = static_cast<std::uint32_t>(data_.size());
+    s.len = static_cast<std::uint32_t>(n);
+    data_.insert(data_.end(), n, v);
+    return s;
+  }
+
+  /// Copies [first, last) into the arena; returns its span.
+  template <typename It>
+  Span append(It first, It last) {
+    Span s;
+    s.off = static_cast<std::uint32_t>(data_.size());
+    s.len = static_cast<std::uint32_t>(std::distance(first, last));
+    data_.insert(data_.end(), first, last);
+    return s;
+  }
+
+  const T* begin(const Span& s) const { return data_.data() + s.off; }
+  const T* end(const Span& s) const { return data_.data() + s.off + s.len; }
+  T* begin(const Span& s) { return data_.data() + s.off; }
+  T* end(const Span& s) { return data_.data() + s.off + s.len; }
+
+  void clear() { data_.clear(); }
+
+ private:
+  std::vector<T> data_;
+};
+
 }  // namespace cam

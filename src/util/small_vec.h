@@ -1,0 +1,194 @@
+// SmallVec: a vector with inline storage for the first N elements.
+//
+// The protocol hot paths are full of short sequences with small, known
+// typical sizes — successor lists (8), lookup paths (a few hops),
+// repair digests (a handful of streams), per-hop exclusion sets
+// (usually empty). std::vector heap-allocates every non-empty one of
+// these, and the RPC messages that carry them pay that allocation per
+// send. SmallVec keeps up to N elements in the object itself and only
+// spills to the heap past that, so the common case is allocation-free
+// while the API stays the std::vector subset the call sites use.
+//
+// Copyable (messages carrying a SmallVec are fanned out to several
+// peers) and movable; a moved-from SmallVec is empty.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace cam {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) { append_range(other.begin(), other.end()); }
+
+  SmallVec(SmallVec&& other) noexcept { steal(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      append_range(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy_all(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(std::size_t cap) {
+    if (cap > cap_) grow_to(cap);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... A>
+  T& emplace_back(A&&... args) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<A>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void resize(std::size_t n) {
+    while (size_ > n) pop_back();
+    reserve(n);
+    while (size_ < n) emplace_back();
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    append_range(first, last);
+  }
+
+  iterator erase(iterator pos) {
+    assert(pos >= begin() && pos < end());
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool inline_storage() const noexcept {
+    return data_ == reinterpret_cast<const T*>(inline_buf_);
+  }
+
+  template <typename It>
+  void append_range(It first, It last) {
+    reserve(size_ + static_cast<std::size_t>(std::distance(first, last)));
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  void grow_to(std::size_t cap) {
+    cap = std::max<std::size_t>(cap, 2 * N);
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!inline_storage()) ::operator delete(data_);
+    data_ = heap;
+    cap_ = cap;
+  }
+
+  void destroy_all() noexcept {
+    clear();
+    if (!inline_storage()) ::operator delete(data_);
+  }
+
+  // Take other's contents; *this must hold no elements (and may point at
+  // freed heap storage — data_/cap_ are overwritten unconditionally).
+  void steal(SmallVec&& other) noexcept {
+    if (other.inline_storage()) {
+      data_ = reinterpret_cast<T*>(inline_buf_);
+      cap_ = N;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+        ++size_;
+      }
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = reinterpret_cast<T*>(other.inline_buf_);
+      other.size_ = 0;
+      other.cap_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_buf_);
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace cam

@@ -53,6 +53,9 @@ class RegionLatency final : public LatencyModel {
         seed_(seed) {}
 
   SimTime latency(Id a, Id b) const override;
+  SimTime min_latency() const override {
+    return intra_ < inter_ ? intra_ : inter_;
+  }
 
  private:
   std::uint32_t region(Id x) const;

@@ -187,10 +187,14 @@ TEST(CamChordNet, OracleFillMatchesConvergedState) {
   std::vector<std::vector<Id>> converged;
   auto members = fx.overlay.members_sorted();
   converged.reserve(members.size());
-  for (Id id : members) converged.push_back(fx.overlay.entries(id));
+  for (Id id : members) {
+    auto e = fx.overlay.entries(id);
+    converged.emplace_back(e.begin(), e.end());
+  }
   fx.overlay.oracle_fill();
   for (std::size_t i = 0; i < members.size(); ++i) {
-    EXPECT_EQ(fx.overlay.entries(members[i]), converged[i]) << members[i];
+    auto e = fx.overlay.entries(members[i]);
+    EXPECT_EQ(std::vector<Id>(e.begin(), e.end()), converged[i]) << members[i];
   }
 }
 

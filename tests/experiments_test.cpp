@@ -2,7 +2,7 @@
 
 #include "experiments/figures.h"
 #include "experiments/runner.h"
-#include "experiments/systems.h"
+#include "strategy/strategy.h"
 #include "experiments/table.h"
 #include "workload/population.h"
 
@@ -19,23 +19,35 @@ workload::PopulationSpec small_spec(std::size_t n = 400, int bits = 16) {
   return spec;
 }
 
+const strategy::MulticastStrategy& strat(std::string_view key) {
+  return strategy::registry().make(key);
+}
+
+strategy::StrategyParams uniform(std::uint32_t degree) {
+  strategy::StrategyParams p;
+  p.uniform_degree = degree;
+  return p;
+}
+
 TEST(Systems, Names) {
-  EXPECT_EQ(system_name(System::kCamChord), "CAM-Chord");
-  EXPECT_EQ(system_name(System::kCamKoorde), "CAM-Koorde");
-  EXPECT_EQ(system_name(System::kChord), "Chord");
-  EXPECT_EQ(system_name(System::kKoorde), "Koorde");
+  EXPECT_EQ(strategy::registry().display_name("camchord"), "CAM-Chord");
+  EXPECT_EQ(strategy::registry().display_name("camkoorde"), "CAM-Koorde");
+  EXPECT_EQ(strategy::registry().display_name("chord"), "Chord");
+  EXPECT_EQ(strategy::registry().display_name("koorde"), "Koorde");
 }
 
 TEST(Systems, AllFourCoverTheGroup) {
   FrozenDirectory dir =
       workload::uniform_capacity_population(small_spec(), 4, 10).freeze();
   Id source = dir.ids()[3];
-  for (System s : {System::kCamChord, System::kCamKoorde}) {
-    MulticastTree t = run_multicast(s, dir, source);
-    EXPECT_EQ(t.size(), dir.size()) << system_name(s);
+  for (const char* key : {"camchord", "camkoorde"}) {
+    MulticastTree t = strat(key).build_tree(dir, source, {});
+    EXPECT_EQ(t.size(), dir.size()) << key;
   }
-  EXPECT_EQ(run_multicast(System::kChord, dir, source, 7).size(), dir.size());
-  EXPECT_EQ(run_multicast(System::kKoorde, dir, source, 7).size(), dir.size());
+  EXPECT_EQ(strat("chord").build_tree(dir, source, uniform(7)).size(),
+            dir.size());
+  EXPECT_EQ(strat("koorde").build_tree(dir, source, uniform(7)).size(),
+            dir.size());
 }
 
 TEST(Systems, LookupsResolveCorrectly) {
@@ -43,15 +55,15 @@ TEST(Systems, LookupsResolveCorrectly) {
       workload::uniform_capacity_population(small_spec(), 4, 10).freeze();
   Id from = dir.ids()[0];
   for (Id k : {0u, 100u, 9999u}) {
-    for (System s : {System::kCamChord, System::kCamKoorde}) {
-      auto r = run_lookup(s, dir, from, k);
+    for (const char* key : {"camchord", "camkoorde"}) {
+      auto r = strat(key).lookup(dir, from, k, {});
       ASSERT_TRUE(r.ok);
-      EXPECT_EQ(r.owner, *dir.responsible(k)) << system_name(s);
+      EXPECT_EQ(r.owner, *dir.responsible(k)) << key;
     }
-    auto rc = run_lookup(System::kChord, dir, from, k, 4);
+    auto rc = strat("chord").lookup(dir, from, k, uniform(4));
     ASSERT_TRUE(rc.ok);
     EXPECT_EQ(rc.owner, *dir.responsible(k));
-    auto rk = run_lookup(System::kKoorde, dir, from, k, 6);
+    auto rk = strat("koorde").lookup(dir, from, k, uniform(6));
     ASSERT_TRUE(rk.ok);
     EXPECT_EQ(rk.owner, *dir.responsible(k));
   }
@@ -60,16 +72,16 @@ TEST(Systems, LookupsResolveCorrectly) {
 TEST(Systems, BaselinesRejectDegenerateParams) {
   FrozenDirectory dir =
       workload::uniform_capacity_population(small_spec(64), 4, 10).freeze();
-  EXPECT_THROW(run_multicast(System::kChord, dir, dir.ids()[0], 1),
+  EXPECT_THROW(strat("chord").build_tree(dir, dir.ids()[0], uniform(1)),
                std::invalid_argument);
-  EXPECT_THROW(run_multicast(System::kKoorde, dir, dir.ids()[0], 3),
+  EXPECT_THROW(strat("koorde").build_tree(dir, dir.ids()[0], uniform(3)),
                std::invalid_argument);
 }
 
 TEST(Runner, AveragesAreConsistent) {
   FrozenDirectory dir =
       workload::uniform_capacity_population(small_spec(), 4, 10).freeze();
-  AveragedRun r = run_sources(System::kCamChord, dir, 4, 5);
+  AveragedRun r = run_sources(strat("camchord"), dir, 4, 5);
   EXPECT_EQ(r.expected, dir.size());
   EXPECT_EQ(r.reached, dir.size());
   EXPECT_EQ(r.duplicates, 0u);
@@ -91,8 +103,8 @@ TEST(Runner, ThroughputModelFavorsCapacityAwareness) {
       workload::bandwidth_derived_population(spec, p, 4).freeze();
   FrozenDirectory base =
       workload::uniform_capacity_population(spec, 4, 10).freeze();
-  AveragedRun cam_run = run_sources(System::kCamChord, cam, 3, 5);
-  AveragedRun base_run = run_sources(System::kChord, base, 3, 5, 7);
+  AveragedRun cam_run = run_sources(strat("camchord"), cam, 3, 5);
+  AveragedRun base_run = run_sources(strat("chord"), base, 3, 5, uniform(7));
   EXPECT_GT(cam_run.provisioned_kbps, base_run.provisioned_kbps);
   // CAM throughput approximates p under the per-link model, and the
   // realized (per-tree-children) model can only be higher.

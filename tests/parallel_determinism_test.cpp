@@ -15,13 +15,13 @@
 #include "fault/chaos_run.h"
 #include "runtime/cells.h"
 #include "runtime/sweep_pool.h"
+#include "strategy/strategy.h"
 #include "workload/population.h"
 
 namespace cam {
 namespace {
 
 using exp::AveragedRun;
-using exp::System;
 
 void expect_identical(const AveragedRun& a, const AveragedRun& b,
                       const std::string& label) {
@@ -86,10 +86,12 @@ TEST(ParallelDeterminism, RunSourcesInternalJobsMatchesSerial) {
   FrozenDirectory dir =
       workload::uniform_capacity_population(spec, 4, 10).freeze();
   AveragedRun serial =
-      exp::run_sources(System::kCamChord, dir, 6, 11, 0, /*jobs=*/1);
+      exp::run_sources(strategy::registry().make("camchord"), dir, 6, 11, {},
+                       /*jobs=*/1);
   for (std::size_t jobs : {std::size_t{2}, std::size_t{6}}) {
     AveragedRun parallel =
-        exp::run_sources(System::kCamChord, dir, 6, 11, 0, jobs);
+        exp::run_sources(strategy::registry().make("camchord"), dir, 6, 11,
+                         {}, jobs);
     expect_identical(serial, parallel, "jobs " + std::to_string(jobs));
   }
 }

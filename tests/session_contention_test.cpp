@@ -16,6 +16,7 @@
 
 #include "session/multi_forwarder.h"
 #include "session/session.h"
+#include "strategy/strategy.h"
 #include "workload/population.h"
 
 namespace cam {
@@ -51,7 +52,7 @@ struct World {
 
   explicit World(std::uint64_t seed, std::size_t g2_members = 8)
       : dir(make_world(seed)) {
-    layer = std::make_unique<SessionLayer>(dir, exp::System::kCamChord);
+    layer = std::make_unique<SessionLayer>(dir, strategy::registry().make("camchord"));
     const std::vector<Id>& ids = dir.ids();
     EXPECT_TRUE(layer->create_group(1, ids[0]));
     EXPECT_TRUE(layer->create_group(2, ids[0]));

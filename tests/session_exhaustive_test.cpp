@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "session/session.h"
+#include "strategy/strategy.h"
 #include "workload/population.h"
 
 namespace cam {
@@ -41,10 +42,10 @@ std::string describe(const std::vector<Op>& seq) {
 class Enumerator {
  public:
   Enumerator(std::size_t groups, std::size_t nodes, std::uint32_t cap_lo,
-             std::uint32_t cap_hi, exp::System system)
+             std::uint32_t cap_hi, const strategy::MulticastStrategy& strat)
       : groups_(groups),
         nodes_(nodes),
-        system_(system),
+        strat_(&strat),
         dir_(make_world(nodes, cap_lo, cap_hi)) {}
 
   void run(std::size_t depth) {
@@ -68,7 +69,7 @@ class Enumerator {
   /// Replays `seq` on a fresh layer, checking consistency after every
   /// op (including the group-creation preamble). Returns the layer.
   std::unique_ptr<SessionLayer> replay(const std::vector<Op>& seq) {
-    auto layer = std::make_unique<SessionLayer>(dir_, system_);
+    auto layer = std::make_unique<SessionLayer>(dir_, *strat_);
     const std::vector<Id>& ids = dir_.ids();
     for (std::size_t g = 1; g <= groups_; ++g) {
       EXPECT_TRUE(layer->create_group(g, ids[0]));
@@ -121,7 +122,7 @@ class Enumerator {
 
   std::size_t groups_;
   std::size_t nodes_;
-  exp::System system_;
+  const strategy::MulticastStrategy* strat_;
   FrozenDirectory dir_;
   std::size_t sequences_ = 0;
 };
@@ -129,7 +130,7 @@ class Enumerator {
 TEST(SessionExhaustive, TwoGroupsFourNodesDepthFive) {
   // 6 valid moves per state, depth 5: every interleaving of joins and
   // leaves across two groups sharing four nodes.
-  Enumerator e(2, 4, 4, 6, exp::System::kCamChord);
+  Enumerator e(2, 4, 4, 6, strategy::registry().make("camchord"));
   e.run(5);
   EXPECT_GT(e.sequences(), 5000u);
 }
@@ -138,7 +139,7 @@ TEST(SessionExhaustive, ThreeGroupsThreeNodesDepthFour) {
   // Deliberately tight capacities (c_x = 4 everywhere, three groups
   // contending): join rejections and re-parenting both occur inside the
   // enumeration, and consistency must survive them.
-  Enumerator e(3, 3, 4, 4, exp::System::kCamKoorde);
+  Enumerator e(3, 3, 4, 4, strategy::registry().make("camkoorde"));
   e.run(4);
   EXPECT_GT(e.sequences(), 1000u);
 }
@@ -147,7 +148,7 @@ TEST(SessionExhaustive, FourGroupsSixNodesDepthThree) {
   // Widest world: 20 valid moves per state. Capacity 4 with up to four
   // groups debiting the same six uplinks saturates the shared ledger,
   // so the capacity-rejection path is enumerated too.
-  Enumerator e(4, 6, 4, 4, exp::System::kCamChord);
+  Enumerator e(4, 6, 4, 4, strategy::registry().make("camchord"));
   e.run(3);
   EXPECT_GT(e.sequences(), 8000u);
 }

@@ -22,6 +22,7 @@
 #include "session/failover.h"
 #include "session/ledger.h"
 #include "session/session.h"
+#include "strategy/strategy.h"
 #include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -245,7 +246,7 @@ TEST(SessionFailover, ParentDeathRehangsOntoThePrecomputedStandby) {
   // next feasible candidate on the same join-time path.
   const FrozenDirectory dir =
       hand_world({{10, 2}, {100, 2}, {150, 2}, {175, 2}});
-  SessionLayer layer(dir, exp::System::kCamChord);
+  SessionLayer layer(dir, strategy::registry().make("camchord"));
   layer.set_failover_policy(FailoverPolicy{true, true});
 
   const GroupId g = 1;
@@ -290,7 +291,7 @@ TEST(SessionFailover, ParentDeathRehangsOntoThePrecomputedStandby) {
 TEST(SessionFailover, GracefulLeavesDoNotTouchFailureCounters) {
   const FrozenDirectory dir =
       hand_world({{10, 2}, {100, 2}, {150, 2}, {175, 2}});
-  SessionLayer layer(dir, exp::System::kCamChord);
+  SessionLayer layer(dir, strategy::registry().make("camchord"));
   layer.set_failover_policy(FailoverPolicy{true, true});
   const GroupId g = 1;
   ASSERT_TRUE(layer.create_group(g, 10));
@@ -324,7 +325,7 @@ TEST(SessionFailover, ZeroSlackParksThrottlesAndReadmitsDeterministically) {
   // group 1 — S, B, C all saturated — and parks instead of dropping.
   const FrozenDirectory dir = hand_world(
       {{10, 2}, {100, 2}, {150, 2}, {101, 2}, {102, 2}, {60, 2}});
-  SessionLayer layer(dir, exp::System::kCamChord);
+  SessionLayer layer(dir, strategy::registry().make("camchord"));
   layer.set_failover_policy(FailoverPolicy{true, true});
 
   const GroupId g = 1;
@@ -399,7 +400,7 @@ TEST(SessionFailover, DepartingNodeNeverAdoptsItsOwnOrphans) {
   for (const bool crash : {false, true}) {
     const FrozenDirectory dir =
         hand_world({{10, 2}, {100, 2}, {200, 2}, {99, 2}});
-    SessionLayer layer(dir, exp::System::kCamChord);
+    SessionLayer layer(dir, strategy::registry().make("camchord"));
     const GroupId g = 1;
     ASSERT_TRUE(layer.create_group(g, 10));
     ASSERT_EQ(layer.join(g, 100).parent, 10u);

@@ -17,6 +17,7 @@
 #include "session/apply.h"
 #include "session/multi_forwarder.h"
 #include "session/session.h"
+#include "strategy/strategy.h"
 #include "stream/streaming.h"
 #include "workload/population.h"
 
@@ -128,7 +129,7 @@ TEST(SessionLayer, LifecycleAndCapacityRejection) {
   // debits 7 of them, so by the fifth group the ledger must start
   // rejecting joins rather than oversubscribe anyone.
   const FrozenDirectory dir = small_world(8, 6, 4, 4);
-  SessionLayer layer(dir, exp::System::kCamChord);
+  SessionLayer layer(dir, strategy::registry().make("camchord"));
   const std::vector<Id>& ids = dir.ids();
 
   ASSERT_TRUE(layer.create_group(1, ids[0]));
@@ -171,7 +172,7 @@ TEST(SessionLayer, LeaveAndFailReparentOrDropDeterministically) {
   // Roomy capacities: every join below must land, so the test can pin
   // exact membership after the leave and the failure.
   const FrozenDirectory dir = small_world(32, 7, 16, 16);
-  SessionLayer layer(dir, exp::System::kCamKoorde);
+  SessionLayer layer(dir, strategy::registry().make("camkoorde"));
   const std::vector<Id>& ids = dir.ids();
 
   ASSERT_TRUE(layer.create_group(1, ids[0]));
@@ -198,7 +199,7 @@ TEST(SessionLayer, LeaveAndFailReparentOrDropDeterministically) {
   EXPECT_EQ(layer.counters().failures, 2u);
 
   // Determinism: an identical world replays to identical trees.
-  SessionLayer replay(dir, exp::System::kCamKoorde);
+  SessionLayer replay(dir, strategy::registry().make("camkoorde"));
   ASSERT_TRUE(replay.create_group(1, ids[0]));
   ASSERT_TRUE(replay.create_group(2, ids[0]));
   for (std::size_t i = 1; i < 12; ++i) replay.join(1, ids[i]);
@@ -256,10 +257,9 @@ std::string render_session(const dataplane::SessionStats& s) {
 
 TEST(SessionSingleGroup, ByteIdenticalToLegacyStreamPlane) {
   std::ostringstream golden;
-  for (exp::System sys :
-       {exp::System::kCamChord, exp::System::kCamKoorde}) {
+  for (const char* key : {"camchord", "camkoorde"}) {
     const FrozenDirectory dir = small_world(64, 11);
-    SessionLayer layer(dir, sys);
+    SessionLayer layer(dir, strategy::registry().make(key));
     const std::vector<Id>& ids = dir.ids();
     ASSERT_TRUE(layer.create_group(9, ids[0]));
     for (std::size_t i = 1; i < 40; ++i) {
@@ -300,7 +300,8 @@ TEST(SessionSingleGroup, ByteIdenticalToLegacyStreamPlane) {
       EXPECT_EQ(stats.groups[0].copies_delivered,
                 stats.groups[0].copies_expected);
     }
-    golden << exp::system_name(sys) << " " << render_session(legacy);
+    golden << strategy::registry().display_name(key) << " "
+           << render_session(legacy);
   }
   expect_golden("session_single_group.txt", golden.str());
 }

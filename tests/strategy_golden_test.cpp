@@ -1,7 +1,7 @@
 // Byte-identity goldens for the MulticastStrategy seam.
 //
 // The seam promises that porting the four paper systems from the
-// exp::System enum switch onto registry adapters changes NOTHING about
+// legacy free-function call sites onto registry adapters changes NOTHING about
 // the trees they build. Two pins enforce that:
 //
 //  1. Entry-for-entry equality between the seam (`registry().make(key)

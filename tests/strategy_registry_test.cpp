@@ -1,12 +1,11 @@
 // Registry contract for the MulticastStrategy seam: lookup by key,
 // duplicate rejection, self-documenting unknown-key errors, and the
-// deprecated exp::System shim delegating to the registered strategies.
+// degenerate-parameter contracts of the uniform baselines.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <stdexcept>
 
-#include "experiments/systems.h"
 #include "strategy/strategy.h"
 #include "workload/population.h"
 
@@ -125,21 +124,19 @@ TEST(StrategyRegistry, CapabilityFlags) {
   EXPECT_FALSE(reg.make("koorde").capacity_aware());
 }
 
-// The deprecated enum shim must route through the registry, not keep a
-// parallel implementation.
-TEST(StrategyRegistry, DeprecatedSystemShimDelegates) {
-  EXPECT_EQ(&exp::to_strategy(exp::System::kCamChord),
-            strategy::registry().find("camchord"));
-  EXPECT_EQ(&exp::to_strategy(exp::System::kKoorde),
-            strategy::registry().find("koorde"));
-  EXPECT_EQ(exp::strategy_key(exp::System::kCamKoorde), "camkoorde");
-  EXPECT_EQ(exp::system_name(exp::System::kChord), "Chord");
-
-  // The legacy degenerate-parameter throws still fire through the shim.
+// The uniform baselines keep their legacy degenerate-parameter throws
+// when invoked through the registry seam.
+TEST(StrategyRegistry, BaselineDegenerateParamsThrow) {
   const FrozenDirectory dir = small_world();
-  EXPECT_THROW(exp::run_multicast(exp::System::kChord, dir, dir.ids()[0], 1),
-               std::invalid_argument);
-  EXPECT_THROW(exp::run_multicast(exp::System::kKoorde, dir, dir.ids()[0], 3),
+  strategy::StrategyParams fanout1;
+  fanout1.uniform_degree = 1;
+  EXPECT_THROW(
+      strategy::registry().make("chord").build_tree(dir, dir.ids()[0], fanout1),
+      std::invalid_argument);
+  strategy::StrategyParams degree3;
+  degree3.uniform_degree = 3;
+  EXPECT_THROW(strategy::registry().make("koorde").build_tree(dir, dir.ids()[0],
+                                                              degree3),
                std::invalid_argument);
 }
 

@@ -188,15 +188,6 @@ runtime::FlagSet make_flags(Args& a) {
         "tree strategy key (comma list for head-to-head): " +
             strategy::registry().joined_names(),
         &a.strategy);
-  f.add_parsed("system", "deprecated alias for --strategy",
-               [&a](const std::string& v, std::string*) {
-                 std::fprintf(stderr,
-                              "camsim: --system is deprecated, use "
-                              "--strategy=%s\n",
-                              v.c_str());
-                 a.strategy = v;
-                 return true;
-               });
   f.add("n", "group size", &a.n);
   f.add("bits", "ring identifier bits", &a.bits);
   f.add_parsed("cap", "capacity range LO:HI (uniform population)",
